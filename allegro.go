@@ -1,0 +1,109 @@
+// Package allegro is the public facade of the Go reproduction of
+// "Scaling the leading accuracy of deep equivariant models to biomolecular
+// simulations of realistic size" (Musaelian, Johansson, Batzner, Kozinsky —
+// SC 2023).
+//
+// It re-exports the high-level workflow — build a potential, train it on
+// labeled frames, run (optionally domain-decomposed) molecular dynamics,
+// and regenerate the paper's tables and figures — on top of the internal
+// packages:
+//
+//	internal/core        the Allegro model (the paper's contribution)
+//	internal/o3          O(3) representation theory and the fused tensor product
+//	internal/ad          reverse-mode autodiff over geometric ops
+//	internal/md          molecular dynamics engine
+//	internal/domain      LAMMPS-style spatial decomposition on goroutines
+//	internal/baselines   classical / GAP / BP / SchNet / NequIP comparators
+//	internal/groundtruth the synthetic DFT oracle that labels every dataset
+//	internal/data        structure and dataset builders
+//	internal/perfmodel   A100 + allocator performance models
+//	internal/cluster     Perlmutter-scale throughput simulation
+//	internal/experiments per-table/figure reproduction harnesses
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package allegro
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/groundtruth"
+	"repro/internal/md"
+	"repro/internal/units"
+)
+
+// Re-exported core types.
+type (
+	// Model is a trained or trainable Allegro potential.
+	Model = core.Model
+	// Config specifies an Allegro architecture.
+	Config = core.Config
+	// TrainConfig controls training.
+	TrainConfig = core.TrainConfig
+	// Frame is a labeled structure (system + reference energy/forces).
+	Frame = atoms.Frame
+	// System is a collection of atoms, optionally periodic.
+	System = atoms.System
+	// Species is a chemical species (atomic number).
+	Species = units.Species
+)
+
+// Common species.
+const (
+	H = units.H
+	C = units.C
+	N = units.N
+	O = units.O
+	P = units.P
+	S = units.S
+)
+
+// NewModel constructs a randomly initialized Allegro model from cfg.
+func NewModel(cfg Config, seed uint64) (*Model, error) {
+	return core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xA11E)))
+}
+
+// DefaultConfig returns a small but complete Allegro configuration for the
+// given species set.
+func DefaultConfig(species []Species) Config { return core.DefaultConfig(species) }
+
+// Train fits model to the labeled frames and returns the final loss.
+func Train(model *Model, frames []*Frame, cfg TrainConfig) float64 {
+	return core.NewTrainer(model, cfg).Train(frames)
+}
+
+// DefaultTrainConfig mirrors the paper's training setup at reduced scale.
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// LoadModel reads a model saved with (*Model).Save.
+func LoadModel(path string) (*Model, error) { return core.Load(path) }
+
+// NewSim prepares an MD simulation of sys under the model with timestep dt
+// (fs).
+func NewSim(sys *System, model *Model, dt float64) *md.Sim {
+	return md.NewSim(sys, model, dt)
+}
+
+// Oracle returns the synthetic reference potential used to label datasets.
+func Oracle() *groundtruth.Oracle { return groundtruth.New() }
+
+// RunExperiment regenerates one of the paper's tables/figures by ID (see
+// Experiments) and prints the report to w.
+func RunExperiment(w io.Writer, id string, full bool, seed uint64) error {
+	scale := experiments.Quick
+	if full {
+		scale = experiments.Full
+	}
+	r, err := experiments.Run(id, scale, seed)
+	if err != nil {
+		return err
+	}
+	r.Print(w)
+	return nil
+}
+
+// Experiments lists the available experiment IDs.
+func Experiments() []string { return experiments.All() }

@@ -1,0 +1,154 @@
+package allegro
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/neighbor"
+	"repro/internal/o3"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Heavy training
+// experiments run once per benchmark iteration at Quick scale; the scaling
+// benchmarks exercise the cluster model and are fast.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Print(io.Discard)
+	}
+}
+
+// BenchmarkTableI regenerates the rMD17-like model-family comparison.
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTableII regenerates the water/ice sample-efficiency comparison.
+func BenchmarkTableII(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTableIII regenerates the tight-binding time-to-solution table.
+func BenchmarkTableIII(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTableIV regenerates the mixed-precision ablation.
+func BenchmarkTableIV(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFigure1 regenerates the system inventory.
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure3 regenerates the fused-vs-separated tensor product
+// measurement.
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure4 regenerates the protein-stability MD experiment.
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFigure5 regenerates the allocator-padding experiment.
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFigure6 regenerates the strong-scaling sweeps.
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates the weak-scaling sweeps.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// --- kernel micro-benchmarks underlying the figures ---
+
+// BenchmarkFusedTensorProduct measures the paper's central fused contraction
+// at the production lmax=2 over a realistic pair batch.
+func BenchmarkFusedTensorProduct(b *testing.B) {
+	tp := o3.NewTensorProduct(o3.FullIrreps(2), o3.SphericalIrreps(2), o3.FullIrreps(2))
+	rng := rand.New(rand.NewPCG(1, 2))
+	z, u := 256, 4
+	x := tensor.New(z, u, tp.In1.Width)
+	y := tensor.New(z, u, tp.In2.Width)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	w := make([]float64, tp.NumPaths())
+	for i := range w {
+		w[i] = 1
+	}
+	tp.Fuse(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.ApplyFused(x, y, nil, tensor.F64)
+	}
+}
+
+// BenchmarkSeparatedTensorProduct measures the per-path reference kernel
+// (the Fig. 3 comparison baseline).
+func BenchmarkSeparatedTensorProduct(b *testing.B) {
+	tp := o3.NewTensorProduct(o3.FullIrreps(2), o3.SphericalIrreps(2), o3.FullIrreps(2))
+	rng := rand.New(rand.NewPCG(1, 2))
+	z, u := 256, 4
+	x := tensor.New(z, u, tp.In1.Width)
+	y := tensor.New(z, u, tp.In2.Width)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	w := make([]float64, tp.NumPaths())
+	for i := range w {
+		w[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.ApplySeparated(x, y, w, tensor.F64)
+	}
+}
+
+// BenchmarkNeighborBuild measures cell-list neighbor construction on the
+// 192-atom water cell with the paper's per-species cutoffs.
+func BenchmarkNeighborBuild(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	sys := data.WaterBox(rng, 4, 4, 4)
+	cuts := neighbor.PaperBioCutoffs(atoms.NewSpeciesIndex([]Species{H, O}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		neighbor.Build(sys, cuts)
+	}
+}
+
+// BenchmarkClusterStepTime measures the throughput model itself.
+func BenchmarkClusterStepTime(b *testing.B) {
+	m := cluster.Perlmutter()
+	w := cluster.Biosystem("Capsid", 44_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StepTime(w, 1280)
+	}
+}
+
+// BenchmarkMixedPrecisionMatmul compares the emulated precisions on a GEMM.
+func BenchmarkMixedPrecisionMatmul(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := tensor.New(64, 64)
+	c := tensor.New(64, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		c.Data[i] = rng.NormFloat64()
+	}
+	for _, p := range []tensor.Precision{tensor.F64, tensor.F32, tensor.TF32} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(a, c, p)
+			}
+		})
+	}
+	_ = perfmodel.PeakTF32
+}

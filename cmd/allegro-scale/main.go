@@ -1,0 +1,64 @@
+// Command allegro-scale runs the Perlmutter-scale throughput model: strong
+// scaling (Fig. 6), weak scaling (Fig. 7), and the tight-binding comparison
+// (Table III) for arbitrary systems and node counts.
+//
+// Usage:
+//
+//	allegro-scale -mode strong -system Capsid -max-nodes 1280
+//	allegro-scale -mode strong -atoms 5000000
+//	allegro-scale -mode weak -atoms-per-node 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+)
+
+func main() {
+	var (
+		mode         = flag.String("mode", "strong", "strong | weak")
+		system       = flag.String("system", "", "named system (DHFR, FactorIX, Cellulose, STMV, 10STMV, Capsid)")
+		atoms        = flag.Int("atoms", 0, "water system size (used when -system is empty)")
+		atomsPerNode = flag.Int("atoms-per-node", 100_000, "weak scaling: atoms per node")
+		maxNodes     = flag.Int("max-nodes", 1280, "largest node count")
+	)
+	flag.Parse()
+	m := cluster.Perlmutter()
+	switch *mode {
+	case "strong":
+		var w cluster.Workload
+		if *system != "" {
+			found := false
+			for _, s := range data.PaperSystems() {
+				if s.Name == *system {
+					w = cluster.Biosystem(s.Name, s.Atoms)
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("unknown system %q", *system)
+			}
+		} else if *atoms > 0 {
+			w = cluster.Water(fmt.Sprintf("water-%d", *atoms), *atoms)
+		} else {
+			log.Fatal("need -system or -atoms")
+		}
+		fmt.Printf("strong scaling: %s (%d atoms)\n", w.Name, w.Atoms)
+		fmt.Printf("%8s %12s %10s %10s\n", "nodes", "atoms/GPU", "steps/s", "ns/day")
+		for _, p := range m.StrongScaling(w, *maxNodes) {
+			fmt.Printf("%8d %12.0f %10.2f %10.2f\n", p.Nodes, p.AtomsPerGPU, p.StepsPerSec, p.NsPerDay)
+		}
+	case "weak":
+		fmt.Printf("weak scaling: %d atoms/node\n", *atomsPerNode)
+		fmt.Printf("%8s %10s %12s\n", "nodes", "steps/s", "efficiency")
+		for _, p := range m.WeakScaling(*atomsPerNode, *maxNodes) {
+			fmt.Printf("%8d %10.2f %11.1f%%\n", p.Nodes, p.StepsPerSec, p.WeakEffPct)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,93 @@
+// Command allegro-train trains an Allegro potential on a synthetic
+// oracle-labeled dataset and writes the model to a JSON file.
+//
+// Usage:
+//
+//	allegro-train -dataset water -frames 12 -epochs 10 -out model.json
+//
+// Datasets: water (liquid water cells), molecules (SPICE-like organic mix),
+// protein (solvated synthetic protein).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/groundtruth"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "water", "training dataset: water | molecules | protein")
+		frames   = flag.Int("frames", 10, "number of training frames")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		lr       = flag.Float64("lr", 4e-3, "Adam learning rate")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		out      = flag.String("out", "allegro-model.json", "output model path")
+		layers   = flag.Int("layers", 2, "Allegro layers")
+		channels = flag.Int("channels", 2, "tensor channels")
+		lmax     = flag.Int("lmax", 1, "maximum rotation order")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewPCG(*seed, 42))
+	oracle := groundtruth.New()
+
+	var train []*atoms.Frame
+	var species []units.Species
+	switch *dataset {
+	case "water":
+		species = []units.Species{units.H, units.O}
+		liquid := data.WaterBox(rng, 3, 3, 3)
+		data.Relax(oracle, liquid, 40, 0.05)
+		train = data.MDSampledFrames(oracle, liquid, *frames, 12, 0.25, 330, rng)
+	case "molecules":
+		species = []units.Species{units.H, units.C, units.N, units.O, units.S}
+		train = data.SPICELikeSet(oracle, *frames, rng)
+	case "protein":
+		species = []units.Species{units.H, units.C, units.N, units.O}
+		prot := data.ProteinChain(4)
+		solv := data.Solvate(prot, 4.0, rng)
+		data.Relax(oracle, solv, 60, 0.05)
+		train = data.MDSampledFrames(oracle, solv, *frames, 8, 0.25, 320, rng)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	cfg := core.DefaultConfig(species)
+	cfg.NumLayers = *layers
+	cfg.NumChannels = *channels
+	cfg.LMax = *lmax
+	cfg.LatentDim = 16
+	cfg.TwoBodyHidden = []int{16}
+	cfg.LatentHidden = []int{16}
+	cfg.EdgeHidden = 8
+	cfg.NumBessel = 6
+	cfg.AvgNumNeighbors = 12
+	model, err := core.New(cfg, nil, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training Allegro (%d weights) on %d %s frames (%d atoms each)\n",
+		model.NumWeights(), len(train), *dataset, train[0].NumAtoms())
+
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.BatchSize = 2
+	tc.LR = *lr
+	tc.Seed = *seed
+	tc.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	trainer := core.NewTrainer(model, tc)
+	trainer.Train(train)
+	fmt.Println("train-set metrics:", trainer.Evaluate(train))
+
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model written to", *out)
+}

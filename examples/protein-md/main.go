@@ -1,0 +1,69 @@
+// Protein MD: the Fig. 4 workflow — train Allegro on a solvated synthetic
+// protein and track backbone RMSD and temperature under NVT dynamics,
+// verifying the learned potential keeps the structure intact.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	allegro "repro"
+	"repro/internal/analysis"
+	"repro/internal/data"
+	"repro/internal/md"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(3, 4))
+	oracle := allegro.Oracle()
+
+	// Build a solvated synthetic helix (DHFR stands in at reduced scale).
+	const nRes = 4
+	prot := data.ProteinChain(nRes)
+	sys := data.Solvate(prot, 4.0, rng)
+	data.Relax(oracle, sys, 60, 0.05)
+	backbone := data.BackboneIndices(nRes)
+	fmt.Printf("solvated protein: %d atoms (%d backbone)\n", sys.NumAtoms(), len(backbone))
+
+	// Train on oracle MD frames of the same system.
+	frames := data.MDSampledFrames(oracle, sys, 6, 8, 0.25, 320, rng)
+	cfg := allegro.DefaultConfig([]allegro.Species{allegro.H, allegro.C, allegro.N, allegro.O})
+	cfg.LMax = 1
+	cfg.NumChannels = 2
+	cfg.LatentDim = 16
+	cfg.TwoBodyHidden = []int{16}
+	cfg.LatentHidden = []int{16}
+	cfg.EdgeHidden = 8
+	cfg.AvgNumNeighbors = 12
+	model, err := allegro.NewModel(cfg, 5)
+	if err != nil {
+		panic(err)
+	}
+	tc := allegro.DefaultTrainConfig()
+	tc.Epochs = 5
+	tc.BatchSize = 2
+	allegro.Train(model, frames, tc)
+
+	// NVT dynamics with backbone RMSD tracking (Fig. 4).
+	sim := allegro.NewSim(sys.Clone(), model, 0.5)
+	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.05, Rng: rng}
+	sim.InitVelocities(300, rng)
+	ref := make([][3]float64, len(backbone))
+	cur := make([][3]float64, len(backbone))
+	for t, i := range backbone {
+		ref[t] = sim.Sys.Pos[i]
+	}
+	var rmsd analysis.Series
+	for s := 0; s < 120; s++ {
+		sim.Step()
+		if (s+1)%20 == 0 {
+			for t, i := range backbone {
+				cur[t] = sim.Sys.Pos[i]
+			}
+			rmsd.Append(float64(s+1)*sim.Dt, analysis.RMSD(ref, cur))
+			fmt.Printf("t=%5.1f fs  RMSD=%.3f A  T=%.0f K\n",
+				float64(s+1)*sim.Dt, rmsd.Y[len(rmsd.Y)-1], sim.Temperature())
+		}
+	}
+	fmt.Printf("backbone RMSD plateau: %.3f A (stable structure, cf. paper Fig. 4)\n", rmsd.TailMean(0.4))
+}

@@ -1,0 +1,60 @@
+// Quickstart: train a tiny Allegro potential on oracle-labeled water frames
+// and run a short NVT simulation with it — the end-to-end workflow of the
+// paper at laptop scale.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	allegro "repro"
+	"repro/internal/data"
+	"repro/internal/md"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(1, 2))
+	oracle := allegro.Oracle()
+
+	// 1. Build and label a dataset: small liquid water boxes sampled from
+	//    oracle MD (the stand-in for the paper's SPICE DFT data).
+	box := data.WaterBox(rng, 3, 3, 3)
+	data.Relax(oracle, box, 40, 0.05)
+	frames := data.MDSampledFrames(oracle, box, 8, 10, 0.25, 330, rng)
+	fmt.Printf("dataset: %d frames of %d atoms\n", len(frames), frames[0].NumAtoms())
+
+	// 2. Configure and train an Allegro model.
+	cfg := allegro.DefaultConfig([]allegro.Species{allegro.H, allegro.O})
+	cfg.LMax = 1
+	cfg.NumChannels = 2
+	cfg.LatentDim = 16
+	cfg.TwoBodyHidden = []int{16}
+	cfg.LatentHidden = []int{16}
+	cfg.EdgeHidden = 8
+	cfg.AvgNumNeighbors = 12
+	model, err := allegro.NewModel(cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("model: %d weights, layers=%d, lmax=%d, precision %s\n",
+		model.NumWeights(), cfg.NumLayers, cfg.LMax, cfg.Precision)
+
+	tc := allegro.DefaultTrainConfig()
+	tc.Epochs = 10
+	tc.BatchSize = 2
+	tc.LR = 4e-3
+	tc.Logf = func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+	allegro.Train(model, frames, tc)
+
+	// 3. Run NVT molecular dynamics under the learned potential.
+	sim := allegro.NewSim(box.Clone(), model, 0.5)
+	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.05, Rng: rng}
+	sim.InitVelocities(300, rng)
+	for s := 0; s < 50; s++ {
+		sim.Step()
+		if (s+1)%10 == 0 {
+			fmt.Println(sim)
+		}
+	}
+	fmt.Println("quickstart complete")
+}

@@ -1,0 +1,264 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/o3"
+	"repro/internal/tensor"
+)
+
+// Norm maps pair displacement vectors rvec [Z,3] to distances [Z,1].
+func (tp *Tape) Norm(rvec *Value) *Value {
+	z := rvec.T.Shape[0]
+	if rvec.T.NDim() != 2 || rvec.T.Shape[1] != 3 {
+		panic("ad: Norm expects [Z,3]")
+	}
+	y := tensor.New(z, 1)
+	for i := 0; i < z; i++ {
+		r := rvec.T.Row(i)
+		y.Data[i] = math.Sqrt(r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
+	}
+	v := tp.node(y, rvec.req, nil)
+	v.back = func() {
+		if !rvec.req {
+			return
+		}
+		g := rvec.ensureGrad()
+		for i := 0; i < z; i++ {
+			r := rvec.T.Row(i)
+			d := y.Data[i]
+			if d == 0 {
+				continue
+			}
+			gv := v.grad.Data[i] / d
+			row := g.Row(i)
+			row[0] += gv * r[0]
+			row[1] += gv * r[1]
+			row[2] += gv * r[2]
+		}
+	}
+	return v
+}
+
+// SphHarm maps pair vectors [Z,3] to real spherical harmonics [Z,(lmax+1)^2]
+// of the pair direction, with analytic gradients through normalization.
+func (tp *Tape) SphHarm(rvec *Value, lmax int) *Value {
+	z := rvec.T.Shape[0]
+	dim := o3.SphDim(lmax)
+	y := tensor.New(z, dim)
+	var grads [][][3]float64
+	if rvec.req {
+		grads = make([][][3]float64, z)
+	}
+	buf := make([]float64, dim)
+	gbuf := make([][3]float64, dim)
+	for i := 0; i < z; i++ {
+		r := [3]float64{rvec.T.At(i, 0), rvec.T.At(i, 1), rvec.T.At(i, 2)}
+		if rvec.req {
+			o3.SphHarmGrad(lmax, r, buf, gbuf)
+			grads[i] = append([][3]float64(nil), gbuf...)
+		} else {
+			o3.SphHarm(lmax, r, buf)
+		}
+		copy(y.Row(i), buf)
+	}
+	tp.store(y)
+	v := tp.node(y, rvec.req, nil)
+	v.back = func() {
+		if !rvec.req {
+			return
+		}
+		g := rvec.ensureGrad()
+		for i := 0; i < z; i++ {
+			gRow := g.Row(i)
+			vg := v.grad.Row(i)
+			gi := grads[i]
+			for c := 0; c < dim; c++ {
+				gc := vg[c]
+				if gc == 0 {
+					continue
+				}
+				gRow[0] += gc * gi[c][0]
+				gRow[1] += gc * gi[c][1]
+				gRow[2] += gc * gi[c][2]
+			}
+		}
+	}
+	return v
+}
+
+// Bessel expands distances r [Z,1] in nb sine-Bessel radial basis functions
+//
+//	b_n(r) = sqrt(2/rc) * sin(n*pi*r/rc) / r
+//
+// with a per-pair cutoff rc = rcuts[z] (the paper's per-ordered-species-pair
+// cutoffs make rc pair-dependent). Output is [Z,nb].
+func (tp *Tape) Bessel(r *Value, rcuts []float64, nb int) *Value {
+	z := r.T.Shape[0]
+	if len(rcuts) != z {
+		panic("ad: Bessel rcuts length mismatch")
+	}
+	y := tensor.New(z, nb)
+	for i := 0; i < z; i++ {
+		rv := r.T.Data[i]
+		rc := rcuts[i]
+		pref := math.Sqrt(2/rc) / rv
+		for n := 1; n <= nb; n++ {
+			y.Data[i*nb+n-1] = pref * math.Sin(float64(n)*math.Pi*rv/rc)
+		}
+	}
+	tp.store(y)
+	v := tp.node(y, r.req, nil)
+	v.back = func() {
+		if !r.req {
+			return
+		}
+		g := r.ensureGrad()
+		for i := 0; i < z; i++ {
+			rv := r.T.Data[i]
+			rc := rcuts[i]
+			pref := math.Sqrt(2 / rc)
+			acc := 0.0
+			for n := 1; n <= nb; n++ {
+				k := float64(n) * math.Pi / rc
+				// d/dr [pref*sin(k r)/r] = pref*(k*cos(k r)/r - sin(k r)/r^2)
+				db := pref * (k*math.Cos(k*rv)/rv - math.Sin(k*rv)/(rv*rv))
+				acc += v.grad.Data[i*nb+n-1] * db
+			}
+			g.Data[i] += acc
+		}
+	}
+	return v
+}
+
+// PolyCutoff applies the polynomial envelope of Klicpera et al. used by
+// NequIP/Allegro, with exponent p and per-pair cutoffs:
+//
+//	f(x) = 1 - (p+1)(p+2)/2 x^p + p(p+2) x^(p+1) - p(p+1)/2 x^(p+2),  x = r/rc
+//
+// f and f' vanish smoothly at r = rc; beyond the cutoff f = 0. Output [Z,1].
+func (tp *Tape) PolyCutoff(r *Value, rcuts []float64, p int) *Value {
+	z := r.T.Shape[0]
+	if len(rcuts) != z {
+		panic("ad: PolyCutoff rcuts length mismatch")
+	}
+	fp := float64(p)
+	c1 := (fp + 1) * (fp + 2) / 2
+	c2 := fp * (fp + 2)
+	c3 := fp * (fp + 1) / 2
+	y := tensor.New(z, 1)
+	for i := 0; i < z; i++ {
+		x := r.T.Data[i] / rcuts[i]
+		if x >= 1 {
+			continue
+		}
+		xp := math.Pow(x, fp)
+		y.Data[i] = 1 - c1*xp + c2*xp*x - c3*xp*x*x
+	}
+	tp.store(y)
+	v := tp.node(y, r.req, nil)
+	v.back = func() {
+		if !r.req {
+			return
+		}
+		g := r.ensureGrad()
+		for i := 0; i < z; i++ {
+			rc := rcuts[i]
+			x := r.T.Data[i] / rc
+			if x >= 1 {
+				continue
+			}
+			xpm := math.Pow(x, fp-1)
+			df := (-c1*fp*xpm + c2*(fp+1)*xpm*x - c3*(fp+2)*xpm*x*x) / rc
+			g.Data[i] += v.grad.Data[i] * df
+		}
+	}
+	return v
+}
+
+// EnvSum computes the per-atom weighted environment embedding
+//
+//	env[i,u,c] = scale * sum_{z : center[z]=i} w[z,u] * y[z,c]
+//
+// — the bilinearity trick of Eq. 2: neighbors are summed *before* the tensor
+// product. w is [Z,U], y is [Z,C], output [n,U,C].
+func (tp *Tape) EnvSum(w, y *Value, center []int, n int, scale float64) *Value {
+	z, u := w.T.Shape[0], w.T.Shape[1]
+	c := y.T.Shape[1]
+	if y.T.Shape[0] != z || len(center) != z {
+		panic("ad: EnvSum shape mismatch")
+	}
+	out := tensor.New(n, u, c)
+	for zi := 0; zi < z; zi++ {
+		i := center[zi]
+		yRow := y.T.Row(zi)
+		for ui := 0; ui < u; ui++ {
+			wv := scale * w.T.Data[zi*u+ui]
+			dst := out.Data[(i*u+ui)*c : (i*u+ui+1)*c]
+			for j, yv := range yRow {
+				dst[j] += wv * yv
+			}
+		}
+	}
+	tp.store(out)
+	v := tp.node(out, w.req || y.req, nil)
+	v.back = func() {
+		for zi := 0; zi < z; zi++ {
+			i := center[zi]
+			yRow := y.T.Row(zi)
+			if w.req {
+				gw := w.ensureGrad()
+				for ui := 0; ui < u; ui++ {
+					g := v.grad.Data[(i*u+ui)*c : (i*u+ui+1)*c]
+					acc := 0.0
+					for j, yv := range yRow {
+						acc += g[j] * yv
+					}
+					gw.Data[zi*u+ui] += scale * acc
+				}
+			}
+			if y.req {
+				gy := y.ensureGrad()
+				gyRow := gy.Row(zi)
+				for ui := 0; ui < u; ui++ {
+					wv := scale * w.T.Data[zi*u+ui]
+					g := v.grad.Data[(i*u+ui)*c : (i*u+ui+1)*c]
+					for j := range gyRow {
+						gyRow[j] += g[j] * wv
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+// TensorProduct applies the fused equivariant tensor product with learned
+// per-path weights: x [Z,U,W1] (x) y [Z,U,W2] -> [Z,U,W3].
+func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value) *Value {
+	if weights.T.Len() != prod.NumPaths() {
+		panic(fmt.Sprintf("ad: TensorProduct got %d weights for %d paths", weights.T.Len(), prod.NumPaths()))
+	}
+	out := prod.ApplyFused(x.T, y.T, weights.T.Data, tp.Compute)
+	tp.store(out)
+	v := tp.node(out, x.req || y.req || weights.req, nil)
+	v.back = func() {
+		gx := tensor.New(x.T.Shape...)
+		gy := tensor.New(y.T.Shape...)
+		gw := prod.Backward(x.T, y.T, v.grad, weights.T.Data, gx, gy)
+		if x.req {
+			x.ensureGrad().AddInPlace(gx, tensor.F64)
+		}
+		if y.req {
+			y.ensureGrad().AddInPlace(gy, tensor.F64)
+		}
+		if weights.req {
+			wg := weights.ensureGrad()
+			for i, g := range gw {
+				wg.Data[i] += g
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+// Package analysis provides trajectory observables: RMSD with optimal
+// (Kabsch) alignment, running statistics, and simple series summaries used
+// by the stability experiments (Fig. 4).
+package analysis
+
+import (
+	"math"
+)
+
+// RMSD returns the root-mean-square deviation between two conformations
+// after removing the centroid and optimally rotating b onto a (Kabsch
+// algorithm). Both slices must have equal length >= 3.
+func RMSD(a, b [][3]float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("analysis: RMSD needs equal nonzero lengths")
+	}
+	ca := centroid(a)
+	cb := centroid(b)
+	n := len(a)
+	// Covariance H = sum (b-cb)(a-ca)^T.
+	var h [3][3]float64
+	for i := 0; i < n; i++ {
+		var pa, pb [3]float64
+		for k := 0; k < 3; k++ {
+			pa[k] = a[i][k] - ca[k]
+			pb[k] = b[i][k] - cb[k]
+		}
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				h[r][c] += pb[r] * pa[c]
+			}
+		}
+	}
+	// E0 = sum |pa|^2 + |pb|^2.
+	e0 := 0.0
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			da := a[i][k] - ca[k]
+			db := b[i][k] - cb[k]
+			e0 += da*da + db*db
+		}
+	}
+	// Kabsch via eigen-decomposition of H^T H: singular values of H.
+	var hth [3][3]float64
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			for k := 0; k < 3; k++ {
+				hth[r][c] += h[k][r] * h[k][c]
+			}
+		}
+	}
+	ev := jacobiEigen3(hth)
+	// Singular values.
+	var sv [3]float64
+	for i := 0; i < 3; i++ {
+		if ev[i] > 0 {
+			sv[i] = math.Sqrt(ev[i])
+		}
+	}
+	// Sign of det(H) decides whether the smallest singular value flips.
+	d := det3(h)
+	sum := sv[0] + sv[1] + sv[2]
+	if d < 0 {
+		// smallest singular value contributes negatively
+		minI := 0
+		for i := 1; i < 3; i++ {
+			if sv[i] < sv[minI] {
+				minI = i
+			}
+		}
+		sum -= 2 * sv[minI]
+	}
+	msd := (e0 - 2*sum) / float64(n)
+	if msd < 0 {
+		msd = 0
+	}
+	return math.Sqrt(msd)
+}
+
+func centroid(x [][3]float64) [3]float64 {
+	var c [3]float64
+	for i := range x {
+		for k := 0; k < 3; k++ {
+			c[k] += x[i][k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		c[k] /= float64(len(x))
+	}
+	return c
+}
+
+func det3(m [3][3]float64) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// jacobiEigen3 returns the eigenvalues of a symmetric 3x3 matrix via cyclic
+// Jacobi rotations (textbook a' = J^T a J update exploiting symmetry).
+func jacobiEigen3(m [3][3]float64) [3]float64 {
+	a := m
+	for sweep := 0; sweep < 50; sweep++ {
+		off := math.Abs(a[0][1]) + math.Abs(a[0][2]) + math.Abs(a[1][2])
+		if off < 1e-14 {
+			break
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				a[p][p] -= t * apq
+				a[q][q] += t * apq
+				a[p][q] = 0
+				a[q][p] = 0
+				for i := 0; i < 3; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = c*aip - s*aiq
+					a[p][i] = a[i][p]
+					a[i][q] = s*aip + c*aiq
+					a[q][i] = a[i][q]
+				}
+			}
+		}
+	}
+	return [3]float64{a[0][0], a[1][1], a[2][2]}
+}
+
+// Series is a labeled time series (e.g. RMSD or temperature vs time).
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Mean returns the mean of Y.
+func (s *Series) Mean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Std returns the standard deviation of Y.
+func (s *Series) Std() float64 {
+	if len(s.Y) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += (v - m) * (v - m)
+	}
+	return math.Sqrt(sum / float64(len(s.Y)-1))
+}
+
+// TailMean returns the mean of the last fraction frac of Y (plateau value).
+func (s *Series) TailMean(frac float64) float64 {
+	n := len(s.Y)
+	if n == 0 {
+		return 0
+	}
+	start := int(float64(n) * (1 - frac))
+	if start >= n {
+		start = n - 1
+	}
+	sum := 0.0
+	for _, v := range s.Y[start:] {
+		sum += v
+	}
+	return sum / float64(n-start)
+}
+
+// MaxAbsDrift returns max |y - y0| over the series (energy drift checks).
+func (s *Series) MaxAbsDrift() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	y0 := s.Y[0]
+	m := 0.0
+	for _, v := range s.Y {
+		if d := math.Abs(v - y0); d > m {
+			m = d
+		}
+	}
+	return m
+}

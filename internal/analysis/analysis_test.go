@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/data"
+	"repro/internal/o3"
+	"repro/internal/units"
+)
+
+func TestRMSDIdentical(t *testing.T) {
+	a := [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if r := RMSD(a, a); r > 1e-10 {
+		t.Fatalf("RMSD of identical coords = %g", r)
+	}
+}
+
+func TestRMSDTranslationInvariant(t *testing.T) {
+	a := [][3]float64{{0, 0, 0}, {1.3, 0, 0}, {0, 2.1, 0}, {0.5, 0.5, 1}}
+	b := make([][3]float64, len(a))
+	for i := range a {
+		for k := 0; k < 3; k++ {
+			b[i][k] = a[i][k] + 5.5
+		}
+	}
+	if r := RMSD(a, b); r > 1e-10 {
+		t.Fatalf("RMSD after translation = %g", r)
+	}
+}
+
+func TestRMSDRotationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := make([][3]float64, 12)
+	for i := range a {
+		a[i] = [3]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	r := o3.RandomRotation(rng)
+	b := make([][3]float64, len(a))
+	for i := range a {
+		b[i] = o3.ApplyRotation(r, a[i])
+	}
+	if v := RMSD(a, b); v > 1e-5 {
+		t.Fatalf("Kabsch RMSD after rotation = %g, want ~0", v)
+	}
+}
+
+func TestRMSDDetectsRealDeviation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := make([][3]float64, 20)
+	for i := range a {
+		a[i] = [3]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	b := make([][3]float64, len(a))
+	const sigma = 0.5
+	for i := range a {
+		for k := 0; k < 3; k++ {
+			b[i][k] = a[i][k] + rng.NormFloat64()*sigma
+		}
+	}
+	v := RMSD(a, b)
+	// Expect on the order of sigma*sqrt(3) with some alignment reduction.
+	if v < 0.3 || v > 2.0 {
+		t.Fatalf("RMSD of sigma=0.5 perturbation = %g, expected O(0.9)", v)
+	}
+}
+
+func TestRMSDMirrorNotAbsorbed(t *testing.T) {
+	// Kabsch restricts to proper rotations: a mirrored chiral structure must
+	// have nonzero RMSD.
+	a := [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.3, 0.3, 1.2}}
+	b := make([][3]float64, len(a))
+	for i := range a {
+		b[i] = [3]float64{a[i][0], a[i][1], -a[i][2]}
+	}
+	if v := RMSD(a, b); v < 0.1 {
+		t.Fatalf("mirror image RMSD = %g, should be substantial", v)
+	}
+}
+
+func TestJacobiEigenvalues(t *testing.T) {
+	// Symmetric matrix with known eigenvalues {1, 2, 4}:
+	// diag(1,2,4) rotated by a known orthogonal matrix.
+	rng := rand.New(rand.NewPCG(5, 6))
+	r := o3.RandomRotation(rng)
+	var m [3][3]float64
+	d := [3]float64{1, 2, 4}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				m[i][j] += r[i][k] * d[k] * r[j][k]
+			}
+		}
+	}
+	ev := jacobiEigen3(m)
+	got := []float64{ev[0], ev[1], ev[2]}
+	for _, want := range d {
+		found := false
+		for _, g := range got {
+			if math.Abs(g-want) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %g not found in %v", want, got)
+		}
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	if s.Mean() != 4.5 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	if s.TailMean(0.2) != 8.5 {
+		t.Fatalf("TailMean = %g", s.TailMean(0.2))
+	}
+	if s.MaxAbsDrift() != 9 {
+		t.Fatalf("MaxAbsDrift = %g", s.MaxAbsDrift())
+	}
+	if s.Std() < 2.9 || s.Std() > 3.2 {
+		t.Fatalf("Std = %g", s.Std())
+	}
+}
+
+func TestRDFWaterOHPeak(t *testing.T) {
+	// The O-H RDF of built water must peak at the construction bond length
+	// (~0.98 A) — the measurement the paper used to pick per-species cutoffs.
+	rng := rand.New(rand.NewPCG(7, 8))
+	sys := data.WaterBox(rng, 4, 4, 4)
+	g := NewRDF(units.O, units.H, 4.0, 80)
+	if err := g.Accumulate(sys); err != nil {
+		t.Fatal(err)
+	}
+	pos, height := g.FirstPeak(0.5)
+	if pos < 0.85 || pos > 1.15 {
+		t.Fatalf("O-H first peak at %g A, want ~0.98", pos)
+	}
+	if height < 1 {
+		t.Fatalf("O-H peak height %g too small", height)
+	}
+	// The first minimum (the natural cutoff boundary) must fall between the
+	// covalent peak and the H-bond shell.
+	min := g.FirstMinimumAfter(pos)
+	if min <= pos || min > 2.5 {
+		t.Fatalf("first minimum at %g implausible", min)
+	}
+}
+
+func TestRDFRequiresPeriodicity(t *testing.T) {
+	g := NewRDF(units.O, units.H, 4.0, 40)
+	sys := atoms.NewSystem(2)
+	if err := g.Accumulate(sys); err == nil {
+		t.Fatal("non-periodic RDF must error")
+	}
+}

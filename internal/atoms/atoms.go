@@ -1,0 +1,148 @@
+// Package atoms defines the atomic system representation shared by the
+// neighbor search, MD engine, datasets, and potentials: species, positions,
+// and an (optionally periodic) orthorhombic cell.
+package atoms
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// System is a collection of atoms, optionally in a periodic orthorhombic box.
+type System struct {
+	Species []units.Species
+	Pos     [][3]float64
+	Cell    [3]float64 // box edge lengths; ignored unless PBC
+	PBC     bool
+}
+
+// NewSystem allocates a system of n atoms (zero positions, species H).
+func NewSystem(n int) *System {
+	s := &System{
+		Species: make([]units.Species, n),
+		Pos:     make([][3]float64, n),
+	}
+	for i := range s.Species {
+		s.Species[i] = units.H
+	}
+	return s
+}
+
+// NumAtoms returns the number of atoms.
+func (s *System) NumAtoms() int { return len(s.Pos) }
+
+// Clone returns a deep copy.
+func (s *System) Clone() *System {
+	c := &System{
+		Species: append([]units.Species(nil), s.Species...),
+		Pos:     append([][3]float64(nil), s.Pos...),
+		Cell:    s.Cell,
+		PBC:     s.PBC,
+	}
+	return c
+}
+
+// Displacement returns the minimum-image vector from atom i to atom j.
+func (s *System) Displacement(i, j int) [3]float64 {
+	d := [3]float64{
+		s.Pos[j][0] - s.Pos[i][0],
+		s.Pos[j][1] - s.Pos[i][1],
+		s.Pos[j][2] - s.Pos[i][2],
+	}
+	if s.PBC {
+		for k := 0; k < 3; k++ {
+			l := s.Cell[k]
+			d[k] -= l * math.Round(d[k]/l)
+		}
+	}
+	return d
+}
+
+// Distance returns the minimum-image distance between atoms i and j.
+func (s *System) Distance(i, j int) float64 {
+	d := s.Displacement(i, j)
+	return math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
+}
+
+// Wrap maps all positions back into the primary cell [0, L) per dimension.
+func (s *System) Wrap() {
+	if !s.PBC {
+		return
+	}
+	for i := range s.Pos {
+		for k := 0; k < 3; k++ {
+			l := s.Cell[k]
+			s.Pos[i][k] -= l * math.Floor(s.Pos[i][k]/l)
+		}
+	}
+}
+
+// Volume returns the cell volume (0 for non-periodic systems).
+func (s *System) Volume() float64 {
+	if !s.PBC {
+		return 0
+	}
+	return s.Cell[0] * s.Cell[1] * s.Cell[2]
+}
+
+// Masses returns the per-atom masses in amu.
+func (s *System) Masses() []float64 {
+	m := make([]float64, s.NumAtoms())
+	for i, sp := range s.Species {
+		m[i] = units.Mass(sp)
+	}
+	return m
+}
+
+// Composition returns the atom count per species.
+func (s *System) Composition() map[units.Species]int {
+	c := map[units.Species]int{}
+	for _, sp := range s.Species {
+		c[sp]++
+	}
+	return c
+}
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("System{%d atoms, pbc=%v, cell=%.2f x %.2f x %.2f A}",
+		s.NumAtoms(), s.PBC, s.Cell[0], s.Cell[1], s.Cell[2])
+}
+
+// SpeciesIndex maps the species present in a model's type system to dense
+// indices 0..S-1 (the model's "atom types correspond one-to-one with
+// chemical species").
+type SpeciesIndex struct {
+	Order []units.Species
+	index map[units.Species]int
+}
+
+// NewSpeciesIndex builds an index over the given species list.
+func NewSpeciesIndex(order []units.Species) *SpeciesIndex {
+	si := &SpeciesIndex{Order: append([]units.Species(nil), order...), index: map[units.Species]int{}}
+	for i, sp := range si.Order {
+		si.index[sp] = i
+	}
+	return si
+}
+
+// Len returns the number of species types.
+func (si *SpeciesIndex) Len() int { return len(si.Order) }
+
+// Index returns the dense index of sp; it panics for unknown species, which
+// indicates a system/model mismatch.
+func (si *SpeciesIndex) Index(sp units.Species) int {
+	i, ok := si.index[sp]
+	if !ok {
+		panic(fmt.Sprintf("atoms: species %s not in model type system %v", units.Name(sp), si.Order))
+	}
+	return i
+}
+
+// Contains reports whether sp is part of the type system.
+func (si *SpeciesIndex) Contains(sp units.Species) bool {
+	_, ok := si.index[sp]
+	return ok
+}

@@ -1,0 +1,179 @@
+package atoms
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	s := NewSystem(5)
+	if s.NumAtoms() != 5 {
+		t.Fatalf("NumAtoms = %d", s.NumAtoms())
+	}
+	for _, sp := range s.Species {
+		if sp != units.H {
+			t.Fatal("default species must be H")
+		}
+	}
+	if s.PBC {
+		t.Fatal("default must be non-periodic")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSystem(2)
+	s.Pos[0] = [3]float64{1, 2, 3}
+	c := s.Clone()
+	c.Pos[0][0] = 99
+	c.Species[0] = units.O
+	if s.Pos[0][0] != 1 || s.Species[0] != units.H {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestMinimumImageProperty(t *testing.T) {
+	// The minimum-image displacement never exceeds half the box per dim.
+	s := NewSystem(2)
+	s.PBC = true
+	s.Cell = [3]float64{7, 9, 11}
+	f := func(a, b [3]float64) bool {
+		for k := 0; k < 3; k++ {
+			if math.IsNaN(a[k]) || math.IsInf(a[k], 0) || math.Abs(a[k]) > 1e6 {
+				return true
+			}
+			if math.IsNaN(b[k]) || math.IsInf(b[k], 0) || math.Abs(b[k]) > 1e6 {
+				return true
+			}
+		}
+		s.Pos[0] = a
+		s.Pos[1] = b
+		d := s.Displacement(0, 1)
+		for k := 0; k < 3; k++ {
+			if math.Abs(d[k]) > s.Cell[k]/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisplacementAntisymmetry(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := NewSystem(2)
+	s.PBC = true
+	s.Cell = [3]float64{6, 6, 6}
+	for trial := 0; trial < 100; trial++ {
+		s.Pos[0] = [3]float64{rng.Float64() * 6, rng.Float64() * 6, rng.Float64() * 6}
+		s.Pos[1] = [3]float64{rng.Float64() * 6, rng.Float64() * 6, rng.Float64() * 6}
+		dij := s.Displacement(0, 1)
+		dji := s.Displacement(1, 0)
+		for k := 0; k < 3; k++ {
+			if math.Abs(dij[k]+dji[k]) > 1e-12 {
+				t.Fatalf("displacement not antisymmetric: %v vs %v", dij, dji)
+			}
+		}
+		if math.Abs(s.Distance(0, 1)-s.Distance(1, 0)) > 1e-12 {
+			t.Fatal("distance not symmetric")
+		}
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	s := NewSystem(3)
+	s.PBC = true
+	s.Cell = [3]float64{4, 5, 6}
+	s.Pos[0] = [3]float64{-13, 27, 5.5}
+	s.Pos[1] = [3]float64{0, 0, 0}
+	s.Pos[2] = [3]float64{3.999, 4.999, 5.999}
+	s.Wrap()
+	first := append([][3]float64(nil), s.Pos...)
+	s.Wrap()
+	for i := range s.Pos {
+		for k := 0; k < 3; k++ {
+			if s.Pos[i][k] != first[i][k] {
+				t.Fatal("Wrap must be idempotent")
+			}
+			if s.Pos[i][k] < 0 || s.Pos[i][k] >= s.Cell[k] {
+				t.Fatalf("Wrap left position outside box: %v", s.Pos[i])
+			}
+		}
+	}
+}
+
+func TestWrapPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	s := NewSystem(4)
+	s.PBC = true
+	s.Cell = [3]float64{8, 8, 8}
+	for i := range s.Pos {
+		s.Pos[i] = [3]float64{rng.Float64()*30 - 15, rng.Float64()*30 - 15, rng.Float64() * 30}
+	}
+	var before [6]float64
+	n := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			before[n] = s.Distance(i, j)
+			n++
+		}
+	}
+	s.Wrap()
+	n = 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if math.Abs(s.Distance(i, j)-before[n]) > 1e-9 {
+				t.Fatalf("Wrap changed minimum-image distance (%d,%d)", i, j)
+			}
+			n++
+		}
+	}
+}
+
+func TestCompositionAndMasses(t *testing.T) {
+	s := NewSystem(4)
+	s.Species = []units.Species{units.O, units.H, units.H, units.C}
+	c := s.Composition()
+	if c[units.H] != 2 || c[units.O] != 1 || c[units.C] != 1 {
+		t.Fatalf("composition %v", c)
+	}
+	m := s.Masses()
+	if m[0] != 15.999 || m[3] != 12.011 {
+		t.Fatalf("masses %v", m)
+	}
+}
+
+func TestSpeciesIndex(t *testing.T) {
+	si := NewSpeciesIndex([]units.Species{units.H, units.O, units.C})
+	if si.Len() != 3 || si.Index(units.O) != 1 {
+		t.Fatal("index wrong")
+	}
+	if !si.Contains(units.C) || si.Contains(units.P) {
+		t.Fatal("Contains wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown species must panic")
+		}
+	}()
+	si.Index(units.P)
+}
+
+func TestFrameClone(t *testing.T) {
+	s := NewSystem(2)
+	f := &Frame{Sys: s, Energy: -3, Forces: [][3]float64{{1, 0, 0}, {0, 1, 0}}}
+	c := f.Clone()
+	c.Forces[0][0] = 9
+	c.Sys.Pos[0][0] = 9
+	if f.Forces[0][0] != 1 || f.Sys.Pos[0][0] != 0 {
+		t.Fatal("Frame.Clone must deep-copy")
+	}
+	if c.NumAtoms() != 2 {
+		t.Fatal("NumAtoms wrong")
+	}
+}

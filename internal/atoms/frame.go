@@ -1,0 +1,20 @@
+package atoms
+
+// Frame is a labeled structure: a system together with its reference energy
+// and forces (the unit of training and evaluation data throughout the
+// repository).
+type Frame struct {
+	Sys    *System
+	Energy float64      // eV
+	Forces [][3]float64 // eV/A
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := &Frame{Sys: f.Sys.Clone(), Energy: f.Energy}
+	c.Forces = append([][3]float64(nil), f.Forces...)
+	return c
+}
+
+// NumAtoms returns the atom count.
+func (f *Frame) NumAtoms() int { return f.Sys.NumAtoms() }

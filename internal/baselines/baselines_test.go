@@ -1,0 +1,319 @@
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/data"
+	"repro/internal/groundtruth"
+	"repro/internal/units"
+)
+
+func testSpecies() []units.Species {
+	return []units.Species{units.H, units.C, units.N, units.O, units.S}
+}
+
+// smallFrames builds a compact oracle-labeled training set.
+func smallFrames(t *testing.T, n int, seed uint64) []*atoms.Frame {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 7))
+	oracle := groundtruth.New()
+	mol := data.BuildNamed(data.MolAlcohol)
+	data.Relax(oracle, mol, 50, 0.05)
+	return data.PerturbedFrames(oracle, mol, n, 0.07, rng)
+}
+
+func forceRMSE(ev interface {
+	EnergyForces(*atoms.System) (float64, [][3]float64)
+}, frames []*atoms.Frame) float64 {
+	var sum float64
+	var cnt int
+	for _, f := range frames {
+		_, fp := ev.EnergyForces(f.Sys)
+		for i := range fp {
+			for k := 0; k < 3; k++ {
+				d := fp[i][k] - f.Forces[i][k]
+				sum += d * d
+				cnt++
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+func TestACSFDescriptorProperties(t *testing.T) {
+	p := DefaultACSF(testSpecies())
+	mol := data.BuildNamed(data.MolAlcohol)
+	d := p.Compute(mol)
+	if len(d.D) != mol.NumAtoms() {
+		t.Fatal("descriptor count mismatch")
+	}
+	if len(d.D[0]) != p.Dim() {
+		t.Fatalf("descriptor dim %d, want %d", len(d.D[0]), p.Dim())
+	}
+	// Invariance under rotation.
+	rot := mol.Clone()
+	c, s := math.Cos(0.7), math.Sin(0.7)
+	for i := range rot.Pos {
+		x, y := rot.Pos[i][0], rot.Pos[i][1]
+		rot.Pos[i][0] = c*x - s*y
+		rot.Pos[i][1] = s*x + c*y
+	}
+	d2 := p.Compute(rot)
+	for i := range d.D {
+		for q := range d.D[i] {
+			if math.Abs(d.D[i][q]-d2.D[i][q]) > 1e-9 {
+				t.Fatalf("descriptor not rotation invariant at atom %d comp %d", i, q)
+			}
+		}
+	}
+}
+
+func TestACSFGradientsFiniteDifference(t *testing.T) {
+	p := DefaultACSF(testSpecies())
+	mol := data.BuildNamed(data.MolAlcohol)
+	d := p.Compute(mol)
+	// Scalar probe: S = sum_i sum_q w_iq D_iq with fixed weights.
+	rng := rand.New(rand.NewPCG(1, 2))
+	w := make([][]float64, len(d.D))
+	for i := range w {
+		w[i] = make([]float64, p.Dim())
+		for q := range w[i] {
+			w[i][q] = rng.NormFloat64()
+		}
+	}
+	probe := func(sys *atoms.System) float64 {
+		dd := p.Compute(sys)
+		s := 0.0
+		for i := range dd.D {
+			for q := range dd.D[i] {
+				s += w[i][q] * dd.D[i][q]
+			}
+		}
+		return s
+	}
+	// Analytic gradient of the probe w.r.t. atom positions.
+	grad := make([][3]float64, mol.NumAtoms())
+	for i := range d.Grads {
+		for _, e := range d.Grads[i] {
+			for k := 0; k < 3; k++ {
+				grad[e.atom][k] += w[i][e.q] * e.g[k]
+			}
+		}
+	}
+	const h = 1e-6
+	for _, a := range []int{0, 2, 5, 8} {
+		for k := 0; k < 3; k++ {
+			sp := mol.Clone()
+			sm := mol.Clone()
+			sp.Pos[a][k] += h
+			sm.Pos[a][k] -= h
+			fd := (probe(sp) - probe(sm)) / (2 * h)
+			if math.Abs(fd-grad[a][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("ACSF grad atom %d dim %d: fd=%g analytic=%g", a, k, fd, grad[a][k])
+			}
+		}
+	}
+}
+
+func TestClassicalFFFitsAndEvaluates(t *testing.T) {
+	frames := smallFrames(t, 10, 3)
+	ff := NewClassicalFF(testSpecies(), 4.0, 12)
+	if err := ff.Fit(frames, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	rmse := forceRMSE(ff, frames)
+	if rmse <= 0 || math.IsNaN(rmse) {
+		t.Fatalf("classical RMSE = %g", rmse)
+	}
+	// The many-body oracle cannot be captured by pure pair terms: training
+	// error stays visibly nonzero.
+	if rmse < 1e-4 {
+		t.Fatalf("pairwise model implausibly fit a many-body oracle (RMSE %g)", rmse)
+	}
+}
+
+func TestGAPFitsBetterThanClassical(t *testing.T) {
+	frames := smallFrames(t, 12, 4)
+	test := smallFrames(t, 4, 99)
+	ff := NewClassicalFF(testSpecies(), 4.0, 12)
+	if err := ff.Fit(frames, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	gap := NewGAPModel(DefaultACSF(testSpecies()), 4.0)
+	rng := rand.New(rand.NewPCG(5, 6))
+	if err := gap.Fit(frames, 24, 1e-6, rng); err != nil {
+		t.Fatal(err)
+	}
+	rmseFF := forceRMSE(ff, test)
+	rmseGAP := forceRMSE(gap, test)
+	if rmseGAP >= rmseFF {
+		t.Fatalf("GAP (%g) should beat classical pairwise (%g): many-body descriptors", rmseGAP, rmseFF)
+	}
+}
+
+func TestBPTrainingImproves(t *testing.T) {
+	frames := smallFrames(t, 8, 7)
+	rng := rand.New(rand.NewPCG(8, 9))
+	bp := NewBPModel(DefaultACSF(testSpecies()), []int{16, 16}, rng)
+	bp.FitWhitening(frames)
+	FitScaleShift(bp, frames)
+	before := forceRMSE(bp, frames)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 10
+	cfg.LR = 3e-3
+	Train(bp, frames, cfg)
+	after := forceRMSE(bp, frames)
+	if after >= before {
+		t.Fatalf("BP training did not improve: %g -> %g", before, after)
+	}
+}
+
+func TestBPForcesMatchFiniteDifference(t *testing.T) {
+	frames := smallFrames(t, 2, 11)
+	rng := rand.New(rand.NewPCG(12, 13))
+	bp := NewBPModel(DefaultACSF(testSpecies()), []int{8}, rng)
+	bp.FitWhitening(frames)
+	sys := frames[0].Sys
+	_, f, _ := bp.EnergyGrad(sys, nil, true, false)
+	eOf := func(s *atoms.System) float64 {
+		e, _, _ := bp.EnergyGrad(s, nil, false, false)
+		return e
+	}
+	const h = 1e-5
+	for _, a := range []int{0, 3, 6} {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[a][k] += h
+			sm.Pos[a][k] -= h
+			fd := -(eOf(sp) - eOf(sm)) / (2 * h)
+			if math.Abs(fd-f[a][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("BP force atom %d dim %d: fd=%g analytic=%g", a, k, fd, f[a][k])
+			}
+		}
+	}
+}
+
+func TestSchNetForcesMatchFiniteDifference(t *testing.T) {
+	frames := smallFrames(t, 1, 14)
+	rng := rand.New(rand.NewPCG(15, 16))
+	sn := NewSchNetModel(testSpecies(), 4.0, 2, 8, 4, rng)
+	sys := frames[0].Sys
+	_, f := sn.EnergyForces(sys)
+	const h = 1e-5
+	eOf := func(s *atoms.System) float64 {
+		e, _ := sn.EnergyForces(s)
+		return e
+	}
+	for _, a := range []int{0, 4, 7} {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[a][k] += h
+			sm.Pos[a][k] -= h
+			fd := -(eOf(sp) - eOf(sm)) / (2 * h)
+			if math.Abs(fd-f[a][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("SchNet force atom %d dim %d: fd=%g analytic=%g", a, k, fd, f[a][k])
+			}
+		}
+	}
+}
+
+func TestNequIPForcesAndEquivariance(t *testing.T) {
+	frames := smallFrames(t, 1, 17)
+	rng := rand.New(rand.NewPCG(18, 19))
+	nq := NewNequIPModel(testSpecies(), 4.0, 2, 2, 1, 4, rng)
+	sys := frames[0].Sys
+	e0, f := nq.EnergyForces(sys)
+	// Rotation invariance of energy.
+	rot := sys.Clone()
+	c, s := math.Cos(1.1), math.Sin(1.1)
+	for i := range rot.Pos {
+		y, z := rot.Pos[i][1], rot.Pos[i][2]
+		rot.Pos[i][1] = c*y - s*z
+		rot.Pos[i][2] = s*y + c*z
+	}
+	e1, _ := nq.EnergyForces(rot)
+	if math.Abs(e0-e1) > 1e-8 {
+		t.Fatalf("NequIP energy not rotation invariant: %g vs %g", e0, e1)
+	}
+	// Finite-difference forces.
+	const h = 1e-5
+	eOf := func(s *atoms.System) float64 {
+		e, _ := nq.EnergyForces(s)
+		return e
+	}
+	for _, a := range []int{0, 5} {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[a][k] += h
+			sm.Pos[a][k] -= h
+			fd := -(eOf(sp) - eOf(sm)) / (2 * h)
+			if math.Abs(fd-f[a][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("NequIP force atom %d dim %d: fd=%g analytic=%g", a, k, fd, f[a][k])
+			}
+		}
+	}
+}
+
+func TestMPNNReceptiveFieldGrowth(t *testing.T) {
+	// An L-layer MPNN's prediction on an atom must depend on atoms up to
+	// L*cutoff away — while a 1-layer model must not. This is the core
+	// scalability obstruction of Sec. IV-A.
+	rng := rand.New(rand.NewPCG(20, 21))
+	// Chain of O atoms spaced at 2.8 A with cutoff 3.0: only adjacent atoms
+	// are direct neighbors.
+	build := func() *atoms.System {
+		sys := atoms.NewSystem(5)
+		for i := range sys.Pos {
+			sys.Species[i] = units.O
+			sys.Pos[i] = [3]float64{float64(i) * 2.8, 0, 0}
+		}
+		return sys
+	}
+	// The force on atom a depends on atom b iff some atomic energy E_i has
+	// both a and b inside its L-hop sphere, i.e. iff hopdist(a,b) <= 2L.
+	// Atom 4 is 4 hops from atom 0: a 1-layer model (2L=2) must show zero
+	// influence, while a 2-layer model (2L=4) must show nonzero influence —
+	// the receptive-field growth that obstructs decomposition.
+	forceDiff := func(layers, atom int) float64 {
+		sn := NewSchNetModel([]units.Species{units.O}, 3.0, layers, 8, 4, rng)
+		sys := build()
+		_, f0 := sn.EnergyForces(sys)
+		moved := build()
+		moved.Pos[4][1] += 0.3
+		_, f1 := sn.EnergyForces(moved)
+		return math.Abs(f1[atom][0]-f0[atom][0]) + math.Abs(f1[atom][1]-f0[atom][1])
+	}
+	// Probe atom 1, three hops from the moved atom 4: a 1-layer model
+	// (2L = 2 hops) must show an exact zero, a 2-layer model (2L = 4) a
+	// strictly nonzero influence.
+	if d := forceDiff(1, 1); d != 0 {
+		t.Fatalf("1-layer MPNN: atom 4 influenced atom 1 across 3 hops (diff %g)", d)
+	}
+	if d := forceDiff(1, 3); d == 0 {
+		t.Fatal("1-layer MPNN: adjacent influence missing")
+	}
+	if d := forceDiff(2, 1); d == 0 {
+		t.Fatal("2-layer MPNN: receptive field should reach 3 hops (<= 2L)")
+	}
+}
+
+func TestSchNetTrainingImproves(t *testing.T) {
+	frames := smallFrames(t, 6, 22)
+	rng := rand.New(rand.NewPCG(23, 24))
+	sn := NewSchNetModel(testSpecies(), 4.0, 2, 8, 4, rng)
+	FitScaleShift(sn, frames)
+	before := forceRMSE(sn, frames)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	Train(sn, frames, cfg)
+	after := forceRMSE(sn, frames)
+	if after >= before {
+		t.Fatalf("SchNet training did not improve: %g -> %g", before, after)
+	}
+}

@@ -1,0 +1,193 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ad"
+	"repro/internal/atoms"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// BPModel is a Behler-Parrinello / ANI / DeepMD-style invariant local
+// potential: atom-centered symmetry-function descriptors fed to one MLP per
+// species, summed into atomic energies. Strictly local and scalable, but
+// limited to invariant features — the first-generation MLIP family of
+// Tables I-II.
+type BPModel struct {
+	ACSF   ACSFParams
+	Params *nn.ParamSet
+	idx    *atoms.SpeciesIndex
+	mlps   []*nn.MLP
+
+	EnergyScale float64
+	EnergyShift []float64
+	// descriptor whitening, fitted from training data
+	mean, invStd []float64
+}
+
+// NewBPModel builds a per-species MLP model on the given descriptors.
+func NewBPModel(acsf ACSFParams, hidden []int, rng *rand.Rand) *BPModel {
+	idx := atoms.NewSpeciesIndex(acsf.Species)
+	m := &BPModel{
+		ACSF:        acsf,
+		Params:      nn.NewParamSet(),
+		idx:         idx,
+		EnergyScale: 1,
+		EnergyShift: make([]float64, idx.Len()),
+		mean:        make([]float64, acsf.Dim()),
+		invStd:      ones(acsf.Dim()),
+	}
+	sizes := append([]int{acsf.Dim()}, hidden...)
+	sizes = append(sizes, 1)
+	for t := 0; t < idx.Len(); t++ {
+		m.mlps = append(m.mlps, nn.NewMLP(m.Params, rng, fmt.Sprintf("bp.%s", units.Name(acsf.Species[t])), sizes, true))
+	}
+	return m
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// FitWhitening sets descriptor normalization from training frames.
+func (m *BPModel) FitWhitening(frames []*atoms.Frame) {
+	dim := m.ACSF.Dim()
+	sum := make([]float64, dim)
+	sumSq := make([]float64, dim)
+	n := 0
+	for _, f := range frames {
+		d := m.ACSF.Compute(f.Sys)
+		for _, row := range d.D {
+			for q, v := range row {
+				sum[q] += v
+				sumSq[q] += v * v
+			}
+			n++
+		}
+	}
+	for q := 0; q < dim; q++ {
+		mu := sum[q] / float64(n)
+		va := sumSq[q]/float64(n) - mu*mu
+		m.mean[q] = mu
+		if va > 1e-10 {
+			m.invStd[q] = 1 / math.Sqrt(va)
+		} else {
+			m.invStd[q] = 1
+		}
+	}
+}
+
+// EnergyGrad implements the shared trainer contract: evaluate at positions
+// displaced by disp (len 3N, may be nil), returning predicted energy,
+// forces (when wantForces), and the parameter-gradient binder (when train).
+func (m *BPModel) EnergyGrad(sys *atoms.System, disp []float64, wantForces, train bool) (float64, [][3]float64, *nn.Binder) {
+	work := sys
+	if disp != nil {
+		work = sys.Clone()
+		for i := range work.Pos {
+			for k := 0; k < 3; k++ {
+				work.Pos[i][k] += disp[3*i+k]
+			}
+		}
+	}
+	desc := m.ACSF.Compute(work)
+	n := work.NumAtoms()
+	dim := m.ACSF.Dim()
+
+	tape := ad.NewTape(tensor.F64, tensor.F64)
+	b := nn.NewBinder(tape, train)
+	// Group atoms by species for per-species MLP application.
+	byType := make([][]int, m.idx.Len())
+	for i, sp := range work.Species {
+		t := m.idx.Index(sp)
+		byType[t] = append(byType[t], i)
+	}
+	var energy float64
+	// descLeaves[t] retains the leaf for force chaining.
+	descLeaves := make([]*ad.Value, m.idx.Len())
+	outs := make([]*ad.Value, m.idx.Len())
+	var eAcc *ad.Value
+	for t, idxs := range byType {
+		if len(idxs) == 0 {
+			continue
+		}
+		dm := tensor.New(len(idxs), dim)
+		for r, i := range idxs {
+			for q := 0; q < dim; q++ {
+				dm.Data[r*dim+q] = (desc.D[i][q] - m.mean[q]) * m.invStd[q]
+			}
+		}
+		leaf := tape.Leaf(dm, true)
+		descLeaves[t] = leaf
+		out := m.mlps[t].Apply(b, leaf) // [n_t, 1]
+		outs[t] = out
+		s := tape.SumAll(out)
+		if eAcc == nil {
+			eAcc = s
+		} else {
+			eAcc = tape.Add(eAcc, s)
+		}
+	}
+	if eAcc == nil {
+		return 0, make([][3]float64, n), b
+	}
+	eAcc = tape.Scale(eAcc, m.EnergyScale)
+	tape.Backward(eAcc)
+	energy = eAcc.T.Data[0]
+	for _, sp := range work.Species {
+		energy += m.EnergyShift[m.idx.Index(sp)]
+	}
+	var forces [][3]float64
+	if wantForces {
+		forces = make([][3]float64, n)
+		// Chain rule through descriptor gradients: dE/dr_a = sum_i,q
+		// gD[i][q] * dD_iq/dr_a (gD already includes whitening? No: the leaf
+		// holds whitened descriptors, so gLeaf = dE/dWhitened; chain the
+		// invStd factor).
+		for t, idxs := range byType {
+			if len(idxs) == 0 {
+				continue
+			}
+			g := descLeaves[t].Grad()
+			for r, i := range idxs {
+				for _, e := range desc.Grads[i] {
+					coef := g.Data[r*dim+e.q] * m.invStd[e.q]
+					for k := 0; k < 3; k++ {
+						// forces = -dE/dr.
+						forces[e.atom][k] -= coef * e.g[k]
+					}
+				}
+			}
+		}
+	}
+	return energy, forces, b
+}
+
+// EnergyForces evaluates the model.
+func (m *BPModel) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	e, f, _ := m.EnergyGrad(sys, nil, true, false)
+	return e, f
+}
+
+// ParamSet exposes the trainable parameters.
+func (m *BPModel) ParamSet() *nn.ParamSet { return m.Params }
+
+// SetScaleShift installs energy normalization.
+func (m *BPModel) SetScaleShift(scale float64, shift []float64) {
+	m.EnergyScale = scale
+	copy(m.EnergyShift, shift)
+}
+
+// SpeciesIndex exposes the type system.
+func (m *BPModel) SpeciesIndex() *atoms.SpeciesIndex { return m.idx }
+
+// Name identifies the family.
+func (m *BPModel) Name() string { return "bp-invariant" }

@@ -1,0 +1,170 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/tensor"
+)
+
+// GAPModel is a Gaussian-approximation-potential-style kernel model: atomic
+// energies are squared-exponential kernel expansions over representative
+// descriptor points (sparse GP regression), fitted to energies and forces
+// by regularized linear least squares. Invariant and local, like GAP/ACE in
+// Table I's middle tier.
+type GAPModel struct {
+	ACSF        ACSFParams
+	idx         *atoms.SpeciesIndex
+	LengthScale float64
+	// Representative points grouped per species: reps[t] is [m][dim].
+	reps  [][][]float64
+	alpha [][]float64 // per species, per representative
+	shift []float64   // per-species baseline
+}
+
+// NewGAPModel builds an unfitted kernel model.
+func NewGAPModel(acsf ACSFParams, lengthScale float64) *GAPModel {
+	idx := atoms.NewSpeciesIndex(acsf.Species)
+	return &GAPModel{
+		ACSF:        acsf,
+		idx:         idx,
+		LengthScale: lengthScale,
+		reps:        make([][][]float64, idx.Len()),
+		alpha:       make([][]float64, idx.Len()),
+		shift:       make([]float64, idx.Len()),
+	}
+}
+
+// kernel evaluates k(x,y) and its gradient with respect to x.
+func (g *GAPModel) kernel(x, y []float64) (float64, []float64) {
+	d2 := 0.0
+	for q := range x {
+		d := x[q] - y[q]
+		d2 += d * d
+	}
+	l2 := g.LengthScale * g.LengthScale
+	k := math.Exp(-d2 / (2 * l2))
+	grad := make([]float64, len(x))
+	for q := range x {
+		grad[q] = -k * (x[q] - y[q]) / l2
+	}
+	return k, grad
+}
+
+// Fit selects nReps representative environments per species at random from
+// the training frames and solves the energy+force least-squares problem.
+func (g *GAPModel) Fit(frames []*atoms.Frame, nReps int, ridge float64, rng *rand.Rand) error {
+	// Collect candidate descriptors per species.
+	descCache := make([]*Descriptors, len(frames))
+	perSpecies := make([][][2]int, g.idx.Len())
+	for fi, f := range frames {
+		descCache[fi] = g.ACSF.Compute(f.Sys)
+		for i, sp := range f.Sys.Species {
+			t := g.idx.Index(sp)
+			perSpecies[t] = append(perSpecies[t], [2]int{fi, i})
+		}
+	}
+	nCols := 0
+	colBase := make([]int, g.idx.Len())
+	for t := range perSpecies {
+		m := nReps
+		if m > len(perSpecies[t]) {
+			m = len(perSpecies[t])
+		}
+		rng.Shuffle(len(perSpecies[t]), func(a, b int) {
+			perSpecies[t][a], perSpecies[t][b] = perSpecies[t][b], perSpecies[t][a]
+		})
+		g.reps[t] = nil
+		for r := 0; r < m; r++ {
+			fi, i := perSpecies[t][r][0], perSpecies[t][r][1]
+			g.reps[t] = append(g.reps[t], append([]float64(nil), descCache[fi].D[i]...))
+		}
+		colBase[t] = nCols
+		nCols += len(g.reps[t])
+	}
+	if nCols == 0 {
+		return fmt.Errorf("baselines: GAP fit with no representative points")
+	}
+	nShiftBase := nCols
+	nCols += g.idx.Len()
+
+	var rows int
+	for _, f := range frames {
+		rows += 1 + 3*f.NumAtoms()
+	}
+	a := tensor.New(rows, nCols)
+	b := tensor.New(rows, 1)
+	row := 0
+	for fi, f := range frames {
+		desc := descCache[fi]
+		eRow := a.Row(row)
+		for i, sp := range f.Sys.Species {
+			t := g.idx.Index(sp)
+			for ri, rep := range g.reps[t] {
+				k, _ := g.kernel(desc.D[i], rep)
+				eRow[colBase[t]+ri] += k
+			}
+			eRow[nShiftBase+t]++
+		}
+		b.Data[row] = f.Energy
+		row++
+		fBase := row
+		for i, sp := range f.Sys.Species {
+			t := g.idx.Index(sp)
+			for ri, rep := range g.reps[t] {
+				_, kg := g.kernel(desc.D[i], rep)
+				// dE/dr_a = sum_q kg[q] dD_iq/dr_a; force row = -dE/dr.
+				for _, e := range desc.Grads[i] {
+					for d := 0; d < 3; d++ {
+						a.Data[(fBase+3*e.atom+d)*nCols+colBase[t]+ri] -= kg[e.q] * e.g[d]
+					}
+				}
+			}
+		}
+		for i := 0; i < f.NumAtoms(); i++ {
+			for d := 0; d < 3; d++ {
+				b.Data[fBase+3*i+d] = f.Forces[i][d]
+			}
+		}
+		row += 3 * f.NumAtoms()
+	}
+	x, err := tensor.LeastSquares(a, b, ridge)
+	if err != nil {
+		return err
+	}
+	for t := range g.reps {
+		g.alpha[t] = make([]float64, len(g.reps[t]))
+		for ri := range g.reps[t] {
+			g.alpha[t][ri] = x.Data[colBase[t]+ri]
+		}
+		g.shift[t] = x.Data[nShiftBase+t]
+	}
+	return nil
+}
+
+// EnergyForces evaluates the fitted kernel model.
+func (g *GAPModel) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	desc := g.ACSF.Compute(sys)
+	e := 0.0
+	forces := make([][3]float64, sys.NumAtoms())
+	for i, sp := range sys.Species {
+		t := g.idx.Index(sp)
+		e += g.shift[t]
+		for ri, rep := range g.reps[t] {
+			k, kg := g.kernel(desc.D[i], rep)
+			al := g.alpha[t][ri]
+			e += al * k
+			for _, ge := range desc.Grads[i] {
+				for d := 0; d < 3; d++ {
+					forces[ge.atom][d] -= al * kg[ge.q] * ge.g[d]
+				}
+			}
+		}
+	}
+	return e, forces
+}
+
+// Name identifies the family.
+func (g *GAPModel) Name() string { return "gap-kernel" }

@@ -1,0 +1,382 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ad"
+	"repro/internal/atoms"
+	"repro/internal/neighbor"
+	"repro/internal/nn"
+	"repro/internal/o3"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// SchNetModel is an invariant message-passing network: per-atom scalar
+// features updated by continuous-filter convolutions over neighbors. Each
+// layer widens the receptive field by one cutoff — the property that makes
+// MPNNs hard to decompose (Sec. IV-A).
+type SchNetModel struct {
+	Species  []units.Species
+	Cutoff   float64
+	Layers   int
+	Width    int
+	NumBasis int
+
+	Params *nn.ParamSet
+	idx    *atoms.SpeciesIndex
+	cuts   *neighbor.CutoffTable
+
+	embed   *tensor.Tensor // [width, S]
+	filters []*nn.MLP      // radial filter generators
+	updates []*nn.MLP      // feature updates
+	readout *nn.MLP
+
+	EnergyScale float64
+	EnergyShift []float64
+}
+
+// NewSchNetModel builds the invariant MPNN.
+func NewSchNetModel(species []units.Species, cutoff float64, layers, width, nbasis int, rng *rand.Rand) *SchNetModel {
+	idx := atoms.NewSpeciesIndex(species)
+	m := &SchNetModel{
+		Species: species, Cutoff: cutoff, Layers: layers, Width: width, NumBasis: nbasis,
+		Params: nn.NewParamSet(), idx: idx,
+		cuts:        neighbor.NewCutoffTable(idx, cutoff),
+		EnergyScale: 1,
+		EnergyShift: make([]float64, idx.Len()),
+	}
+	m.embed = tensor.New(width, idx.Len())
+	for i := range m.embed.Data {
+		m.embed.Data[i] = rng.NormFloat64() * 0.5
+	}
+	m.Params.Add("schnet.embed", m.embed)
+	for l := 0; l < layers; l++ {
+		m.filters = append(m.filters, nn.NewMLP(m.Params, rng, fmt.Sprintf("schnet.filter%d", l), []int{nbasis, width, width}, true))
+		m.updates = append(m.updates, nn.NewMLP(m.Params, rng, fmt.Sprintf("schnet.update%d", l), []int{width, width, width}, true))
+	}
+	m.readout = nn.NewMLP(m.Params, rng, "schnet.readout", []int{width, width / 2, 1}, true)
+	return m
+}
+
+// EnergyGrad implements the shared trainer contract (see BPModel).
+func (m *SchNetModel) EnergyGrad(sys *atoms.System, disp []float64, wantForces, train bool) (float64, [][3]float64, *nn.Binder) {
+	work := applyDisp(sys, disp)
+	pairs := neighbor.Build(work, m.cuts)
+	n := work.NumAtoms()
+	tape := ad.NewTape(tensor.F64, tensor.F64)
+	b := nn.NewBinder(tape, train)
+
+	rvec, r, env := pairGeometry(tape, pairs)
+	bes := tape.Bessel(r, pairs.Cut, m.NumBasis)
+	besCut := tape.MulBroadcastLast(bes, env)
+
+	// One-hot species embedding.
+	oneHot := tensor.New(n, m.idx.Len())
+	for i, sp := range work.Species {
+		oneHot.Data[i*m.idx.Len()+m.idx.Index(sp)] = 1
+	}
+	h := tape.Linear(tape.Const(oneHot), b.Bind(m.embed), nil) // [N, width]
+
+	norm := 1 / math.Sqrt(20.0)
+	for l := 0; l < m.Layers; l++ {
+		w := m.filters[l].Apply(b, besCut) // [Z, width]
+		hj := tape.GatherRows(h, pairs.J)  // [Z, width]
+		msg := tape.Mul(w, hj)
+		agg := tape.Scale(tape.ScatterAddRows(msg, pairs.I, n), norm)
+		upd := m.updates[l].Apply(b, agg)
+		h = tape.Add(h, upd)
+	}
+	eAtoms := m.readout.Apply(b, h) // [N,1]
+	eSum := tape.Scale(tape.SumAll(eAtoms), m.EnergyScale)
+	tape.Backward(eSum)
+
+	energy := eSum.T.Data[0]
+	for _, sp := range work.Species {
+		energy += m.EnergyShift[m.idx.Index(sp)]
+	}
+	var forces [][3]float64
+	if wantForces {
+		forces = assembleForces(rvec, pairs, n)
+	}
+	return energy, forces, b
+}
+
+// EnergyForces evaluates the model.
+func (m *SchNetModel) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	e, f, _ := m.EnergyGrad(sys, nil, true, false)
+	return e, f
+}
+
+// ParamSet exposes trainable parameters.
+func (m *SchNetModel) ParamSet() *nn.ParamSet { return m.Params }
+
+// SetScaleShift installs energy normalization.
+func (m *SchNetModel) SetScaleShift(scale float64, shift []float64) {
+	m.EnergyScale = scale
+	copy(m.EnergyShift, shift)
+}
+
+// SpeciesIndex exposes the type system.
+func (m *SchNetModel) SpeciesIndex() *atoms.SpeciesIndex { return m.idx }
+
+// Name identifies the family.
+func (m *SchNetModel) Name() string { return "schnet-mpnn" }
+
+// ReceptiveField returns the receptive-field radius: layers * cutoff.
+func (m *SchNetModel) ReceptiveField() float64 { return float64(m.Layers) * m.Cutoff }
+
+// NequIPModel is an equivariant message-passing network: per-*atom*
+// equivariant features updated by tensor-product messages from neighbors.
+// It shares Allegro's accuracy class (Table I) but, being node-based, its
+// receptive field grows with depth, which obstructs spatial decomposition —
+// the motivating contrast of the paper.
+type NequIPModel struct {
+	Species  []units.Species
+	Cutoff   float64
+	Layers   int
+	Channels int
+	LMax     int
+	NumBasis int
+
+	Params *nn.ParamSet
+	idx    *atoms.SpeciesIndex
+	cuts   *neighbor.CutoffTable
+
+	embed   *tensor.Tensor // [channels, S]
+	radials []*nn.MLP      // radial weight generators
+	tpWts   []*tensor.Tensor
+	tps     []*o3.TensorProduct
+	selfs   []*tensor.Tensor // self-interaction channel mixers [C,C]
+	readout *nn.MLP
+
+	EnergyScale float64
+	EnergyShift []float64
+}
+
+// NewNequIPModel builds the equivariant MPNN.
+func NewNequIPModel(species []units.Species, cutoff float64, layers, channels, lmax, nbasis int, rng *rand.Rand) *NequIPModel {
+	idx := atoms.NewSpeciesIndex(species)
+	m := &NequIPModel{
+		Species: species, Cutoff: cutoff, Layers: layers, Channels: channels, LMax: lmax, NumBasis: nbasis,
+		Params: nn.NewParamSet(), idx: idx,
+		cuts:        neighbor.NewCutoffTable(idx, cutoff),
+		EnergyScale: 1,
+		EnergyShift: make([]float64, idx.Len()),
+	}
+	m.embed = tensor.New(channels, idx.Len())
+	for i := range m.embed.Data {
+		m.embed.Data[i] = rng.NormFloat64() * 0.5
+	}
+	m.Params.Add("nequip.embed", m.embed)
+	full := o3.FullIrreps(lmax)
+	sph := o3.SphericalIrreps(lmax)
+	for l := 0; l < layers; l++ {
+		in := full
+		if l == 0 {
+			in = o3.Irreps{{L: 0, P: o3.Even}}
+		}
+		tp := o3.NewTensorProduct(in, sph, full)
+		m.tps = append(m.tps, tp)
+		w := tensor.New(tp.NumPaths())
+		for i := range w.Data {
+			w.Data[i] = 1 + 0.1*rng.NormFloat64()
+		}
+		m.Params.Add(fmt.Sprintf("nequip.tpw%d", l), w)
+		m.tpWts = append(m.tpWts, w)
+		m.radials = append(m.radials, nn.NewMLP(m.Params, rng, fmt.Sprintf("nequip.radial%d", l), []int{nbasis, 16, channels}, true))
+		sw := tensor.New(channels, channels)
+		bound := math.Sqrt(3.0 / float64(channels))
+		for i := range sw.Data {
+			sw.Data[i] = (rng.Float64()*2 - 1) * bound
+		}
+		m.Params.Add(fmt.Sprintf("nequip.self%d", l), sw)
+		m.selfs = append(m.selfs, sw)
+	}
+	m.readout = nn.NewMLP(m.Params, rng, "nequip.readout", []int{channels, 16, 1}, true)
+	return m
+}
+
+// EnergyGrad implements the shared trainer contract.
+func (m *NequIPModel) EnergyGrad(sys *atoms.System, disp []float64, wantForces, train bool) (float64, [][3]float64, *nn.Binder) {
+	work := applyDisp(sys, disp)
+	pairs := neighbor.Build(work, m.cuts)
+	n := work.NumAtoms()
+	tape := ad.NewTape(tensor.F64, tensor.F64)
+	b := nn.NewBinder(tape, train)
+
+	rvec, r, env := pairGeometry(tape, pairs)
+	bes := tape.Bessel(r, pairs.Cut, m.NumBasis)
+	besCut := tape.MulBroadcastLast(bes, env)
+	sph := tape.SphHarm(rvec, m.LMax)
+
+	oneHot := tensor.New(n, m.idx.Len())
+	for i, sp := range work.Species {
+		oneHot.Data[i*m.idx.Len()+m.idx.Index(sp)] = 1
+	}
+	h0 := tape.Linear(tape.Const(oneHot), b.Bind(m.embed), nil) // [N, C] scalars
+	// Node features as [N, C, width] strided tensors.
+	v := tape.Reshape(h0, n, m.Channels, 1) // scalar irrep width 1
+	norm := 1 / math.Sqrt(20.0)
+	for l := 0; l < m.Layers; l++ {
+		tp := m.tps[l]
+		// Gather neighbor features onto pairs, tensor-product with the pair
+		// spherical harmonics, weight radially, and aggregate to centers.
+		vj := tape.GatherRows(v, pairs.J) // [Z, C, inW]
+		sphPairs := broadcastChannels(tape, sph, m.Channels)
+		msg := tape.TensorProduct(tp, vj, sphPairs, b.Bind(m.tpWts[l])) // [Z, C, outW]
+		rw := m.radials[l].Apply(b, besCut)                             // [Z, C]
+		rwEnv := tape.MulBroadcastLast(rw, env)
+		msg = tape.MulBroadcastLast(msg, rwEnv)
+		agg := tape.Scale(tape.ScatterAddRows(msg, pairs.I, n), norm) // [N, C, outW]
+		v = mixChannels(tape, b, agg, m.selfs[l])
+	}
+	// Readout from scalar channel block.
+	lo, hi := m.tps[m.Layers-1].Out.Block(m.tps[m.Layers-1].Out.ScalarIndex())
+	scal := tape.Reshape(tape.SliceLast(v, lo, hi), n, m.Channels)
+	eAtoms := m.readout.Apply(b, scal)
+	eSum := tape.Scale(tape.SumAll(eAtoms), m.EnergyScale)
+	tape.Backward(eSum)
+
+	energy := eSum.T.Data[0]
+	for _, sp := range work.Species {
+		energy += m.EnergyShift[m.idx.Index(sp)]
+	}
+	var forces [][3]float64
+	if wantForces {
+		forces = assembleForces(rvec, pairs, n)
+	}
+	return energy, forces, b
+}
+
+// EnergyForces evaluates the model.
+func (m *NequIPModel) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	e, f, _ := m.EnergyGrad(sys, nil, true, false)
+	return e, f
+}
+
+// ParamSet exposes trainable parameters.
+func (m *NequIPModel) ParamSet() *nn.ParamSet { return m.Params }
+
+// SetScaleShift installs energy normalization.
+func (m *NequIPModel) SetScaleShift(scale float64, shift []float64) {
+	m.EnergyScale = scale
+	copy(m.EnergyShift, shift)
+}
+
+// SpeciesIndex exposes the type system.
+func (m *NequIPModel) SpeciesIndex() *atoms.SpeciesIndex { return m.idx }
+
+// Name identifies the family.
+func (m *NequIPModel) Name() string { return "nequip-mpnn" }
+
+// ReceptiveField returns layers * cutoff.
+func (m *NequIPModel) ReceptiveField() float64 { return float64(m.Layers) * m.Cutoff }
+
+// --- shared helpers ---
+
+func applyDisp(sys *atoms.System, disp []float64) *atoms.System {
+	if disp == nil {
+		return sys
+	}
+	work := sys.Clone()
+	for i := range work.Pos {
+		for k := 0; k < 3; k++ {
+			work.Pos[i][k] += disp[3*i+k]
+		}
+	}
+	return work
+}
+
+// pairGeometry registers the pair-vector leaf and derived distance/envelope.
+func pairGeometry(tape *ad.Tape, pairs *neighbor.Pairs) (rvec, r, env *ad.Value) {
+	rv := tensor.New(pairs.Len(), 3)
+	for i := 0; i < pairs.Len(); i++ {
+		copy(rv.Row(i), pairs.Vec[i][:])
+	}
+	rvec = tape.Leaf(rv, true)
+	r = tape.Norm(rvec)
+	env = tape.PolyCutoff(r, pairs.Cut, 6)
+	return rvec, r, env
+}
+
+// assembleForces converts pair-vector gradients into per-atom forces.
+func assembleForces(rvec *ad.Value, pairs *neighbor.Pairs, n int) [][3]float64 {
+	forces := make([][3]float64, n)
+	grad := rvec.Grad()
+	if grad == nil {
+		return forces
+	}
+	for z := 0; z < pairs.NumReal; z++ {
+		i, j := pairs.I[z], pairs.J[z]
+		row := grad.Row(z)
+		for k := 0; k < 3; k++ {
+			forces[i][k] += row[k]
+			forces[j][k] -= row[k]
+		}
+	}
+	return forces
+}
+
+// broadcastChannels replicates the [Z, W] spherical harmonics across C
+// channels as [Z, C, W] (constant, no gradient needed through the copy —
+// but gradients must flow back to the SH, so it is built with tape ops).
+func broadcastChannels(tape *ad.Tape, sph *ad.Value, c int) *ad.Value {
+	parts := make([]*ad.Value, c)
+	for u := 0; u < c; u++ {
+		parts[u] = sph
+	}
+	z := sph.T.Shape[0]
+	w := sph.T.Shape[1]
+	cat := tape.Concat(parts...) // [Z, C*W]
+	return tape.Reshape(cat, z, c, w)
+}
+
+// mixChannels applies a per-irrep-component channel mixing [C,C] to
+// features [N, C, W] (NequIP's self-interaction).
+func mixChannels(tape *ad.Tape, b *nn.Binder, v *ad.Value, w *tensor.Tensor) *ad.Value {
+	n, c, width := v.T.Shape[0], v.T.Shape[1], v.T.Shape[2]
+	// Transpose to [N*W, C], apply Linear, transpose back. Implemented with
+	// reshape/slice primitives: process each component column separately.
+	var outParts []*ad.Value
+	for comp := 0; comp < width; comp++ {
+		col := tape.Reshape(tape.SliceLast(v, comp, comp+1), n, c) // [N, C]
+		mixed := tape.Linear(col, b.Bind(w), nil)                  // [N, C]
+		outParts = append(outParts, mixed)
+	}
+	cat := tape.Concat(outParts...) // [N, width*C] with comp-major order
+	// Rearrange [N, width, C] -> want [N, C, width]: use gather on rows is
+	// not applicable; instead build with SliceLast per channel.
+	wc := tape.Reshape(cat, n*width, c)
+	var chanParts []*ad.Value
+	for u := 0; u < c; u++ {
+		chanParts = append(chanParts, tape.SliceLast(wc, u, u+1)) // [N*width, 1]
+	}
+	all := tape.Concat(chanParts...) // [N*width, C]
+	return reorderNWC(tape, all, n, width, c)
+}
+
+// reorderNWC turns [N*width, C] (width-major within each n) into
+// [N, C, width].
+func reorderNWC(tape *ad.Tape, x *ad.Value, n, width, c int) *ad.Value {
+	// Build a gather index mapping output rows (n, c) to input rows.
+	// Output layout [N, C, width]: element (i, u, comp) should equal
+	// x[(i*width+comp), u]. Achieve via GatherRows on x reshaped so that
+	// each (i, comp) row holds C values, then slice/concat per channel.
+	idx := make([]int, n*c*width)
+	// We gather scalar rows from a [N*width*C, 1] view.
+	flat := tape.Reshape(x, n*width*c, 1)
+	for i := 0; i < n; i++ {
+		for u := 0; u < c; u++ {
+			for comp := 0; comp < width; comp++ {
+				out := (i*c+u)*width + comp
+				in := (i*width+comp)*c + u
+				idx[out] = in
+			}
+		}
+	}
+	g := tape.GatherRows(flat, idx)
+	return tape.Reshape(g, n, c, width)
+}

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Trainable is the contract the shared gradient trainer needs: a parameter
+// set, an energy normalization, and a training-mode evaluation at optionally
+// displaced positions (the displacement powers the R-operator force-loss
+// gradient, exactly as in the Allegro trainer).
+type Trainable interface {
+	ParamSet() *nn.ParamSet
+	SetScaleShift(scale float64, shift []float64)
+	SpeciesIndex() *atoms.SpeciesIndex
+	EnergyGrad(sys *atoms.System, disp []float64, wantForces, train bool) (float64, [][3]float64, *nn.Binder)
+}
+
+// TrainConfig mirrors core.TrainConfig for the baseline families.
+type TrainConfig struct {
+	Epochs       int
+	BatchSize    int
+	LR           float64
+	ForceWeight  float64
+	EnergyWeight float64
+	GradClip     float64
+	Seed         uint64
+}
+
+// DefaultTrainConfig returns the shared defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs: 30, BatchSize: 4, LR: 2e-3,
+		ForceWeight: 1.0, EnergyWeight: 0.01, GradClip: 100,
+	}
+}
+
+// FitScaleShift sets energy normalization from training statistics (same
+// protocol as the Allegro trainer).
+func FitScaleShift(m Trainable, frames []*atoms.Frame) {
+	idx := m.SpeciesIndex()
+	s := idx.Len()
+	a := tensor.New(len(frames), s)
+	b := tensor.New(len(frames), 1)
+	for fi, f := range frames {
+		for _, sp := range f.Sys.Species {
+			a.Data[fi*s+idx.Index(sp)]++
+		}
+		b.Data[fi] = f.Energy
+	}
+	shift := make([]float64, s)
+	if mu, err := tensor.LeastSquares(a, b, 1e-8); err == nil {
+		for i := 0; i < s; i++ {
+			shift[i] = mu.Data[i]
+		}
+	}
+	var sum float64
+	var cnt int
+	for _, f := range frames {
+		for _, fc := range f.Forces {
+			sum += fc[0]*fc[0] + fc[1]*fc[1] + fc[2]*fc[2]
+			cnt += 3
+		}
+	}
+	scale := 1.0
+	if cnt > 0 && sum > 0 {
+		scale = math.Sqrt(sum / float64(cnt))
+	}
+	m.SetScaleShift(scale, shift)
+}
+
+// Train runs the shared loop: scale/shift fit, shuffled epochs, Adam steps
+// with energy + R-operator force gradients. Returns the last epoch loss.
+func Train(m Trainable, frames []*atoms.Frame, cfg TrainConfig) float64 {
+	FitScaleShift(m, frames)
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xBA5E))
+	order := make([]int, len(frames))
+	for i := range order {
+		order[i] = i
+	}
+	last := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		nb := 0
+		for at := 0; at < len(order); at += cfg.BatchSize {
+			end := at + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			var batch []*atoms.Frame
+			for _, i := range order[at:end] {
+				batch = append(batch, frames[i])
+			}
+			total += step(m, batch, cfg, opt)
+			nb++
+		}
+		last = total / float64(nb)
+	}
+	return last
+}
+
+func step(m Trainable, frames []*atoms.Frame, cfg TrainConfig, opt *nn.Adam) float64 {
+	ps := m.ParamSet()
+	acc := nn.NewGradAccumulator()
+	loss := 0.0
+	for _, f := range frames {
+		nat := f.NumAtoms()
+		e, forces, binder := m.EnergyGrad(f.Sys, nil, true, true)
+		de := (e - f.Energy) / float64(nat)
+		du := make([]float64, 3*nat)
+		floss := 0.0
+		maxU := 0.0
+		for i := 0; i < nat; i++ {
+			for k := 0; k < 3; k++ {
+				d := forces[i][k] - f.Forces[i][k]
+				du[3*i+k] = d
+				floss += d * d
+				if a := math.Abs(d); a > maxU {
+					maxU = a
+				}
+			}
+		}
+		floss /= float64(3 * nat)
+		loss += cfg.ForceWeight*floss + cfg.EnergyWeight*de*de
+
+		if cfg.EnergyWeight > 0 {
+			coefE := cfg.EnergyWeight * 2 * de / float64(nat)
+			for _, p := range ps.List() {
+				if g := binder.Grad(p.T); g != nil {
+					acc.AddScaled(p.T, g, coefE)
+				}
+			}
+		}
+		if cfg.ForceWeight > 0 && maxU > 0 {
+			h := 1e-4 / maxU
+			disp := make([]float64, 3*nat)
+			for i := range du {
+				disp[i] = h * du[i]
+			}
+			_, _, bp := m.EnergyGrad(f.Sys, disp, false, true)
+			for i := range disp {
+				disp[i] = -disp[i]
+			}
+			_, _, bm := m.EnergyGrad(f.Sys, disp, false, true)
+			coefF := -cfg.ForceWeight * 2 / (3 * float64(nat)) / (2 * h)
+			for _, p := range ps.List() {
+				gp := bp.Grad(p.T)
+				gm := bm.Grad(p.T)
+				if gp == nil || gm == nil {
+					continue
+				}
+				diff := gp.Clone()
+				for i := range diff.Data {
+					diff.Data[i] -= gm.Data[i]
+				}
+				acc.AddScaled(p.T, diff, coefF)
+			}
+		}
+	}
+	acc.Scale(1 / float64(len(frames)))
+	if cfg.GradClip > 0 {
+		acc.ClipNorm(cfg.GradClip)
+	}
+	opt.Step(ps, acc.Grad)
+	return loss / float64(len(frames))
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// --- Wolf-summation long-range electrostatics (Sec. VI-A extension) ---
+
+func TestWolfNeutralityTerm(t *testing.T) {
+	// A single isolated charge has only the (negative) self term.
+	lr := &LongRange{Charges: map[units.Species]float64{units.O: -0.8}, Alpha: 0.25, Cutoff: 9}
+	sys := atoms.NewSystem(1)
+	sys.Species[0] = units.O
+	e, f := lr.EnergyForces(sys)
+	if e >= 0 {
+		t.Fatalf("self term must be negative, got %g", e)
+	}
+	if f[0] != [3]float64{} {
+		t.Fatal("single charge must feel no force")
+	}
+}
+
+func TestWolfForcesMatchFiniteDifference(t *testing.T) {
+	lr := NewWaterLongRange()
+	rng := rand.New(rand.NewPCG(1, 2))
+	sys := atoms.NewSystem(6)
+	for w := 0; w < 2; w++ {
+		sys.Species[3*w] = units.O
+		sys.Species[3*w+1] = units.H
+		sys.Species[3*w+2] = units.H
+		base := float64(w) * 3.0
+		sys.Pos[3*w] = [3]float64{base, 0.1 * rng.Float64(), 0}
+		sys.Pos[3*w+1] = [3]float64{base + 0.96, 0, 0.05}
+		sys.Pos[3*w+2] = [3]float64{base - 0.25, 0.93, 0}
+	}
+	_, f := lr.EnergyForces(sys)
+	const h = 1e-6
+	for _, i := range []int{0, 2, 4} {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[i][k] += h
+			sm.Pos[i][k] -= h
+			ep, _ := lr.EnergyForces(sp)
+			em, _ := lr.EnergyForces(sm)
+			fd := -(ep - em) / (2 * h)
+			if math.Abs(fd-f[i][k]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("Wolf force[%d][%d]: fd=%g analytic=%g", i, k, fd, f[i][k])
+			}
+		}
+	}
+}
+
+func TestWolfApproachesMadelungNaCl(t *testing.T) {
+	// Rock-salt lattice of +-1 charges: the Wolf energy per ion must
+	// approach the Madelung energy -1.7476 * k e^2 / a within a few percent.
+	const aNN = 2.82 // nearest-neighbor distance (A)
+	const nCell = 6  // 6^3 ions
+	sys := atoms.NewSystem(nCell * nCell * nCell)
+	sys.PBC = true
+	L := float64(nCell) * aNN
+	sys.Cell = [3]float64{L, L, L}
+	i := 0
+	for x := 0; x < nCell; x++ {
+		for y := 0; y < nCell; y++ {
+			for z := 0; z < nCell; z++ {
+				if (x+y+z)%2 == 0 {
+					sys.Species[i] = units.N // stand-in cation, +1
+				} else {
+					sys.Species[i] = units.O // stand-in anion, -1
+				}
+				sys.Pos[i] = [3]float64{float64(x) * aNN, float64(y) * aNN, float64(z) * aNN}
+				i++
+			}
+		}
+	}
+	lr := &LongRange{
+		Charges: map[units.Species]float64{units.N: 1, units.O: -1},
+		Alpha:   0.30,
+		Cutoff:  8.4, // must stay below L/2 - epsilon for minimum image
+	}
+	if q := lr.TotalCharge(sys); q != 0 {
+		t.Fatalf("lattice not neutral: %g", q)
+	}
+	e, _ := lr.EnergyForces(sys)
+	perIon := e / float64(sys.NumAtoms())
+	// Total lattice energy per ion is -M k e^2 / (2 a): each pair counted
+	// once (the per-ion site potential -M k/a double-counts pairs).
+	want := -1.7476 * units.CoulombConst / (2 * aNN)
+	if math.Abs(perIon-want)/math.Abs(want) > 0.05 {
+		t.Fatalf("Wolf per-ion energy %.4f eV, Madelung %.4f eV (>5%% off)", perIon, want)
+	}
+}
+
+func TestWolfTranslationInvariance(t *testing.T) {
+	lr := NewWaterLongRange()
+	sys := atoms.NewSystem(3)
+	sys.Species = []units.Species{units.O, units.H, units.H}
+	sys.Pos[1] = [3]float64{0.96, 0, 0}
+	sys.Pos[2] = [3]float64{-0.24, 0.93, 0}
+	e0, _ := lr.EnergyForces(sys)
+	tr := sys.Clone()
+	for i := range tr.Pos {
+		tr.Pos[i][1] += 11.3
+	}
+	e1, _ := lr.EnergyForces(tr)
+	if math.Abs(e0-e1) > 1e-10 {
+		t.Fatalf("Wolf energy not translation invariant: %g vs %g", e0, e1)
+	}
+}
+
+// --- GMM uncertainty (Sec. VIII extension) ---
+
+func TestUncertaintyFlagsOutOfDistribution(t *testing.T) {
+	m := newTinyModel(t, 77)
+	rng := rand.New(rand.NewPCG(78, 79))
+	// Training distribution: near-equilibrium water clusters.
+	var frames []*atoms.Frame
+	for i := 0; i < 4; i++ {
+		sys := waterCluster(rng, 2)
+		frames = append(frames, &atoms.Frame{Sys: sys})
+	}
+	u := FitUncertainty(m, frames, 4, 80)
+
+	inDist := waterCluster(rng, 2)
+	sIn := u.StructureUncertainty(inDist)
+
+	// Out of distribution: compress every O-H bond to 60%.
+	ood := waterCluster(rng, 2)
+	for w := 0; w < 2; w++ {
+		o := ood.Pos[3*w]
+		for hh := 1; hh <= 2; hh++ {
+			for k := 0; k < 3; k++ {
+				ood.Pos[3*w+hh][k] = o[k] + 0.6*(ood.Pos[3*w+hh][k]-o[k])
+			}
+		}
+	}
+	sOut := u.StructureUncertainty(ood)
+	if sOut <= sIn {
+		t.Fatalf("OOD structure should score higher uncertainty: in=%g out=%g", sIn, sOut)
+	}
+}
+
+func TestUncertaintyPerAtomShape(t *testing.T) {
+	m := newTinyModel(t, 81)
+	rng := rand.New(rand.NewPCG(82, 83))
+	frames := []*atoms.Frame{{Sys: waterCluster(rng, 2)}}
+	u := FitUncertainty(m, frames, 2, 84)
+	per := u.AtomUncertainty(frames[0].Sys)
+	if len(per) != frames[0].Sys.NumAtoms() {
+		t.Fatal("per-atom uncertainty length mismatch")
+	}
+	for _, v := range per {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("invalid uncertainty %v", v)
+		}
+	}
+}
+
+func TestPairLatentsShape(t *testing.T) {
+	m := newTinyModel(t, 85)
+	rng := rand.New(rand.NewPCG(86, 87))
+	sys := waterCluster(rng, 2)
+	lats := m.PairLatents(sys)
+	if len(lats) == 0 {
+		t.Fatal("no pair latents")
+	}
+	if len(lats[0]) != m.Cfg.LatentDim {
+		t.Fatalf("latent width %d, want %d", len(lats[0]), m.Cfg.LatentDim)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/atoms"
+	"repro/internal/neighbor"
+	"repro/internal/units"
+)
+
+// modelFile is the on-disk JSON representation of a trained model.
+type modelFile struct {
+	Format      string               `json:"format"`
+	Config      Config               `json:"config"`
+	Cutoffs     [][]float64          `json:"cutoffs"`
+	EnergyScale float64              `json:"energy_scale"`
+	EnergyShift []float64            `json:"energy_shift"`
+	Params      map[string][]float64 `json:"params"`
+	Shapes      map[string][]int     `json:"shapes"`
+}
+
+// Save serializes the model to path as JSON.
+func (m *Model) Save(path string) error {
+	mf := modelFile{
+		Format:      "goallegro-v1",
+		Config:      m.Cfg,
+		Cutoffs:     m.Cuts.Rc,
+		EnergyScale: m.EnergyScale,
+		EnergyShift: m.EnergyShift,
+		Params:      map[string][]float64{},
+		Shapes:      map[string][]int{},
+	}
+	for _, p := range m.Params.List() {
+		mf.Params[p.Name] = p.T.Data
+		mf.Shapes[p.Name] = p.T.Shape
+	}
+	data, err := json.Marshal(&mf)
+	if err != nil {
+		return fmt.Errorf("core: marshal model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf modelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("core: unmarshal model: %w", err)
+	}
+	if mf.Format != "goallegro-v1" {
+		return nil, fmt.Errorf("core: unsupported model format %q", mf.Format)
+	}
+	// Rebuild architecture deterministically, then overwrite weights.
+	m, err := New(mf.Config, nil, rand.New(rand.NewPCG(0, 0)))
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range mf.Cutoffs {
+		copy(m.Cuts.Rc[i], row)
+	}
+	m.EnergyScale = mf.EnergyScale
+	copy(m.EnergyShift, mf.EnergyShift)
+	for _, p := range m.Params.List() {
+		src, ok := mf.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: model file missing parameter %q", p.Name)
+		}
+		if len(src) != p.T.Len() {
+			return nil, fmt.Errorf("core: parameter %q has %d values, want %d", p.Name, len(src), p.T.Len())
+		}
+		copy(p.T.Data, src)
+	}
+	return m, nil
+}
+
+// BioCutoffsFor builds the paper's production per-ordered-species-pair
+// cutoff table for the given species set (H-H 3.0, H-C 1.25, H-O 1.25,
+// O-H 3.0, default 4.0).
+func BioCutoffsFor(species []units.Species) *neighbor.CutoffTable {
+	return neighbor.PaperBioCutoffs(atoms.NewSpeciesIndex(species))
+}

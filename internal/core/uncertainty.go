@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/neighbor"
+)
+
+// UncertaintyModel implements the single-model uncertainty extension the
+// paper anticipates ("natural adaptation of Gaussian mixture models in
+// Allegro will open the possibility of large-scale uncertainty-aware
+// simulations using a single model, as opposed to ensembles", Sec. VIII,
+// following Zhu et al. [42]): a Gaussian mixture fitted in the final
+// per-pair latent space of a trained model. Pairs whose latents fall in
+// low-density regions of the training distribution get high negative
+// log-likelihood — a calibration-free out-of-distribution signal.
+type UncertaintyModel struct {
+	model *Model
+	// Diagonal-covariance mixture components.
+	weights []float64
+	means   [][]float64
+	vars    [][]float64
+}
+
+// PairLatents runs a forward pass and returns the final latent vector of
+// every real ordered pair.
+func (m *Model) PairLatents(sys *atoms.System) [][]float64 {
+	pairs := neighbor.Build(sys, m.Cuts)
+	g := m.buildGraph(sys, pairs, false)
+	lat := g.latent.T
+	out := make([][]float64, pairs.NumReal)
+	for z := 0; z < pairs.NumReal; z++ {
+		out[z] = append([]float64(nil), lat.Row(z)...)
+	}
+	return out
+}
+
+// FitUncertainty fits a k-component diagonal GMM (k-means initialization,
+// one variance-update pass) on the pair latents of the training frames.
+func FitUncertainty(m *Model, frames []*atoms.Frame, k int, seed uint64) *UncertaintyModel {
+	var all [][]float64
+	for _, f := range frames {
+		all = append(all, m.PairLatents(f.Sys)...)
+	}
+	if len(all) == 0 {
+		panic("core: FitUncertainty with no pairs")
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	dim := len(all[0])
+	rng := rand.New(rand.NewPCG(seed, 0x63B4))
+	// k-means++ style seeding: first random, then farthest-point.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), all[rng.IntN(len(all))]...))
+	for len(centers) < k {
+		best, bestD := 0, -1.0
+		for i, x := range all {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(x, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		centers = append(centers, append([]float64(nil), all[best]...))
+	}
+	assign := make([]int, len(all))
+	for iter := 0; iter < 10; iter++ {
+		for i, x := range all {
+			bi, bd := 0, math.Inf(1)
+			for ci, c := range centers {
+				if d := sqDist(x, c); d < bd {
+					bi, bd = ci, d
+				}
+			}
+			assign[i] = bi
+		}
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for ci := range next {
+			next[ci] = make([]float64, dim)
+		}
+		for i, x := range all {
+			counts[assign[i]]++
+			for q, v := range x {
+				next[assign[i]][q] += v
+			}
+		}
+		for ci := range next {
+			if counts[ci] == 0 {
+				copy(next[ci], centers[ci])
+				continue
+			}
+			for q := range next[ci] {
+				next[ci][q] /= float64(counts[ci])
+			}
+		}
+		centers = next
+	}
+	// Component weights and diagonal variances.
+	u := &UncertaintyModel{model: m, means: centers}
+	u.weights = make([]float64, k)
+	u.vars = make([][]float64, k)
+	counts := make([]int, k)
+	for ci := range u.vars {
+		u.vars[ci] = make([]float64, dim)
+	}
+	for i, x := range all {
+		ci := assign[i]
+		counts[ci]++
+		for q, v := range x {
+			d := v - centers[ci][q]
+			u.vars[ci][q] += d * d
+		}
+	}
+	for ci := range u.vars {
+		u.weights[ci] = float64(counts[ci]+1) / float64(len(all)+k)
+		for q := range u.vars[ci] {
+			u.vars[ci][q] = u.vars[ci][q]/float64(maxIntU(counts[ci], 1)) + 1e-6
+		}
+	}
+	return u
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func maxIntU(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PairNLL returns the negative log-likelihood of one latent vector under
+// the mixture.
+func (u *UncertaintyModel) PairNLL(x []float64) float64 {
+	// log-sum-exp over components.
+	best := math.Inf(-1)
+	logs := make([]float64, len(u.means))
+	for ci, mean := range u.means {
+		l := math.Log(u.weights[ci])
+		for q, v := range x {
+			d := v - mean[q]
+			l += -0.5*d*d/u.vars[ci][q] - 0.5*math.Log(2*math.Pi*u.vars[ci][q])
+		}
+		logs[ci] = l
+		if l > best {
+			best = l
+		}
+	}
+	s := 0.0
+	for _, l := range logs {
+		s += math.Exp(l - best)
+	}
+	return -(best + math.Log(s))
+}
+
+// AtomUncertainty returns, per atom, the highest pair NLL among the ordered
+// pairs centered on it — the per-atom signal an uncertainty-aware MD loop
+// or active-learning selector thresholds on.
+func (u *UncertaintyModel) AtomUncertainty(sys *atoms.System) []float64 {
+	pairs := neighbor.Build(sys, u.model.Cuts)
+	g := u.model.buildGraph(sys, pairs, false)
+	out := make([]float64, sys.NumAtoms())
+	for i := range out {
+		out[i] = math.Inf(-1)
+	}
+	lat := g.latent.T
+	for z := 0; z < pairs.NumReal; z++ {
+		nll := u.PairNLL(lat.Row(z))
+		if i := pairs.I[z]; nll > out[i] {
+			out[i] = nll
+		}
+	}
+	for i := range out {
+		if math.IsInf(out[i], -1) {
+			out[i] = 0 // isolated atom: no pairs, no signal
+		}
+	}
+	return out
+}
+
+// StructureUncertainty returns the mean per-atom uncertainty of sys.
+func (u *UncertaintyModel) StructureUncertainty(sys *atoms.System) float64 {
+	per := u.AtomUncertainty(sys)
+	s := 0.0
+	for _, v := range per {
+		s += v
+	}
+	return s / float64(len(per))
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/atoms"
+	"repro/internal/neighbor"
+	"repro/internal/units"
+)
+
+// ZBL universal screening function coefficients.
+var zblC = [4]float64{0.18175, 0.50986, 0.28022, 0.02817}
+var zblD = [4]float64{-3.19980, -0.94229, -0.40290, -0.20162}
+
+// zblSwitchOn/Off bound the smooth fade-out of the ZBL term; it acts only at
+// very short range, where the learned potential has no training data.
+const (
+	zblSwitchOn  = 0.6
+	zblSwitchOff = 1.4
+)
+
+// addZBL accumulates the repulsive Ziegler-Biersack-Littmark pair energy and
+// forces (Sec. VI-D adds this term to stabilize the potential against
+// unphysically close approaches). Returns the total ZBL energy.
+func addZBL(sys *atoms.System, pairs *neighbor.Pairs, forces [][3]float64) float64 {
+	total := 0.0
+	for z := 0; z < pairs.NumReal; z++ {
+		i, j := pairs.I[z], pairs.J[z]
+		r := pairs.Dist[z]
+		if r >= zblSwitchOff {
+			continue
+		}
+		zi := float64(sys.Species[i])
+		zj := float64(sys.Species[j])
+		a := 0.46850 / (math.Pow(zi, 0.23) + math.Pow(zj, 0.23))
+		x := r / a
+		var phi, dphi float64
+		for t := 0; t < 4; t++ {
+			e := zblC[t] * math.Exp(zblD[t]*x)
+			phi += e
+			dphi += zblD[t] * e
+		}
+		dphi /= a
+		pref := units.CoulombConst * zi * zj
+		e := pref / r * phi
+		de := -pref/(r*r)*phi + pref/r*dphi
+		// Smooth switch to zero before the learned region takes over.
+		s, ds := switchDown(r)
+		eSw := e * s
+		deSw := de*s + e*ds
+		// Ordered pairs visit each geometric pair twice: half weights.
+		total += 0.5 * eSw
+		fr := 0.5 * deSw / r
+		v := pairs.Vec[z]
+		for k := 0; k < 3; k++ {
+			// Gradient dE/dr_j = fr*v, dE/dr_i = -fr*v; force is negative.
+			forces[j][k] -= fr * v[k]
+			forces[i][k] += fr * v[k]
+		}
+	}
+	return total
+}
+
+// switchDown is 1 below zblSwitchOn and 0 above zblSwitchOff (C1 cubic).
+func switchDown(r float64) (float64, float64) {
+	if r <= zblSwitchOn {
+		return 1, 0
+	}
+	if r >= zblSwitchOff {
+		return 0, 0
+	}
+	t := (r - zblSwitchOn) / (zblSwitchOff - zblSwitchOn)
+	v := 1 - t*t*(3-2*t)
+	dv := -6 * t * (1 - t) / (zblSwitchOff - zblSwitchOn)
+	return v, dv
+}

@@ -1,0 +1,316 @@
+package data
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// ProteinChain builds a synthetic alpha-helix-like protein of nRes residues:
+// an N-CA-C(=O) backbone wound on a helix with CB side-chain stubs and
+// hydrogen saturation. The geometry is idealized; what matters for the
+// stability experiment (Fig. 4) is a realistic composition and a bonded
+// topology whose backbone RMSD can be tracked.
+func ProteinChain(nRes int) *atoms.System {
+	type patom struct {
+		sp  units.Species
+		pos [3]float64
+	}
+	var out []patom
+	const (
+		radius = 2.3  // helix radius of backbone trace
+		rise   = 1.5  // rise per residue
+		turn   = 100. // degrees per residue
+	)
+	for r := 0; r < nRes; r++ {
+		th := float64(r) * turn * math.Pi / 180
+		z := float64(r) * rise
+		ca := [3]float64{radius * math.Cos(th), radius * math.Sin(th), z}
+		// Backbone neighbors placed relative to CA along the helix tangent.
+		tang := [3]float64{-math.Sin(th), math.Cos(th), rise / radius}
+		tn := math.Sqrt(tang[0]*tang[0] + tang[1]*tang[1] + tang[2]*tang[2])
+		for k := 0; k < 3; k++ {
+			tang[k] /= tn
+		}
+		radial := [3]float64{math.Cos(th), math.Sin(th), 0}
+		nPos := [3]float64{ca[0] - 1.32*tang[0], ca[1] - 1.32*tang[1], ca[2] - 1.32*tang[2]}
+		cPos := [3]float64{ca[0] + 1.42*tang[0], ca[1] + 1.42*tang[1], ca[2] + 1.42*tang[2]}
+		oPos := [3]float64{cPos[0] + 1.1*radial[0], cPos[1] + 1.1*radial[1], cPos[2] + 0.4}
+		cbPos := [3]float64{ca[0] + 1.45*radial[0], ca[1] + 1.45*radial[1], ca[2] - 0.5}
+		out = append(out,
+			patom{units.N, nPos},
+			patom{units.C, ca},
+			patom{units.C, cPos},
+			patom{units.O, oPos},
+			patom{units.C, cbPos},
+		)
+		// Hydrogens: amide H, CA-H, three CB-H.
+		out = append(out,
+			patom{units.H, [3]float64{nPos[0] - 0.7*radial[0], nPos[1] - 0.7*radial[1], nPos[2] + 0.5}},
+			patom{units.H, [3]float64{ca[0] - 0.65*radial[0], ca[1] - 0.65*radial[1], ca[2] + 0.85}},
+			patom{units.H, [3]float64{cbPos[0] + 0.95*radial[0], cbPos[1] + 0.95*radial[1], cbPos[2] + 0.4}},
+			patom{units.H, [3]float64{cbPos[0] + 0.35*radial[0], cbPos[1] + 0.35*radial[1], cbPos[2] - 1.05}},
+			patom{units.H, [3]float64{cbPos[0] - 0.5*tang[0]*1.0, cbPos[1] - 0.5*tang[1], cbPos[2] + 0.9}},
+		)
+	}
+	sys := atoms.NewSystem(len(out))
+	for i, a := range out {
+		sys.Species[i] = a.sp
+		sys.Pos[i] = a.pos
+	}
+	return sys
+}
+
+// BackboneIndices returns the indices of backbone heavy atoms (N, CA, C) of
+// a ProteinChain system, the atom set whose RMSD Fig. 4 tracks.
+func BackboneIndices(nRes int) []int {
+	idx := make([]int, 0, 3*nRes)
+	const perRes = 10
+	for r := 0; r < nRes; r++ {
+		base := r * perRes
+		idx = append(idx, base, base+1, base+2)
+	}
+	return idx
+}
+
+// Solvate embeds solute in a periodic water box with the given padding
+// (A) around the solute's bounding box, skipping water sites that overlap
+// solute atoms. Returns the combined system; solute atoms come first.
+func Solvate(solute *atoms.System, padding float64, rng *rand.Rand) *atoms.System {
+	lo := solute.Pos[0]
+	hi := solute.Pos[0]
+	for _, p := range solute.Pos {
+		for k := 0; k < 3; k++ {
+			lo[k] = math.Min(lo[k], p[k])
+			hi[k] = math.Max(hi[k], p[k])
+		}
+	}
+	var cell [3]float64
+	spacing := WaterCellEdge / 4
+	var grid [3]int
+	for k := 0; k < 3; k++ {
+		ext := hi[k] - lo[k] + 2*padding
+		grid[k] = int(math.Ceil(ext / spacing))
+		if grid[k] < 1 {
+			grid[k] = 1
+		}
+		cell[k] = float64(grid[k]) * spacing
+	}
+	// Shift solute into the box interior.
+	shift := [3]float64{padding - lo[0], padding - lo[1], padding - lo[2]}
+	type watom struct {
+		sp  units.Species
+		pos [3]float64
+	}
+	var added []watom
+	minDist2 := 2.4 * 2.4
+	solutePos := make([][3]float64, len(solute.Pos))
+	for i, p := range solute.Pos {
+		for k := 0; k < 3; k++ {
+			solutePos[i][k] = p[k] + shift[k]
+		}
+	}
+	for ix := 0; ix < grid[0]; ix++ {
+		for iy := 0; iy < grid[1]; iy++ {
+			for iz := 0; iz < grid[2]; iz++ {
+				center := [3]float64{
+					(float64(ix) + 0.5) * spacing,
+					(float64(iy) + 0.5) * spacing,
+					(float64(iz) + 0.5) * spacing,
+				}
+				clash := false
+				for _, p := range solutePos {
+					dx := center[0] - p[0]
+					dy := center[1] - p[1]
+					dz := center[2] - p[2]
+					if dx*dx+dy*dy+dz*dz < minDist2 {
+						clash = true
+						break
+					}
+				}
+				if clash {
+					continue
+				}
+				axes := randomOrientation(rng)
+				var w [3]watom
+				w[0] = watom{units.O, center}
+				const rOH = 0.98
+				cosA, sinA := math.Cos(52.25*math.Pi/180), math.Sin(52.25*math.Pi/180)
+				for k := 0; k < 3; k++ {
+					w[1].pos[k] = center[k] + rOH*(cosA*axes[0][k]+sinA*axes[1][k])
+					w[2].pos[k] = center[k] + rOH*(cosA*axes[0][k]-sinA*axes[1][k])
+				}
+				w[1].sp = units.H
+				w[2].sp = units.H
+				added = append(added, w[0], w[1], w[2])
+			}
+		}
+	}
+	sys := atoms.NewSystem(len(solutePos) + len(added))
+	sys.PBC = true
+	sys.Cell = cell
+	copy(sys.Species, solute.Species)
+	copy(sys.Pos, solutePos)
+	for i, a := range added {
+		sys.Species[len(solutePos)+i] = a.sp
+		sys.Pos[len(solutePos)+i] = a.pos
+	}
+	sys.Wrap()
+	return sys
+}
+
+// CelluloseChains builds nChains parallel sugar-polymer chains of nUnits
+// repeating C6O5-like units each (idealized cellulose fibril fragment).
+func CelluloseChains(nChains, nUnits int) *atoms.System {
+	type catom struct {
+		sp  units.Species
+		pos [3]float64
+	}
+	var out []catom
+	unitLen := 5.2
+	for c := 0; c < nChains; c++ {
+		oy := float64(c%2) * 4.2
+		oz := float64(c/2) * 4.0
+		for u := 0; u < nUnits; u++ {
+			ox := float64(u) * unitLen
+			// Simplified pyranose ring: 5 C + ring O, plus 4 O and 10 H.
+			ring := [][3]float64{
+				{0, 0, 0}, {1.45, 0.35, 0}, {2.4, -0.5, 0.6},
+				{1.95, -1.9, 0.45}, {0.5, -2.1, 0.2},
+			}
+			for _, p := range ring {
+				out = append(out, catom{units.C, [3]float64{ox + p[0], oy + p[1], oz + p[2]}})
+			}
+			out = append(out, catom{units.O, [3]float64{ox - 0.45, -1.1 + oy, oz + 0.55}}) // ring O
+			// Hydroxyls and glycosidic O.
+			out = append(out,
+				catom{units.O, [3]float64{ox + 1.6, oy + 1.7, oz + 0.3}},
+				catom{units.O, [3]float64{ox + 3.75, -0.3 + oy, oz + 0.4}}, // glycosidic link
+				catom{units.O, [3]float64{ox + 2.4, -2.85 + oy, oz + 0.8}},
+				catom{units.O, [3]float64{ox + 0.1, -3.4 + oy, oz}},
+			)
+			hs := [][3]float64{
+				{0.1, 0.75, 0.8}, {1.5, 0.9, -0.85}, {2.9, -0.3, 1.5},
+				{2.3, -2.2, -0.5}, {0.2, -2.5, 1.1},
+				{1.9, 2.4, 0.1}, {3.1, -3.3, 0.6}, {-0.7, -3.7, 0.5},
+				{-0.2, 0.3, -0.9}, {2.2, -1.2, -1.1},
+			}
+			for _, p := range hs {
+				out = append(out, catom{units.H, [3]float64{ox + p[0], oy + p[1], oz + p[2]}})
+			}
+		}
+	}
+	sys := atoms.NewSystem(len(out))
+	for i, a := range out {
+		sys.Species[i] = a.sp
+		sys.Pos[i] = a.pos
+	}
+	return sys
+}
+
+// CapsidShell builds a scaled-down virus-capsid-like assembly: protein
+// subunits (short helices) placed on a sphere with outward orientation.
+// The real HIV capsid is a 44M-atom cone of ~1300 hexamer/pentamer tiles;
+// this builder preserves the assembly topology (shell of repeated protein
+// subunits) at tractable size.
+func CapsidShell(nSubunits, resPerSubunit int, radius float64) *atoms.System {
+	type catom struct {
+		sp  units.Species
+		pos [3]float64
+	}
+	var out []catom
+	sub := ProteinChain(resPerSubunit)
+	// Center the subunit.
+	var c [3]float64
+	for _, p := range sub.Pos {
+		for k := 0; k < 3; k++ {
+			c[k] += p[k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		c[k] /= float64(sub.NumAtoms())
+	}
+	// Fibonacci sphere placement.
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for s := 0; s < nSubunits; s++ {
+		y := 1 - 2*float64(s)/float64(maxInt(nSubunits-1, 1))
+		r := math.Sqrt(math.Max(0, 1-y*y))
+		th := golden * float64(s)
+		n := [3]float64{r * math.Cos(th), y, r * math.Sin(th)}
+		// Build an orthonormal frame with n as "z".
+		var u [3]float64
+		if math.Abs(n[0]) < 0.9 {
+			u = [3]float64{1, 0, 0}
+		} else {
+			u = [3]float64{0, 1, 0}
+		}
+		dot := u[0]*n[0] + u[1]*n[1] + u[2]*n[2]
+		for k := 0; k < 3; k++ {
+			u[k] -= dot * n[k]
+		}
+		un := math.Sqrt(u[0]*u[0] + u[1]*u[1] + u[2]*u[2])
+		for k := 0; k < 3; k++ {
+			u[k] /= un
+		}
+		v := [3]float64{
+			n[1]*u[2] - n[2]*u[1],
+			n[2]*u[0] - n[0]*u[2],
+			n[0]*u[1] - n[1]*u[0],
+		}
+		for i, p := range sub.Pos {
+			local := [3]float64{p[0] - c[0], p[1] - c[1], p[2] - c[2]}
+			var pos [3]float64
+			for k := 0; k < 3; k++ {
+				pos[k] = radius*n[k] + local[0]*u[k] + local[1]*v[k] + local[2]*n[k]
+			}
+			out = append(out, catom{sub.Species[i], pos})
+		}
+	}
+	sys := atoms.NewSystem(len(out))
+	for i, a := range out {
+		sys.Species[i] = a.sp
+		sys.Pos[i] = a.pos
+	}
+	return sys
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SystemSpec describes a benchmark system by name and exact atom count; the
+// performance harness uses specs instead of materialized coordinates.
+type SystemSpec struct {
+	Name  string
+	Atoms int
+}
+
+// PaperSystems returns the five biomolecular benchmark systems of Fig. 1
+// plus the 10STMV replica, with the AMBER20-benchmark atom counts the paper
+// quotes (23k, 91k, 409k, 1M, 10M, 44M).
+func PaperSystems() []SystemSpec {
+	return []SystemSpec{
+		{Name: "DHFR", Atoms: 23_558},
+		{Name: "FactorIX", Atoms: 90_906},
+		{Name: "Cellulose", Atoms: 408_609},
+		{Name: "STMV", Atoms: 1_066_628},
+		{Name: "10STMV", Atoms: 10_666_280},
+		{Name: "Capsid", Atoms: 44_000_000},
+	}
+}
+
+// WaterStrongScalingSizes returns the water system sizes of Fig. 6 (1e5 to
+// 1e8 atoms, built from replicated 192-atom cells).
+func WaterStrongScalingSizes() []SystemSpec {
+	return []SystemSpec{
+		{Name: "water-100k", Atoms: ReplicatedWaterAtoms(8)},  // 98,304
+		{Name: "water-1M", Atoms: ReplicatedWaterAtoms(18)},   // 1,119,744
+		{Name: "water-10M", Atoms: ReplicatedWaterAtoms(38)},  // 10,536,192
+		{Name: "water-100M", Atoms: ReplicatedWaterAtoms(81)}, // 102,036,672
+	}
+}

@@ -1,0 +1,332 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/groundtruth"
+	"repro/internal/units"
+)
+
+func TestWaterCellComposition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sys := WaterCell(rng)
+	if sys.NumAtoms() != 192 {
+		t.Fatalf("water cell has %d atoms, want 192 (paper's unit cell)", sys.NumAtoms())
+	}
+	comp := sys.Composition()
+	if comp[units.O] != 64 || comp[units.H] != 128 {
+		t.Fatalf("composition %v, want 64 O / 128 H", comp)
+	}
+	if !sys.PBC {
+		t.Fatal("water cell must be periodic")
+	}
+	// Density check: 0.0334 molecules/A^3 within 5%.
+	dens := 64 / sys.Volume()
+	if math.Abs(dens-0.0334)/0.0334 > 0.05 {
+		t.Fatalf("density %g far from liquid water", dens)
+	}
+}
+
+func TestIceVariantsDiffer(t *testing.T) {
+	b := IceCell(IceIhB)
+	c := IceCell(IceIhC)
+	d := IceCell(IceIhD)
+	if b.NumAtoms() != 192 || c.NumAtoms() != 192 || d.NumAtoms() != 192 {
+		t.Fatal("ice cells must have 192 atoms")
+	}
+	// Deterministic: two builds identical.
+	b2 := IceCell(IceIhB)
+	for i := range b.Pos {
+		if b.Pos[i] != b2.Pos[i] {
+			t.Fatal("ice cell not deterministic")
+		}
+	}
+	// Variants differ in proton positions.
+	same := 0
+	for i := range b.Pos {
+		if b.Pos[i] == c.Pos[i] {
+			same++
+		}
+	}
+	if same == len(b.Pos) {
+		t.Fatal("ice variants b and c identical")
+	}
+	_ = d
+}
+
+func TestReplicatedWaterAtoms(t *testing.T) {
+	if ReplicatedWaterAtoms(18) != 1_119_744 {
+		t.Fatalf("18^3 replica = %d, want 1,119,744 (Table III)", ReplicatedWaterAtoms(18))
+	}
+}
+
+func TestRandomMoleculeValence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 20; trial++ {
+		mol := RandomMolecule(rng, 3+rng.IntN(6))
+		comp := mol.Composition()
+		if comp[units.H] == 0 {
+			t.Fatal("molecule must have hydrogens")
+		}
+		heavy := mol.NumAtoms() - comp[units.H]
+		if heavy < 1 || heavy > 8 {
+			t.Fatalf("heavy atom count %d out of range", heavy)
+		}
+		// No two atoms closer than 0.6 A (construction sanity).
+		for i := 0; i < mol.NumAtoms(); i++ {
+			for j := i + 1; j < mol.NumAtoms(); j++ {
+				if mol.Distance(i, j) < 0.6 {
+					t.Fatalf("atoms %d,%d overlap at %g A", i, j, mol.Distance(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestNamedMolecules(t *testing.T) {
+	for _, name := range AllNamedMolecules() {
+		mol := BuildNamed(name)
+		if mol.NumAtoms() < 5 {
+			t.Fatalf("%s too small", name)
+		}
+		for i := 0; i < mol.NumAtoms(); i++ {
+			for j := i + 1; j < mol.NumAtoms(); j++ {
+				if mol.Distance(i, j) < 0.55 {
+					t.Fatalf("%s: atoms %d,%d overlap (%g A)", name, i, j, mol.Distance(i, j))
+				}
+			}
+		}
+	}
+	if BuildNamed(MolRing).Composition()[units.C] != 6 {
+		t.Fatal("ring must have 6 carbons")
+	}
+}
+
+func TestProteinChainStructure(t *testing.T) {
+	nRes := 8
+	p := ProteinChain(nRes)
+	if p.NumAtoms() != 10*nRes {
+		t.Fatalf("protein has %d atoms, want %d", p.NumAtoms(), 10*nRes)
+	}
+	bb := BackboneIndices(nRes)
+	if len(bb) != 3*nRes {
+		t.Fatalf("backbone indices %d, want %d", len(bb), 3*nRes)
+	}
+	for _, i := range bb {
+		sp := p.Species[i]
+		if sp != units.N && sp != units.C {
+			t.Fatalf("backbone atom %d is %s", i, units.Name(sp))
+		}
+	}
+	// Consecutive CA-CA distance should be small (helix rise geometry).
+	ca0, ca1 := bb[1], bb[4]
+	d := p.Distance(ca0, ca1)
+	if d < 1.0 || d > 6.0 {
+		t.Fatalf("CA-CA distance %g implausible", d)
+	}
+}
+
+func TestSolvate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	prot := ProteinChain(4)
+	sys := Solvate(prot, 6.0, rng)
+	if !sys.PBC {
+		t.Fatal("solvated system must be periodic")
+	}
+	if sys.NumAtoms() <= prot.NumAtoms() {
+		t.Fatal("solvation added no water")
+	}
+	// Solute comes first and retains species.
+	for i := 0; i < prot.NumAtoms(); i++ {
+		if sys.Species[i] != prot.Species[i] {
+			t.Fatal("solute species corrupted")
+		}
+	}
+	// No O placed on top of solute atoms.
+	for i := prot.NumAtoms(); i < sys.NumAtoms(); i++ {
+		if sys.Species[i] != units.O {
+			continue
+		}
+		for j := 0; j < prot.NumAtoms(); j++ {
+			if sys.Distance(i, j) < 1.2 {
+				t.Fatalf("water O %d overlaps solute atom %d (%g A)", i, j, sys.Distance(i, j))
+			}
+		}
+	}
+}
+
+func TestCelluloseChains(t *testing.T) {
+	sys := CelluloseChains(2, 3)
+	comp := sys.Composition()
+	if comp[units.C] == 0 || comp[units.O] == 0 || comp[units.H] == 0 {
+		t.Fatalf("cellulose composition %v incomplete", comp)
+	}
+	// 2 chains x 3 units x 20 atoms (5 C + 5 O + 10 H per unit).
+	if sys.NumAtoms() != 2*3*20 {
+		t.Fatalf("cellulose atoms = %d", sys.NumAtoms())
+	}
+}
+
+func TestCapsidShell(t *testing.T) {
+	sys := CapsidShell(12, 3, 25)
+	if sys.NumAtoms() != 12*3*10 {
+		t.Fatalf("capsid atoms = %d", sys.NumAtoms())
+	}
+	// Subunit centroids should be near the requested radius.
+	per := 3 * 10
+	for s := 0; s < 12; s++ {
+		var c [3]float64
+		for i := s * per; i < (s+1)*per; i++ {
+			for k := 0; k < 3; k++ {
+				c[k] += sys.Pos[i][k]
+			}
+		}
+		r := math.Sqrt(c[0]*c[0]+c[1]*c[1]+c[2]*c[2]) / float64(per)
+		if math.Abs(r-25) > 6 {
+			t.Fatalf("subunit %d centroid radius %g, want ~25", s, r)
+		}
+	}
+}
+
+func TestPaperSystemsCatalog(t *testing.T) {
+	specs := PaperSystems()
+	if len(specs) != 6 {
+		t.Fatalf("expected 6 paper systems, got %d", len(specs))
+	}
+	want := map[string]int{"DHFR": 23_558, "STMV": 1_066_628, "Capsid": 44_000_000}
+	for _, s := range specs {
+		if w, ok := want[s.Name]; ok && s.Atoms != w {
+			t.Fatalf("%s atoms = %d, want %d", s.Name, s.Atoms, w)
+		}
+	}
+}
+
+func TestLabelAndPerturb(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	oracle := groundtruth.New()
+	mol := BuildNamed(MolAlcohol)
+	Relax(oracle, mol, 40, 0.05)
+	frames := PerturbedFrames(oracle, mol, 5, 0.05, rng)
+	if len(frames) != 5 {
+		t.Fatal("wrong frame count")
+	}
+	for _, f := range frames {
+		if len(f.Forces) != mol.NumAtoms() {
+			t.Fatal("frame forces wrong length")
+		}
+		if f.Energy == 0 {
+			t.Fatal("unlabeled frame")
+		}
+	}
+}
+
+func TestRelaxReducesForces(t *testing.T) {
+	oracle := groundtruth.New()
+	mol := BuildNamed(MolAcid)
+	_, f0 := oracle.EnergyForces(mol)
+	before := maxForce(f0)
+	Relax(oracle, mol, 80, 0.05)
+	_, f1 := oracle.EnergyForces(mol)
+	after := maxForce(f1)
+	if after >= before {
+		t.Fatalf("Relax did not reduce max force: %g -> %g", before, after)
+	}
+}
+
+func TestMDSampledFramesDecorrelated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	oracle := groundtruth.New()
+	mol := BuildNamed(MolAlcohol)
+	Relax(oracle, mol, 40, 0.05)
+	frames := MDSampledFrames(oracle, mol, 3, 10, 0.25, 350, rng)
+	if len(frames) != 3 {
+		t.Fatal("wrong frame count")
+	}
+	// Successive frames must differ.
+	d := 0.0
+	for i := range frames[0].Sys.Pos {
+		for k := 0; k < 3; k++ {
+			d += math.Abs(frames[0].Sys.Pos[i][k] - frames[1].Sys.Pos[i][k])
+		}
+	}
+	if d < 1e-4 {
+		t.Fatal("MD frames identical")
+	}
+}
+
+func TestQM9LikeSetRespectsByForceFilter(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	oracle := groundtruth.New()
+	frames := QM9LikeSet(oracle, 4, rng)
+	if len(frames) != 4 {
+		t.Fatal("wrong count")
+	}
+	lim := 0.25 * units.HartreePerBohrToEVPerA
+	for _, f := range frames {
+		if maxForce(f.Forces) > lim {
+			t.Fatal("force filter violated")
+		}
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	sys := WaterBox(rng, 2, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, sys, "test frame"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAtoms() != sys.NumAtoms() || !back.PBC {
+		t.Fatal("XYZ round trip lost atoms or periodicity")
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(back.Cell[k]-sys.Cell[k]) > 1e-6 {
+			t.Fatal("cell not preserved")
+		}
+	}
+	for i := range sys.Pos {
+		if back.Species[i] != sys.Species[i] {
+			t.Fatal("species not preserved")
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(back.Pos[i][k]-sys.Pos[i][k]) > 1e-6 {
+				t.Fatal("positions not preserved")
+			}
+		}
+	}
+}
+
+func TestXYZNonPeriodic(t *testing.T) {
+	mol := BuildNamed(MolAcid)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, mol, "acid"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PBC || back.NumAtoms() != mol.NumAtoms() {
+		t.Fatal("non-periodic round trip wrong")
+	}
+}
+
+func TestXYZErrors(t *testing.T) {
+	if _, err := ReadXYZ(strings.NewReader("not a number\ncomment\n")); err == nil {
+		t.Fatal("bad count must error")
+	}
+	if _, err := ReadXYZ(strings.NewReader("2\ncomment\nO 0 0 0\n")); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1\ncomment\nXx 0 0 0\n")); err == nil {
+		t.Fatal("unknown element must error")
+	}
+}

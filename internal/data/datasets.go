@@ -1,0 +1,211 @@
+package data
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/groundtruth"
+	"repro/internal/md"
+	"repro/internal/units"
+)
+
+// Labeler computes reference labels for a structure (the oracle implements
+// this; tests can substitute cheaper functions).
+type Labeler interface {
+	EnergyForces(sys *atoms.System) (float64, [][3]float64)
+}
+
+// Label evaluates the labeler on each system and returns labeled frames.
+func Label(lab Labeler, systems []*atoms.System) []*atoms.Frame {
+	frames := make([]*atoms.Frame, len(systems))
+	for i, s := range systems {
+		e, f := lab.EnergyForces(s)
+		frames[i] = &atoms.Frame{Sys: s, Energy: e, Forces: f}
+	}
+	return frames
+}
+
+// Relax runs damped steepest descent under the labeler's forces to remove
+// construction artifacts (overlapping built geometry), limiting each move to
+// maxStep A.
+func Relax(lab Labeler, sys *atoms.System, steps int, maxStep float64) {
+	for it := 0; it < steps; it++ {
+		_, f := lab.EnergyForces(sys)
+		maxF := 0.0
+		for i := range f {
+			for k := 0; k < 3; k++ {
+				if a := math.Abs(f[i][k]); a > maxF {
+					maxF = a
+				}
+			}
+		}
+		if maxF < 1e-3 {
+			return
+		}
+		scale := maxStep / maxF
+		if scale > 0.02 {
+			scale = 0.02
+		}
+		for i := range sys.Pos {
+			for k := 0; k < 3; k++ {
+				sys.Pos[i][k] += scale * f[i][k]
+			}
+		}
+	}
+}
+
+// PerturbedFrames generates n labeled frames by Gaussian-perturbing the
+// positions of base with standard deviation sigma (A).
+func PerturbedFrames(lab Labeler, base *atoms.System, n int, sigma float64, rng *rand.Rand) []*atoms.Frame {
+	frames := make([]*atoms.Frame, n)
+	for i := 0; i < n; i++ {
+		s := base.Clone()
+		for a := range s.Pos {
+			for k := 0; k < 3; k++ {
+				s.Pos[a][k] += rng.NormFloat64() * sigma
+			}
+		}
+		e, f := lab.EnergyForces(s)
+		frames[i] = &atoms.Frame{Sys: s, Energy: e, Forces: f}
+	}
+	return frames
+}
+
+// MDSampledFrames samples n decorrelated frames from a Langevin trajectory
+// under the labeler at tempK, taking one frame every stride steps — the
+// analogue of the AIMD-sampled rMD17 trajectories.
+func MDSampledFrames(lab Labeler, base *atoms.System, n, stride int, dt, tempK float64, rng *rand.Rand) []*atoms.Frame {
+	sim := md.NewSim(base.Clone(), lab, dt)
+	sim.Thermostat = &md.Langevin{TempK: tempK, Gamma: 0.05, Rng: rng}
+	sim.InitVelocities(tempK, rng)
+	// Burn-in.
+	sim.Run(stride)
+	frames := make([]*atoms.Frame, 0, n)
+	for len(frames) < n {
+		sim.Run(stride)
+		s := sim.Sys.Clone()
+		e, f := lab.EnergyForces(s)
+		frames = append(frames, &atoms.Frame{Sys: s, Energy: e, Forces: f})
+	}
+	return frames
+}
+
+// QM9LikeSet generates n random small organic molecules with oracle labels
+// (the U0 energy benchmark analogue). Molecules are lightly relaxed so
+// energies reflect near-equilibrium chemistry as in QM9.
+func QM9LikeSet(lab Labeler, n int, rng *rand.Rand) []*atoms.Frame {
+	frames := make([]*atoms.Frame, 0, n)
+	for len(frames) < n {
+		nHeavy := 3 + rng.IntN(6) // up to 8 heavy atoms
+		mol := RandomMolecule(rng, nHeavy)
+		Relax(lab, mol, 30, 0.05)
+		e, f := lab.EnergyForces(mol)
+		// Skip pathological geometries (mirrors SPICE force filtering).
+		if maxForce(f) > 0.25*units.HartreePerBohrToEVPerA {
+			continue
+		}
+		frames = append(frames, &atoms.Frame{Sys: mol, Energy: e, Forces: f})
+	}
+	return frames
+}
+
+// RMD17LikeSet generates per-molecule trajectory datasets for each named
+// benchmark molecule: train and test frames MD-sampled at 300K under the
+// oracle (matching the per-molecule protocol of rMD17, at a temperature
+// scaled to the oracle's stiffer wells).
+func RMD17LikeSet(lab Labeler, nTrain, nTest int, rng *rand.Rand) map[NamedMolecule]struct{ Train, Test []*atoms.Frame } {
+	out := map[NamedMolecule]struct{ Train, Test []*atoms.Frame }{}
+	for _, name := range AllNamedMolecules() {
+		mol := BuildNamed(name)
+		Relax(lab, mol, 60, 0.05)
+		all := MDSampledFrames(lab, mol, nTrain+nTest, 25, 0.25, 300, rng)
+		out[name] = struct{ Train, Test []*atoms.Frame }{
+			Train: all[:nTrain],
+			Test:  all[nTrain:],
+		}
+	}
+	return out
+}
+
+// SPICELikeSet mixes molecules and peptide fragments with the paper's force
+// filter (drop frames with any |F| component > 0.25 Ha/Bohr).
+func SPICELikeSet(lab Labeler, n int, rng *rand.Rand) []*atoms.Frame {
+	frames := make([]*atoms.Frame, 0, n)
+	for len(frames) < n {
+		var sys *atoms.System
+		switch rng.IntN(3) {
+		case 0:
+			sys = RandomMolecule(rng, 3+rng.IntN(5))
+			Relax(lab, sys, 25, 0.05)
+		case 1:
+			sys = PeptideChain(2 + rng.IntN(3))
+			Relax(lab, sys, 25, 0.05)
+		default:
+			sys = BuildNamed(AllNamedMolecules()[rng.IntN(len(AllNamedMolecules()))])
+			Relax(lab, sys, 25, 0.05)
+		}
+		for a := range sys.Pos {
+			for k := 0; k < 3; k++ {
+				sys.Pos[a][k] += rng.NormFloat64() * 0.06
+			}
+		}
+		e, f := lab.EnergyForces(sys)
+		if maxForce(f) > 0.25*units.HartreePerBohrToEVPerA {
+			continue
+		}
+		frames = append(frames, &atoms.Frame{Sys: sys, Energy: e, Forces: f})
+	}
+	return frames
+}
+
+// WaterIceSets builds the Table II evaluation data: a liquid water training
+// pool plus liquid/ice test sets, all labeled by the oracle.
+type WaterIceSets struct {
+	TrainPool []*atoms.Frame
+	Liquid    []*atoms.Frame
+	IceB      []*atoms.Frame
+	IceC      []*atoms.Frame
+	IceD      []*atoms.Frame
+}
+
+// BuildWaterIce samples the training pool from liquid water MD and builds
+// perturbed test frames for liquid water and the three ice variants, using
+// the paper's 192-atom cell.
+func BuildWaterIce(lab Labeler, nTrainPool, nTest int, rng *rand.Rand) *WaterIceSets {
+	return BuildWaterIceN(lab, 4, nTrainPool, nTest, rng)
+}
+
+// BuildWaterIceN is BuildWaterIce with an n x n x n molecule sublattice
+// (3n^3 atoms per frame); reduced n keeps CPU-scale training affordable.
+func BuildWaterIceN(lab Labeler, n, nTrainPool, nTest int, rng *rand.Rand) *WaterIceSets {
+	liquid := WaterBox(rng, n, n, n)
+	Relax(lab, liquid, 40, 0.05)
+	sets := &WaterIceSets{}
+	sets.TrainPool = MDSampledFrames(lab, liquid, nTrainPool, 15, 0.25, 330, rng)
+	sets.Liquid = MDSampledFrames(lab, liquid, nTest, 25, 0.25, 300, rng)
+	for _, v := range []struct {
+		variant IceVariant
+		dst     *[]*atoms.Frame
+	}{{IceIhB, &sets.IceB}, {IceIhC, &sets.IceC}, {IceIhD, &sets.IceD}} {
+		ice := IceCellN(v.variant, n)
+		Relax(lab, ice, 40, 0.05)
+		*v.dst = PerturbedFrames(lab, ice, nTest, 0.06, rng)
+	}
+	return sets
+}
+
+func maxForce(f [][3]float64) float64 {
+	m := 0.0
+	for i := range f {
+		for k := 0; k < 3; k++ {
+			if a := math.Abs(f[i][k]); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// DefaultOracle returns the shared reference potential (convenience).
+func DefaultOracle() *groundtruth.Oracle { return groundtruth.New() }

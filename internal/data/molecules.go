@@ -1,0 +1,273 @@
+package data
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// covalentRadius mirrors the oracle's bond-length convention so generated
+// molecules sit near the reference potential's equilibria.
+var covalentRadius = map[units.Species]float64{
+	units.H: 0.38, units.C: 0.76, units.N: 0.71, units.O: 0.60,
+	units.P: 1.07, units.S: 1.05,
+}
+
+var valence = map[units.Species]int{
+	units.H: 1, units.C: 4, units.N: 3, units.O: 2, units.P: 3, units.S: 2,
+}
+
+// bondLength returns the equilibrium bond length of a species pair.
+func bondLength(a, b units.Species) float64 {
+	return covalentRadius[a] + covalentRadius[b]
+}
+
+// growAtom is a partially built molecule atom.
+type growAtom struct {
+	sp     units.Species
+	pos    [3]float64
+	remVal int
+}
+
+// RandomMolecule grows a QM9-like organic molecule: a random tree of up to
+// nHeavy heavy atoms (C, N, O) with all remaining valence saturated by
+// hydrogens, embedded in 3D with approximate steric avoidance.
+func RandomMolecule(rng *rand.Rand, nHeavy int) *atoms.System {
+	type atom = growAtom
+	heavyChoices := []units.Species{units.C, units.C, units.C, units.N, units.O}
+	var mol []atom
+	mol = append(mol, atom{sp: units.C, remVal: valence[units.C]})
+	for len(mol) < nHeavy {
+		// Pick a parent with remaining valence.
+		cands := []int{}
+		for i, a := range mol {
+			if a.remVal > 0 {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		parent := cands[rng.IntN(len(cands))]
+		sp := heavyChoices[rng.IntN(len(heavyChoices))]
+		pos := growPosition(rng, mol, parent, bondLength(mol[parent].sp, sp))
+		mol = append(mol, atom{sp: sp, pos: pos, remVal: valence[sp] - 1})
+		mol[parent].remVal--
+	}
+	// Saturate with hydrogens.
+	nHeavyActual := len(mol)
+	for i := 0; i < nHeavyActual; i++ {
+		for mol[i].remVal > 0 {
+			pos := growPosition(rng, mol, i, bondLength(mol[i].sp, units.H))
+			mol = append(mol, atom{sp: units.H, pos: pos, remVal: 0})
+			mol[i].remVal--
+		}
+	}
+	sys := atoms.NewSystem(len(mol))
+	for i, a := range mol {
+		sys.Species[i] = a.sp
+		sys.Pos[i] = a.pos
+	}
+	return sys
+}
+
+// growPosition places a new atom bonded to mol[parent] at distance bl,
+// choosing among random directions the one farthest from existing atoms.
+func growPosition(rng *rand.Rand, mol []growAtom, parent int, bl float64) [3]float64 {
+	best := [3]float64{}
+	bestScore := -1.0
+	pp := mol[parent].pos
+	for trial := 0; trial < 12; trial++ {
+		dir := randomUnitVec(rng)
+		cand := [3]float64{pp[0] + bl*dir[0], pp[1] + bl*dir[1], pp[2] + bl*dir[2]}
+		// Score: minimum distance to any non-parent atom.
+		score := math.Inf(1)
+		for i, a := range mol {
+			if i == parent {
+				continue
+			}
+			dx := cand[0] - a.pos[0]
+			dy := cand[1] - a.pos[1]
+			dz := cand[2] - a.pos[2]
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if d < score {
+				score = d
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// NamedMolecule identifies one of the fixed benchmark molecules standing in
+// for the rMD17 set (per-molecule force benchmarks).
+type NamedMolecule string
+
+// The rMD17-like benchmark molecules.
+const (
+	MolRing      NamedMolecule = "ring"      // benzene-like C6H6
+	MolAlcohol   NamedMolecule = "alcohol"   // ethanol-like C2H6O
+	MolAmine     NamedMolecule = "amine"     // methylamine-like CH5N
+	MolAcid      NamedMolecule = "acid"      // formic-acid-like CH2O2
+	MolThioether NamedMolecule = "thioether" // dimethyl-sulfide-like C2H6S
+)
+
+// AllNamedMolecules lists the rMD17-like benchmark set.
+func AllNamedMolecules() []NamedMolecule {
+	return []NamedMolecule{MolRing, MolAlcohol, MolAmine, MolAcid, MolThioether}
+}
+
+// BuildNamed constructs the named molecule's idealized geometry.
+func BuildNamed(name NamedMolecule) *atoms.System {
+	switch name {
+	case MolRing:
+		return buildRing()
+	case MolAlcohol:
+		return buildAlcohol()
+	case MolAmine:
+		return buildAmine()
+	case MolAcid:
+		return buildAcid()
+	case MolThioether:
+		return buildThioether()
+	}
+	panic("data: unknown molecule " + string(name))
+}
+
+func buildRing() *atoms.System {
+	// Planar hexagon of C with radial H.
+	sys := atoms.NewSystem(12)
+	rcc := bondLength(units.C, units.C)
+	ring := rcc / (2 * math.Sin(math.Pi/6))
+	rch := bondLength(units.C, units.H)
+	for i := 0; i < 6; i++ {
+		th := float64(i) * math.Pi / 3
+		sys.Species[i] = units.C
+		sys.Pos[i] = [3]float64{ring * math.Cos(th), ring * math.Sin(th), 0}
+		sys.Species[6+i] = units.H
+		sys.Pos[6+i] = [3]float64{(ring + rch) * math.Cos(th), (ring + rch) * math.Sin(th), 0}
+	}
+	return sys
+}
+
+func buildAlcohol() *atoms.System {
+	// C-C-O backbone with hydrogens.
+	sys := atoms.NewSystem(9)
+	sp := []units.Species{units.C, units.C, units.O, units.H, units.H, units.H, units.H, units.H, units.H}
+	copy(sys.Species, sp)
+	rcc := bondLength(units.C, units.C)
+	rco := bondLength(units.C, units.O)
+	rch := bondLength(units.C, units.H)
+	roh := bondLength(units.O, units.H)
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{rcc, 0, 0}
+	sys.Pos[2] = [3]float64{rcc + rco*0.5, rco * 0.87, 0}
+	// Methyl H on C0.
+	sys.Pos[3] = [3]float64{-rch * 0.54, rch * 0.84, 0}
+	sys.Pos[4] = [3]float64{-rch * 0.54, -rch * 0.5, rch * 0.7}
+	sys.Pos[5] = [3]float64{-rch * 0.54, -rch * 0.5, -rch * 0.7}
+	// Methylene H on C1.
+	sys.Pos[6] = [3]float64{rcc + rch*0.3, -rch * 0.8, rch * 0.5}
+	sys.Pos[7] = [3]float64{rcc + rch*0.3, -rch * 0.8, -rch * 0.5}
+	// Hydroxyl H.
+	sys.Pos[8] = [3]float64{rcc + rco*0.5 + roh*0.9, rco*0.87 + roh*0.4, 0}
+	return sys
+}
+
+func buildAmine() *atoms.System {
+	sys := atoms.NewSystem(7)
+	sp := []units.Species{units.C, units.N, units.H, units.H, units.H, units.H, units.H}
+	copy(sys.Species, sp)
+	rcn := bondLength(units.C, units.N)
+	rch := bondLength(units.C, units.H)
+	rnh := bondLength(units.N, units.H)
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{rcn, 0, 0}
+	sys.Pos[2] = [3]float64{-rch * 0.54, rch * 0.84, 0}
+	sys.Pos[3] = [3]float64{-rch * 0.54, -rch * 0.5, rch * 0.7}
+	sys.Pos[4] = [3]float64{-rch * 0.54, -rch * 0.5, -rch * 0.7}
+	sys.Pos[5] = [3]float64{rcn + rnh*0.4, rnh * 0.85, 0}
+	sys.Pos[6] = [3]float64{rcn + rnh*0.4, -rnh * 0.55, rnh * 0.6}
+	return sys
+}
+
+func buildAcid() *atoms.System {
+	sys := atoms.NewSystem(5)
+	sp := []units.Species{units.C, units.O, units.O, units.H, units.H}
+	copy(sys.Species, sp)
+	rco := bondLength(units.C, units.O)
+	rch := bondLength(units.C, units.H)
+	roh := bondLength(units.O, units.H)
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{rco * 0.5, rco * 0.87, 0}  // carbonyl-ish O
+	sys.Pos[2] = [3]float64{rco * 0.5, -rco * 0.87, 0} // hydroxyl O
+	sys.Pos[3] = [3]float64{-rch, 0, 0}
+	sys.Pos[4] = [3]float64{rco*0.5 + roh*0.9, -rco*0.87 - roh*0.3, 0}
+	return sys
+}
+
+func buildThioether() *atoms.System {
+	sys := atoms.NewSystem(9)
+	sp := []units.Species{units.C, units.S, units.C, units.H, units.H, units.H, units.H, units.H, units.H}
+	copy(sys.Species, sp)
+	rcs := bondLength(units.C, units.S)
+	rch := bondLength(units.C, units.H)
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{rcs, 0, 0}
+	sys.Pos[2] = [3]float64{rcs + rcs*0.42, rcs * 0.91, 0}
+	for i, base := range []int{0, 0, 0, 2, 2, 2} {
+		phi := float64(i)*2.1 + 0.4
+		z := rch * math.Cos(phi)
+		sys.Pos[3+i] = [3]float64{
+			sys.Pos[base][0] - rch*0.4*math.Cos(phi*1.7),
+			sys.Pos[base][1] - rch*0.6*math.Sin(phi),
+			sys.Pos[base][2] + z,
+		}
+	}
+	return sys
+}
+
+// PeptideChain builds a SPICE-like peptide: n glycine-like residues
+// (N-C-C(=O) backbone with H saturation) in an extended conformation.
+func PeptideChain(n int) *atoms.System {
+	type patom struct {
+		sp  units.Species
+		pos [3]float64
+	}
+	var out []patom
+	rise := 2.7
+	for r := 0; r < n; r++ {
+		x := float64(r) * rise
+		zig := 0.45
+		if r%2 == 1 {
+			zig = -0.45
+		}
+		// Backbone: N, CA, C, O.
+		out = append(out,
+			patom{units.N, [3]float64{x, zig, 0}},
+			patom{units.C, [3]float64{x + 0.95, -zig, 0.3}},
+			patom{units.C, [3]float64{x + 1.95, zig, -0.2}},
+			patom{units.O, [3]float64{x + 2.1, zig + 1.05, -0.6}},
+		)
+		// Hydrogens: amide H, two CA-H.
+		out = append(out,
+			patom{units.H, [3]float64{x - 0.4, zig + 0.85, 0.3}},
+			patom{units.H, [3]float64{x + 0.95, -zig - 0.6, 1.1}},
+			patom{units.H, [3]float64{x + 0.95, -zig - 0.7, -0.6}},
+		)
+	}
+	// Terminal caps.
+	out = append(out, patom{units.H, [3]float64{-0.9, 0, 0}})
+	out = append(out, patom{units.H, [3]float64{float64(n-1)*rise + 2.9, 0, 0.4}})
+	sys := atoms.NewSystem(len(out))
+	for i, a := range out {
+		sys.Species[i] = a.sp
+		sys.Pos[i] = a.pos
+	}
+	return sys
+}

@@ -1,0 +1,182 @@
+// Package data builds the synthetic structures and labeled datasets used by
+// every experiment: water/ice cells, QM9-like random organic molecules,
+// rMD17-like per-molecule trajectory sets, SPICE-like biomolecular mixtures,
+// and scaled-down protein / cellulose / virus-capsid assemblies. Full-size
+// paper systems are represented by exact atom-count specs for the
+// performance harness (materializing 44M atoms is neither necessary nor
+// useful for throughput modeling).
+package data
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// WaterMoleculesPerCell is the number of molecules in the canonical cell;
+// the paper's weak/strong scaling water systems replicate a 192-atom cell.
+const WaterMoleculesPerCell = 64
+
+// WaterCellEdge is the cubic cell edge reproducing liquid water density
+// (0.0334 molecules/A^3) with 64 molecules.
+var WaterCellEdge = math.Cbrt(float64(WaterMoleculesPerCell) / 0.0334)
+
+// WaterCell builds the 192-atom liquid water cell: 64 molecules on a
+// 4x4x4 sublattice with random orientations and positional jitter.
+func WaterCell(rng *rand.Rand) *atoms.System {
+	return WaterBox(rng, 4, 4, 4)
+}
+
+// WaterBox builds nx*ny*nz*... a water box with one molecule per sublattice
+// site of spacing WaterCellEdge/4, periodic at liquid density.
+func WaterBox(rng *rand.Rand, nx, ny, nz int) *atoms.System {
+	spacing := WaterCellEdge / 4
+	nMol := nx * ny * nz
+	sys := atoms.NewSystem(3 * nMol)
+	sys.PBC = true
+	sys.Cell = [3]float64{float64(nx) * spacing, float64(ny) * spacing, float64(nz) * spacing}
+	m := 0
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				center := [3]float64{
+					(float64(ix) + 0.5 + 0.12*rng.NormFloat64()) * spacing,
+					(float64(iy) + 0.5 + 0.12*rng.NormFloat64()) * spacing,
+					(float64(iz) + 0.5 + 0.12*rng.NormFloat64()) * spacing,
+				}
+				placeWater(sys, 3*m, center, randomOrientation(rng))
+				m++
+			}
+		}
+	}
+	sys.Wrap()
+	return sys
+}
+
+// placeWater writes one H2O at base index i0 with the given orientation
+// (two orthonormal in-plane axes).
+func placeWater(sys *atoms.System, i0 int, center [3]float64, axes [2][3]float64) {
+	sys.Species[i0] = units.O
+	sys.Species[i0+1] = units.H
+	sys.Species[i0+2] = units.H
+	const rOH = 0.98
+	// H positions at +-52.25 degrees from the bisector (104.5 degree angle).
+	cosA, sinA := math.Cos(52.25*math.Pi/180), math.Sin(52.25*math.Pi/180)
+	sys.Pos[i0] = center
+	for k := 0; k < 3; k++ {
+		sys.Pos[i0+1][k] = center[k] + rOH*(cosA*axes[0][k]+sinA*axes[1][k])
+		sys.Pos[i0+2][k] = center[k] + rOH*(cosA*axes[0][k]-sinA*axes[1][k])
+	}
+}
+
+func randomOrientation(rng *rand.Rand) [2][3]float64 {
+	a := randomUnitVec(rng)
+	// Gram-Schmidt a second axis.
+	b := randomUnitVec(rng)
+	dot := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+	for k := 0; k < 3; k++ {
+		b[k] -= dot * a[k]
+	}
+	n := math.Sqrt(b[0]*b[0] + b[1]*b[1] + b[2]*b[2])
+	if n < 1e-6 {
+		return randomOrientation(rng)
+	}
+	for k := 0; k < 3; k++ {
+		b[k] /= n
+	}
+	return [2][3]float64{a, b}
+}
+
+func randomUnitVec(rng *rand.Rand) [3]float64 {
+	for {
+		v := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		if n > 1e-6 {
+			return [3]float64{v[0] / n, v[1] / n, v[2] / n}
+		}
+	}
+}
+
+// IceVariant selects one of the proton-ordered ice Ih sublattices of
+// Table II (labels b, c, d follow the paper's dataset naming).
+type IceVariant int
+
+// Ice variants evaluated in Table II.
+const (
+	IceIhB IceVariant = iota
+	IceIhC
+	IceIhD
+)
+
+// IceCell builds a proton-ordered ice-like cell: molecules on the same
+// sublattice as WaterCell but with deterministic orientations (per variant)
+// and slightly expanded volume (ice is less dense than water).
+func IceCell(variant IceVariant) *atoms.System { return IceCellN(variant, 4) }
+
+// IceCellN builds an n x n x n ice-like cell (3n^3 atoms).
+func IceCellN(variant IceVariant, n int) *atoms.System {
+	nx, ny, nz := n, n, n
+	spacing := WaterCellEdge / 4 * 1.03 // ~9% volume expansion
+	nMol := nx * ny * nz
+	sys := atoms.NewSystem(3 * nMol)
+	sys.PBC = true
+	sys.Cell = [3]float64{float64(nx) * spacing, float64(ny) * spacing, float64(nz) * spacing}
+	m := 0
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				center := [3]float64{
+					(float64(ix) + 0.5) * spacing,
+					(float64(iy) + 0.5) * spacing,
+					(float64(iz) + 0.5) * spacing,
+				}
+				placeWater(sys, 3*m, center, iceOrientation(variant, ix, iy, iz))
+				m++
+			}
+		}
+	}
+	sys.Wrap()
+	return sys
+}
+
+// iceOrientation returns a deterministic orientation pattern distinguishing
+// the proton-ordered variants.
+func iceOrientation(variant IceVariant, ix, iy, iz int) [2][3]float64 {
+	var phase float64
+	switch variant {
+	case IceIhB:
+		phase = float64((ix+iy)%2) * math.Pi / 2
+	case IceIhC:
+		phase = float64((ix+iy+iz)%3) * 2 * math.Pi / 3
+	default: // IceIhD
+		phase = float64((ix*iz+iy)%4) * math.Pi / 4
+	}
+	c, s := math.Cos(phase), math.Sin(phase)
+	// Alternate the out-of-plane tilt with z parity.
+	tilt := 0.3
+	if iz%2 == 1 {
+		tilt = -0.3
+	}
+	a := [3]float64{c, s, tilt}
+	n := math.Sqrt(a[0]*a[0] + a[1]*a[1] + a[2]*a[2])
+	for k := 0; k < 3; k++ {
+		a[k] /= n
+	}
+	b := [3]float64{-s, c, 0}
+	// Orthogonalize b against a.
+	dot := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+	for k := 0; k < 3; k++ {
+		b[k] -= dot * a[k]
+	}
+	nb := math.Sqrt(b[0]*b[0] + b[1]*b[1] + b[2]*b[2])
+	for k := 0; k < 3; k++ {
+		b[k] /= nb
+	}
+	return [2][3]float64{a, b}
+}
+
+// ReplicatedWaterAtoms returns the atom count of the paper's replicated
+// water systems: 192 * n^3 (Table III uses n=18: 1,119,744 atoms).
+func ReplicatedWaterAtoms(n int) int { return 192 * n * n * n }

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// WriteXYZ writes sys as one extended-XYZ frame (with a Lattice= comment
+// for periodic systems), the interchange format MD trajectory tooling
+// expects. energy may be NaN-free optional metadata; pass 0 when unused.
+func WriteXYZ(w io.Writer, sys *atoms.System, comment string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", sys.NumAtoms())
+	if sys.PBC {
+		fmt.Fprintf(bw, "Lattice=\"%.8f 0 0 0 %.8f 0 0 0 %.8f\" %s\n",
+			sys.Cell[0], sys.Cell[1], sys.Cell[2], comment)
+	} else {
+		fmt.Fprintf(bw, "%s\n", comment)
+	}
+	for i := range sys.Pos {
+		fmt.Fprintf(bw, "%-2s %16.8f %16.8f %16.8f\n",
+			units.Name(sys.Species[i]), sys.Pos[i][0], sys.Pos[i][1], sys.Pos[i][2])
+	}
+	return bw.Flush()
+}
+
+// symbolToSpecies maps element symbols back to species.
+var symbolToSpecies = map[string]units.Species{
+	"H": units.H, "C": units.C, "N": units.N, "O": units.O, "P": units.P, "S": units.S,
+}
+
+// ReadXYZ reads one (extended-)XYZ frame. A Lattice="ax 0 0 0 by 0 0 0 cz"
+// comment restores the periodic cell.
+func ReadXYZ(r io.Reader) (*atoms.System, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, io.EOF
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil {
+		return nil, fmt.Errorf("data: bad XYZ atom count: %w", err)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("data: truncated XYZ header")
+	}
+	comment := sc.Text()
+	sys := atoms.NewSystem(n)
+	if idx := strings.Index(comment, `Lattice="`); idx >= 0 {
+		rest := comment[idx+len(`Lattice="`):]
+		if end := strings.Index(rest, `"`); end > 0 {
+			fields := strings.Fields(rest[:end])
+			if len(fields) == 9 {
+				ax, err1 := strconv.ParseFloat(fields[0], 64)
+				by, err2 := strconv.ParseFloat(fields[4], 64)
+				cz, err3 := strconv.ParseFloat(fields[8], 64)
+				if err1 == nil && err2 == nil && err3 == nil {
+					sys.PBC = true
+					sys.Cell = [3]float64{ax, by, cz}
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("data: XYZ truncated at atom %d of %d", i, n)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("data: malformed XYZ line %q", sc.Text())
+		}
+		sp, ok := symbolToSpecies[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("data: unknown element %q", fields[0])
+		}
+		sys.Species[i] = sp
+		for k := 0; k < 3; k++ {
+			v, err := strconv.ParseFloat(fields[1+k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: bad coordinate on line %q: %w", sc.Text(), err)
+			}
+			sys.Pos[i][k] = v
+		}
+	}
+	return sys, sc.Err()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/domain"
+	"repro/internal/groundtruth"
+	"repro/internal/neighbor"
+	"repro/internal/units"
+)
+
+// AblateCutoffs quantifies the per-ordered-species-pair cutoff optimization
+// (Sec. V-B4): pair count reduction in water and the accuracy cost.
+func AblateCutoffs(scale Scale, seed uint64) *Report {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(seed, 61))
+	liquid := data.WaterCell(rng)
+	data.Relax(oracle, liquid, 40, 0.05)
+
+	idx := atoms.NewSpeciesIndex([]units.Species{units.H, units.O})
+	full := neighbor.NewCutoffTable(idx, 4.0)
+	reduced := neighbor.PaperBioCutoffs(idx)
+	nFull := pairCount(liquid, full)
+	nRed := pairCount(liquid, reduced)
+
+	r := &Report{
+		ID:     "ablate-cutoffs",
+		Title:  "Per-ordered-species-pair cutoffs: pair reduction and accuracy cost",
+		Header: []string{"quantity", "full 4.0 A", "reduced (paper table)", "ratio/delta"},
+	}
+	r.AddRow("ordered pairs (192-atom water)", fmt.Sprintf("%d", nFull), fmt.Sprintf("%d", nRed),
+		fmt.Sprintf("%.2fx fewer", float64(nFull)/float64(nRed)))
+
+	nTrain, nTest, epochs := 6, 3, 14
+	if scale == Full {
+		nTrain, nTest, epochs = 12, 6, 25
+	}
+	// The pair-count row above uses the paper's 192-atom cell; accuracy
+	// training runs on smaller 81-atom boxes to stay CPU-tractable.
+	small := data.WaterBox(rng, 3, 3, 3)
+	data.Relax(oracle, small, 40, 0.05)
+	train := data.MDSampledFrames(oracle, small, nTrain, 10, 0.25, 330, rng)
+	test := data.MDSampledFrames(oracle, small, nTest, 15, 0.25, 300, rng)
+	rmse := func(cuts *neighbor.CutoffTable) float64 {
+		cfg := tinyAllegro([]units.Species{units.H, units.O}, 2, seed).Cfg
+		m, err := core.New(cfg, cuts, rand.New(rand.NewPCG(seed, 62)))
+		if err != nil {
+			panic(err)
+		}
+		tc := core.DefaultTrainConfig()
+		tc.Epochs = epochs
+		tc.BatchSize = 2
+		tc.LR = 4e-3
+		tc.Seed = seed
+		core.NewTrainer(m, tc).Train(train)
+		return evalForces(m, test).ForceRMSE * 1000
+	}
+	rFull := rmse(neighbor.NewCutoffTable(idx, 4.0))
+	rRed := rmse(neighbor.PaperBioCutoffs(idx))
+	r.AddRow("force RMSE (meV/A)", f2(rFull), f2(rRed), f2(rRed-rFull))
+	r.AddNote("paper: ~3x fewer ordered pairs at <2 meV/A validation cost; Allegro cost is linear in pair count")
+	return r
+}
+
+// AblateLocality demonstrates that domain-decomposed evaluation is exact
+// (strict locality) and actually parallelizes on this machine's cores.
+func AblateLocality(scale Scale, seed uint64) *Report {
+	rng := rand.New(rand.NewPCG(seed, 71))
+	n := 3
+	if scale == Full {
+		n = 4
+	}
+	sys := data.WaterBox(rng, n, n, n)
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	cfg.LMax = 1
+	cfg.NumLayers = 2
+	cfg.NumChannels = 2
+	cfg.LatentDim = 8
+	cfg.TwoBodyHidden = []int{8}
+	cfg.LatentHidden = []int{8}
+	cfg.EdgeHidden = 4
+	cfg.NumBessel = 4
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 72)))
+	if err != nil {
+		panic(err)
+	}
+
+	t0 := time.Now()
+	eSerial, fSerial := m.EnergyForces(sys)
+	serialTime := time.Since(t0)
+
+	opts := domain.Options{Grid: [3]int{2, 1, 1}, Halo: 3.0}
+	t1 := time.Now()
+	ePar, fPar, st, err := domain.Evaluate(sys, m, opts)
+	parTime := time.Since(t1)
+	if err != nil {
+		panic(err)
+	}
+	maxDiff := math.Abs(ePar - eSerial)
+	var maxF float64
+	for i := range fSerial {
+		for k := 0; k < 3; k++ {
+			if d := math.Abs(fPar[i][k] - fSerial[i][k]); d > maxF {
+				maxF = d
+			}
+		}
+	}
+	r := &Report{
+		ID:     "ablate-locality",
+		Title:  "Strict locality: decomposed evaluation vs serial (goroutine ranks on this machine)",
+		Header: []string{"quantity", "value"},
+	}
+	r.AddRow("atoms", fmt.Sprintf("%d", sys.NumAtoms()))
+	r.AddRow("ranks", fmt.Sprintf("%d (GOMAXPROCS=%d)", opts.NumRanks(), runtime.GOMAXPROCS(0)))
+	r.AddRow("|dE| serial vs decomposed", fmt.Sprintf("%.3g eV", maxDiff))
+	r.AddRow("max |dF| serial vs decomposed", fmt.Sprintf("%.3g eV/A", maxF))
+	r.AddRow("serial wall time", fmt.Sprintf("%.1f ms", serialTime.Seconds()*1e3))
+	r.AddRow("decomposed wall time", fmt.Sprintf("%.1f ms", parTime.Seconds()*1e3))
+	r.AddRow("ghost imports (max/rank)", fmt.Sprintf("%d", st.MaxGhosts))
+	r.AddNote("exactness (dE, dF ~ 0 up to float64 roundoff) is the property that lets LAMMPS scale Allegro; an MPNN requires L x cutoff halos instead")
+	return r
+}
+
+// AblateReceptiveField quantifies the MPNN-vs-Allegro ghost cost the paper
+// motivates with its bulk-water example (96 atoms at 6 A vs 20,834 at 36 A).
+func AblateReceptiveField(scale Scale) *Report {
+	r := &Report{
+		ID:     "ablate-receptive",
+		Title:  "Receptive field and ghost cost: strictly local vs message passing",
+		Header: []string{"model", "layers", "halo (A)", "receptive atoms", "ghost/owned volume (20 A subdomain)"},
+	}
+	const rho = 0.1 // atoms/A^3, condensed matter
+	cutoff := 6.0
+	for _, layers := range []int{1, 2, 4, 6} {
+		haloMPNN := domain.RequiredHalo(cutoff, layers)
+		r.AddRow(fmt.Sprintf("MPNN-%dL", layers), fmt.Sprintf("%d", layers),
+			f2(haloMPNN), fmt.Sprintf("%.0f", domain.ReceptiveAtoms(haloMPNN, rho)),
+			f2(domain.HaloVolumeFraction(20, haloMPNN)))
+	}
+	r.AddRow("Allegro (any depth)", "-", f2(cutoff),
+		fmt.Sprintf("%.0f", domain.ReceptiveAtoms(cutoff, rho)),
+		f2(domain.HaloVolumeFraction(20, cutoff)))
+	r.AddNote("paper: at 6 A cutoff each atom has ~96 neighbors; a 6-layer MPNN reaches 36 A and 20,834 atoms — Allegro's halo stays one cutoff regardless of depth")
+	return r
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/groundtruth"
+	"repro/internal/neighbor"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// molSpecies covers the organic benchmark molecules.
+func molSpecies() []units.Species {
+	return []units.Species{units.H, units.C, units.N, units.O, units.S}
+}
+
+// tinyAllegro builds a small trainable Allegro configuration.
+func tinyAllegro(species []units.Species, layers int, seed uint64) *core.Model {
+	cfg := core.DefaultConfig(species)
+	cfg.LMax = 1
+	cfg.NumLayers = layers
+	cfg.NumChannels = 2
+	cfg.LatentDim = 16
+	cfg.TwoBodyHidden = []int{16}
+	cfg.LatentHidden = []int{16}
+	cfg.EdgeHidden = 8
+	cfg.NumBessel = 6
+	cfg.AvgNumNeighbors = 12
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 3)))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// evalForces computes force MAE/RMSE of any evaluator over frames.
+func evalForces(ev core.ForceEvaluator, frames []*atoms.Frame) core.EvalMetrics {
+	return core.EvaluateModel(ev, frames)
+}
+
+// TableI compares the model families on rMD17-like per-molecule force
+// benchmarks and a QM9-like energy benchmark.
+func TableI(scale Scale, seed uint64) *Report {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(seed, 11))
+	nMol := 2
+	nTrain, nTest := 20, 5
+	epochs := 50
+	if scale == Full {
+		nMol = len(data.AllNamedMolecules())
+		nTrain, nTest = 30, 10
+		epochs = 60
+	}
+	sets := data.RMD17LikeSet(oracle, nTrain, nTest, rng)
+	mols := data.AllNamedMolecules()[:nMol]
+
+	r := &Report{
+		ID:     "table1",
+		Title:  "Force MAE on rMD17-like per-molecule benchmarks (meV/A), averaged over molecules",
+		Header: []string{"model", "F MAE (meas)", "paper MAE", "equivariant", "strictly local"},
+	}
+	paperRef := map[string]string{
+		"classical-ff": "227.2", "gap-kernel": "22.5 (GAP)", "bp-invariant": "25.9 (ANI)",
+		"schnet-mpnn": "(SchNet, see QM9)", "nequip-mpnn": "3.52 (NequIP)", "allegro": "2.81",
+	}
+	type family struct {
+		name      string
+		equivar   string
+		local     string
+		trainEval func(train, test []*atoms.Frame) float64
+	}
+	bcfg := baselines.DefaultTrainConfig()
+	bcfg.Epochs = epochs
+	bcfg.LR = 1e-2
+	bcfg.Seed = seed
+	families := []family{
+		{"classical-ff", "no", "pairwise", func(train, test []*atoms.Frame) float64 {
+			ff := baselines.NewClassicalFF(molSpecies(), 4.0, 14)
+			if err := ff.Fit(train, 1e-6); err != nil {
+				return -1
+			}
+			return evalForces(ff, test).ForceMAE * 1000
+		}},
+		{"gap-kernel", "no", "yes", func(train, test []*atoms.Frame) float64 {
+			gap := baselines.NewGAPModel(baselines.DefaultACSF(molSpecies()), 4.0)
+			if err := gap.Fit(train, 32, 1e-6, rand.New(rand.NewPCG(seed, 21))); err != nil {
+				return -1
+			}
+			return evalForces(gap, test).ForceMAE * 1000
+		}},
+		{"bp-invariant", "no", "yes", func(train, test []*atoms.Frame) float64 {
+			bp := baselines.NewBPModel(baselines.DefaultACSF(molSpecies()), []int{24, 24}, rand.New(rand.NewPCG(seed, 22)))
+			bp.FitWhitening(train)
+			cfg := bcfg
+			cfg.LR = 3e-3 // whitened descriptor nets diverge at the shared rate
+			baselines.Train(bp, train, cfg)
+			return evalForces(bp, test).ForceMAE * 1000
+		}},
+		{"schnet-mpnn", "no", "no (MPNN)", func(train, test []*atoms.Frame) float64 {
+			sn := baselines.NewSchNetModel(molSpecies(), 4.0, 2, 16, 6, rand.New(rand.NewPCG(seed, 23)))
+			baselines.Train(sn, train, bcfg)
+			return evalForces(sn, test).ForceMAE * 1000
+		}},
+		{"nequip-mpnn", "yes", "no (MPNN)", func(train, test []*atoms.Frame) float64 {
+			nq := baselines.NewNequIPModel(molSpecies(), 4.0, 2, 2, 1, 6, rand.New(rand.NewPCG(seed, 24)))
+			baselines.Train(nq, train, bcfg)
+			return evalForces(nq, test).ForceMAE * 1000
+		}},
+		{"allegro", "yes", "yes", func(train, test []*atoms.Frame) float64 {
+			m := tinyAllegro(molSpecies(), 2, seed)
+			tc := core.DefaultTrainConfig()
+			tc.Epochs = epochs
+			tc.LR = 1e-2
+			tc.Seed = seed
+			core.NewTrainer(m, tc).Train(train)
+			return evalForces(m, test).ForceMAE * 1000
+		}},
+	}
+	for _, fam := range families {
+		total, n := 0.0, 0
+		for _, mol := range mols {
+			set := sets[mol]
+			mae := fam.trainEval(set.Train, set.Test)
+			if mae >= 0 {
+				total += mae
+				n++
+			}
+		}
+		avg := -1.0
+		if n > 0 {
+			avg = total / float64(n)
+		}
+		r.AddRow(fam.name, f2(avg), paperRef[fam.name], fam.equivar, fam.local)
+	}
+	r.AddNote("absolute values differ (synthetic oracle, reduced scale); the ordering classical >> invariant-local > message-passing/equivariant, with Allegro equivariant AND strictly local, is the reproduced claim")
+	return r
+}
+
+// TableII reproduces the sample-efficiency comparison: Allegro trained on a
+// small fraction of the frames a DeepMD-style invariant model gets, on
+// liquid water and three ices.
+func TableII(scale Scale, seed uint64) *Report {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(seed, 31))
+	boxN, nSmall, factor, nTest := 3, 8, 6, 3
+	epochsA, epochsB := 18, 5
+	if scale == Full {
+		boxN, nSmall, factor, nTest = 4, 16, 10, 6
+		epochsA, epochsB = 30, 10
+	}
+	sets := data.BuildWaterIceN(oracle, boxN, nSmall*factor, nTest, rng)
+	species := []units.Species{units.H, units.O}
+
+	// Allegro on the small set (paper: N=133 vs DeepMD N=133,500; the
+	// 1:1000 ratio is reduced to 1:factor at this scale).
+	allegro := tinyAllegro(species, 2, seed)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = epochsA
+	tc.BatchSize = 2
+	tc.LR = 4e-3
+	tc.Seed = seed
+	core.NewTrainer(allegro, tc).Train(sets.TrainPool[:nSmall])
+
+	// DeepMD-style invariant model on the full pool.
+	bp := baselines.NewBPModel(baselines.DefaultACSF(species), []int{24, 24}, rand.New(rand.NewPCG(seed, 32)))
+	bp.FitWhitening(sets.TrainPool)
+	bcfg := baselines.DefaultTrainConfig()
+	bcfg.Epochs = epochsB
+	bcfg.BatchSize = 4
+	bcfg.LR = 4e-3
+	bcfg.Seed = seed
+	baselines.Train(bp, sets.TrainPool, bcfg)
+
+	r := &Report{
+		ID:    "table2",
+		Title: "Sample efficiency: force RMSE (meV/A) on water and ices",
+		Header: []string{"test set", fmt.Sprintf("Allegro (N=%d)", nSmall),
+			fmt.Sprintf("DeepMD-style (N=%d)", nSmall*factor), "paper (133 vs 133,500)"},
+	}
+	paper := map[string]string{
+		"liquid": "29.1 vs 40.4", "ice-b": "30.7 vs 43.3", "ice-c": "21.0 vs 26.8", "ice-d": "18.0 vs 25.4",
+	}
+	tests := []struct {
+		name   string
+		frames []*atoms.Frame
+	}{
+		{"liquid", sets.Liquid}, {"ice-b", sets.IceB}, {"ice-c", sets.IceC}, {"ice-d", sets.IceD},
+	}
+	for _, ts := range tests {
+		ra := evalForces(allegro, ts.frames).ForceRMSE * 1000
+		rb := evalForces(bp, ts.frames).ForceRMSE * 1000
+		r.AddRow(ts.name, f2(ra), f2(rb), paper[ts.name])
+	}
+	r.AddNote("claim under test: the equivariant model with %dx fewer frames matches or beats the invariant model", factor)
+	return r
+}
+
+// TableIV reproduces the mixed-precision ablation: force RMSE is unaffected
+// across schemes while speed varies strongly.
+func TableIV(scale Scale, seed uint64) *Report {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(seed, 41))
+	nTrain, nTest, epochs := 6, 3, 12
+	if scale == Full {
+		nTrain, nTest, epochs = 14, 6, 25
+	}
+	liquid := data.WaterBox(rng, 3, 3, 3)
+	data.Relax(oracle, liquid, 40, 0.05)
+	train := data.MDSampledFrames(oracle, liquid, nTrain, 12, 0.25, 330, rng)
+	test := data.MDSampledFrames(oracle, liquid, nTest, 20, 0.25, 300, rng)
+
+	species := []units.Species{units.H, units.O}
+	base := tinyAllegro(species, 2, seed)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = epochs
+	tc.LR = 4e-3
+	tc.BatchSize = 2
+	tc.Seed = seed
+	core.NewTrainer(base, tc).Train(train)
+
+	r := &Report{
+		ID:     "table4",
+		Title:  "Mixed precision (Final,Weights,Compute): force RMSE and relative speed",
+		Header: []string{"precision", "F RMSE (meV/A)", "speed vs F64,F32,TF32", "paper speed"},
+	}
+	configs := []struct {
+		pc    core.PrecisionConfig
+		paper string
+	}{
+		{core.PrecisionConfig{Final: tensor.F32, Weights: tensor.F32, Compute: tensor.TF32}, "0.98"},
+		{core.PrecisionConfig{Final: tensor.F32, Weights: tensor.F32, Compute: tensor.F32}, "0.37"},
+		{core.PrecisionConfig{Final: tensor.F64, Weights: tensor.F32, Compute: tensor.TF32}, "1.00"},
+		{core.PrecisionConfig{Final: tensor.F64, Weights: tensor.F32, Compute: tensor.F32}, "0.37"},
+		{core.PrecisionConfig{Final: tensor.F64, Weights: tensor.F64, Compute: tensor.F64}, "0.26"},
+	}
+	for _, c := range configs {
+		m := withPrecision(base, c.pc, seed)
+		rm := evalForces(m, test).ForceRMSE * 1000
+		r.AddRow(c.pc.String(), f2(rm), f2(perfmodel.SpeedFactor(c.pc)), c.paper)
+	}
+	r.AddNote("accuracy column must be flat across schemes (paper Table IV); speed from the A100 pipeline model")
+	return r
+}
+
+// withPrecision clones a trained model under a different precision config.
+func withPrecision(src *core.Model, pc core.PrecisionConfig, seed uint64) *core.Model {
+	cfg := src.Cfg
+	cfg.Precision = pc
+	dst, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 3)))
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range src.Params.List() {
+		copy(dst.Params.Get(p.Name).Data, p.T.Data)
+	}
+	dst.Params.Quantize(pc.Weights)
+	dst.EnergyScale = src.EnergyScale
+	copy(dst.EnergyShift, src.EnergyShift)
+	for i, row := range src.Cuts.Rc {
+		copy(dst.Cuts.Rc[i], row)
+	}
+	return dst
+}
+
+// pairCount is shared by the cutoff ablation.
+func pairCount(sys *atoms.System, cuts *neighbor.CutoffTable) int {
+	return neighbor.Build(sys, cuts).NumReal
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/groundtruth"
+	"repro/internal/tensor"
+)
+
+// TableIQM9 reproduces the left column of Table I: internal-energy (U0) MAE
+// on a QM9-like set of random small organic molecules, including the paper's
+// Allegro 1-layer vs deeper comparison ("Allegro, 1 layer: 5.7; 3 layers:
+// 4.7"). Energy-only training makes this the cheapest learned benchmark.
+func TableIQM9(scale Scale, seed uint64) *Report {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(seed, 111))
+	nTrain, nTest, epochs := 24, 8, 25
+	if scale == Full {
+		nTrain, nTest, epochs = 80, 20, 80
+	}
+	all := data.QM9LikeSet(oracle, nTrain+nTest, rng)
+	train, test := all[:nTrain], all[nTrain:]
+
+	energyMAE := func(ev core.ForceEvaluator) float64 {
+		s := 0.0
+		for _, f := range test {
+			e, _ := ev.EnergyForces(f.Sys)
+			s += math.Abs(e - f.Energy)
+		}
+		return s / float64(len(test)) * 1000 // meV
+	}
+
+	r := &Report{
+		ID:     "table1-qm9",
+		Title:  "U0 energy MAE on QM9-like molecules (meV per molecule)",
+		Header: []string{"model", "U0 MAE (meas)", "paper MAE", "strictly local"},
+	}
+	// Composition baseline: least-squares per-species atomic energies. At
+	// CPU-scale sample counts the U0 task is dominated by this baseline for
+	// every family; reporting it makes the data-starved regime explicit
+	// (the paper's QM9 models see ~100k molecules).
+	r.AddRow("composition-baseline", f2(compositionBaselineMAE(train, test)), "-", "trivially")
+	// Energy-only training configs (the paper's QM9 models are energy-trained).
+	bcfg := baselines.DefaultTrainConfig()
+	bcfg.Epochs = epochs
+	bcfg.LR = 5e-3
+	bcfg.ForceWeight = 0.3 // force supervision regularizes the energy fit
+	bcfg.EnergyWeight = 1
+	bcfg.Seed = seed
+
+	trainAllegro := func(layers int) *core.Model {
+		m := tinyAllegro(molSpecies(), layers, seed)
+		tc := core.DefaultTrainConfig()
+		tc.Epochs = epochs
+		tc.LR = 5e-3
+		tc.ForceWeight = 0.3
+		tc.EnergyWeight = 1
+		tc.Seed = seed
+		core.NewTrainer(m, tc).Train(train)
+		return m
+	}
+
+	bp := baselines.NewBPModel(baselines.DefaultACSF(molSpecies()), []int{24, 24}, rand.New(rand.NewPCG(seed, 112)))
+	bp.FitWhitening(train)
+	cfgBP := bcfg
+	cfgBP.LR = 3e-3
+	baselines.Train(bp, train, cfgBP)
+	r.AddRow("bp-invariant", f2(energyMAE(bp)), "(cf. SchNet 14)", "yes")
+
+	sn := baselines.NewSchNetModel(molSpecies(), 4.0, 2, 16, 6, rand.New(rand.NewPCG(seed, 113)))
+	baselines.Train(sn, train, bcfg)
+	r.AddRow("schnet-mpnn", f2(energyMAE(sn)), "14", "no (MPNN)")
+
+	a1 := trainAllegro(1)
+	r.AddRow("allegro-1-layer", f2(energyMAE(a1)), "5.7", "yes")
+	a2 := trainAllegro(2)
+	r.AddRow("allegro-2-layer", f2(energyMAE(a2)), "4.7 (3 layers)", "yes")
+
+	r.AddNote("paper claim: Allegro outperforms message passing on QM9 (5.7/4.7 vs 14 meV) while being the only strictly local equivariant entry")
+	r.AddNote("honest negative at this scale: with %d training molecules every family sits at the composition baseline; the family ordering resolves on the per-molecule force benchmark (table1) instead", nTrain)
+	r.AddNote("test molecules: %d unseen random organics of %d-%d atoms",
+		len(test), minAtoms(test), maxAtoms(test))
+	return r
+}
+
+// compositionBaselineMAE fits per-species atomic energies on train by least
+// squares and evaluates the energy MAE (meV) on test.
+func compositionBaselineMAE(train, test []*atoms.Frame) float64 {
+	idx := atoms.NewSpeciesIndex(molSpecies())
+	s := idx.Len()
+	a := tensor.New(len(train), s)
+	b := tensor.New(len(train), 1)
+	for fi, f := range train {
+		for _, sp := range f.Sys.Species {
+			a.Data[fi*s+idx.Index(sp)]++
+		}
+		b.Data[fi] = f.Energy
+	}
+	mu, err := tensor.LeastSquares(a, b, 1e-8)
+	if err != nil {
+		return -1
+	}
+	sum := 0.0
+	for _, f := range test {
+		pred := 0.0
+		for _, sp := range f.Sys.Species {
+			pred += mu.Data[idx.Index(sp)]
+		}
+		sum += math.Abs(pred - f.Energy)
+	}
+	return sum / float64(len(test)) * 1000
+}
+
+func minAtoms(fs []*atoms.Frame) int {
+	m := fs[0].NumAtoms()
+	for _, f := range fs {
+		if f.NumAtoms() < m {
+			m = f.NumAtoms()
+		}
+	}
+	return m
+}
+
+func maxAtoms(fs []*atoms.Frame) int {
+	m := 0
+	for _, f := range fs {
+		if f.NumAtoms() > m {
+			m = f.NumAtoms()
+		}
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces a report for one experiment.
+type Runner func(scale Scale, seed uint64) *Report
+
+// registry maps experiment IDs (table/figure numbers and ablations) to
+// their harnesses.
+var registry = map[string]Runner{
+	"table1":           TableI,
+	"table2":           TableII,
+	"table3":           func(s Scale, _ uint64) *Report { return TableIII(s) },
+	"table4":           TableIV,
+	"fig1":             func(s Scale, _ uint64) *Report { return Figure1(s) },
+	"fig3":             func(s Scale, _ uint64) *Report { return Figure3(s) },
+	"fig4":             func(s Scale, seed uint64) *Report { return Figure4(s, seed).Report },
+	"fig5":             func(s Scale, _ uint64) *Report { return Figure5(s) },
+	"fig6":             func(s Scale, _ uint64) *Report { return Figure6(s) },
+	"fig7":             func(s Scale, _ uint64) *Report { return Figure7(s) },
+	"ablate-cutoffs":   AblateCutoffs,
+	"ablate-locality":  AblateLocality,
+	"ablate-receptive": func(s Scale, _ uint64) *Report { return AblateReceptiveField(s) },
+	"active-learning":  ActiveLearning,
+	"table1-qm9":       TableIQM9,
+}
+
+// All returns the sorted experiment IDs.
+func All() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, scale Scale, seed uint64) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, All())
+	}
+	return r(scale, seed), nil
+}

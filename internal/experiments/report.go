@@ -1,0 +1,88 @@
+// Package experiments implements one reproduction harness per table and
+// figure of the paper's evaluation, each returning a structured Report with
+// measured values next to the paper's published numbers. The per-experiment
+// index lives in DESIGN.md; EXPERIMENTS.md records outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects the experiment size: Quick runs in seconds-to-a-minute for
+// tests and benchmarks; Full is the cmd/allegro-bench default.
+type Scale int
+
+// Experiment scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Report is the structured outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	if len(r.Header) > 0 {
+		line(r.Header)
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		fmt.Fprintln(w, "  "+strings.Repeat("-", total))
+	}
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

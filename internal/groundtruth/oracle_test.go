@@ -1,0 +1,227 @@
+package groundtruth
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// waterMolecule builds a single H2O near its oracle equilibrium geometry.
+func waterMolecule() *atoms.System {
+	sys := atoms.NewSystem(3)
+	sys.Species = []units.Species{units.O, units.H, units.H}
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{0.98, 0, 0}
+	sys.Pos[2] = [3]float64{-0.30, 0.93, 0}
+	return sys
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	o1, o2 := New(), New()
+	sys := waterMolecule()
+	if o1.Energy(sys) != o2.Energy(sys) {
+		t.Fatal("oracle must be deterministic across constructions")
+	}
+}
+
+func TestForcesMatchFiniteDifferences(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Random-ish cluster of mixed species, safely separated.
+	sys := atoms.NewSystem(8)
+	sps := []units.Species{units.O, units.H, units.H, units.C, units.H, units.N, units.H, units.O}
+	copy(sys.Species, sps)
+	for i := range sys.Pos {
+		sys.Pos[i] = [3]float64{
+			1.4*float64(i%2) + 0.9*float64(i/2),
+			0.8*float64(i%3) + 0.2*rng.Float64(),
+			0.7*float64(i%4) + 0.2*rng.Float64(),
+		}
+	}
+	_, f := o.EnergyForces(sys)
+	const h = 1e-6
+	for i := 0; i < sys.NumAtoms(); i++ {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[i][k] += h
+			sm.Pos[i][k] -= h
+			fd := -(o.Energy(sp) - o.Energy(sm)) / (2 * h)
+			if math.Abs(fd-f[i][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("force[%d][%d]: fd=%g analytic=%g", i, k, fd, f[i][k])
+			}
+		}
+	}
+}
+
+func TestForcesMatchFiniteDifferencesPeriodic(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewPCG(3, 4))
+	sys := atoms.NewSystem(24)
+	sys.PBC = true
+	sys.Cell = [3]float64{8, 8, 8}
+	for i := range sys.Pos {
+		if i%3 == 0 {
+			sys.Species[i] = units.O
+		} else {
+			sys.Species[i] = units.H
+		}
+		sys.Pos[i] = [3]float64{rng.Float64() * 8, rng.Float64() * 8, rng.Float64() * 8}
+	}
+	_, f := o.EnergyForces(sys)
+	const h = 1e-6
+	for _, i := range []int{0, 5, 11, 23} {
+		for k := 0; k < 3; k++ {
+			sp := sys.Clone()
+			sm := sys.Clone()
+			sp.Pos[i][k] += h
+			sm.Pos[i][k] -= h
+			fd := -(o.Energy(sp) - o.Energy(sm)) / (2 * h)
+			if math.Abs(fd-f[i][k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("PBC force[%d][%d]: fd=%g analytic=%g", i, k, fd, f[i][k])
+			}
+		}
+	}
+}
+
+func TestTranslationRotationInvariance(t *testing.T) {
+	o := New()
+	sys := waterMolecule()
+	e0 := o.Energy(sys)
+	// Translation.
+	tr := sys.Clone()
+	for i := range tr.Pos {
+		for k := 0; k < 3; k++ {
+			tr.Pos[i][k] += 3.7
+		}
+	}
+	if math.Abs(o.Energy(tr)-e0) > 1e-10 {
+		t.Fatal("energy not translation invariant")
+	}
+	// Rotation about z by 30 degrees.
+	rot := sys.Clone()
+	c, s := math.Cos(math.Pi/6), math.Sin(math.Pi/6)
+	for i := range rot.Pos {
+		x, y := rot.Pos[i][0], rot.Pos[i][1]
+		rot.Pos[i][0] = c*x - s*y
+		rot.Pos[i][1] = s*x + c*y
+	}
+	if math.Abs(o.Energy(rot)-e0) > 1e-9 {
+		t.Fatalf("energy not rotation invariant: %g vs %g", o.Energy(rot), e0)
+	}
+	// Mirror (parity).
+	mir := sys.Clone()
+	for i := range mir.Pos {
+		mir.Pos[i][2] = -mir.Pos[i][2]
+	}
+	if math.Abs(o.Energy(mir)-e0) > 1e-9 {
+		t.Fatal("energy not mirror invariant")
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	o := New()
+	sys := waterMolecule()
+	e0 := o.Energy(sys)
+	perm := sys.Clone()
+	perm.Species[1], perm.Species[2] = perm.Species[2], perm.Species[1]
+	perm.Pos[1], perm.Pos[2] = perm.Pos[2], perm.Pos[1]
+	if math.Abs(o.Energy(perm)-e0) > 1e-10 {
+		t.Fatal("energy not permutation invariant")
+	}
+}
+
+func TestWaterIsBoundAndNearEquilibrium(t *testing.T) {
+	o := New()
+	sys := waterMolecule()
+	e := o.Energy(sys)
+	if e >= 0 {
+		t.Fatalf("water molecule should be bound, E=%g", e)
+	}
+	// Stretching an O-H bond must raise the energy.
+	st := sys.Clone()
+	st.Pos[1][0] += 0.4
+	if o.Energy(st) <= e {
+		t.Fatal("stretched O-H should cost energy")
+	}
+	// Compressing should also raise it.
+	cm := sys.Clone()
+	cm.Pos[1][0] -= 0.35
+	if o.Energy(cm) <= e {
+		t.Fatal("compressed O-H should cost energy")
+	}
+	// Forces on the near-equilibrium geometry should be modest.
+	_, f := o.EnergyForces(sys)
+	for i := range f {
+		for k := 0; k < 3; k++ {
+			if math.Abs(f[i][k]) > 8 {
+				t.Fatalf("near-equilibrium force too large: f[%d][%d]=%g", i, k, f[i][k])
+			}
+		}
+	}
+}
+
+func TestValenceSaturationPreventsOverbonding(t *testing.T) {
+	// Bringing a third H to a water oxygen must be energetically punished
+	// relative to keeping it at hydrogen-bond range.
+	o := New()
+	base := waterMolecule()
+	far := atoms.NewSystem(4)
+	copy(far.Species, append(base.Species, units.H))
+	copy(far.Pos, base.Pos)
+	far.Pos[3] = [3]float64{0, -1.9, 0} // H-bond-ish distance
+	near := far.Clone()
+	near.Pos[3] = [3]float64{0, -0.98, 0} // covalent distance: would be H3O
+	eFar := o.Energy(far)
+	eNear := o.Energy(near)
+	if eNear <= eFar {
+		t.Fatalf("overbonded H3O (E=%g) must cost more than H-bonded H (E=%g)", eNear, eFar)
+	}
+}
+
+func TestPerAtomEnergiesSumToTotal(t *testing.T) {
+	o := New()
+	sys := waterMolecule()
+	per := o.PerAtomEnergies(sys)
+	sum := 0.0
+	for _, e := range per {
+		sum += e
+	}
+	if math.Abs(sum-o.Energy(sys)) > 1e-9 {
+		t.Fatalf("per-atom energies sum %g != total %g", sum, o.Energy(sys))
+	}
+}
+
+func TestAngularTermPrefersWaterAngle(t *testing.T) {
+	// The oracle's O angular term prefers cos(theta) = -0.25 (~104.5 deg):
+	// a linear water (180 deg) must cost more than the bent geometry.
+	o := New()
+	bent := waterMolecule()
+	linear := bent.Clone()
+	linear.Pos[2] = [3]float64{-0.98, 0, 0}
+	if o.Energy(linear) <= o.Energy(bent) {
+		t.Fatalf("linear water (E=%g) should cost more than bent (E=%g)",
+			o.Energy(linear), o.Energy(bent))
+	}
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	// Newton's third law: net force on an isolated cluster vanishes.
+	o := New()
+	sys := waterMolecule()
+	_, f := o.EnergyForces(sys)
+	var net [3]float64
+	for i := range f {
+		for k := 0; k < 3; k++ {
+			net[k] += f[i][k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(net[k]) > 1e-9 {
+			t.Fatalf("net force %v nonzero", net)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package md implements the molecular dynamics engine: velocity-Verlet
+// integration, Maxwell-Boltzmann initialization, Langevin and Berendsen
+// thermostats, and trajectory observables. Units follow internal/units
+// (eV, A, amu, fs).
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// Potential is anything that returns total energy and per-atom forces.
+type Potential interface {
+	EnergyForces(sys *atoms.System) (float64, [][3]float64)
+}
+
+// Combined sums several potentials (e.g. a learned short-range model plus
+// the Wolf-summation long-range electrostatics extension).
+type Combined []Potential
+
+// EnergyForces implements Potential.
+func (c Combined) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	total := 0.0
+	forces := make([][3]float64, sys.NumAtoms())
+	for _, p := range c {
+		e, f := p.EnergyForces(sys)
+		total += e
+		for i := range f {
+			for k := 0; k < 3; k++ {
+				forces[i][k] += f[i][k]
+			}
+		}
+	}
+	return total, forces
+}
+
+// Thermostat adjusts velocities once per step after the Verlet update.
+type Thermostat interface {
+	Apply(vel [][3]float64, masses []float64, dt float64)
+	Name() string
+}
+
+// Langevin is a stochastic thermostat (O-step of BAOAB splitting):
+// v <- c v + sqrt(1-c^2) * sigma(T,m) * xi with c = exp(-gamma dt).
+type Langevin struct {
+	TempK float64
+	Gamma float64 // friction, 1/fs (typical 0.01)
+	Rng   *rand.Rand
+}
+
+// Apply implements Thermostat.
+func (l *Langevin) Apply(vel [][3]float64, masses []float64, dt float64) {
+	c := math.Exp(-l.Gamma * dt)
+	s := math.Sqrt(1 - c*c)
+	for i := range vel {
+		sigma := units.ThermalVelocity(masses[i], l.TempK)
+		for k := 0; k < 3; k++ {
+			vel[i][k] = c*vel[i][k] + s*sigma*l.Rng.NormFloat64()
+		}
+	}
+}
+
+// Name implements Thermostat.
+func (l *Langevin) Name() string { return "langevin" }
+
+// Berendsen is a weak-coupling velocity rescaling thermostat.
+type Berendsen struct {
+	TempK float64
+	Tau   float64 // coupling time, fs
+}
+
+// Apply implements Thermostat.
+func (b *Berendsen) Apply(vel [][3]float64, masses []float64, dt float64) {
+	ke := 0.0
+	for i := range vel {
+		v2 := vel[i][0]*vel[i][0] + vel[i][1]*vel[i][1] + vel[i][2]*vel[i][2]
+		ke += 0.5 * masses[i] * v2 / units.AccelFactor
+	}
+	ndof := 3 * len(vel)
+	t := units.TemperatureFromKE(ke, ndof)
+	if t <= 0 {
+		return
+	}
+	lam := math.Sqrt(1 + dt/b.Tau*(b.TempK/t-1))
+	for i := range vel {
+		for k := 0; k < 3; k++ {
+			vel[i][k] *= lam
+		}
+	}
+}
+
+// Name implements Thermostat.
+func (b *Berendsen) Name() string { return "berendsen" }
+
+// Sim is one molecular dynamics simulation.
+type Sim struct {
+	Sys        *atoms.System
+	Vel        [][3]float64
+	Masses     []float64
+	Pot        Potential
+	Dt         float64    // fs
+	Thermostat Thermostat // nil = NVE
+
+	Forces  [][3]float64
+	Energy  float64 // last potential energy
+	StepNum int
+}
+
+// NewSim prepares a simulation; forces are evaluated once at construction.
+func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
+	s := &Sim{
+		Sys:    sys,
+		Vel:    make([][3]float64, sys.NumAtoms()),
+		Masses: sys.Masses(),
+		Pot:    pot,
+		Dt:     dt,
+	}
+	s.Energy, s.Forces = pot.EnergyForces(sys)
+	return s
+}
+
+// InitVelocities draws Maxwell-Boltzmann velocities at tempK and removes
+// center-of-mass drift.
+func (s *Sim) InitVelocities(tempK float64, rng *rand.Rand) {
+	for i := range s.Vel {
+		sigma := units.ThermalVelocity(s.Masses[i], tempK)
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] = sigma * rng.NormFloat64()
+		}
+	}
+	s.RemoveDrift()
+}
+
+// RemoveDrift zeroes the center-of-mass momentum.
+func (s *Sim) RemoveDrift() {
+	var p [3]float64
+	var mTot float64
+	for i := range s.Vel {
+		for k := 0; k < 3; k++ {
+			p[k] += s.Masses[i] * s.Vel[i][k]
+		}
+		mTot += s.Masses[i]
+	}
+	for i := range s.Vel {
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] -= p[k] / mTot
+		}
+	}
+}
+
+// Step advances one velocity-Verlet step (plus thermostat if configured).
+func (s *Sim) Step() {
+	dt := s.Dt
+	// Half kick + drift.
+	for i := range s.Vel {
+		f := units.AccelFactor / s.Masses[i]
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] += 0.5 * dt * f * s.Forces[i][k]
+			s.Sys.Pos[i][k] += dt * s.Vel[i][k]
+		}
+	}
+	// New forces.
+	s.Energy, s.Forces = s.Pot.EnergyForces(s.Sys)
+	// Second half kick.
+	for i := range s.Vel {
+		f := units.AccelFactor / s.Masses[i]
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] += 0.5 * dt * f * s.Forces[i][k]
+		}
+	}
+	if s.Thermostat != nil {
+		s.Thermostat.Apply(s.Vel, s.Masses, dt)
+	}
+	s.StepNum++
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// KineticEnergy returns the total kinetic energy in eV.
+func (s *Sim) KineticEnergy() float64 {
+	ke := 0.0
+	for i := range s.Vel {
+		v2 := s.Vel[i][0]*s.Vel[i][0] + s.Vel[i][1]*s.Vel[i][1] + s.Vel[i][2]*s.Vel[i][2]
+		ke += 0.5 * s.Masses[i] * v2 / units.AccelFactor
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous kinetic temperature in K.
+func (s *Sim) Temperature() float64 {
+	return units.TemperatureFromKE(s.KineticEnergy(), 3*len(s.Vel))
+}
+
+// TotalEnergy returns potential + kinetic energy (conserved in NVE).
+func (s *Sim) TotalEnergy() float64 { return s.Energy + s.KineticEnergy() }
+
+// String summarizes the simulation state.
+func (s *Sim) String() string {
+	return fmt.Sprintf("md step %d: E_pot=%.4f eV, T=%.1f K", s.StepNum, s.Energy, s.Temperature())
+}

@@ -1,0 +1,216 @@
+package md
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/groundtruth"
+	"repro/internal/units"
+)
+
+// harmonicPot is an analytic test potential: atoms tethered to the origin.
+type harmonicPot struct{ k float64 }
+
+func (h *harmonicPot) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	e := 0.0
+	f := make([][3]float64, sys.NumAtoms())
+	for i, p := range sys.Pos {
+		for c := 0; c < 3; c++ {
+			e += 0.5 * h.k * p[c] * p[c]
+			f[i][c] = -h.k * p[c]
+		}
+	}
+	return e, f
+}
+
+func TestHarmonicOscillatorPeriod(t *testing.T) {
+	// One H atom on a spring: period T = 2*pi*sqrt(m/(k*AccelFactor)).
+	sys := atoms.NewSystem(1)
+	sys.Species[0] = units.H
+	sys.Pos[0] = [3]float64{1, 0, 0}
+	k := 1.0
+	sim := NewSim(sys, &harmonicPot{k: k}, 0.05)
+	period := 2 * math.Pi * math.Sqrt(units.Mass(units.H)/(k*units.AccelFactor))
+	steps := int(period / sim.Dt)
+	sim.Run(steps)
+	// After one period the atom should be back near x=1.
+	if math.Abs(sys.Pos[0][0]-1) > 0.01 {
+		t.Fatalf("after one period x=%g, want 1", sys.Pos[0][0])
+	}
+}
+
+func TestNVEEnergyConservation(t *testing.T) {
+	// Water cluster under the oracle: total energy drift must be tiny
+	// relative to kinetic energy over hundreds of steps.
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(1, 2))
+	sys := atoms.NewSystem(9)
+	for w := 0; w < 3; w++ {
+		sys.Species[3*w] = units.O
+		sys.Species[3*w+1] = units.H
+		sys.Species[3*w+2] = units.H
+		base := float64(w) * 3.0
+		sys.Pos[3*w] = [3]float64{base, 0, 0}
+		sys.Pos[3*w+1] = [3]float64{base + 0.98, 0, 0}
+		sys.Pos[3*w+2] = [3]float64{base - 0.30, 0.93, 0}
+	}
+	sim := NewSim(sys, oracle, 0.1)
+	sim.InitVelocities(150, rng)
+	e0 := sim.TotalEnergy()
+	maxDrift := 0.0
+	for i := 0; i < 400; i++ {
+		sim.Step()
+		if d := math.Abs(sim.TotalEnergy() - e0); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	ke := sim.KineticEnergy()
+	if ke <= 0 {
+		t.Fatal("kinetic energy vanished")
+	}
+	if maxDrift > 0.05*(ke+0.1) {
+		t.Fatalf("NVE drift %g eV too large (KE=%g)", maxDrift, ke)
+	}
+}
+
+func TestLangevinEquilibratesTemperature(t *testing.T) {
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(3, 4))
+	sys := atoms.NewSystem(12)
+	for w := 0; w < 4; w++ {
+		sys.Species[3*w] = units.O
+		sys.Species[3*w+1] = units.H
+		sys.Species[3*w+2] = units.H
+		bx := float64(w%2) * 3.2
+		by := float64(w/2) * 3.2
+		sys.Pos[3*w] = [3]float64{bx, by, 0}
+		sys.Pos[3*w+1] = [3]float64{bx + 0.98, by, 0}
+		sys.Pos[3*w+2] = [3]float64{bx - 0.30, by + 0.93, 0}
+	}
+	sim := NewSim(sys, oracle, 0.2)
+	sim.Thermostat = &Langevin{TempK: 300, Gamma: 0.05, Rng: rng}
+	sim.InitVelocities(10, rng) // start cold
+	var tAvg float64
+	nSample := 0
+	for i := 0; i < 600; i++ {
+		sim.Step()
+		if i >= 300 {
+			tAvg += sim.Temperature()
+			nSample++
+		}
+	}
+	tAvg /= float64(nSample)
+	if tAvg < 150 || tAvg > 500 {
+		t.Fatalf("Langevin average temperature %g K, want near 300 K", tAvg)
+	}
+}
+
+func TestBerendsenRescalesTowardsTarget(t *testing.T) {
+	sys := atoms.NewSystem(8)
+	for i := range sys.Pos {
+		sys.Species[i] = units.O
+		sys.Pos[i] = [3]float64{float64(i) * 3, 0, 0}
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	sim := NewSim(sys, &harmonicPot{k: 0.0}, 0.5)
+	sim.InitVelocities(600, rng)
+	sim.Thermostat = &Berendsen{TempK: 300, Tau: 10}
+	for i := 0; i < 200; i++ {
+		sim.Step()
+	}
+	tf := sim.Temperature()
+	if math.Abs(tf-300) > 60 {
+		t.Fatalf("Berendsen final T = %g K, want ~300", tf)
+	}
+}
+
+func TestInitVelocitiesStatistics(t *testing.T) {
+	sys := atoms.NewSystem(3000)
+	for i := range sys.Pos {
+		sys.Species[i] = units.O
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	sim := NewSim(sys, &harmonicPot{k: 0}, 1)
+	sim.InitVelocities(300, rng)
+	temp := sim.Temperature()
+	if math.Abs(temp-300) > 15 {
+		t.Fatalf("MB initialization gives T=%g, want ~300", temp)
+	}
+	// No center-of-mass drift.
+	var p [3]float64
+	for i := range sim.Vel {
+		for k := 0; k < 3; k++ {
+			p[k] += sim.Masses[i] * sim.Vel[i][k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(p[k]) > 1e-9 {
+			t.Fatalf("net momentum %v after drift removal", p)
+		}
+	}
+}
+
+func TestThermostatNames(t *testing.T) {
+	if (&Langevin{}).Name() != "langevin" || (&Berendsen{}).Name() != "berendsen" {
+		t.Fatal("thermostat names wrong")
+	}
+}
+
+func TestNVEMomentumConservation(t *testing.T) {
+	// With antisymmetric pair forces the total momentum is an exact
+	// invariant of velocity Verlet.
+	oracle := groundtruth.New()
+	rng := rand.New(rand.NewPCG(9, 10))
+	sys := atoms.NewSystem(6)
+	for w := 0; w < 2; w++ {
+		sys.Species[3*w] = units.O
+		sys.Species[3*w+1] = units.H
+		sys.Species[3*w+2] = units.H
+		base := float64(w) * 3.0
+		sys.Pos[3*w] = [3]float64{base, 0, 0}
+		sys.Pos[3*w+1] = [3]float64{base + 0.98, 0, 0}
+		sys.Pos[3*w+2] = [3]float64{base - 0.30, 0.93, 0}
+	}
+	sim := NewSim(sys, oracle, 0.1)
+	sim.InitVelocities(200, rng)
+	momentum := func() [3]float64 {
+		var p [3]float64
+		for i := range sim.Vel {
+			for k := 0; k < 3; k++ {
+				p[k] += sim.Masses[i] * sim.Vel[i][k]
+			}
+		}
+		return p
+	}
+	p0 := momentum()
+	sim.Run(200)
+	p1 := momentum()
+	for k := 0; k < 3; k++ {
+		if math.Abs(p1[k]-p0[k]) > 1e-9 {
+			t.Fatalf("momentum drifted: %v -> %v", p0, p1)
+		}
+	}
+}
+
+func TestCombinedPotentialSums(t *testing.T) {
+	h1 := &harmonicPot{k: 1.0}
+	h2 := &harmonicPot{k: 2.5}
+	sys := atoms.NewSystem(2)
+	sys.Pos[0] = [3]float64{1, 0, 0}
+	sys.Pos[1] = [3]float64{0, -2, 0}
+	e1, f1 := h1.EnergyForces(sys)
+	e2, f2 := h2.EnergyForces(sys)
+	ec, fc := Combined{h1, h2}.EnergyForces(sys)
+	if math.Abs(ec-e1-e2) > 1e-12 {
+		t.Fatalf("combined energy %g != %g + %g", ec, e1, e2)
+	}
+	for i := range fc {
+		for k := 0; k < 3; k++ {
+			if math.Abs(fc[i][k]-f1[i][k]-f2[i][k]) > 1e-12 {
+				t.Fatal("combined forces wrong")
+			}
+		}
+	}
+}

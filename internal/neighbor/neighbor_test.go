@@ -1,0 +1,257 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+func waterLikeBox(rng *rand.Rand, n int, l float64) *atoms.System {
+	sys := atoms.NewSystem(n)
+	sys.PBC = true
+	sys.Cell = [3]float64{l, l, l}
+	for i := 0; i < n; i++ {
+		sys.Pos[i] = [3]float64{rng.Float64() * l, rng.Float64() * l, rng.Float64() * l}
+		if i%3 == 0 {
+			sys.Species[i] = units.O
+		} else {
+			sys.Species[i] = units.H
+		}
+	}
+	return sys
+}
+
+func defaultIdx() *atoms.SpeciesIndex {
+	return atoms.NewSpeciesIndex([]units.Species{units.H, units.C, units.N, units.O})
+}
+
+func TestCutoffTable(t *testing.T) {
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 4.0)
+	ct.Set(units.H, units.C, 1.25)
+	if ct.Get(units.H, units.C) != 1.25 {
+		t.Fatal("ordered cutoff not set")
+	}
+	if ct.Get(units.C, units.H) != 4.0 {
+		t.Fatal("reverse ordered cutoff must stay at default")
+	}
+	if ct.Max() != 4.0 {
+		t.Fatalf("Max = %v", ct.Max())
+	}
+}
+
+func TestPaperBioCutoffs(t *testing.T) {
+	ct := PaperBioCutoffs(defaultIdx())
+	if ct.Get(units.H, units.H) != 3.0 || ct.Get(units.H, units.C) != 1.25 ||
+		ct.Get(units.O, units.H) != 3.0 || ct.Get(units.C, units.H) != 4.0 {
+		t.Fatal("paper cutoff table wrong")
+	}
+}
+
+func TestBruteForceMatchesCellList(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 3.5)
+	// Big enough box to trigger cell lists (>= 3*rc per dim).
+	sys := waterLikeBox(rng, 300, 12.0)
+	p := Build(sys, ct)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Brute force reference.
+	type key struct{ i, j int }
+	seen := map[key]bool{}
+	for z := 0; z < p.NumReal; z++ {
+		k := key{p.I[z], p.J[z]}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", k)
+		}
+		seen[k] = true
+	}
+	count := 0
+	for i := 0; i < sys.NumAtoms(); i++ {
+		for j := 0; j < sys.NumAtoms(); j++ {
+			if i == j {
+				continue
+			}
+			r := sys.Distance(i, j)
+			if r < ct.Get(sys.Species[i], sys.Species[j]) {
+				count++
+				if !seen[key{i, j}] {
+					t.Fatalf("missing pair (%d,%d) at r=%g", i, j, r)
+				}
+			}
+		}
+	}
+	if count != p.NumReal {
+		t.Fatalf("pair count %d != brute force %d", p.NumReal, count)
+	}
+}
+
+func TestSmallBoxFallsBackToN2(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 4.0)
+	sys := waterLikeBox(rng, 48, 7.0) // < 3*rc: must use minimum-image O(N^2)
+	p := Build(sys, ct)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumReal == 0 {
+		t.Fatal("expected pairs in dense box")
+	}
+}
+
+func TestOrderedCutoffsReducePairs(t *testing.T) {
+	// The paper reports ~3x fewer ordered pairs in liquid water with the
+	// reduced hydrogen cutoffs; verify a substantial reduction.
+	rng := rand.New(rand.NewPCG(5, 6))
+	idx := defaultIdx()
+	sys := waterLikeBox(rng, 384, 15.6) // roughly water number density
+	full := NewCutoffTable(idx, 4.0)
+	reduced := PaperBioCutoffs(idx)
+	pf := Build(sys, full)
+	pr := Build(sys, reduced)
+	ratio := float64(pf.NumReal) / float64(pr.NumReal)
+	if ratio < 1.5 {
+		t.Fatalf("per-species cutoffs reduced pairs only by %.2fx", ratio)
+	}
+	// Ordered asymmetry: H->C pairs obey 1.25 A while C->H keeps 4.0 A.
+	for z := 0; z < pr.NumReal; z++ {
+		si, sj := sys.Species[pr.I[z]], sys.Species[pr.J[z]]
+		if si == units.H && sj == units.H && pr.Dist[z] >= 3.0 {
+			t.Fatal("H-H pair beyond 3.0 A admitted")
+		}
+	}
+}
+
+func TestNonPeriodicMolecule(t *testing.T) {
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 2.0)
+	sys := atoms.NewSystem(3)
+	sys.Species = []units.Species{units.O, units.H, units.H}
+	sys.Pos[0] = [3]float64{0, 0, 0}
+	sys.Pos[1] = [3]float64{0.96, 0, 0}
+	sys.Pos[2] = [3]float64{-0.24, 0.93, 0}
+	p := Build(sys, ct)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumReal != 6 { // all ordered pairs within 2 A
+		t.Fatalf("water molecule pairs = %d, want 6", p.NumReal)
+	}
+}
+
+func TestMinimumImageAcrossBoundary(t *testing.T) {
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 2.0)
+	sys := atoms.NewSystem(2)
+	sys.PBC = true
+	sys.Cell = [3]float64{10, 10, 10}
+	sys.Species = []units.Species{units.O, units.O}
+	sys.Pos[0] = [3]float64{0.2, 5, 5}
+	sys.Pos[1] = [3]float64{9.9, 5, 5} // 0.3 A across the boundary
+	p := Build(sys, ct)
+	if p.NumReal != 2 {
+		t.Fatalf("expected wrap-around pair, got %d", p.NumReal)
+	}
+	if math.Abs(p.Dist[0]-0.3) > 1e-9 {
+		t.Fatalf("minimum-image distance %g, want 0.3", p.Dist[0])
+	}
+}
+
+func TestPadAddsInertPairs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 3.5)
+	sys := waterLikeBox(rng, 100, 11.0)
+	p := Build(sys, ct)
+	real := p.NumReal
+	p.Pad(1.05)
+	if p.Len() < int(math.Ceil(1.05*float64(real))) {
+		t.Fatalf("Pad did not reach target: %d real, %d total", real, p.Len())
+	}
+	for z := real; z < p.Len(); z++ {
+		if p.Dist[z] < p.Cut[z] {
+			t.Fatal("padding pair would contribute energy (dist < cutoff)")
+		}
+	}
+	if p.NumReal != real {
+		t.Fatal("Pad must not change NumReal")
+	}
+}
+
+func TestAvgNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 4.0)
+	sys := waterLikeBox(rng, 384, 15.6)
+	p := Build(sys, ct)
+	avg := p.AvgNeighbors()
+	if avg < 5 || avg > 50 {
+		t.Fatalf("average neighbor count %g implausible for water density", avg)
+	}
+}
+
+func TestSystemWrapAndVolume(t *testing.T) {
+	sys := atoms.NewSystem(1)
+	sys.PBC = true
+	sys.Cell = [3]float64{5, 5, 5}
+	sys.Pos[0] = [3]float64{-1, 6, 2}
+	sys.Wrap()
+	want := [3]float64{4, 1, 2}
+	for k := 0; k < 3; k++ {
+		if math.Abs(sys.Pos[0][k]-want[k]) > 1e-12 {
+			t.Fatalf("Wrap -> %v, want %v", sys.Pos[0], want)
+		}
+	}
+	if sys.Volume() != 125 {
+		t.Fatalf("Volume = %v", sys.Volume())
+	}
+}
+
+func TestSymmetricCutoffPairSymmetryProperty(t *testing.T) {
+	// With a uniform cutoff table, pair (i,j) exists iff (j,i) exists, with
+	// exactly opposite displacement vectors.
+	rng := rand.New(rand.NewPCG(11, 12))
+	idx := defaultIdx()
+	ct := NewCutoffTable(idx, 3.5)
+	sys := waterLikeBox(rng, 150, 11.5)
+	p := Build(sys, ct)
+	type key struct{ i, j int }
+	vecs := map[key][3]float64{}
+	for z := 0; z < p.NumReal; z++ {
+		vecs[key{p.I[z], p.J[z]}] = p.Vec[z]
+	}
+	for k, v := range vecs {
+		rv, ok := vecs[key{k.j, k.i}]
+		if !ok {
+			t.Fatalf("pair (%d,%d) present but reverse missing", k.i, k.j)
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(v[d]+rv[d]) > 1e-12 {
+				t.Fatalf("displacements not antisymmetric for (%d,%d)", k.i, k.j)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	idx := defaultIdx()
+	ct := PaperBioCutoffs(idx)
+	sys := waterLikeBox(rng, 120, 11.0)
+	p1 := Build(sys, ct)
+	p2 := Build(sys, ct)
+	if p1.NumReal != p2.NumReal {
+		t.Fatal("nondeterministic pair count")
+	}
+	for z := 0; z < p1.NumReal; z++ {
+		if p1.I[z] != p2.I[z] || p1.J[z] != p2.J[z] {
+			t.Fatal("nondeterministic pair order")
+		}
+	}
+}

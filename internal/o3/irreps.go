@@ -1,0 +1,142 @@
+// Package o3 implements the O(3) representation theory underlying the
+// Allegro architecture: irreducible representations ("irreps") indexed by
+// rotation order l and parity p, real spherical harmonics with analytic
+// gradients, Wigner 3j coupling coefficients in the real basis, the strided
+// irrep memory layout of the paper (Fig. 3), and the fused tensor-product
+// contraction that is Allegro's only equivariant nonlinearity (Eq. 1-2).
+package o3
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parity is the behaviour of a feature under spatial inversion.
+type Parity int
+
+const (
+	// Even parity (+1): scalars, pseudo-vectors.
+	Even Parity = 1
+	// Odd parity (-1): pseudo-scalars, vectors.
+	Odd Parity = -1
+)
+
+// Irrep identifies an irreducible representation of O(3): rotation order L
+// (dimension 2L+1) and parity P.
+type Irrep struct {
+	L int
+	P Parity
+}
+
+// Dim returns the dimension 2L+1 of the irrep.
+func (ir Irrep) Dim() int { return 2*ir.L + 1 }
+
+// String renders the irrep in e3nn notation, e.g. "1o" or "2e".
+func (ir Irrep) String() string {
+	s := "e"
+	if ir.P == Odd {
+		s = "o"
+	}
+	return fmt.Sprintf("%d%s", ir.L, s)
+}
+
+// Irreps is an ordered list of irreps sharing a common channel multiplicity
+// in the strided layout.
+type Irreps []Irrep
+
+// Dim returns the total component dimension sum(2L+1).
+func (irs Irreps) Dim() int {
+	d := 0
+	for _, ir := range irs {
+		d += ir.Dim()
+	}
+	return d
+}
+
+// MaxL returns the largest rotation order present.
+func (irs Irreps) MaxL() int {
+	m := 0
+	for _, ir := range irs {
+		if ir.L > m {
+			m = ir.L
+		}
+	}
+	return m
+}
+
+// Index returns the position of ir within irs, or -1.
+func (irs Irreps) Index(ir Irrep) int {
+	for i, x := range irs {
+		if x == ir {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the list, e.g. "0e+1o+2e".
+func (irs Irreps) String() string {
+	parts := make([]string, len(irs))
+	for i, ir := range irs {
+		parts[i] = ir.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// SphericalIrreps returns the irreps of the spherical-harmonic embedding up
+// to lmax: l=0..lmax with natural parity (-1)^l.
+func SphericalIrreps(lmax int) Irreps {
+	irs := make(Irreps, 0, lmax+1)
+	for l := 0; l <= lmax; l++ {
+		p := Even
+		if l%2 == 1 {
+			p = Odd
+		}
+		irs = append(irs, Irrep{L: l, P: p})
+	}
+	return irs
+}
+
+// FullIrreps returns both parities for every l = 0..lmax, the feature space
+// used by a full-O(3) Allegro model (2*(lmax+1)^2 components).
+func FullIrreps(lmax int) Irreps {
+	irs := make(Irreps, 0, 2*(lmax+1))
+	for l := 0; l <= lmax; l++ {
+		irs = append(irs, Irrep{L: l, P: Even}, Irrep{L: l, P: Odd})
+	}
+	return irs
+}
+
+// Layout is the strided memory layout of the paper (Fig. 3): all tensor
+// features of the various (l,p) live in one contiguous array whose innermost
+// dimension concatenates the irrep blocks; a feature tensor has logical
+// shape [pairs][channels][Layout.Width].
+type Layout struct {
+	Irreps  Irreps
+	Offsets []int // component offset of each irrep block
+	Width   int   // total components = Irreps.Dim()
+}
+
+// NewLayout builds the strided layout for the given irreps.
+func NewLayout(irs Irreps) *Layout {
+	l := &Layout{Irreps: append(Irreps(nil), irs...)}
+	l.Offsets = make([]int, len(irs))
+	off := 0
+	for i, ir := range irs {
+		l.Offsets[i] = off
+		off += ir.Dim()
+	}
+	l.Width = off
+	return l
+}
+
+// Offset returns the component offset of irrep index i.
+func (l *Layout) Offset(i int) int { return l.Offsets[i] }
+
+// Block returns the [offset, offset+dim) component range of irrep index i.
+func (l *Layout) Block(i int) (int, int) {
+	return l.Offsets[i], l.Offsets[i] + l.Irreps[i].Dim()
+}
+
+// ScalarIndex returns the irrep index of the even scalar (0e) block, or -1.
+func (l *Layout) ScalarIndex() int { return l.Irreps.Index(Irrep{L: 0, P: Even}) }

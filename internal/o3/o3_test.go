@@ -1,0 +1,533 @@
+package o3
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestIrrepBasics(t *testing.T) {
+	ir := Irrep{L: 2, P: Even}
+	if ir.Dim() != 5 || ir.String() != "2e" {
+		t.Fatalf("irrep 2e: dim=%d str=%s", ir.Dim(), ir.String())
+	}
+	irs := FullIrreps(2)
+	if len(irs) != 6 || irs.Dim() != 18 {
+		t.Fatalf("FullIrreps(2): %v dim=%d", irs, irs.Dim())
+	}
+	sph := SphericalIrreps(2)
+	if sph.String() != "0e+1o+2e" {
+		t.Fatalf("SphericalIrreps(2) = %s", sph.String())
+	}
+	if sph.MaxL() != 2 {
+		t.Fatalf("MaxL = %d", sph.MaxL())
+	}
+}
+
+func TestLayoutOffsets(t *testing.T) {
+	l := NewLayout(SphericalIrreps(3))
+	if l.Width != 16 {
+		t.Fatalf("Width = %d, want 16", l.Width)
+	}
+	wantOff := []int{0, 1, 4, 9}
+	for i, w := range wantOff {
+		if l.Offset(i) != w {
+			t.Fatalf("Offset(%d) = %d, want %d", i, l.Offset(i), w)
+		}
+	}
+	lo, hi := l.Block(2)
+	if lo != 4 || hi != 9 {
+		t.Fatalf("Block(2) = [%d,%d)", lo, hi)
+	}
+	if NewLayout(FullIrreps(1)).ScalarIndex() != 0 {
+		t.Fatal("ScalarIndex should locate 0e")
+	}
+}
+
+func TestComplex3jKnownValues(t *testing.T) {
+	// Tabulated values.
+	cases := []struct {
+		j1, j2, j3, m1, m2, m3 int
+		want                   float64
+	}{
+		{0, 0, 0, 0, 0, 0, 1.0},
+		{1, 1, 0, 0, 0, 0, -1.0 / math.Sqrt(3)},
+		{1, 1, 0, 1, -1, 0, 1.0 / math.Sqrt(3)},
+		{1, 1, 2, 0, 0, 0, math.Sqrt(2.0 / 15.0)},
+		{1, 1, 1, 1, -1, 0, 1.0 / math.Sqrt(6)},
+		{2, 2, 0, 0, 0, 0, 1.0 / math.Sqrt(5)},
+		{2, 1, 1, 0, 0, 0, math.Sqrt(2.0 / 15.0)},
+		{2, 2, 2, 0, 0, 0, -math.Sqrt(2.0 / 35.0)},
+	}
+	for _, c := range cases {
+		got := complex3j(c.j1, c.j2, c.j3, c.m1, c.m2, c.m3)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("3j(%d %d %d; %d %d %d) = %.15f, want %.15f",
+				c.j1, c.j2, c.j3, c.m1, c.m2, c.m3, got, c.want)
+		}
+	}
+}
+
+func TestComplex3jSelectionRules(t *testing.T) {
+	if complex3j(1, 1, 1, 1, 1, 1) != 0 {
+		t.Fatal("m-sum rule violated")
+	}
+	if complex3j(1, 1, 3, 0, 0, 0) != 0 {
+		t.Fatal("triangle rule violated")
+	}
+	if complex3j(2, 1, 1, 2, 0, -2) != 0 {
+		t.Fatal("|m|<=j rule violated")
+	}
+}
+
+func TestComplex3jOrthogonality(t *testing.T) {
+	// sum_{m1,m2} (2j3+1) 3j(...m3) 3j(...m3') = delta_{m3,m3'} (j3 = j3').
+	j1, j2, j3 := 2, 1, 2
+	for m3 := -j3; m3 <= j3; m3++ {
+		for m3p := -j3; m3p <= j3; m3p++ {
+			s := 0.0
+			for m1 := -j1; m1 <= j1; m1++ {
+				for m2 := -j2; m2 <= j2; m2++ {
+					s += float64(2*j3+1) * complex3j(j1, j2, j3, m1, m2, m3) * complex3j(j1, j2, j3, m1, m2, m3p)
+				}
+			}
+			want := 0.0
+			if m3 == m3p {
+				want = 1.0
+			}
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("orthogonality (m3=%d,m3'=%d): %g, want %g", m3, m3p, s, want)
+			}
+		}
+	}
+}
+
+func TestRealW3jFrobeniusNorm(t *testing.T) {
+	// The unitary change of basis preserves the Frobenius norm of 1.
+	for _, ls := range [][3]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 1}, {1, 1, 2}, {2, 1, 1}, {2, 2, 2}, {2, 2, 0}, {3, 2, 1}, {3, 3, 2}} {
+		w := Wigner3j(ls[0], ls[1], ls[2])
+		s := 0.0
+		for _, p := range w {
+			for _, q := range p {
+				for _, v := range q {
+					s += v * v
+				}
+			}
+		}
+		if math.Abs(s-1) > 1e-10 {
+			t.Errorf("||w3j(%v)||_F^2 = %g, want 1", ls, s)
+		}
+	}
+}
+
+func TestRealW3jEquivariance(t *testing.T) {
+	// The real 3j tensor must be invariant under simultaneous rotation of
+	// all three indices by the real Wigner-D matrices.
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, ls := range [][3]int{{1, 1, 2}, {2, 1, 1}, {2, 2, 2}, {1, 2, 3}} {
+		l1, l2, l3 := ls[0], ls[1], ls[2]
+		w := Wigner3j(l1, l2, l3)
+		r := RandomRotation(rng)
+		d1 := WignerD(l1, r, rng)
+		d2 := WignerD(l2, r, rng)
+		d3 := WignerD(l3, r, rng)
+		n1, n2, n3 := 2*l1+1, 2*l2+1, 2*l3+1
+		for a := 0; a < n1; a++ {
+			for b := 0; b < n2; b++ {
+				for c := 0; c < n3; c++ {
+					s := 0.0
+					for ap := 0; ap < n1; ap++ {
+						for bp := 0; bp < n2; bp++ {
+							for cp := 0; cp < n3; cp++ {
+								s += d1.At(a, ap) * d2.At(b, bp) * d3.At(c, cp) * w[ap][bp][cp]
+							}
+						}
+					}
+					if math.Abs(s-w[a][b][c]) > 1e-7 {
+						t.Fatalf("w3j(%v) not invariant at (%d,%d,%d): %g vs %g", ls, a, b, c, s, w[a][b][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSphHarmComponentNormalization(t *testing.T) {
+	// Monte Carlo check: E[Y_i Y_j] = delta_ij over the uniform sphere.
+	rng := rand.New(rand.NewPCG(21, 22))
+	const n = 200000
+	dim := SphDim(MaxL)
+	acc := make([]float64, dim*dim)
+	buf := make([]float64, dim)
+	for s := 0; s < n; s++ {
+		v := randomUnit(rng)
+		SphHarm(MaxL, v, buf)
+		for i := 0; i < dim; i++ {
+			for j := i; j < dim; j++ {
+				acc[i*dim+j] += buf[i] * buf[j]
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			got := acc[i*dim+j] / n
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("E[Y_%d Y_%d] = %.4f, want %.0f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSphHarmScaleInvariance(t *testing.T) {
+	buf1 := make([]float64, SphDim(MaxL))
+	buf2 := make([]float64, SphDim(MaxL))
+	v := [3]float64{0.3, -1.2, 0.77}
+	SphHarm(MaxL, v, buf1)
+	SphHarm(MaxL, [3]float64{v[0] * 5, v[1] * 5, v[2] * 5}, buf2)
+	for i := range buf1 {
+		if math.Abs(buf1[i]-buf2[i]) > 1e-14 {
+			t.Fatalf("SphHarm not scale invariant at %d: %g vs %g", i, buf1[i], buf2[i])
+		}
+	}
+}
+
+func TestSphHarmEquivarianceViaD(t *testing.T) {
+	// Y(Rx) == D(R) Y(x) on held-out points, with D fit from independent samples.
+	rng := rand.New(rand.NewPCG(31, 32))
+	r := RandomRotation(rng)
+	for l := 0; l <= MaxL; l++ {
+		d := WignerD(l, r, rng)
+		// D must be orthogonal.
+		dt := tensor.Transpose(d)
+		prod := tensor.MatMul(d, dt, tensor.F64)
+		for i := 0; i < 2*l+1; i++ {
+			for j := 0; j < 2*l+1; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-8 {
+					t.Fatalf("D^%d not orthogonal at (%d,%d): %g", l, i, j, prod.At(i, j))
+				}
+			}
+		}
+		buf := make([]float64, SphDim(l))
+		for trial := 0; trial < 20; trial++ {
+			v := randomUnit(rng)
+			SphHarm(l, v, buf)
+			yl := append([]float64(nil), buf[l*l:(l+1)*(l+1)]...)
+			SphHarm(l, ApplyRotation(r, v), buf)
+			ylr := buf[l*l : (l+1)*(l+1)]
+			got := tensor.MatVec(d, yl, tensor.F64)
+			for m := range got {
+				if math.Abs(got[m]-ylr[m]) > 1e-8 {
+					t.Fatalf("l=%d equivariance failed: D*Y=%v, Y(Rx)=%v", l, got, ylr)
+				}
+			}
+		}
+	}
+}
+
+func TestSphHarmGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	dim := SphDim(MaxL)
+	val := make([]float64, dim)
+	grad := make([][3]float64, dim)
+	vp := make([]float64, dim)
+	vm := make([]float64, dim)
+	for trial := 0; trial < 25; trial++ {
+		r := [3]float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		if math.Abs(r[0])+math.Abs(r[1])+math.Abs(r[2]) < 0.3 {
+			continue
+		}
+		SphHarmGrad(MaxL, r, val, grad)
+		const h = 1e-6
+		for j := 0; j < 3; j++ {
+			rp, rm := r, r
+			rp[j] += h
+			rm[j] -= h
+			SphHarm(MaxL, rp, vp)
+			SphHarm(MaxL, rm, vm)
+			for c := 0; c < dim; c++ {
+				fd := (vp[c] - vm[c]) / (2 * h)
+				if math.Abs(fd-grad[c][j]) > 1e-5*(1+math.Abs(fd)) {
+					t.Fatalf("grad mismatch c=%d j=%d: fd=%g analytic=%g (r=%v)", c, j, fd, grad[c][j], r)
+				}
+			}
+		}
+	}
+}
+
+func TestTensorProductPathEnumeration(t *testing.T) {
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	if tp.NumPaths() == 0 {
+		t.Fatal("no paths enumerated")
+	}
+	// Every path must satisfy triangle + parity rules.
+	for _, p := range tp.Paths {
+		ir1 := tp.In1.Irreps[p.I1]
+		ir2 := tp.In2.Irreps[p.I2]
+		ir3 := tp.Out.Irreps[p.I3]
+		if !TriangleOK(ir1.L, ir2.L, ir3.L) {
+			t.Fatalf("path %v violates triangle", p)
+		}
+		if ir1.P*ir2.P != ir3.P {
+			t.Fatalf("path %v violates parity", p)
+		}
+		if len(p.Entries) == 0 {
+			t.Fatalf("path %v has no entries", p)
+		}
+	}
+	// Scalar-only output should have far fewer paths.
+	tpScalar := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), Irreps{{L: 0, P: Even}})
+	if tpScalar.NumPaths() >= tp.NumPaths() {
+		t.Fatalf("scalar-filtered TP should have fewer paths: %d vs %d", tpScalar.NumPaths(), tp.NumPaths())
+	}
+}
+
+func randFeature(rng *rand.Rand, z, u, w int) *tensor.Tensor {
+	x := tensor.New(z, u, w)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestFusedMatchesSeparated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	z, u := 3, 2
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	a := tp.ApplyFused(x, y, weights, tensor.F64)
+	b := tp.ApplySeparated(x, y, weights, tensor.F64)
+	if !a.SameShape(b) {
+		t.Fatalf("shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-10 {
+			t.Fatalf("fused/separated mismatch at %d: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestFuseFoldsWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	tp := NewTensorProduct(FullIrreps(1), SphericalIrreps(1), FullIrreps(1))
+	z, u := 4, 3
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	want := tp.ApplyFused(x, y, weights, tensor.F64)
+	tp.Fuse(weights)
+	got := tp.ApplyFused(x, y, nil, tensor.F64)
+	tp.Unfuse()
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatalf("Fuse changed results at %d: %g vs %g", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestTensorProductEquivariance(t *testing.T) {
+	// Rotating both inputs must rotate the output: TP(D x, D y) = D TP(x, y).
+	rng := rand.New(rand.NewPCG(71, 72))
+	in1 := FullIrreps(2)
+	in2 := SphericalIrreps(2)
+	out := FullIrreps(2)
+	tp := NewTensorProduct(in1, in2, out)
+	z, u := 2, 2
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	r := RandomRotation(rng)
+	// Block-diagonal D per layout.
+	rotate := func(layout *Layout, f *tensor.Tensor) *tensor.Tensor {
+		g := tensor.New(f.Shape...)
+		for ii, ir := range layout.Irreps {
+			d := WignerD(ir.L, r, rng)
+			off := layout.Offset(ii)
+			dim := ir.Dim()
+			for zi := 0; zi < z; zi++ {
+				for ui := 0; ui < u; ui++ {
+					base := (zi*u + ui) * layout.Width
+					seg := f.Data[base+off : base+off+dim]
+					res := tensor.MatVec(d, seg, tensor.F64)
+					copy(g.Data[base+off:base+off+dim], res)
+				}
+			}
+		}
+		return g
+	}
+	outDirect := rotate(tp.Out, tp.ApplyFused(x, y, weights, tensor.F64))
+	outRotated := tp.ApplyFused(rotate(tp.In1, x), rotate(tp.In2, y), weights, tensor.F64)
+	for i := range outDirect.Data {
+		if math.Abs(outDirect.Data[i]-outRotated.Data[i]) > 1e-6 {
+			t.Fatalf("TP not equivariant at %d: %g vs %g", i, outDirect.Data[i], outRotated.Data[i])
+		}
+	}
+}
+
+func TestTensorProductBackwardFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	tp := NewTensorProduct(FullIrreps(1), SphericalIrreps(1), FullIrreps(1))
+	z, u := 2, 2
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	// Loss = sum of out elements weighted by fixed random g.
+	gOut := randFeature(rng, z, u, tp.Out.Width)
+	loss := func(xx, yy *tensor.Tensor, ww []float64) float64 {
+		out := tp.ApplyFused(xx, yy, ww, tensor.F64)
+		return out.Dot(gOut)
+	}
+	gX := tensor.New(x.Shape...)
+	gY := tensor.New(y.Shape...)
+	gW := tp.Backward(x, y, gOut, weights, gX, gY)
+	const h = 1e-6
+	// Check a sample of x gradients.
+	for _, i := range []int{0, 3, 7, len(x.Data) - 1} {
+		xp := x.Clone()
+		xm := x.Clone()
+		xp.Data[i] += h
+		xm.Data[i] -= h
+		fd := (loss(xp, y, weights) - loss(xm, y, weights)) / (2 * h)
+		if math.Abs(fd-gX.Data[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("gX[%d]: fd=%g analytic=%g", i, fd, gX.Data[i])
+		}
+	}
+	for _, i := range []int{0, 2, len(y.Data) - 1} {
+		yp := y.Clone()
+		ym := y.Clone()
+		yp.Data[i] += h
+		ym.Data[i] -= h
+		fd := (loss(x, yp, weights) - loss(x, ym, weights)) / (2 * h)
+		if math.Abs(fd-gY.Data[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("gY[%d]: fd=%g analytic=%g", i, fd, gY.Data[i])
+		}
+	}
+	for pi := range weights {
+		wp := append([]float64(nil), weights...)
+		wm := append([]float64(nil), weights...)
+		wp[pi] += h
+		wm[pi] -= h
+		fd := (loss(x, y, wp) - loss(x, y, wm)) / (2 * h)
+		if math.Abs(fd-gW[pi]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("gW[%d]: fd=%g analytic=%g", pi, fd, gW[pi])
+		}
+	}
+}
+
+func TestTF32ContractionClosely(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	z, u := 4, 4
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	f64 := tp.ApplyFused(x, y, nil, tensor.F64)
+	tf32 := tp.ApplyFused(x, y, nil, tensor.TF32)
+	// Near-cancelled elements have unbounded per-element relative error under
+	// any rounding, so measure the worst absolute error against the output
+	// RMS scale instead.
+	rms := f64.Norm() / math.Sqrt(float64(f64.Len()))
+	var maxAbs float64
+	for i := range f64.Data {
+		if d := math.Abs(tf32.Data[i] - f64.Data[i]); d > maxAbs {
+			maxAbs = d
+		}
+	}
+	if maxAbs == 0 {
+		t.Fatal("TF32 contraction should differ from F64")
+	}
+	if maxAbs/rms > 0.02 {
+		t.Fatalf("TF32 contraction error too large: %g (rms %g)", maxAbs, rms)
+	}
+}
+
+func TestSphHarmPerLNormProperty(t *testing.T) {
+	// Component normalization implies ||Y_l(x)||^2 = 2l+1 for EVERY unit
+	// vector x, not just on average — a strong pointwise invariant.
+	f := func(a, b, c float64) bool {
+		n := math.Sqrt(a*a + b*b + c*c)
+		if !(n > 1e-3) || math.IsInf(n, 0) || math.IsNaN(n) {
+			return true
+		}
+		buf := make([]float64, SphDim(MaxL))
+		SphHarm(MaxL, [3]float64{a, b, c}, buf)
+		for l := 0; l <= MaxL; l++ {
+			s := 0.0
+			for m := l * l; m < (l+1)*(l+1); m++ {
+				s += buf[m] * buf[m]
+			}
+			if math.Abs(s-float64(2*l+1)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWignerSelectionProperty(t *testing.T) {
+	// Any (l1,l2,l3) violating the triangle rule yields the zero tensor.
+	for l1 := 0; l1 <= 3; l1++ {
+		for l2 := 0; l2 <= 3; l2++ {
+			for l3 := 0; l3 <= 3; l3++ {
+				w := Wigner3j(l1, l2, l3)
+				nonzero := false
+				for _, p := range w {
+					for _, q := range p {
+						for _, v := range q {
+							if v != 0 {
+								nonzero = true
+							}
+						}
+					}
+				}
+				if TriangleOK(l1, l2, l3) != nonzero {
+					t.Fatalf("w3j(%d,%d,%d): triangle=%v nonzero=%v", l1, l2, l3, TriangleOK(l1, l2, l3), nonzero)
+				}
+			}
+		}
+	}
+}
+
+func TestTensorProductLinearityProperty(t *testing.T) {
+	// TP is bilinear: TP(a*x, y) = a*TP(x, y).
+	rng := rand.New(rand.NewPCG(101, 102))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	x := randFeature(rng, 2, 2, tp.In1.Width)
+	y := randFeature(rng, 2, 2, tp.In2.Width)
+	const a = -2.75
+	out1 := tp.ApplyFused(x, y, nil, tensor.F64)
+	xs := x.Clone()
+	xs.Scale(a, tensor.F64)
+	out2 := tp.ApplyFused(xs, y, nil, tensor.F64)
+	for i := range out1.Data {
+		if math.Abs(a*out1.Data[i]-out2.Data[i]) > 1e-9 {
+			t.Fatalf("bilinearity violated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package o3
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/tensor"
+)
+
+// RandomRotation returns a uniformly distributed proper rotation matrix
+// (via a uniform unit quaternion).
+func RandomRotation(rng *rand.Rand) [3][3]float64 {
+	// Shoemake's method.
+	u1, u2, u3 := rng.Float64(), rng.Float64(), rng.Float64()
+	q0 := math.Sqrt(1-u1) * math.Sin(2*math.Pi*u2)
+	q1 := math.Sqrt(1-u1) * math.Cos(2*math.Pi*u2)
+	q2 := math.Sqrt(u1) * math.Sin(2*math.Pi*u3)
+	q3 := math.Sqrt(u1) * math.Cos(2*math.Pi*u3)
+	return quatToMatrix(q0, q1, q2, q3)
+}
+
+func quatToMatrix(w, x, y, z float64) [3][3]float64 {
+	return [3][3]float64{
+		{1 - 2*(y*y+z*z), 2 * (x*y - z*w), 2 * (x*z + y*w)},
+		{2 * (x*y + z*w), 1 - 2*(x*x+z*z), 2 * (y*z - x*w)},
+		{2 * (x*z - y*w), 2 * (y*z + x*w), 1 - 2*(x*x+y*y)},
+	}
+}
+
+// ApplyRotation returns R*v.
+func ApplyRotation(r [3][3]float64, v [3]float64) [3]float64 {
+	return [3]float64{
+		r[0][0]*v[0] + r[0][1]*v[1] + r[0][2]*v[2],
+		r[1][0]*v[0] + r[1][1]*v[1] + r[1][2]*v[2],
+		r[2][0]*v[0] + r[2][1]*v[1] + r[2][2]*v[2],
+	}
+}
+
+// WignerD constructs the real Wigner-D matrix D^l(R) satisfying
+// Y_l(R x) = D^l(R) Y_l(x) numerically, by least-squares projection over a
+// set of sample directions. This is used by the equivariance test suite; the
+// network itself never needs explicit D matrices.
+func WignerD(l int, r [3][3]float64, rng *rand.Rand) *tensor.Tensor {
+	dim := 2*l + 1
+	nSamples := 8 * dim
+	a := tensor.New(nSamples, dim)
+	b := tensor.New(nSamples, dim)
+	buf := make([]float64, SphDim(l))
+	for s := 0; s < nSamples; s++ {
+		v := randomUnit(rng)
+		SphHarm(l, v, buf)
+		copy(a.Row(s), buf[l*l:(l+1)*(l+1)])
+		SphHarm(l, ApplyRotation(r, v), buf)
+		copy(b.Row(s), buf[l*l:(l+1)*(l+1)])
+	}
+	// Solve A D^T = B for D.
+	dt, err := tensor.LeastSquares(a, b, 0)
+	if err != nil {
+		panic("o3: WignerD least squares failed: " + err.Error())
+	}
+	return tensor.Transpose(dt)
+}
+
+func randomUnit(rng *rand.Rand) [3]float64 {
+	for {
+		v := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		if n > 1e-6 {
+			return [3]float64{v[0] / n, v[1] / n, v[2] / n}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package o3
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxL is the largest rotation order with hardcoded spherical harmonics.
+// The production Allegro model of the paper uses lmax = 2; lmax = 3 is
+// provided for ablations.
+const MaxL = 3
+
+// SphDim returns the number of spherical-harmonic components up to lmax,
+// (lmax+1)^2, with component index c = l^2 + (m+l).
+func SphDim(lmax int) int { return (lmax + 1) * (lmax + 1) }
+
+// Component-normalized real spherical-harmonic prefactors
+// (E[Y_lm^2] = 1 over the uniform sphere, i.e. sqrt(4*pi) times the
+// orthonormal convention), matching e3nn's "component" normalization that
+// keeps network activations O(1).
+var (
+	c00 = 1.0
+	c1  = math.Sqrt(3)
+	c2a = math.Sqrt(15)     // xy, yz, xz
+	c2b = math.Sqrt(5) / 2  // 3z^2-1
+	c2c = math.Sqrt(15) / 2 // x^2-y^2
+	c3a = math.Sqrt(70) / 4 // y(3x^2-y^2), x(x^2-3y^2)
+	c3b = math.Sqrt(105)    // xyz
+	c3c = math.Sqrt(42) / 4 // y(5z^2-1), x(5z^2-1)
+	c3d = math.Sqrt(7) / 2  // z(5z^2-3)
+	c3e = math.Sqrt(105) / 2
+)
+
+// SphHarm evaluates the real spherical harmonics of the direction of r for
+// l = 0..lmax into out (length SphDim(lmax)). r must be nonzero.
+func SphHarm(lmax int, r [3]float64, out []float64) {
+	if lmax > MaxL {
+		panic(fmt.Sprintf("o3: SphHarm lmax %d exceeds MaxL %d", lmax, MaxL))
+	}
+	n := math.Sqrt(r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
+	if n == 0 {
+		panic("o3: SphHarm of zero vector")
+	}
+	x, y, z := r[0]/n, r[1]/n, r[2]/n
+	sphPoly(lmax, x, y, z, out)
+}
+
+// sphPoly evaluates the harmonics as polynomials of a unit vector.
+func sphPoly(lmax int, x, y, z float64, out []float64) {
+	out[0] = c00
+	if lmax == 0 {
+		return
+	}
+	out[1] = c1 * y
+	out[2] = c1 * z
+	out[3] = c1 * x
+	if lmax == 1 {
+		return
+	}
+	out[4] = c2a * x * y
+	out[5] = c2a * y * z
+	out[6] = c2b * (3*z*z - 1)
+	out[7] = c2a * x * z
+	out[8] = c2c * (x*x - y*y)
+	if lmax == 2 {
+		return
+	}
+	out[9] = c3a * y * (3*x*x - y*y)
+	out[10] = c3b * x * y * z
+	out[11] = c3c * y * (5*z*z - 1)
+	out[12] = c3d * z * (5*z*z - 3)
+	out[13] = c3c * x * (5*z*z - 1)
+	out[14] = c3e * z * (x*x - y*y)
+	out[15] = c3a * x * (x*x - 3*y*y)
+}
+
+// SphHarmGrad evaluates the harmonics and their gradients with respect to
+// the (unnormalized) input vector r. out has length SphDim(lmax); grad has
+// the same length with one 3-vector per component. The gradient chains the
+// polynomial derivative on the unit sphere through the normalization map
+// n = r/|r| via dn/dr = (I - n n^T)/|r|.
+func SphHarmGrad(lmax int, r [3]float64, out []float64, grad [][3]float64) {
+	if lmax > MaxL {
+		panic(fmt.Sprintf("o3: SphHarmGrad lmax %d exceeds MaxL %d", lmax, MaxL))
+	}
+	nrm := math.Sqrt(r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
+	if nrm == 0 {
+		panic("o3: SphHarmGrad of zero vector")
+	}
+	x, y, z := r[0]/nrm, r[1]/nrm, r[2]/nrm
+	sphPoly(lmax, x, y, z, out)
+
+	nc := SphDim(lmax)
+	// Polynomial gradients with respect to the unit vector components.
+	var gp [16][3]float64
+	gp[0] = [3]float64{0, 0, 0}
+	if lmax >= 1 {
+		gp[1] = [3]float64{0, c1, 0}
+		gp[2] = [3]float64{0, 0, c1}
+		gp[3] = [3]float64{c1, 0, 0}
+	}
+	if lmax >= 2 {
+		gp[4] = [3]float64{c2a * y, c2a * x, 0}
+		gp[5] = [3]float64{0, c2a * z, c2a * y}
+		gp[6] = [3]float64{0, 0, 6 * c2b * z}
+		gp[7] = [3]float64{c2a * z, 0, c2a * x}
+		gp[8] = [3]float64{2 * c2c * x, -2 * c2c * y, 0}
+	}
+	if lmax >= 3 {
+		gp[9] = [3]float64{6 * c3a * x * y, c3a * (3*x*x - 3*y*y), 0}
+		gp[10] = [3]float64{c3b * y * z, c3b * x * z, c3b * x * y}
+		gp[11] = [3]float64{0, c3c * (5*z*z - 1), 10 * c3c * y * z}
+		gp[12] = [3]float64{0, 0, c3d * (15*z*z - 3)}
+		gp[13] = [3]float64{c3c * (5*z*z - 1), 0, 10 * c3c * x * z}
+		gp[14] = [3]float64{2 * c3e * x * z, -2 * c3e * y * z, c3e * (x*x - y*y)}
+		gp[15] = [3]float64{c3a * (3*x*x - 3*y*y), -6 * c3a * x * y, 0}
+	}
+	// Chain rule through normalization: dY/dr_j = sum_i gp_i (delta_ij - n_i n_j)/|r|.
+	n := [3]float64{x, y, z}
+	for c := 0; c < nc; c++ {
+		dot := gp[c][0]*n[0] + gp[c][1]*n[1] + gp[c][2]*n[2]
+		for j := 0; j < 3; j++ {
+			grad[c][j] = (gp[c][j] - dot*n[j]) / nrm
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package o3
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// TPEntry is one nonzero Wigner-3j coefficient of a tensor-product path,
+// with component offsets already resolved into the strided layouts, so the
+// fused contraction is a flat loop (the "single three-tensor contraction"
+// of the paper, Fig. 3 bottom-right).
+type TPEntry struct {
+	A, B, C int     // absolute component indices in In1 / In2 / Out layouts
+	W       float64 // normalized coupling coefficient
+}
+
+// TPPath is a symmetrically allowed combination (l1,p1) x (l2,p2) -> (l3,p3).
+type TPPath struct {
+	I1, I2, I3 int // irrep indices within In1 / In2 / Out layouts
+	Entries    []TPEntry
+}
+
+// String renders the path, e.g. "1o x 1o -> 2e".
+func (p *TPPath) String() string { return fmt.Sprintf("path(%d x %d -> %d)", p.I1, p.I2, p.I3) }
+
+// TensorProduct is the strided, fused equivariant tensor product between
+// feature tensors of layout In1 and (typically spherical-harmonic
+// environment) tensors of layout In2, producing layout Out. It enumerates
+// every symmetrically valid path |l1-l2| <= l3 <= l1+l2 with p3 = p1*p2
+// whose output irrep appears in Out.
+type TensorProduct struct {
+	In1, In2, Out *Layout
+	Paths         []TPPath
+	// fused holds the path-weight-folded entry table built by Fuse; nil
+	// until Fuse is called (the inference optimization of Sec. V-B2).
+	fused []TPEntry
+}
+
+// NewTensorProduct builds the path table for in1 (x) in2 -> out.
+// Coefficients are normalized so that with unit-variance inputs each output
+// component has approximately unit variance: each path's w3j (Frobenius norm
+// 1) is scaled by sqrt(2*l3+1), and every output irrep's paths are divided
+// by sqrt(number of contributing paths).
+func NewTensorProduct(in1, in2, out Irreps) *TensorProduct {
+	tp := &TensorProduct{In1: NewLayout(in1), In2: NewLayout(in2), Out: NewLayout(out)}
+	pathsInto := make([]int, len(out))
+	type protoPath struct{ i1, i2, i3 int }
+	var protos []protoPath
+	for i1, ir1 := range in1 {
+		for i2, ir2 := range in2 {
+			for i3, ir3 := range out {
+				if !TriangleOK(ir1.L, ir2.L, ir3.L) {
+					continue
+				}
+				if ir1.P*ir2.P != ir3.P {
+					continue
+				}
+				protos = append(protos, protoPath{i1, i2, i3})
+				pathsInto[i3]++
+			}
+		}
+	}
+	for _, pp := range protos {
+		ir1, ir2, ir3 := in1[pp.i1], in2[pp.i2], out[pp.i3]
+		w := Wigner3j(ir1.L, ir2.L, ir3.L)
+		scale := math.Sqrt(float64(2*ir3.L+1)) / math.Sqrt(float64(pathsInto[pp.i3]))
+		o1 := tp.In1.Offset(pp.i1)
+		o2 := tp.In2.Offset(pp.i2)
+		o3 := tp.Out.Offset(pp.i3)
+		var entries []TPEntry
+		for a := 0; a < ir1.Dim(); a++ {
+			for b := 0; b < ir2.Dim(); b++ {
+				for c := 0; c < ir3.Dim(); c++ {
+					if v := w[a][b][c]; v != 0 {
+						entries = append(entries, TPEntry{A: o1 + a, B: o2 + b, C: o3 + c, W: v * scale})
+					}
+				}
+			}
+		}
+		tp.Paths = append(tp.Paths, TPPath{I1: pp.i1, I2: pp.i2, I3: pp.i3, Entries: entries})
+	}
+	return tp
+}
+
+// NumPaths returns the number of symmetrically allowed paths.
+func (tp *TensorProduct) NumPaths() int { return len(tp.Paths) }
+
+// Fuse folds per-path scalar weights into a single flat entry table
+// (precompute einsum("p,pcab->cab") in the paper's notation). After Fuse,
+// ApplyFused ignores its weights argument and the per-path overhead is gone.
+func (tp *TensorProduct) Fuse(weights []float64) {
+	if len(weights) != len(tp.Paths) {
+		panic(fmt.Sprintf("o3: Fuse got %d weights for %d paths", len(weights), len(tp.Paths)))
+	}
+	total := 0
+	for _, p := range tp.Paths {
+		total += len(p.Entries)
+	}
+	fused := make([]TPEntry, 0, total)
+	for pi, p := range tp.Paths {
+		w := weights[pi]
+		if w == 0 {
+			continue
+		}
+		for _, e := range p.Entries {
+			fused = append(fused, TPEntry{A: e.A, B: e.B, C: e.C, W: e.W * w})
+		}
+	}
+	tp.fused = fused
+}
+
+// Unfuse discards the fused table (returning to per-path weighted mode).
+func (tp *TensorProduct) Unfuse() { tp.fused = nil }
+
+// ApplyFused computes out[z,u,c] = sum_p w_p sum_{ab} w3j^p_{cab} x[z,u,a] y[z,u,b]
+// as one flat contraction over the strided layouts. x is [Z,U,In1.Width],
+// y is [Z,U,In2.Width]; the result is [Z,U,Out.Width]. If Fuse has been
+// called, the folded table is used and weights may be nil. The compute
+// precision p emulates the hardware pipeline used for the contraction.
+func (tp *TensorProduct) ApplyFused(x, y *tensor.Tensor, weights []float64, p tensor.Precision) *tensor.Tensor {
+	z, u := tp.checkShapes(x, y)
+	out := tensor.New(z, u, tp.Out.Width)
+	entries := tp.fused
+	if entries == nil {
+		entries = tp.flattenWeighted(weights)
+	}
+	tp.contract(out, x, y, entries, p)
+	return out
+}
+
+// flattenWeighted builds a transient entry table with the given per-path
+// weights applied (the training-time four-tensor contraction).
+func (tp *TensorProduct) flattenWeighted(weights []float64) []TPEntry {
+	if weights == nil {
+		weights = make([]float64, len(tp.Paths))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(tp.Paths) {
+		panic(fmt.Sprintf("o3: got %d weights for %d paths", len(weights), len(tp.Paths)))
+	}
+	var entries []TPEntry
+	for pi, path := range tp.Paths {
+		w := weights[pi]
+		if w == 0 {
+			continue
+		}
+		for _, e := range path.Entries {
+			entries = append(entries, TPEntry{A: e.A, B: e.B, C: e.C, W: e.W * w})
+		}
+	}
+	return entries
+}
+
+func (tp *TensorProduct) checkShapes(x, y *tensor.Tensor) (z, u int) {
+	if x.NDim() != 3 || y.NDim() != 3 {
+		panic("o3: tensor product operands must be [pairs][channels][components]")
+	}
+	if x.Dim(2) != tp.In1.Width || y.Dim(2) != tp.In2.Width {
+		panic(fmt.Sprintf("o3: component widths %d/%d do not match layouts %d/%d",
+			x.Dim(2), y.Dim(2), tp.In1.Width, tp.In2.Width))
+	}
+	if x.Dim(0) != y.Dim(0) || x.Dim(1) != y.Dim(1) {
+		panic("o3: tensor product operands must agree in pairs and channels")
+	}
+	return x.Dim(0), x.Dim(1)
+}
+
+// contract is the flat fused kernel shared by fused/weighted application.
+func (tp *TensorProduct) contract(out, x, y *tensor.Tensor, entries []TPEntry, p tensor.Precision) {
+	z, u := out.Dim(0), out.Dim(1)
+	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	switch p {
+	case tensor.F64:
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				xb := x.Data[(zi*u+ui)*w1 : (zi*u+ui+1)*w1]
+				yb := y.Data[(zi*u+ui)*w2 : (zi*u+ui+1)*w2]
+				ob := out.Data[(zi*u+ui)*w3 : (zi*u+ui+1)*w3]
+				for _, e := range entries {
+					ob[e.C] += e.W * xb[e.A] * yb[e.B]
+				}
+			}
+		}
+	default:
+		rnd := func(v float64) float32 { return float32(v) }
+		if p == tensor.TF32 {
+			rnd = func(v float64) float32 { return float32(tensor.RoundTF32(v)) }
+		}
+		acc := make([]float32, w3)
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				xb := x.Data[(zi*u+ui)*w1 : (zi*u+ui+1)*w1]
+				yb := y.Data[(zi*u+ui)*w2 : (zi*u+ui+1)*w2]
+				for c := range acc {
+					acc[c] = 0
+				}
+				for _, e := range entries {
+					acc[e.C] += float32(e.W) * rnd(xb[e.A]) * rnd(yb[e.B])
+				}
+				ob := out.Data[(zi*u+ui)*w3 : (zi*u+ui+1)*w3]
+				for c, v := range acc {
+					ob[c] = float64(v)
+				}
+			}
+		}
+	}
+}
+
+// ApplySeparated is the reference implementation that processes each path
+// separately with per-(l,p) block extraction — the memory layout previous
+// equivariant codes used (Fig. 3 top-left) — kept for the Fig. 3
+// benchmark and as a differential-testing oracle for the fused kernel.
+func (tp *TensorProduct) ApplySeparated(x, y *tensor.Tensor, weights []float64, p tensor.Precision) *tensor.Tensor {
+	z, u := tp.checkShapes(x, y)
+	if weights == nil {
+		weights = make([]float64, len(tp.Paths))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	out := tensor.New(z, u, tp.Out.Width)
+	for pi, path := range tp.Paths {
+		w := weights[pi]
+		ir1 := tp.In1.Irreps[path.I1]
+		ir2 := tp.In2.Irreps[path.I2]
+		ir3 := tp.Out.Irreps[path.I3]
+		o1 := tp.In1.Offset(path.I1)
+		o2 := tp.In2.Offset(path.I2)
+		o3 := tp.Out.Offset(path.I3)
+		d1, d2, d3 := ir1.Dim(), ir2.Dim(), ir3.Dim()
+		// Per-path extraction into separate contiguous arrays (the overhead
+		// the strided layout eliminates).
+		xb := tensor.New(z, u, d1)
+		yb := tensor.New(z, u, d2)
+		ob := tensor.New(z, u, d3)
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				src := x.Data[(zi*u+ui)*tp.In1.Width+o1:]
+				copy(xb.Data[(zi*u+ui)*d1:(zi*u+ui+1)*d1], src[:d1])
+				src = y.Data[(zi*u+ui)*tp.In2.Width+o2:]
+				copy(yb.Data[(zi*u+ui)*d2:(zi*u+ui+1)*d2], src[:d2])
+			}
+		}
+		w3j := Wigner3j(ir1.L, ir2.L, ir3.L)
+		scale := math.Sqrt(float64(2*ir3.L+1)) / pathNormInto(tp, path.I3)
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				xi := xb.Data[(zi*u+ui)*d1 : (zi*u+ui+1)*d1]
+				yi := yb.Data[(zi*u+ui)*d2 : (zi*u+ui+1)*d2]
+				oi := ob.Data[(zi*u+ui)*d3 : (zi*u+ui+1)*d3]
+				for a := 0; a < d1; a++ {
+					va := xi[a]
+					if va == 0 {
+						continue
+					}
+					for b := 0; b < d2; b++ {
+						vb := yi[b]
+						if vb == 0 {
+							continue
+						}
+						for c := 0; c < d3; c++ {
+							if cw := w3j[a][b][c]; cw != 0 {
+								oi[c] += p.Round(w * scale * cw * va * vb)
+							}
+						}
+					}
+				}
+			}
+		}
+		// Scatter the path output back into the concatenated layout.
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				dst := out.Data[(zi*u+ui)*tp.Out.Width+o3:]
+				src := ob.Data[(zi*u+ui)*d3 : (zi*u+ui+1)*d3]
+				for c, v := range src {
+					dst[c] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func pathNormInto(tp *TensorProduct, i3 int) float64 {
+	n := 0
+	for _, p := range tp.Paths {
+		if p.I3 == i3 {
+			n++
+		}
+	}
+	return math.Sqrt(float64(n))
+}
+
+// Backward accumulates input gradients for the fused contraction given the
+// upstream gradient gOut, and returns the per-path weight gradients.
+// Gradients are computed in full double precision (training-time backward
+// passes in the paper run under the F32 weights / TF32 compute scheme, but
+// gradient *correctness* tests require the exact adjoint, and the precision
+// ablation quantizes activations rather than adjoints).
+func (tp *TensorProduct) Backward(x, y, gOut *tensor.Tensor, weights []float64, gX, gY *tensor.Tensor) []float64 {
+	z, u := tp.checkShapes(x, y)
+	if weights == nil {
+		weights = make([]float64, len(tp.Paths))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	gW := make([]float64, len(tp.Paths))
+	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	for pi, path := range tp.Paths {
+		w := weights[pi]
+		var gwAcc float64
+		for zi := 0; zi < z; zi++ {
+			for ui := 0; ui < u; ui++ {
+				base := zi*u + ui
+				xb := x.Data[base*w1 : (base+1)*w1]
+				yb := y.Data[base*w2 : (base+1)*w2]
+				gob := gOut.Data[base*w3 : (base+1)*w3]
+				gxb := gX.Data[base*w1 : (base+1)*w1]
+				gyb := gY.Data[base*w2 : (base+1)*w2]
+				for _, e := range path.Entries {
+					g := gob[e.C]
+					if g == 0 {
+						continue
+					}
+					gxb[e.A] += w * e.W * yb[e.B] * g
+					gyb[e.B] += w * e.W * xb[e.A] * g
+					gwAcc += e.W * xb[e.A] * yb[e.B] * g
+				}
+			}
+		}
+		gW[pi] = gwAcc
+	}
+	return gW
+}

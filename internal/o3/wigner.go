@@ -1,0 +1,250 @@
+package o3
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+)
+
+// Wigner3j returns the Wigner 3j coupling tensor in the *real* spherical
+// harmonic basis as a dense [2l1+1][2l2+1][2l3+1] array indexed by
+// (m1+l1, m2+l2, m3+l3). The tensor is the invariant 3-tensor of
+// SO(3) acting on the real irreps: contracting two features with it yields
+// an equivariant product. Its Frobenius norm is 1, inherited from the
+// complex 3j orthogonality.
+//
+// The computation is exact up to final float64 rounding: complex-basis 3j
+// symbols are evaluated with the Racah formula over big rationals and then
+// conjugated into the real basis by the standard unitary change of basis;
+// the result is purely real or purely imaginary and the correct global phase
+// is selected automatically.
+func Wigner3j(l1, l2, l3 int) [][][]float64 {
+	key := [3]int{l1, l2, l3}
+	w3jMu.Lock()
+	defer w3jMu.Unlock()
+	if t, ok := w3jCache[key]; ok {
+		return t
+	}
+	t := computeRealW3j(l1, l2, l3)
+	w3jCache[key] = t
+	return t
+}
+
+var (
+	w3jMu    sync.Mutex
+	w3jCache = map[[3]int][][][]float64{}
+)
+
+// TriangleOK reports whether (l1,l2,l3) satisfies the triangle inequality
+// |l1-l2| <= l3 <= l1+l2 required for a nonzero coupling.
+func TriangleOK(l1, l2, l3 int) bool {
+	return l3 >= absInt(l1-l2) && l3 <= l1+l2
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func computeRealW3j(l1, l2, l3 int) [][][]float64 {
+	d1, d2, d3 := 2*l1+1, 2*l2+1, 2*l3+1
+	out := make([][][]float64, d1)
+	for i := range out {
+		out[i] = make([][]float64, d2)
+		for j := range out[i] {
+			out[i][j] = make([]float64, d3)
+		}
+	}
+	if !TriangleOK(l1, l2, l3) {
+		return out
+	}
+	// Complex-basis 3j tensor.
+	cw := func(m1, m2, m3 int) float64 { return complex3j(l1, l2, l3, m1, m2, m3) }
+	// Real tensor: T[m1,m2,m3] = sum_mu U1[m1,mu1] U2[m2,mu2] U3[m3,mu3] cw(mu)
+	// with U the real<-complex change of basis. The result is exactly real
+	// or exactly imaginary; pick whichever carries the weight.
+	tmp := make([][][]complex128, d1)
+	for i := range tmp {
+		tmp[i] = make([][]complex128, d2)
+		for j := range tmp[i] {
+			tmp[i][j] = make([]complex128, d3)
+		}
+	}
+	u1 := realFromComplexU(l1)
+	u2 := realFromComplexU(l2)
+	u3 := realFromComplexU(l3)
+	for m1 := -l1; m1 <= l1; m1++ {
+		for m2 := -l2; m2 <= l2; m2++ {
+			for m3 := -l3; m3 <= l3; m3++ {
+				var s complex128
+				// The complex 3j vanishes unless mu1+mu2+mu3 = 0, and each U
+				// row has at most two nonzero entries: exploit both.
+				for _, e1 := range u1[m1+l1] {
+					for _, e2 := range u2[m2+l2] {
+						mu3 := -e1.mu - e2.mu
+						if mu3 < -l3 || mu3 > l3 {
+							continue
+						}
+						for _, e3 := range u3[m3+l3] {
+							if e3.mu != mu3 {
+								continue
+							}
+							s += e1.c * e2.c * e3.c * complex(cw(e1.mu, e2.mu, mu3), 0)
+						}
+					}
+				}
+				tmp[m1+l1][m2+l2][m3+l3] = s
+			}
+		}
+	}
+	// Select the real or imaginary part.
+	maxRe, maxIm := 0.0, 0.0
+	for i := range tmp {
+		for j := range tmp[i] {
+			for k := range tmp[i][j] {
+				if a := math.Abs(real(tmp[i][j][k])); a > maxRe {
+					maxRe = a
+				}
+				if a := math.Abs(imag(tmp[i][j][k])); a > maxIm {
+					maxIm = a
+				}
+			}
+		}
+	}
+	useIm := maxIm > maxRe
+	if maxRe > 1e-10 && maxIm > 1e-10 {
+		panic(fmt.Sprintf("o3: real 3j (%d,%d,%d) is neither purely real nor purely imaginary (re=%g im=%g)", l1, l2, l3, maxRe, maxIm))
+	}
+	for i := range tmp {
+		for j := range tmp[i] {
+			for k := range tmp[i][j] {
+				if useIm {
+					out[i][j][k] = imag(tmp[i][j][k])
+				} else {
+					out[i][j][k] = real(tmp[i][j][k])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// uEntry is a nonzero entry of the real<-complex basis change row.
+type uEntry struct {
+	mu int        // complex-basis m
+	c  complex128 // coefficient
+}
+
+// realFromComplexU returns, for each real-basis row m (indexed m+l), the
+// nonzero entries of the unitary U with Y^real_m = sum_mu U[m,mu] Y^complex_mu:
+//
+//	m > 0: (Y_l^{-m} + (-1)^m Y_l^{m}) / sqrt(2)
+//	m = 0: Y_l^0
+//	m < 0: i (Y_l^{-|m|} - (-1)^{|m|} Y_l^{|m|}) / sqrt(2)
+func realFromComplexU(l int) [][]uEntry {
+	rows := make([][]uEntry, 2*l+1)
+	inv := 1 / math.Sqrt(2)
+	for m := -l; m <= l; m++ {
+		switch {
+		case m == 0:
+			rows[l] = []uEntry{{mu: 0, c: 1}}
+		case m > 0:
+			sign := 1.0
+			if m%2 == 1 {
+				sign = -1
+			}
+			rows[m+l] = []uEntry{
+				{mu: -m, c: complex(inv, 0)},
+				{mu: m, c: complex(sign*inv, 0)},
+			}
+		default: // m < 0
+			am := -m
+			sign := 1.0
+			if am%2 == 1 {
+				sign = -1
+			}
+			rows[m+l] = []uEntry{
+				{mu: -am, c: complex(0, inv)},
+				{mu: am, c: complex(0, -sign*inv)},
+			}
+		}
+	}
+	return rows
+}
+
+// complex3j evaluates the standard (complex-basis) Wigner 3j symbol with
+// integer angular momenta via the Racah formula using exact big-rational
+// arithmetic, converted to float64 at the end.
+func complex3j(j1, j2, j3, m1, m2, m3 int) float64 {
+	if m1+m2+m3 != 0 || !TriangleOK(j1, j2, j3) {
+		return 0
+	}
+	if absInt(m1) > j1 || absInt(m2) > j2 || absInt(m3) > j3 {
+		return 0
+	}
+	// Triangle coefficient and magnitude product (both exact rationals).
+	delta := new(big.Rat).SetFrac(
+		mulInts(fact(j1+j2-j3), fact(j1-j2+j3), fact(-j1+j2+j3)),
+		fact(j1+j2+j3+1),
+	)
+	prod := mulInts(fact(j1+m1), fact(j1-m1), fact(j2+m2), fact(j2-m2), fact(j3+m3), fact(j3-m3))
+	// Racah sum over t.
+	tMin := maxInt(0, maxInt(j2-j3-m1, j1-j3+m2))
+	tMax := minInt(j1+j2-j3, minInt(j1-m1, j2+m2))
+	sum := new(big.Rat)
+	for t := tMin; t <= tMax; t++ {
+		den := mulInts(
+			fact(t), fact(j3-j2+t+m1), fact(j3-j1+t-m2),
+			fact(j1+j2-j3-t), fact(j1-t-m1), fact(j2-t+m2),
+		)
+		term := new(big.Rat).SetFrac(big.NewInt(1), den)
+		if t%2 == 1 {
+			term.Neg(term)
+		}
+		sum.Add(sum, term)
+	}
+	if sum.Sign() == 0 {
+		return 0
+	}
+	sf, _ := sum.Float64()
+	df, _ := delta.Float64()
+	pf := new(big.Rat).SetInt(prod)
+	pff, _ := pf.Float64()
+	val := sf * math.Sqrt(df*pff)
+	if (j1-j2-m3)%2 != 0 {
+		val = -val
+	}
+	return val
+}
+
+func fact(n int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("o3: factorial of negative %d", n))
+	}
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+func mulInts(xs ...*big.Int) *big.Int {
+	p := big.NewInt(1)
+	for _, x := range xs {
+		p.Mul(p, x)
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

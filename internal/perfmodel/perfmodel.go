@@ -1,0 +1,132 @@
+// Package perfmodel models the single-GPU performance characteristics the
+// paper's throughput numbers rest on: A100 arithmetic pipelines (FP64/FP32
+// and TF32 tensor cores), Allegro FLOP counts per neighbor pair, the GPU
+// saturation knee near ~500 atoms/GPU, and the PyTorch caching-allocator
+// behaviour that input padding defeats (Fig. 5).
+//
+// This is an explicit substitute for real GPU hardware (repro band: "no
+// mature GPU tensor framework for this workload"); constants were calibrated
+// once against the paper's published operating points and then frozen —
+// see DESIGN.md section 6 and EXPERIMENTS.md for paper-vs-model deltas.
+package perfmodel
+
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// A100 peak throughputs in FLOP/s (dense).
+const (
+	PeakFP64 = 9.7e12
+	PeakFP32 = 19.5e12
+	PeakTF32 = 156e12 // tensor cores
+)
+
+// Calibration constants (frozen; see DESIGN.md section 6).
+const (
+	// SaturationAtoms is the atoms-per-GPU knee below which kernel-launch
+	// overhead and under-occupancy dominate (the paper observes saturation
+	// loss under ~500 atoms/GPU).
+	SaturationAtoms = 600.0
+	// PairsPerAtomWater is the ordered-pair count per atom in liquid water
+	// with the production per-ordered-species-pair cutoffs (the paper
+	// reports a ~3x reduction from the ~48 full-cutoff pairs).
+	PairsPerAtomWater = 16.0
+	// TensorCoreEfficiency is the sustained fraction of TF32 peak achieved
+	// by the fused Allegro kernels.
+	TensorCoreEfficiency = 0.56
+)
+
+// MatmulBoundFraction is the fraction of TF32 step time spent in the
+// matrix pipelines. The paper's own measurement pins it: switching the
+// tensor cores off (TF32 -> FP32) costs 2.7x, which with an 8x pipeline
+// ratio implies ~24% of the TF32 runtime is matmul-bound
+// (1/(0.757 + 0.243*8) = 0.37, Table IV's FP32 column).
+const MatmulBoundFraction = 0.243
+
+// SpeedFactor returns the relative model evaluation speed of a mixed
+// precision configuration versus the production F64,F32,TF32 scheme
+// (Table IV's bottom row: 0.98, 0.37, 1.00, 0.37, 0.26). Only the
+// matmul-bound fraction of the step rescales with the pipeline rate; the
+// final-stage precision is speed-neutral (the paper's observation that the
+// F64 final stage costs nothing).
+func SpeedFactor(p core.PrecisionConfig) float64 {
+	ratio := PeakTF32 / pipelineRate(p.Compute)
+	return 1 / ((1 - MatmulBoundFraction) + MatmulBoundFraction*ratio)
+}
+
+func pipelineRate(p tensor.Precision) float64 {
+	switch p {
+	case tensor.TF32:
+		return PeakTF32
+	case tensor.F32:
+		return PeakFP32
+	default:
+		return PeakFP64
+	}
+}
+
+// FLOPsPerPair counts the forward-pass floating point operations per
+// ordered neighbor pair of an Allegro configuration (matrix multiplies
+// count 2 FLOPs per MAC; the tensor product counts 3 per sparse entry).
+func FLOPsPerPair(cfg core.Config) float64 {
+	s := float64(len(cfg.Species))
+	mlp := func(sizes []int) float64 {
+		f := 0.0
+		for i := 0; i+1 < len(sizes); i++ {
+			f += 2 * float64(sizes[i]) * float64(sizes[i+1])
+		}
+		return f
+	}
+	twoBody := append([]int{int(2*s) + cfg.NumBessel}, cfg.TwoBodyHidden...)
+	twoBody = append(twoBody, cfg.LatentDim)
+	total := mlp(twoBody)
+	u := float64(cfg.NumChannels)
+	sphW := float64((cfg.LMax + 1) * (cfg.LMax + 1))
+	fullW := 2 * sphW
+	// Embedding projection + initial outer product.
+	total += 2*float64(cfg.LatentDim)*u + u*sphW
+	latent := append([]int{cfg.LatentDim + cfg.NumChannels}, cfg.LatentHidden...)
+	latent = append(latent, cfg.LatentDim)
+	perLayer := mlp(latent) +
+		2*2*float64(cfg.LatentDim)*u + // env + channel linears
+		u*sphW + // environment accumulation share
+		3*u*tpEntries(cfg.LMax)*1.0 + // fused tensor product
+		u*fullW // channel reweighting
+	total += float64(cfg.NumLayers) * perLayer
+	total += mlp([]int{cfg.LatentDim, cfg.EdgeHidden, 1})
+	return total
+}
+
+// tpEntries approximates the nonzero Wigner-3j entry count of the fused
+// full-O(3) tensor product at a given lmax (exact counts are available from
+// o3.TensorProduct; this closed form tracks them closely for lmax <= 3).
+func tpEntries(lmax int) float64 {
+	w := float64((lmax + 1) * (lmax + 1))
+	return 4 * w * w
+}
+
+// TimePerAtom returns the modeled GPU seconds per atom per MD step for a
+// saturated A100 running the given configuration: forward + backward
+// (forces) at roughly 3x forward FLOPs, over the calibrated pair density.
+func TimePerAtom(cfg core.Config, pairsPerAtom float64) float64 {
+	fl := FLOPsPerPair(cfg) * 3 * pairsPerAtom
+	rate := pipelineRate(cfg.Precision.Compute) * TensorCoreEfficiency
+	if cfg.Precision.Compute == tensor.F64 {
+		rate = PeakFP64 * 0.6 // FP64 pipeline, no tensor cores
+	}
+	if cfg.Precision.Compute == tensor.F32 {
+		rate = PeakFP32 * 0.6
+	}
+	return fl / rate
+}
+
+// ProductionTimePerAtom is the modeled per-atom GPU time of the paper's
+// production model (7.85M weights, TF32) in seconds — calibrated to
+// ~8.2 microseconds, the value implied by Table III's saturated operating
+// point (16 nodes, 1.12M atoms, 6.28 steps/s).
+func ProductionTimePerAtom() float64 {
+	cfg := core.ProductionConfig([]units.Species{units.H, units.C, units.N, units.O, units.P, units.S})
+	return TimePerAtom(cfg, PairsPerAtomWater)
+}

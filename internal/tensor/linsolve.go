@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns X solving A X = B by LU factorization with partial pivoting.
+// A must be square [n,n]; B is [n,k]. A and B are not modified.
+func Solve(a, b *Tensor) (*Tensor, error) {
+	n := a.Shape[0]
+	if a.NDim() != 2 || a.Shape[1] != n {
+		return nil, fmt.Errorf("tensor: Solve requires square A, got %v", a.Shape)
+	}
+	if b.NDim() != 2 || b.Shape[0] != n {
+		return nil, fmt.Errorf("tensor: Solve B shape %v incompatible with A %v", b.Shape, a.Shape)
+	}
+	k := b.Shape[1]
+	lu := a.Clone()
+	x := b.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, best := col, math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("tensor: Solve singular matrix at column %d", col)
+		}
+		if p != col {
+			swapRows(lu, p, col)
+			swapRows(x, p, col)
+			perm[p], perm[col] = perm[col], perm[p]
+		}
+		piv := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			lu.Set(f, r, col)
+			for c := col + 1; c < n; c++ {
+				lu.Set(lu.At(r, c)-f*lu.At(col, c), r, c)
+			}
+			for c := 0; c < k; c++ {
+				x.Set(x.At(r, c)-f*x.At(col, c), r, c)
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		piv := lu.At(col, col)
+		for c := 0; c < k; c++ {
+			s := x.At(col, c)
+			for r := col + 1; r < n; r++ {
+				s -= lu.At(col, r) * x.At(r, c)
+			}
+			x.Set(s/piv, col, c)
+		}
+	}
+	return x, nil
+}
+
+func swapRows(t *Tensor, i, j int) {
+	w := t.Shape[1]
+	ri, rj := t.Data[i*w:(i+1)*w], t.Data[j*w:(j+1)*w]
+	for c := 0; c < w; c++ {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// CholeskySolve solves A X = B for symmetric positive-definite A using a
+// Cholesky factorization. jitter is added to the diagonal (scaled by the
+// mean diagonal magnitude) to regularize nearly singular kernel systems.
+func CholeskySolve(a, b *Tensor, jitter float64) (*Tensor, error) {
+	n := a.Shape[0]
+	if a.NDim() != 2 || a.Shape[1] != n {
+		return nil, fmt.Errorf("tensor: CholeskySolve requires square A, got %v", a.Shape)
+	}
+	k := b.Shape[1]
+	l := a.Clone()
+	if jitter > 0 {
+		meanDiag := 0.0
+		for i := 0; i < n; i++ {
+			meanDiag += math.Abs(l.At(i, i))
+		}
+		meanDiag /= float64(n)
+		if meanDiag == 0 {
+			meanDiag = 1
+		}
+		for i := 0; i < n; i++ {
+			l.Set(l.At(i, i)+jitter*meanDiag, i, i)
+		}
+	}
+	// In-place lower Cholesky.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := l.At(i, j)
+			for p := 0; p < j; p++ {
+				s -= l.At(i, p) * l.At(j, p)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("tensor: CholeskySolve matrix not positive definite at row %d (pivot %g)", i, s)
+				}
+				l.Set(math.Sqrt(s), i, i)
+			} else {
+				l.Set(s/l.At(j, j), i, j)
+			}
+		}
+	}
+	x := b.Clone()
+	// Forward solve L y = b.
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			s := x.At(i, c)
+			for p := 0; p < i; p++ {
+				s -= l.At(i, p) * x.At(p, c)
+			}
+			x.Set(s/l.At(i, i), i, c)
+		}
+		// Back solve L^T x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, c)
+			for p := i + 1; p < n; p++ {
+				s -= l.At(p, i) * x.At(p, c)
+			}
+			x.Set(s/l.At(i, i), i, c)
+		}
+	}
+	return x, nil
+}
+
+// LeastSquares returns X minimizing ||A X - B||_F via the normal equations
+// (A^T A + ridge*I) X = A^T B. A is [m,n] with m >= n.
+func LeastSquares(a, b *Tensor, ridge float64) (*Tensor, error) {
+	at := Transpose(a)
+	ata := MatMul(at, a, F64)
+	if ridge > 0 {
+		n := ata.Shape[0]
+		for i := 0; i < n; i++ {
+			ata.Set(ata.At(i, i)+ridge, i, i)
+		}
+	}
+	atb := MatMul(at, b, F64)
+	return Solve(ata, atb)
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}

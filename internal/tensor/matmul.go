@@ -1,0 +1,194 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A * B for 2-D tensors A [m,k] and B [k,n] under the
+// compute precision p, emulating the corresponding hardware pipeline:
+//
+//	F64  : float64 inputs, float64 accumulation.
+//	F32  : inputs rounded to binary32, float32 accumulation.
+//	TF32 : inputs rounded to TF32 (10-bit mantissa), float32 accumulation —
+//	       exactly the A100 tensor-core behaviour.
+//
+// The result elements are rounded to the accumulation format.
+func MatMul(a, b *Tensor, p Precision) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b, p)
+	return c
+}
+
+// MatMulInto computes dst = A*B, with dst preallocated to [m,n].
+func MatMulInto(dst, a, b *Tensor, p Precision) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulInto destination shape mismatch")
+	}
+	switch p {
+	case F64:
+		matMulF64(dst.Data, a.Data, b.Data, m, k, n)
+	default:
+		matMulNarrow(dst.Data, a.Data, b.Data, m, k, n, p)
+	}
+}
+
+// matMulF64 is a cache-friendly ikj loop in full double precision.
+func matMulF64(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for l := 0; l < k; l++ {
+			av := a[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulNarrow emulates a reduced-precision matrix unit: operands are
+// rounded to the input format of p and partial sums are kept in float32.
+func matMulNarrow(c, a, b []float64, m, k, n int, p Precision) {
+	// Pre-round operands once (the hardware converts tiles on load).
+	ra := make([]float32, len(a))
+	rb := make([]float32, len(b))
+	if p == TF32 {
+		for i, v := range a {
+			ra[i] = float32(RoundTF32(v))
+		}
+		for i, v := range b {
+			rb[i] = float32(RoundTF32(v))
+		}
+	} else {
+		for i, v := range a {
+			ra[i] = float32(v)
+		}
+		for i, v := range b {
+			rb[i] = float32(v)
+		}
+	}
+	acc := make([]float32, n)
+	for i := 0; i < m; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		for l := 0; l < k; l++ {
+			av := ra[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bl := rb[l*n : (l+1)*n]
+			for j, bv := range bl {
+				acc[j] += av * bv // float32 accumulation
+			}
+		}
+		ci := c[i*n : (i+1)*n]
+		for j, v := range acc {
+			ci[j] = float64(v)
+		}
+	}
+}
+
+// MatMulT computes C = A * B^T for A [m,k], B [n,k] under precision p.
+func MatMulT(a, b *Tensor, p Precision) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic("tensor: MatMulT requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	switch p {
+	case F64:
+		for i := 0; i < m; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for l, av := range ai {
+					s += av * bj[l]
+				}
+				c.Data[i*n+j] = s
+			}
+		}
+	default:
+		rnd := func(v float64) float32 { return float32(v) }
+		if p == TF32 {
+			rnd = func(v float64) float32 { return float32(RoundTF32(v)) }
+		}
+		ra := make([]float32, len(a.Data))
+		rb := make([]float32, len(b.Data))
+		for i, v := range a.Data {
+			ra[i] = rnd(v)
+		}
+		for i, v := range b.Data {
+			rb[i] = rnd(v)
+		}
+		for i := 0; i < m; i++ {
+			ai := ra[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				bj := rb[j*k : (j+1)*k]
+				var s float32
+				for l, av := range ai {
+					s += av * bj[l]
+				}
+				c.Data[i*n+j] = float64(s)
+			}
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A*x for A [m,k] and x [k] under precision p.
+func MatVec(a *Tensor, x []float64, p Precision) []float64 {
+	m, k := a.Shape[0], a.Shape[1]
+	if len(x) != k {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	y := make([]float64, m)
+	switch p {
+	case F64:
+		for i := 0; i < m; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			s := 0.0
+			for l, av := range ai {
+				s += av * x[l]
+			}
+			y[i] = s
+		}
+	default:
+		rnd := func(v float64) float32 { return float32(v) }
+		if p == TF32 {
+			rnd = func(v float64) float32 { return float32(RoundTF32(v)) }
+		}
+		rx := make([]float32, k)
+		for i, v := range x {
+			rx[i] = rnd(v)
+		}
+		for i := 0; i < m; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			var s float32
+			for l, av := range ai {
+				s += rnd(av) * rx[l]
+			}
+			y[i] = float64(s)
+		}
+	}
+	return y
+}

@@ -1,0 +1,196 @@
+// Package tensor provides dense row-major tensors backed by float64 storage
+// together with bit-accurate emulation of the reduced-precision arithmetic
+// (FP32 and NVIDIA TensorFloat32) that the paper's mixed-precision Allegro
+// configuration relies on.
+//
+// Storage is always float64; a Precision value controls how results of
+// arithmetic are rounded so that the accuracy consequences of F32/TF32
+// compute can be reproduced exactly without GPU hardware.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major tensor. The zero value is not usable; construct
+// tensors with New, Zeros or FromSlice.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Zeros is an alias for New, provided for readability at call sites.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// NDim returns the number of dimensions.
+func (t *Tensor) NDim() int { return len(t.Shape) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != u.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape holding the same number of
+// elements. The underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Row returns a view of row i of a 2-D tensor.
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row requires a 2-D tensor")
+	}
+	w := t.Shape[1]
+	return t.Data[i*w : (i+1)*w]
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// AddInPlace accumulates u into t elementwise, rounding per the precision p.
+func (t *Tensor) AddInPlace(u *Tensor, p Precision) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.Shape, u.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] = p.Round(t.Data[i] + u.Data[i])
+	}
+}
+
+// Scale multiplies every element by a, rounding per the precision p.
+func (t *Tensor) Scale(a float64, p Precision) {
+	for i := range t.Data {
+		t.Data[i] = p.Round(t.Data[i] * a)
+	}
+}
+
+// Quantize rounds every element of t to precision p in place and returns t.
+func (t *Tensor) Quantize(p Precision) *Tensor {
+	if p == F64 {
+		return t
+	}
+	for i := range t.Data {
+		t.Data[i] = p.Round(t.Data[i])
+	}
+	return t
+}
+
+// Dot returns the inner product of two equally-shaped tensors in float64.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if !t.SameShape(u) {
+		panic("tensor: Dot shape mismatch")
+	}
+	s := 0.0
+	for i := range t.Data {
+		s += t.Data[i] * u.Data[i]
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm() float64 { return math.Sqrt(t.Dot(t)) }
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.Data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elems, maxabs=%.4g]", t.Shape, len(t.Data), t.MaxAbs())
+}

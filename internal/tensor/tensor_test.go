@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndIndexing(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", a.Len())
+	}
+	a.Set(7.5, 1, 2, 3)
+	if got := a.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if got := a.At(0, 0, 0); got != 0 {
+		t.Fatalf("zero init violated: %v", got)
+	}
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	a := FromSlice(d, 2, 3)
+	b := a.Reshape(3, 2)
+	if b.At(2, 1) != 6 {
+		t.Fatalf("reshape indexing wrong: %v", b.At(2, 1))
+	}
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape must share storage")
+	}
+	c := a.Clone()
+	c.Set(-1, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := a.Row(1)
+	if len(r) != 3 || r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row = %v", r)
+	}
+	r[0] = -4
+	if a.At(1, 0) != -4 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched FromSlice")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAddScaleDotNorm(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	a.AddInPlace(b, F64)
+	if a.Data[2] != 9 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	a.Scale(2, F64)
+	if a.Data[0] != 10 {
+		t.Fatalf("Scale = %v", a.Data)
+	}
+	c := FromSlice([]float64{3, 4}, 2)
+	if got := c.Norm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m, k, n := 7, 11, 5
+	a, b := New(m, k), New(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	c := MatMul(a, b, F64)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for l := 0; l < k; l++ {
+				want += a.At(i, l) * b.At(l, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatMulTMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m, k, n := 4, 6, 3
+	a, bt := New(m, k), New(n, k)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range bt.Data {
+		bt.Data[i] = rng.NormFloat64()
+	}
+	// Build b = bt^T and compare.
+	b := New(k, n)
+	for i := 0; i < n; i++ {
+		for l := 0; l < k; l++ {
+			b.Set(bt.At(i, l), l, i)
+		}
+	}
+	c1 := MatMul(a, b, F64)
+	c2 := MatMulT(a, bt, F64)
+	for i := range c1.Data {
+		if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-12 {
+			t.Fatalf("MatMulT mismatch at %d: %v vs %v", i, c1.Data[i], c2.Data[i])
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := MatVec(a, []float64{1, 0, -1}, F64)
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MatVec = %v", y)
+	}
+	y32 := MatVec(a, []float64{1, 0, -1}, F32)
+	if y32[0] != -2 || y32[1] != -2 {
+		t.Fatalf("MatVec F32 = %v", y32)
+	}
+}
+
+func TestRoundTF32Properties(t *testing.T) {
+	// TF32 keeps 10 mantissa bits: values with short mantissas are exact.
+	for _, v := range []float64{0, 1, -1, 0.5, 1024, 3.25, -7.0, 1e-30} {
+		got := RoundTF32(v)
+		if math.Abs(got-v) > math.Abs(v)*1.0/1024 {
+			t.Fatalf("RoundTF32(%v) = %v, error too large", v, got)
+		}
+	}
+	// Exactness on dyadics representable in 10 bits.
+	if RoundTF32(1.0009765625) != 1.0009765625 { // 1 + 2^-10
+		t.Fatal("1+2^-10 must be exactly representable in TF32")
+	}
+	// 1 + 2^-11 rounds to even (down to 1.0).
+	if got := RoundTF32(1.00048828125); got != 1.0 {
+		t.Fatalf("1+2^-11 should round-to-even to 1.0, got %v", got)
+	}
+	// 1 + 3*2^-11 rounds up to 1 + 2*2^-11.
+	if got := RoundTF32(1.0 + 3.0/2048.0); got != 1.0+2.0/1024.0 {
+		t.Fatalf("round-to-even up failed: %v", got)
+	}
+	// Inf/NaN pass through.
+	if !math.IsInf(RoundTF32(math.Inf(1)), 1) {
+		t.Fatal("Inf must survive TF32 rounding")
+	}
+	if !math.IsNaN(RoundTF32(math.NaN())) {
+		t.Fatal("NaN must survive TF32 rounding")
+	}
+}
+
+func TestRoundTF32Idempotent(t *testing.T) {
+	f := func(v float64) bool {
+		r := RoundTF32(v)
+		return RoundTF32(r) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTF32RelativeError(t *testing.T) {
+	// For normal floats, relative error must be below 2^-11 + f32 effects.
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		if math.Abs(v) > 1e30 || (v != 0 && math.Abs(v) < 1e-30) {
+			return true // skip overflow/denormal edge ranges
+		}
+		r := RoundTF32(v)
+		if v == 0 {
+			return r == 0
+		}
+		return math.Abs(r-v)/math.Abs(v) <= 1.0/2048+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecisionRoundMonotoneOrdering(t *testing.T) {
+	// F64 never rounds; F32 error <= TF32 error for random values.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64() * math.Exp(rng.NormFloat64()*3)
+		if F64.Round(v) != v {
+			t.Fatal("F64.Round must be identity")
+		}
+		e32 := math.Abs(F32.Round(v) - v)
+		etf := math.Abs(TF32.Round(v) - v)
+		if e32 > etf+1e-20 {
+			t.Fatalf("F32 error %g exceeds TF32 error %g for %v", e32, etf, v)
+		}
+	}
+}
+
+func TestMatMulPrecisionDegradation(t *testing.T) {
+	// TF32 matmul must differ from F64 but stay within ~2^-10 relative.
+	rng := rand.New(rand.NewPCG(7, 8))
+	m, k, n := 16, 64, 16
+	a, b := New(m, k), New(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	cf64 := MatMul(a, b, F64)
+	cf32 := MatMul(a, b, F32)
+	ctf := MatMul(a, b, TF32)
+	d32 := 0.0
+	dtf := 0.0
+	for i := range cf64.Data {
+		d32 += math.Abs(cf32.Data[i] - cf64.Data[i])
+		dtf += math.Abs(ctf.Data[i] - cf64.Data[i])
+	}
+	if d32 == 0 {
+		t.Fatal("F32 matmul should differ from F64 at this size")
+	}
+	if dtf <= d32 {
+		t.Fatalf("TF32 error (%g) should exceed F32 error (%g)", dtf, d32)
+	}
+	scale := cf64.Norm()
+	if dtf/float64(len(cf64.Data))/scale > 1e-2 {
+		t.Fatalf("TF32 error unreasonably large: %g", dtf)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	a := FromSlice([]float64{1.0000001, -2.0000001}, 2)
+	a.Quantize(F32)
+	for _, v := range a.Data {
+		if float64(float32(v)) != v {
+			t.Fatalf("Quantize(F32) left non-f32 value %v", v)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float64{-5, 2, 4.5}, 3)
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+}

@@ -1,0 +1,89 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMassesKnown(t *testing.T) {
+	cases := map[Species]float64{H: 1.008, C: 12.011, N: 14.007, O: 15.999, P: 30.974, S: 32.06}
+	for sp, want := range cases {
+		if Mass(sp) != want {
+			t.Fatalf("Mass(%s) = %v, want %v", Name(sp), Mass(sp), want)
+		}
+	}
+	if Mass(Species(99)) != 12.0 {
+		t.Fatal("unknown species should default to 12 amu")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Name(O) != "O" || Name(H) != "H" {
+		t.Fatal("known names wrong")
+	}
+	if Name(Species(42)) != "X" {
+		t.Fatal("unknown species should be X")
+	}
+}
+
+func TestTemperatureKineticRoundTrip(t *testing.T) {
+	// T -> KE -> T must be the identity for any positive inputs.
+	f := func(tempRaw float64, ndofRaw uint8) bool {
+		temp := math.Abs(tempRaw)
+		if math.IsNaN(temp) || math.IsInf(temp, 0) || temp > 1e6 {
+			return true
+		}
+		ndof := int(ndofRaw)%1000 + 3
+		ke := 0.5 * float64(ndof) * KB * temp
+		got := TemperatureFromKE(ke, ndof)
+		return math.Abs(got-temp) <= 1e-9*(1+temp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemperatureEdgeCases(t *testing.T) {
+	if TemperatureFromKE(1.0, 0) != 0 {
+		t.Fatal("zero dof must give zero temperature")
+	}
+	if TemperatureFromKE(0, 10) != 0 {
+		t.Fatal("zero KE must give zero temperature")
+	}
+}
+
+func TestThermalVelocityScaling(t *testing.T) {
+	// sigma ~ sqrt(T/m): quadrupling T doubles sigma; quadrupling m halves it.
+	s1 := ThermalVelocity(1.0, 300)
+	s2 := ThermalVelocity(1.0, 1200)
+	s3 := ThermalVelocity(4.0, 300)
+	if math.Abs(s2/s1-2) > 1e-12 {
+		t.Fatalf("temperature scaling wrong: %v", s2/s1)
+	}
+	if math.Abs(s3/s1-0.5) > 1e-12 {
+		t.Fatalf("mass scaling wrong: %v", s3/s1)
+	}
+	if ThermalVelocity(0, 300) != 0 || ThermalVelocity(1, 0) != 0 {
+		t.Fatal("degenerate inputs must give zero")
+	}
+	// Magnitude check: H at 300 K is ~0.0157 A/fs (~1.57 km/s per component).
+	vh := ThermalVelocity(1.008, 300)
+	if vh < 0.01 || vh > 0.03 {
+		t.Fatalf("H thermal velocity %v A/fs implausible", vh)
+	}
+}
+
+func TestConstantsMagnitude(t *testing.T) {
+	if math.Abs(KB-8.617333262e-5) > 1e-12 {
+		t.Fatal("kB wrong")
+	}
+	// 1 eV/A on 1 amu = 9.6485e-3 A/fs^2.
+	if math.Abs(AccelFactor-9.64853329e-3) > 1e-9 {
+		t.Fatal("AccelFactor wrong")
+	}
+	// 0.25 Ha/Bohr (the SPICE filter) is about 12.9 eV/A.
+	if v := 0.25 * HartreePerBohrToEVPerA; v < 12 || v > 14 {
+		t.Fatalf("Ha/Bohr conversion wrong: %v", v)
+	}
+}
