@@ -8,19 +8,28 @@
 // and regenerate the paper's tables and figures — on top of the internal
 // packages:
 //
-//	internal/core        the Allegro model (the paper's contribution)
+//	internal/core        the Allegro model (the paper's contribution) and
+//	                     the EvalScratch/Evaluator reusable-buffer pipeline
 //	internal/o3          O(3) representation theory and the fused tensor product
-//	internal/ad          reverse-mode autodiff over geometric ops
+//	internal/ad          reverse-mode autodiff over geometric ops, backed by
+//	                     a reusable tensor arena in steady-state loops
 //	internal/md          molecular dynamics engine
 //	internal/domain      LAMMPS-style spatial decomposition on goroutines
+//	internal/neighbor    parallel, allocation-free cell-list neighbor builds
+//	internal/par         bounded persistent worker pools
 //	internal/baselines   classical / GAP / BP / SchNet / NequIP comparators
 //	internal/groundtruth the synthetic DFT oracle that labels every dataset
 //	internal/data        structure and dataset builders
-//	internal/perfmodel   A100 + allocator performance models
+//	internal/perfmodel   A100 + allocator models and measured calibration
 //	internal/cluster     Perlmutter-scale throughput simulation
 //	internal/experiments per-table/figure reproduction harnesses
 //
-// See README.md for a quickstart and DESIGN.md for the system inventory.
+// Force evaluation runs on the parallel zero-allocation pipeline: NewSim
+// wraps the model in an Evaluator whose EvalScratch (neighbor builder, pair
+// list, tensor arena, force shards) is recycled every step. The scratch
+// belongs to exactly one simulation loop; size its worker pool with
+// Config.Workers (default: all cores). See README.md for the full
+// ownership contract and a quickstart.
 package allegro
 
 import (
@@ -43,6 +52,11 @@ type (
 	Config = core.Config
 	// TrainConfig controls training.
 	TrainConfig = core.TrainConfig
+	// Evaluator runs the parallel zero-allocation force pipeline for one
+	// simulation loop (see the EvalScratch ownership contract).
+	Evaluator = core.Evaluator
+	// EvalScratch is the reusable buffer arena owned by one evaluation loop.
+	EvalScratch = core.EvalScratch
 	// Frame is a labeled structure (system + reference energy/forces).
 	Frame = atoms.Frame
 	// System is a collection of atoms, optionally periodic.
@@ -82,10 +96,18 @@ func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
 func LoadModel(path string) (*Model, error) { return core.Load(path) }
 
 // NewSim prepares an MD simulation of sys under the model with timestep dt
-// (fs).
+// (fs). The model is wrapped in an Evaluator, so every force call runs the
+// parallel evaluation pipeline and reuses the same buffer arena: after the
+// first step the force path performs (almost) no heap allocations, the
+// single-node analogue of the paper's padded, allocator-stable LAMMPS
+// plugin. Size the worker pool with Config.Workers (default: all cores).
 func NewSim(sys *System, model *Model, dt float64) *md.Sim {
-	return md.NewSim(sys, model, dt)
+	return md.NewSim(sys, core.NewEvaluator(model), dt)
 }
+
+// NewEvaluator wraps a model in the reusable-buffer evaluation pipeline for
+// callers that drive force calls directly instead of through NewSim.
+func NewEvaluator(model *Model) *Evaluator { return core.NewEvaluator(model) }
 
 // Oracle returns the synthetic reference potential used to label datasets.
 func Oracle() *groundtruth.Oracle { return groundtruth.New() }

@@ -88,6 +88,35 @@ func BenchmarkFusedTensorProduct(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedTensorProductInto measures the steady-state inner loop of
+// the force evaluation — the fused contraction writing into a preallocated
+// output: 0 allocs/op.
+func BenchmarkFusedTensorProductInto(b *testing.B) {
+	tp := o3.NewTensorProduct(o3.FullIrreps(2), o3.SphericalIrreps(2), o3.FullIrreps(2))
+	rng := rand.New(rand.NewPCG(1, 2))
+	z, u := 256, 4
+	x := tensor.New(z, u, tp.In1.Width)
+	y := tensor.New(z, u, tp.In2.Width)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	w := make([]float64, tp.NumPaths())
+	for i := range w {
+		w[i] = 1
+	}
+	tp.Fuse(w)
+	out := tensor.New(z, u, tp.Out.Width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		tp.ApplyFusedInto(out, x, y, nil, tensor.F64, nil)
+	}
+}
+
 // BenchmarkSeparatedTensorProduct measures the per-path reference kernel
 // (the Fig. 3 comparison baseline).
 func BenchmarkSeparatedTensorProduct(b *testing.B) {
@@ -121,6 +150,84 @@ func BenchmarkNeighborBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		neighbor.Build(sys, cuts)
+	}
+}
+
+// BenchmarkNeighborBuildSteadyState measures the reusable Builder (the MD
+// steady-state path): 0 allocs/op after warm-up at any worker count, with
+// achieved pairs/s reported — the number the CI benchmark-smoke job guards.
+func BenchmarkNeighborBuildSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	sys := data.WaterBox(rng, 4, 4, 4)
+	cuts := neighbor.PaperBioCutoffs(atoms.NewSpeciesIndex([]Species{H, O}))
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			bld := neighbor.Builder{Workers: workers}
+			defer bld.Close()
+			var p neighbor.Pairs
+			bld.BuildInto(&p, sys, cuts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bld.BuildInto(&p, sys, cuts)
+			}
+			b.ReportMetric(float64(p.NumReal)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkEvaluatorSteadyState measures the full zero-allocation force
+// pipeline — parallel neighbor build, arena-backed tape, sharded force
+// reduction — against the allocating Evaluate path. Steady-state allocs/op
+// stay fixed and small (tape node closures) regardless of system size.
+func BenchmarkEvaluatorSteadyState(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg.Workers = workers
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := NewEvaluator(model)
+			defer ev.Close()
+			forces := make([][3]float64, sys.NumAtoms())
+			ev.EnergyForcesInto(sys, forces)
+			ev.EnergyForcesInto(sys, forces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.EnergyForcesInto(sys, forces)
+			}
+			b.ReportMetric(float64(ev.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkEvaluateAllocating is the pre-pipeline baseline (fresh neighbor
+// list, heap tape, fresh force buffers every call) for comparison with
+// BenchmarkEvaluatorSteadyState.
+func BenchmarkEvaluateAllocating(b *testing.B) {
+	model, err := NewModel(DefaultConfig([]Species{H, O}), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Evaluate(sys)
 	}
 }
 

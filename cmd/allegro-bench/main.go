@@ -1,4 +1,5 @@
-// Command allegro-bench regenerates the paper's tables and figures.
+// Command allegro-bench regenerates the paper's tables and figures, and
+// measures this node's achieved evaluation throughput.
 //
 // Usage:
 //
@@ -6,28 +7,48 @@
 //	allegro-bench -exp table2,fig6    # run a subset
 //	allegro-bench -list               # list experiment IDs
 //	allegro-bench -exp fig4 -full     # full (slower) scale
+//	allegro-bench -measure            # measure single-node pairs/sec and
+//	                                  # allocs/op of the parallel pipeline,
+//	                                  # then print a cluster model
+//	                                  # calibrated from the measurement
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strings"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		full = flag.Bool("full", false, "run at full scale (slower, larger datasets)")
-		seed = flag.Uint64("seed", 1, "experiment seed")
-		list = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		full    = flag.Bool("full", false, "run at full scale (slower, larger datasets)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		measure = flag.Bool("measure", false, "measure single-node throughput and exit")
+		workers = flag.Int("workers", 0, "worker pool size for -measure (0: all cores)")
+		steps   = flag.Int("steps", 5, "timed force calls for -measure")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experiments.All() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *measure {
+		if err := runMeasure(*workers, *steps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "allegro-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -47,4 +68,33 @@ func main() {
 		}
 		r.Print(os.Stdout)
 	}
+}
+
+// runMeasure times the parallel zero-allocation pipeline on a water box and
+// prints the cluster throughput model re-anchored at the measured per-atom
+// time (instead of the frozen A100 calibration constants).
+func runMeasure(workers, steps int, seed uint64) error {
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	cfg.Workers = workers
+	model, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xBE9C)))
+	if err != nil {
+		return err
+	}
+	sys := data.WaterBox(rand.New(rand.NewPCG(seed, 2)), 3, 3, 3)
+	meas := perfmodel.MeasureSingleNode(model, sys, steps)
+	fmt.Println(meas)
+	fmt.Printf("  atoms/s            %12.4g\n", meas.AtomsPerSec)
+	fmt.Printf("  bytes/op           %12.0f\n", meas.BytesPerOp)
+
+	mach := perfmodel.CalibrateMachine(cluster.Perlmutter(), meas)
+	fmt.Println("calibrated cluster model (measured compute, configured interconnect):")
+	for _, w := range []cluster.Workload{
+		cluster.Water("water-1M", 1_000_000),
+		cluster.Biosystem("Capsid", 44_000_000),
+	} {
+		nodes := mach.MinNodes(w)
+		fmt.Printf("  %-12s %9d atoms  >= %4d nodes  %8.3g steps/s\n",
+			w.Name, w.Atoms, nodes, mach.StepsPerSecond(w, nodes))
+	}
+	return nil
 }

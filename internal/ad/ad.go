@@ -24,6 +24,7 @@ package ad
 import (
 	"fmt"
 
+	"repro/internal/o3"
 	"repro/internal/tensor"
 )
 
@@ -33,6 +34,7 @@ type Value struct {
 	grad *tensor.Tensor
 	req  bool   // participates in differentiation
 	back func() // accumulates into the grads of the inputs
+	tp   *Tape  // owning tape (gradient buffers come from its allocator)
 }
 
 // Grad returns the accumulated gradient tensor (nil until Backward runs, or
@@ -45,19 +47,37 @@ func (v *Value) RequiresGrad() bool { return v.req }
 // ensureGrad allocates the gradient buffer on demand.
 func (v *Value) ensureGrad() *tensor.Tensor {
 	if v.grad == nil {
-		v.grad = tensor.New(v.T.Shape...)
+		v.grad = v.tp.Alloc(v.T.Shape...)
 	}
 	return v.grad
 }
 
 // Tape records operations in execution order for reverse-mode replay.
+//
+// A tape built with NewTapeArena draws every activation, gradient, and node
+// from reusable arena/pool storage: Reset recycles it all, so an evaluation
+// pipeline that replays the same graph shapes step after step stops
+// allocating once warm (the Sec. V-C steady-state contract). Tapes are not
+// safe for concurrent use.
 type Tape struct {
 	vals []*Value
 	// Compute is the matrix-pipeline precision (matmuls, tensor product).
 	Compute tensor.Precision
 	// Store is the activation storage precision applied after each op.
 	Store tensor.Precision
+
+	arena  *tensor.Arena // nil: plain heap allocation
+	blocks [][]Value     // pooled node storage (pointer-stable blocks)
+	used   int
+
+	// Reusable op scratch that persists across Reset (grown on demand).
+	sphBuf    []float64
+	sphGBuf   [][3]float64
+	tpEntries []o3.TPEntry
 }
+
+// valueBlock is the node pool granularity.
+const valueBlock = 64
 
 // NewTape returns a tape with the given compute/store precision pair.
 // NewTape(tensor.F64, tensor.F64) gives exact double-precision behaviour.
@@ -65,10 +85,59 @@ func NewTape(compute, store tensor.Precision) *Tape {
 	return &Tape{Compute: compute, Store: store}
 }
 
+// NewTapeArena returns a tape whose tensors and gradients are carved from
+// arena. The caller owns the arena's lifetime; Reset on the tape resets the
+// arena too. Results (energies, forces, gradients) must be copied out before
+// the next Reset.
+func NewTapeArena(compute, store tensor.Precision, arena *tensor.Arena) *Tape {
+	return &Tape{Compute: compute, Store: store, arena: arena}
+}
+
+// Reset recycles the tape for a new forward pass: nodes and (if arena-backed)
+// all tensor storage become reusable. Values and gradients obtained from the
+// previous pass are invalidated.
+func (tp *Tape) Reset() {
+	tp.vals = tp.vals[:0]
+	tp.used = 0
+	if tp.arena != nil {
+		tp.arena.Reset()
+	}
+}
+
+// Alloc returns a zero-filled tensor from the tape's allocator.
+func (tp *Tape) Alloc(shape ...int) *tensor.Tensor {
+	if tp.arena != nil {
+		return tp.arena.New(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// cloneT returns a tape-allocated deep copy of t.
+func (tp *Tape) cloneT(t *tensor.Tensor) *tensor.Tensor {
+	y := tp.Alloc(t.Shape...)
+	copy(y.Data, t.Data)
+	return y
+}
+
+// newValue hands out a pooled node. Blocks are pointer-stable so Values stay
+// valid while the vals slice grows.
+func (tp *Tape) newValue() *Value {
+	blk, off := tp.used/valueBlock, tp.used%valueBlock
+	if blk == len(tp.blocks) {
+		tp.blocks = append(tp.blocks, make([]Value, valueBlock))
+	}
+	tp.used++
+	v := &tp.blocks[blk][off]
+	*v = Value{tp: tp}
+	return v
+}
+
 // Leaf registers an input tensor. If req is true, gradients with respect to
 // it are accumulated by Backward.
 func (tp *Tape) Leaf(t *tensor.Tensor, req bool) *Value {
-	v := &Value{T: t, req: req}
+	v := tp.newValue()
+	v.T = t
+	v.req = req
 	tp.vals = append(tp.vals, v)
 	return v
 }
@@ -78,7 +147,10 @@ func (tp *Tape) Const(t *tensor.Tensor) *Value { return tp.Leaf(t, false) }
 
 // node registers an op output whose back closure propagates the adjoint.
 func (tp *Tape) node(t *tensor.Tensor, req bool, back func()) *Value {
-	v := &Value{T: t, req: req, back: back}
+	v := tp.newValue()
+	v.T = t
+	v.req = req
+	v.back = back
 	tp.vals = append(tp.vals, v)
 	return v
 }
@@ -88,7 +160,7 @@ func (tp *Tape) store(t *tensor.Tensor) *tensor.Tensor { return t.Quantize(tp.St
 
 // Backward seeds the gradient of root (which must hold exactly one element)
 // with 1 and propagates adjoints through the tape in reverse order.
-// It may be called once per tape.
+// It may be called once per tape (once per Reset for pooled tapes).
 func (tp *Tape) Backward(root *Value) {
 	if root.T.Len() != 1 {
 		panic(fmt.Sprintf("ad: Backward root must be scalar, got shape %v", root.T.Shape))

@@ -14,7 +14,7 @@ func (tp *Tape) Norm(rvec *Value) *Value {
 	if rvec.T.NDim() != 2 || rvec.T.Shape[1] != 3 {
 		panic("ad: Norm expects [Z,3]")
 	}
-	y := tensor.New(z, 1)
+	y := tp.Alloc(z, 1)
 	for i := 0; i < z; i++ {
 		r := rvec.T.Row(i)
 		y.Data[i] = math.Sqrt(r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
@@ -46,18 +46,30 @@ func (tp *Tape) Norm(rvec *Value) *Value {
 func (tp *Tape) SphHarm(rvec *Value, lmax int) *Value {
 	z := rvec.T.Shape[0]
 	dim := o3.SphDim(lmax)
-	y := tensor.New(z, dim)
-	var grads [][][3]float64
-	if rvec.req {
-		grads = make([][][3]float64, z)
+	y := tp.Alloc(z, dim)
+	// Persistent scratch (survives Reset) plus a tape-allocated flat
+	// gradient table [z, dim*3] so steady-state passes allocate nothing.
+	if cap(tp.sphBuf) < dim {
+		tp.sphBuf = make([]float64, dim)
+		tp.sphGBuf = make([][3]float64, dim)
 	}
-	buf := make([]float64, dim)
-	gbuf := make([][3]float64, dim)
+	buf := tp.sphBuf[:dim]
+	gbuf := tp.sphGBuf[:dim]
+	var grads *tensor.Tensor
+	if rvec.req {
+		grads = tp.Alloc(z, dim*3)
+	}
 	for i := 0; i < z; i++ {
-		r := [3]float64{rvec.T.At(i, 0), rvec.T.At(i, 1), rvec.T.At(i, 2)}
+		rr := rvec.T.Row(i)
+		r := [3]float64{rr[0], rr[1], rr[2]}
 		if rvec.req {
 			o3.SphHarmGrad(lmax, r, buf, gbuf)
-			grads[i] = append([][3]float64(nil), gbuf...)
+			row := grads.Row(i)
+			for c, g := range gbuf {
+				row[3*c] = g[0]
+				row[3*c+1] = g[1]
+				row[3*c+2] = g[2]
+			}
 		} else {
 			o3.SphHarm(lmax, r, buf)
 		}
@@ -73,15 +85,15 @@ func (tp *Tape) SphHarm(rvec *Value, lmax int) *Value {
 		for i := 0; i < z; i++ {
 			gRow := g.Row(i)
 			vg := v.grad.Row(i)
-			gi := grads[i]
+			gi := grads.Row(i)
 			for c := 0; c < dim; c++ {
 				gc := vg[c]
 				if gc == 0 {
 					continue
 				}
-				gRow[0] += gc * gi[c][0]
-				gRow[1] += gc * gi[c][1]
-				gRow[2] += gc * gi[c][2]
+				gRow[0] += gc * gi[3*c]
+				gRow[1] += gc * gi[3*c+1]
+				gRow[2] += gc * gi[3*c+2]
 			}
 		}
 	}
@@ -99,7 +111,7 @@ func (tp *Tape) Bessel(r *Value, rcuts []float64, nb int) *Value {
 	if len(rcuts) != z {
 		panic("ad: Bessel rcuts length mismatch")
 	}
-	y := tensor.New(z, nb)
+	y := tp.Alloc(z, nb)
 	for i := 0; i < z; i++ {
 		rv := r.T.Data[i]
 		rc := rcuts[i]
@@ -147,7 +159,7 @@ func (tp *Tape) PolyCutoff(r *Value, rcuts []float64, p int) *Value {
 	c1 := (fp + 1) * (fp + 2) / 2
 	c2 := fp * (fp + 2)
 	c3 := fp * (fp + 1) / 2
-	y := tensor.New(z, 1)
+	y := tp.Alloc(z, 1)
 	for i := 0; i < z; i++ {
 		x := r.T.Data[i] / rcuts[i]
 		if x >= 1 {
@@ -189,7 +201,7 @@ func (tp *Tape) EnvSum(w, y *Value, center []int, n int, scale float64) *Value {
 	if y.T.Shape[0] != z || len(center) != z {
 		panic("ad: EnvSum shape mismatch")
 	}
-	out := tensor.New(n, u, c)
+	out := tp.Alloc(n, u, c)
 	for zi := 0; zi < z; zi++ {
 		i := center[zi]
 		yRow := y.T.Row(zi)
@@ -240,13 +252,15 @@ func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value) *Val
 	if weights.T.Len() != prod.NumPaths() {
 		panic(fmt.Sprintf("ad: TensorProduct got %d weights for %d paths", weights.T.Len(), prod.NumPaths()))
 	}
-	out := prod.ApplyFused(x.T, y.T, weights.T.Data, tp.Compute)
+	out := tp.Alloc(x.T.Dim(0), x.T.Dim(1), prod.Out.Width)
+	tp.tpEntries = prod.ApplyFusedInto(out, x.T, y.T, weights.T.Data, tp.Compute, tp.tpEntries)
 	tp.store(out)
 	v := tp.node(out, x.req || y.req || weights.req, nil)
 	v.back = func() {
-		gx := tensor.New(x.T.Shape...)
-		gy := tensor.New(y.T.Shape...)
-		gw := prod.Backward(x.T, y.T, v.grad, weights.T.Data, gx, gy)
+		gx := tp.Alloc(x.T.Shape...)
+		gy := tp.Alloc(y.T.Shape...)
+		gw := tp.Alloc(prod.NumPaths())
+		prod.BackwardInto(x.T, y.T, v.grad, weights.T.Data, gx, gy, gw.Data)
 		if x.req {
 			x.ensureGrad().AddInPlace(gx, tensor.F64)
 		}
@@ -255,7 +269,7 @@ func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value) *Val
 		}
 		if weights.req {
 			wg := weights.ensureGrad()
-			for i, g := range gw {
+			for i, g := range gw.Data {
 				wg.Data[i] += g
 			}
 		}

@@ -7,6 +7,9 @@ import (
 	"repro/internal/tensor"
 )
 
+// maxRank bounds tensor rank for stack-built shapes in the hot ops.
+const maxRank = 4
+
 // Linear computes x W^T + b for x [N,I], w [O,I], optional b [O],
 // producing [N,O] under the tape's compute precision.
 func (tp *Tape) Linear(x, w, b *Value) *Value {
@@ -15,7 +18,8 @@ func (tp *Tape) Linear(x, w, b *Value) *Value {
 	if w.T.Shape[1] != in {
 		panic(fmt.Sprintf("ad: Linear weight shape %v incompatible with input %v", w.T.Shape, x.T.Shape))
 	}
-	y := tensor.MatMulT(x.T, w.T, tp.Compute)
+	y := tp.Alloc(n, out)
+	tensor.MatMulTInto(y, x.T, w.T, tp.Compute)
 	if b != nil {
 		for i := 0; i < n; i++ {
 			row := y.Row(i)
@@ -31,12 +35,14 @@ func (tp *Tape) Linear(x, w, b *Value) *Value {
 		g := v.grad
 		if x.req {
 			// gX += g W
-			gx := tensor.MatMul(g, w.T, tensor.F64)
+			gx := tp.Alloc(n, in)
+			tensor.MatMulInto(gx, g, w.T, tensor.F64)
 			x.ensureGrad().AddInPlace(gx, tensor.F64)
 		}
 		if w.req {
 			// gW += g^T x
-			gw := tensor.MatMul(tensor.Transpose(g), x.T, tensor.F64)
+			gw := tp.Alloc(out, in)
+			tensor.MatMulTransAInto(gw, g, x.T)
 			w.ensureGrad().AddInPlace(gw, tensor.F64)
 		}
 		if b != nil && b.req {
@@ -54,7 +60,7 @@ func (tp *Tape) Linear(x, w, b *Value) *Value {
 
 // SiLU applies x*sigmoid(x) elementwise.
 func (tp *Tape) SiLU(x *Value) *Value {
-	y := tensor.New(x.T.Shape...)
+	y := tp.Alloc(x.T.Shape...)
 	for i, v := range x.T.Data {
 		y.Data[i] = v / (1 + math.Exp(-v))
 	}
@@ -75,7 +81,7 @@ func (tp *Tape) SiLU(x *Value) *Value {
 
 // Tanh applies tanh elementwise.
 func (tp *Tape) Tanh(x *Value) *Value {
-	y := tensor.New(x.T.Shape...)
+	y := tp.Alloc(x.T.Shape...)
 	for i, v := range x.T.Data {
 		y.Data[i] = math.Tanh(v)
 	}
@@ -99,7 +105,7 @@ func (tp *Tape) Add(a, b *Value) *Value {
 	if !a.T.SameShape(b.T) {
 		panic("ad: Add shape mismatch")
 	}
-	y := a.T.Clone()
+	y := tp.cloneT(a.T)
 	y.AddInPlace(b.T, tp.Store)
 	v := tp.node(y, a.req || b.req, nil)
 	v.back = func() {
@@ -118,7 +124,7 @@ func (tp *Tape) Sub(a, b *Value) *Value {
 	if !a.T.SameShape(b.T) {
 		panic("ad: Sub shape mismatch")
 	}
-	y := tensor.New(a.T.Shape...)
+	y := tp.Alloc(a.T.Shape...)
 	for i := range y.Data {
 		y.Data[i] = tp.Store.Round(a.T.Data[i] - b.T.Data[i])
 	}
@@ -142,7 +148,7 @@ func (tp *Tape) Mul(a, b *Value) *Value {
 	if !a.T.SameShape(b.T) {
 		panic("ad: Mul shape mismatch")
 	}
-	y := tensor.New(a.T.Shape...)
+	y := tp.Alloc(a.T.Shape...)
 	for i := range y.Data {
 		y.Data[i] = tp.Store.Round(a.T.Data[i] * b.T.Data[i])
 	}
@@ -166,7 +172,7 @@ func (tp *Tape) Mul(a, b *Value) *Value {
 
 // Scale returns c*x for a compile-time constant c.
 func (tp *Tape) Scale(x *Value, c float64) *Value {
-	y := x.T.Clone()
+	y := tp.cloneT(x.T)
 	y.Scale(c, tp.Store)
 	v := tp.node(y, x.req, nil)
 	v.back = func() {
@@ -196,7 +202,7 @@ func (tp *Tape) Concat(xs ...*Value) *Value {
 		total += x.T.Shape[1]
 		req = req || x.req
 	}
-	y := tensor.New(n, total)
+	y := tp.Alloc(n, total)
 	off := 0
 	for _, x := range xs {
 		c := x.T.Shape[1]
@@ -235,8 +241,10 @@ func (tp *Tape) SliceLast(x *Value, lo, hi int) *Value {
 	}
 	rows := x.T.Len() / last
 	width := hi - lo
-	shape := append(append([]int(nil), x.T.Shape[:nd-1]...), width)
-	y := tensor.New(shape...)
+	var shape [maxRank]int
+	copy(shape[:], x.T.Shape[:nd-1])
+	shape[nd-1] = width
+	y := tp.Alloc(shape[:nd]...)
 	for r := 0; r < rows; r++ {
 		copy(y.Data[r*width:(r+1)*width], x.T.Data[r*last+lo:r*last+hi])
 	}
@@ -259,7 +267,11 @@ func (tp *Tape) SliceLast(x *Value, lo, hi int) *Value {
 
 // Reshape returns x with a new shape (copy semantics for gradient safety).
 func (tp *Tape) Reshape(x *Value, shape ...int) *Value {
-	y := x.T.Clone().Reshape(shape...)
+	y := tp.Alloc(shape...)
+	if y.Len() != x.T.Len() {
+		panic(fmt.Sprintf("ad: cannot reshape %v to %v", x.T.Shape, shape))
+	}
+	copy(y.Data, x.T.Data)
 	v := tp.node(y, x.req, nil)
 	v.back = func() {
 		if !x.req {
@@ -281,7 +293,8 @@ func (tp *Tape) SumAll(x *Value) *Value {
 	for _, v := range x.T.Data {
 		s += v
 	}
-	y := tensor.FromSlice([]float64{s}, 1)
+	y := tp.Alloc(1)
+	y.Data[0] = s
 	v := tp.node(y, x.req, nil)
 	v.back = func() {
 		if !x.req {
@@ -306,7 +319,8 @@ func (tp *Tape) WeightedSumAll(x *Value, w []float64) *Value {
 	for i, v := range x.T.Data {
 		s += w[i] * v
 	}
-	y := tensor.FromSlice([]float64{s}, 1)
+	y := tp.Alloc(1)
+	y.Data[0] = s
 	v := tp.node(y, x.req, nil)
 	v.back = func() {
 		if !x.req {
@@ -324,8 +338,10 @@ func (tp *Tape) WeightedSumAll(x *Value, w []float64) *Value {
 // GatherRows selects rows of x [N,...] by idx, producing [len(idx),...].
 func (tp *Tape) GatherRows(x *Value, idx []int) *Value {
 	rowLen := x.T.Len() / x.T.Shape[0]
-	shape := append([]int{len(idx)}, x.T.Shape[1:]...)
-	y := tensor.New(shape...)
+	var shape [maxRank]int
+	shape[0] = len(idx)
+	copy(shape[1:], x.T.Shape[1:])
+	y := tp.Alloc(shape[:x.T.NDim()]...)
 	for z, i := range idx {
 		copy(y.Data[z*rowLen:(z+1)*rowLen], x.T.Data[i*rowLen:(i+1)*rowLen])
 	}
@@ -354,8 +370,10 @@ func (tp *Tape) ScatterAddRows(x *Value, idx []int, n int) *Value {
 		panic("ad: ScatterAddRows index length mismatch")
 	}
 	rowLen := x.T.Len() / x.T.Shape[0]
-	shape := append([]int{n}, x.T.Shape[1:]...)
-	y := tensor.New(shape...)
+	var shape [maxRank]int
+	shape[0] = n
+	copy(shape[1:], x.T.Shape[1:])
+	y := tp.Alloc(shape[:x.T.NDim()]...)
 	for z, i := range idx {
 		src := x.T.Data[z*rowLen : (z+1)*rowLen]
 		dst := y.Data[i*rowLen : (i+1)*rowLen]
@@ -389,7 +407,7 @@ func (tp *Tape) MulBroadcastLast(x, s *Value) *Value {
 	if s.T.Len() != rows {
 		panic(fmt.Sprintf("ad: MulBroadcastLast scale %v incompatible with %v", s.T.Shape, x.T.Shape))
 	}
-	y := tensor.New(x.T.Shape...)
+	y := tp.Alloc(x.T.Shape...)
 	for r := 0; r < rows; r++ {
 		sv := s.T.Data[r]
 		for j := 0; j < c; j++ {
@@ -428,7 +446,7 @@ func (tp *Tape) OuterMul(s, y *Value) *Value {
 	if y.T.Shape[0] != z {
 		panic("ad: OuterMul row mismatch")
 	}
-	out := tensor.New(z, u, c)
+	out := tp.Alloc(z, u, c)
 	for zi := 0; zi < z; zi++ {
 		yRow := y.T.Row(zi)
 		for ui := 0; ui < u; ui++ {

@@ -79,6 +79,11 @@ type Config struct {
 	// ZBL enables the repulsive Ziegler-Biersack-Littmark core term added
 	// "as a means to improve the stability of the potential" (Sec. VI-D).
 	ZBL bool
+	// Workers bounds the CPU worker pool used by parallel neighbor builds
+	// and sharded force reductions (the single-node stand-in for the
+	// paper's per-GPU parallelism). Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 forces the serial path.
+	Workers int
 }
 
 // DefaultConfig returns a small but architecturally complete Allegro

@@ -126,16 +126,26 @@ type graph struct {
 	numReal int
 }
 
-// buildGraph runs the Allegro forward pass over the given pair list.
-// train selects whether parameters are bound with gradients.
+// buildGraph runs the Allegro forward pass over the given pair list on a
+// fresh heap-backed tape. train selects whether parameters are bound with
+// gradients.
 func (m *Model) buildGraph(sys *atoms.System, pairs *neighbor.Pairs, train bool) *graph {
 	cfg := &m.Cfg
-	z := pairs.Len()
 	tape := ad.NewTape(cfg.Precision.Compute, cfg.Precision.Weights)
 	b := nn.NewBinder(tape, train)
+	g := m.buildGraphOn(tape, b, sys, pairs, train)
+	return &g
+}
+
+// buildGraphOn runs the forward pass on a caller-provided tape and binder —
+// the steady-state entry point: with an arena-backed tape (EvalScratch) all
+// activations, gradients, and nodes come from recycled storage.
+func (m *Model) buildGraphOn(tape *ad.Tape, b *nn.Binder, sys *atoms.System, pairs *neighbor.Pairs, train bool) graph {
+	cfg := &m.Cfg
+	z := pairs.Len()
 
 	// Pair displacement leaf (forces flow into this).
-	rv := tensor.New(z, 3)
+	rv := tape.Alloc(z, 3)
 	for i := 0; i < z; i++ {
 		copy(rv.Row(i), pairs.Vec[i][:])
 	}
@@ -143,8 +153,8 @@ func (m *Model) buildGraph(sys *atoms.System, pairs *neighbor.Pairs, train bool)
 
 	// Species one-hot for (center, neighbor).
 	s := m.Idx.Len()
-	oneHot := tensor.New(z, 2*s)
-	sigma := make([]float64, z)
+	oneHot := tape.Alloc(z, 2*s)
+	sigma := tape.Alloc(z).Data
 	for i := 0; i < z; i++ {
 		ti := m.Idx.Index(sys.Species[pairs.I[i]])
 		tj := m.Idx.Index(sys.Species[pairs.J[i]])
@@ -202,7 +212,7 @@ func (m *Model) buildGraph(sys *atoms.System, pairs *neighbor.Pairs, train bool)
 	}
 	eNet := tape.WeightedSumAll(ePair, sigma)
 
-	return &graph{tape: tape, binder: b, rvec: rvec, energy: eNet, pairE: ePair, latent: h, numReal: pairs.NumReal}
+	return graph{tape: tape, binder: b, rvec: rvec, energy: eNet, pairE: ePair, latent: h, numReal: pairs.NumReal}
 }
 
 // Result holds one evaluation of the potential.

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/data"
+	"repro/internal/md"
+	"repro/internal/neighbor"
+	"repro/internal/par"
+	"repro/internal/units"
+)
+
+func testModel(t testing.TB, workers int) *Model {
+	t.Helper()
+	cfg := DefaultConfig([]units.Species{units.H, units.O})
+	cfg.Workers = workers
+	m, err := New(cfg, nil, rand.New(rand.NewPCG(11, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testWater(seed uint64) *atoms.System {
+	return data.WaterBox(rand.New(rand.NewPCG(seed, 1)), 2, 2, 2)
+}
+
+// TestEvaluateIntoMatchesEvaluate checks the scratch path against the
+// allocating path bit for bit in the serial case.
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(3)
+	want := m.Evaluate(sys)
+	es := NewEvalScratch()
+	defer es.Close()
+	got := m.EvaluateInto(es, sys)
+	if got.Energy != want.Energy {
+		t.Fatalf("energy %.17g vs %.17g", got.Energy, want.Energy)
+	}
+	for i := range want.Forces {
+		if got.Forces[i] != want.Forces[i] {
+			t.Fatalf("force %d: %v vs %v", i, got.Forces[i], want.Forces[i])
+		}
+	}
+	if got.PairWork != want.PairWork {
+		t.Fatalf("pair work %d vs %d", got.PairWork, want.PairWork)
+	}
+}
+
+// TestEvaluateIntoReuse checks that repeated scratch evaluations are stable
+// and that the arena stops growing after warm-up.
+func TestEvaluateIntoReuse(t *testing.T) {
+	m := testModel(t, 2)
+	sys := testWater(4)
+	es := NewEvalScratch()
+	defer es.Close()
+	first := m.EvaluateInto(es, sys)
+	e0 := first.Energy
+	f0 := append([][3]float64(nil), first.Forces...)
+	warm := es.ArenaBytes()
+	for it := 0; it < 5; it++ {
+		r := m.EvaluateInto(es, sys)
+		if r.Energy != e0 {
+			t.Fatalf("iteration %d: energy drifted %.17g vs %.17g", it, r.Energy, e0)
+		}
+		for i := range f0 {
+			if r.Forces[i] != f0[i] {
+				t.Fatalf("iteration %d: force %d drifted", it, i)
+			}
+		}
+	}
+	if es.ArenaBytes() != warm {
+		t.Fatalf("arena grew after warm-up: %d -> %d bytes", warm, es.ArenaBytes())
+	}
+}
+
+// TestShardedForceReductionDeterminism is the determinism test of the
+// sharded force reduction: for a fixed worker count results are bitwise
+// reproducible across fresh scratches, and the sharded sum agrees with the
+// serial reduction to roundoff.
+func TestShardedForceReductionDeterminism(t *testing.T) {
+	sys := testWater(5)
+
+	mSerial := testModel(t, 1)
+	serial := mSerial.EvaluateInto(NewEvalScratch(), sys)
+
+	mPar := testModel(t, 4)
+	esA, esB := NewEvalScratch(), NewEvalScratch()
+	defer esA.Close()
+	defer esB.Close()
+	a := mPar.EvaluateInto(esA, sys)
+	b := mPar.EvaluateInto(esB, sys)
+	for i := range a.Forces {
+		if a.Forces[i] != b.Forces[i] {
+			t.Fatalf("workers=4 not reproducible at atom %d: %v vs %v", i, a.Forces[i], b.Forces[i])
+		}
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("workers=4 energy not reproducible")
+	}
+	for i := range a.Forces {
+		for k := 0; k < 3; k++ {
+			if d := math.Abs(a.Forces[i][k] - serial.Forces[i][k]); d > 1e-10 {
+				t.Fatalf("atom %d component %d: sharded %v vs serial %v", i, k, a.Forces[i], serial.Forces[i])
+			}
+		}
+	}
+}
+
+// TestEvaluatorPaddingNeutral checks that fake-pair padding changes neither
+// energies nor forces.
+func TestEvaluatorPaddingNeutral(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(6)
+	want := m.Evaluate(sys)
+
+	e := NewEvaluator(m)
+	defer e.Close()
+	e.PadFactor = 1.25
+	energy := 0.0
+	forces := make([][3]float64, sys.NumAtoms())
+	energy = e.EnergyForcesInto(sys, forces)
+	if energy != want.Energy {
+		t.Fatalf("padded energy %.17g vs %.17g", energy, want.Energy)
+	}
+	for i := range forces {
+		if forces[i] != want.Forces[i] {
+			t.Fatalf("padded force %d: %v vs %v", i, forces[i], want.Forces[i])
+		}
+	}
+	if e.PairWork() <= want.PairWork {
+		t.Fatalf("padding did not grow pair work (%d vs %d)", e.PairWork(), want.PairWork)
+	}
+}
+
+// TestEvaluatorPadToRunningMax checks shape stabilization: pair work is
+// monotone non-decreasing across evaluations even as real pair counts
+// fluctuate.
+func TestEvaluatorPadToRunningMax(t *testing.T) {
+	m := testModel(t, 1)
+	e := NewEvaluator(m)
+	defer e.Close()
+	forces := make([][3]float64, testWater(7).NumAtoms())
+	prev := 0
+	for it := 0; it < 4; it++ {
+		sys := testWater(uint64(7 + it)) // different boxes, fluctuating pairs
+		e.EnergyForcesInto(sys, forces)
+		if e.PairWork() < prev {
+			t.Fatalf("pair work shrank: %d -> %d", prev, e.PairWork())
+		}
+		prev = e.PairWork()
+	}
+}
+
+// TestSimStepDeterminismParallel runs the full MD step (parallel neighbor
+// build + sharded force reduction) twice from identical initial conditions
+// and requires bitwise-identical trajectories.
+func TestSimStepDeterminismParallel(t *testing.T) {
+	run := func() *md.Sim {
+		m := testModel(t, 4)
+		sys := testWater(9)
+		sim := md.NewSim(sys, NewEvaluator(m), 0.25)
+		sim.InitVelocities(300, rand.New(rand.NewPCG(21, 22)))
+		sim.Run(3)
+		return sim
+	}
+	a, b := run(), run()
+	if a.Energy != b.Energy {
+		t.Fatalf("energies diverged: %.17g vs %.17g", a.Energy, b.Energy)
+	}
+	for i := range a.Sys.Pos {
+		if a.Sys.Pos[i] != b.Sys.Pos[i] {
+			t.Fatalf("positions diverged at atom %d", i)
+		}
+		if a.Vel[i] != b.Vel[i] {
+			t.Fatalf("velocities diverged at atom %d", i)
+		}
+	}
+}
+
+// TestEvaluatorSteadyStateAllocs bounds the steady-state allocation rate of
+// the full force call: all tensor storage is arena-recycled, so what is
+// left is the tape's fixed set of per-node closures — independent of
+// system size and far below one allocation per pair.
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	m := testModel(t, 0) // all cores
+	sys := testWater(10)
+	e := NewEvaluator(m)
+	defer e.Close()
+	forces := make([][3]float64, sys.NumAtoms())
+	for i := 0; i < 3; i++ {
+		e.EnergyForcesInto(sys, forces) // warm up arena and pools
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		e.EnergyForcesInto(sys, forces)
+	})
+	pairs := neighbor.Build(sys, m.Cuts)
+	// ~100 fixed small allocations remain per worker sub-graph (one
+	// backward closure per tape node); everything proportional to system
+	// size is arena-recycled, so the bound scales with the resolved chunk
+	// count, not with pairs — a regression back to per-pair tensor
+	// allocation (thousands per call) trips it immediately.
+	nw := par.Workers(0, pairs.NumReal/minEvalPairsPerWorker)
+	limit := 170.0 * float64(nw)
+	if allocs > limit {
+		t.Errorf("steady-state force call allocates %.0f allocs/op (pairs=%d, chunks=%d), want <= %.0f",
+			allocs, pairs.NumReal, nw, limit)
+	}
+}
+
+// TestChunkedEvaluationExact checks the parallel chunked-graph evaluation
+// (with padding, which lands in the tail chunk) against the serial path:
+// energies agree to roundoff, forces to 1e-10, across worker counts.
+func TestChunkedEvaluationExact(t *testing.T) {
+	sys := testWater(12)
+	want := testModel(t, 1).Evaluate(sys)
+	for _, workers := range []int{2, 3, 5, 8} {
+		m := testModel(t, workers)
+		e := NewEvaluator(m)
+		e.PadFactor = 1.10
+		forces := make([][3]float64, sys.NumAtoms())
+		energy := e.EnergyForcesInto(sys, forces)
+		if d := math.Abs(energy - want.Energy); d > 1e-9*math.Abs(want.Energy)+1e-12 {
+			t.Errorf("workers=%d: energy %.17g vs serial %.17g", workers, energy, want.Energy)
+		}
+		for i := range forces {
+			for k := 0; k < 3; k++ {
+				if d := math.Abs(forces[i][k] - want.Forces[i][k]); d > 1e-10 {
+					t.Errorf("workers=%d atom %d: force %v vs %v", workers, i, forces[i], want.Forces[i])
+					break
+				}
+			}
+		}
+		e.Close()
+	}
+}

@@ -1,0 +1,90 @@
+package md
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// springInPlace is a harmonic tether potential implementing both Potential
+// and InPlacePotential (forces written into the caller's buffer).
+type springInPlace struct {
+	k      float64
+	center [][3]float64
+}
+
+func newSpringInPlace(sys *atoms.System, k float64) *springInPlace {
+	c := make([][3]float64, sys.NumAtoms())
+	copy(c, sys.Pos)
+	return &springInPlace{k: k, center: c}
+}
+
+func (h *springInPlace) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	f := make([][3]float64, sys.NumAtoms())
+	return h.EnergyForcesInto(sys, f), f
+}
+
+func (h *springInPlace) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64 {
+	e := 0.0
+	for i := range forces {
+		for k := 0; k < 3; k++ {
+			d := sys.Pos[i][k] - h.center[i][k]
+			e += 0.5 * h.k * d * d
+			forces[i][k] = -h.k * d
+		}
+	}
+	return e
+}
+
+func testSpringSystem(n int) *atoms.System {
+	sys := atoms.NewSystem(n)
+	rng := rand.New(rand.NewPCG(4, 5))
+	for i := 0; i < n; i++ {
+		sys.Species[i] = units.O
+		for k := 0; k < 3; k++ {
+			sys.Pos[i][k] = rng.Float64() * 10
+		}
+	}
+	return sys
+}
+
+// TestSimInPlaceMatchesAllocating checks that the in-place step path
+// produces the same trajectory as the allocating path.
+func TestSimInPlaceMatchesAllocating(t *testing.T) {
+	sysA, sysB := testSpringSystem(24), testSpringSystem(24)
+	potA := newSpringInPlace(sysA, 2.0)
+	// Hide the Into method from simB so it takes the allocating path.
+	simA := NewSim(sysA, potA, 0.5)
+	simB := NewSim(sysB, struct{ Potential }{newSpringInPlace(sysB, 2.0)}, 0.5)
+	simA.InitVelocities(250, rand.New(rand.NewPCG(6, 7)))
+	simB.InitVelocities(250, rand.New(rand.NewPCG(6, 7)))
+	simA.Run(10)
+	simB.Run(10)
+	if simA.Energy != simB.Energy {
+		t.Fatalf("energies diverged: %.17g vs %.17g", simA.Energy, simB.Energy)
+	}
+	for i := range sysA.Pos {
+		if sysA.Pos[i] != sysB.Pos[i] {
+			t.Fatalf("positions diverged at atom %d", i)
+		}
+	}
+}
+
+// TestSimStepZeroAlloc asserts the md integration loop's zero-allocation
+// contract with an in-place potential: after construction, Step allocates
+// nothing and the force buffer is never replaced.
+func TestSimStepZeroAlloc(t *testing.T) {
+	sys := testSpringSystem(100)
+	sim := NewSim(sys, newSpringInPlace(sys, 1.5), 0.5)
+	sim.InitVelocities(300, rand.New(rand.NewPCG(8, 9)))
+	buf0 := &sim.Forces[0]
+	allocs := testing.AllocsPerRun(50, sim.Step)
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f allocs/op with an in-place potential, want 0", allocs)
+	}
+	if &sim.Forces[0] != buf0 {
+		t.Errorf("force buffer was replaced during stepping")
+	}
+}

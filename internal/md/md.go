@@ -18,6 +18,18 @@ type Potential interface {
 	EnergyForces(sys *atoms.System) (float64, [][3]float64)
 }
 
+// InPlacePotential is a Potential that writes forces into a caller-owned
+// buffer instead of allocating one per call — the zero-allocation MD
+// contract. Sim detects it at construction and reuses a single force buffer
+// for the whole trajectory (core.Evaluator is the canonical implementation;
+// its EvalScratch recycles every evaluation buffer too).
+type InPlacePotential interface {
+	Potential
+	// EnergyForcesInto overwrites forces (len sys.NumAtoms()) and returns
+	// the potential energy.
+	EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64
+}
+
 // Combined sums several potentials (e.g. a learned short-range model plus
 // the Wolf-summation long-range electrostatics extension).
 type Combined []Potential
@@ -108,9 +120,13 @@ type Sim struct {
 	Forces  [][3]float64
 	Energy  float64 // last potential energy
 	StepNum int
+
+	inPlace InPlacePotential // non-nil: reuse Forces across steps
 }
 
 // NewSim prepares a simulation; forces are evaluated once at construction.
+// If pot implements InPlacePotential, every step reuses the simulation's
+// force buffer and the force path allocates nothing in steady state.
 func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
 	s := &Sim{
 		Sys:    sys,
@@ -119,7 +135,13 @@ func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
 		Pot:    pot,
 		Dt:     dt,
 	}
-	s.Energy, s.Forces = pot.EnergyForces(sys)
+	if ip, ok := pot.(InPlacePotential); ok {
+		s.inPlace = ip
+		s.Forces = make([][3]float64, sys.NumAtoms())
+		s.Energy = ip.EnergyForcesInto(sys, s.Forces)
+	} else {
+		s.Energy, s.Forces = pot.EnergyForces(sys)
+	}
 	return s
 }
 
@@ -163,8 +185,12 @@ func (s *Sim) Step() {
 			s.Sys.Pos[i][k] += dt * s.Vel[i][k]
 		}
 	}
-	// New forces.
-	s.Energy, s.Forces = s.Pot.EnergyForces(s.Sys)
+	// New forces (into the reused buffer when the potential supports it).
+	if s.inPlace != nil {
+		s.Energy = s.inPlace.EnergyForcesInto(s.Sys, s.Forces)
+	} else {
+		s.Energy, s.Forces = s.Pot.EnergyForces(s.Sys)
+	}
 	// Second half kick.
 	for i := range s.Vel {
 		f := units.AccelFactor / s.Masses[i]

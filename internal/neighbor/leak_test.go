@@ -1,0 +1,26 @@
+package neighbor
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+func TestBuildDoesNotLeakGoroutines(t *testing.T) {
+	species := []units.Species{units.H, units.O}
+	rng := rand.New(rand.NewPCG(9, 3))
+	sys := randomPeriodic(rng, 300, 14, species)
+	cuts := PaperBioCutoffs(atoms.NewSpeciesIndex(species))
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		Build(sys, cuts)
+	}
+	time.Sleep(50 * time.Millisecond) // let closed workers exit
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d across 50 Build calls", before, after)
+	}
+}

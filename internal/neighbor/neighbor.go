@@ -94,43 +94,14 @@ func (p *Pairs) Len() int { return len(p.I) }
 
 // Build constructs the ordered pair list for sys under the cutoff table.
 // Both directions of each geometric pair are considered independently
-// against their ordered cutoffs.
+// against their ordered cutoffs. The build runs on a transient Builder with
+// up to runtime.GOMAXPROCS workers; callers in steady-state loops should
+// hold their own Builder and use BuildInto to reuse its scratch.
 func Build(sys *atoms.System, cuts *CutoffTable) *Pairs {
-	n := sys.NumAtoms()
-	p := &Pairs{NAtoms: n}
-	rcMax := cuts.Max()
-	// Resolve species indices once.
-	tIdx := make([]int, n)
-	for i, sp := range sys.Species {
-		tIdx[i] = cuts.Index.Index(sp)
-	}
-	addIfClose := func(i, j int, d [3]float64) {
-		r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
-		if r2 > rcMax*rcMax || r2 == 0 {
-			return
-		}
-		r := math.Sqrt(r2)
-		if rc := cuts.Rc[tIdx[i]][tIdx[j]]; r < rc {
-			p.I = append(p.I, i)
-			p.J = append(p.J, j)
-			p.Vec = append(p.Vec, d)
-			p.Dist = append(p.Dist, r)
-			p.Cut = append(p.Cut, rc)
-		}
-	}
-	if useCellList(sys, rcMax) {
-		buildCellList(sys, rcMax, addIfClose)
-	} else {
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
-				addIfClose(i, j, sys.Displacement(i, j))
-			}
-		}
-	}
-	p.NumReal = len(p.I)
+	var b Builder
+	defer b.Close() // release the transient pool's goroutines
+	p := &Pairs{}
+	b.BuildInto(p, sys, cuts)
 	return p
 }
 
@@ -148,100 +119,6 @@ func useCellList(sys *atoms.System, rc float64) bool {
 	return true
 }
 
-// buildCellList bins atoms into cells of edge >= rc and scans the 27
-// neighboring cells of each atom.
-func buildCellList(sys *atoms.System, rc float64, visit func(i, j int, d [3]float64)) {
-	n := sys.NumAtoms()
-	var lo, hi [3]float64
-	if sys.PBC {
-		hi = sys.Cell
-	} else {
-		lo = sys.Pos[0]
-		hi = sys.Pos[0]
-		for _, p := range sys.Pos {
-			for k := 0; k < 3; k++ {
-				lo[k] = math.Min(lo[k], p[k])
-				hi[k] = math.Max(hi[k], p[k])
-			}
-		}
-		for k := 0; k < 3; k++ {
-			hi[k] += 1e-9
-		}
-	}
-	var nb [3]int
-	var cw [3]float64
-	for k := 0; k < 3; k++ {
-		ext := hi[k] - lo[k]
-		nb[k] = int(ext / rc)
-		if nb[k] < 1 {
-			nb[k] = 1
-		}
-		cw[k] = ext / float64(nb[k])
-	}
-	cellOf := func(p [3]float64) [3]int {
-		var c [3]int
-		for k := 0; k < 3; k++ {
-			c[k] = int((p[k] - lo[k]) / cw[k])
-			if c[k] >= nb[k] {
-				c[k] = nb[k] - 1
-			}
-			if c[k] < 0 {
-				c[k] = 0
-			}
-		}
-		return c
-	}
-	bins := map[[3]int][]int{}
-	pos := make([][3]float64, n)
-	copy(pos, sys.Pos)
-	if sys.PBC {
-		// Work on wrapped copies for binning; displacements still use
-		// minimum image on original positions.
-		for i := range pos {
-			for k := 0; k < 3; k++ {
-				l := sys.Cell[k]
-				pos[i][k] -= l * math.Floor(pos[i][k]/l)
-			}
-		}
-	}
-	for i := range pos {
-		c := cellOf(pos[i])
-		bins[c] = append(bins[c], i)
-	}
-	for i := 0; i < n; i++ {
-		ci := cellOf(pos[i])
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for dz := -1; dz <= 1; dz++ {
-					cj := [3]int{ci[0] + dx, ci[1] + dy, ci[2] + dz}
-					if sys.PBC {
-						for k := 0; k < 3; k++ {
-							cj[k] = ((cj[k] % nb[k]) + nb[k]) % nb[k]
-						}
-					} else {
-						if cj[0] < 0 || cj[0] >= nb[0] || cj[1] < 0 || cj[1] >= nb[1] || cj[2] < 0 || cj[2] >= nb[2] {
-							continue
-						}
-					}
-					for _, j := range bins[cj] {
-						if j == i {
-							continue
-						}
-						d := [3]float64{pos[j][0] - pos[i][0], pos[j][1] - pos[i][1], pos[j][2] - pos[i][2]}
-						if sys.PBC {
-							for k := 0; k < 3; k++ {
-								l := sys.Cell[k]
-								d[k] -= l * math.Round(d[k]/l)
-							}
-						}
-						visit(i, j, d)
-					}
-				}
-			}
-		}
-	}
-}
-
 // Pad grows the pair list to at least ceil(factor * NumReal) entries by
 // appending fake pairs between two virtual atoms far beyond every cutoff,
 // mirroring the 5% Kokkos buffer padding that stabilizes PyTorch allocator
@@ -252,7 +129,14 @@ func (p *Pairs) Pad(factor float64) {
 	if factor <= 1 {
 		return
 	}
-	target := int(math.Ceil(factor * float64(p.NumReal)))
+	p.PadTo(int(math.Ceil(factor * float64(p.NumReal))))
+}
+
+// PadTo grows the pair list with fake pairs until it holds exactly target
+// entries (no-op if it is already at least that long). Padding to a running
+// maximum keeps input shapes constant across MD steps, which is what lets
+// arena-backed evaluation reuse its storage layout verbatim.
+func (p *Pairs) PadTo(target int) {
 	for p.Len() < target {
 		rc := 1.0
 		if p.NumReal > 0 {

@@ -130,6 +130,48 @@ func (tp *TensorProduct) ApplyFused(x, y *tensor.Tensor, weights []float64, p te
 	return out
 }
 
+// ApplyFusedInto is ApplyFused with a caller-provided zeroed output tensor
+// [Z,U,Out.Width] and an optional reusable entry scratch: entryScratch is
+// overwritten with the weight-folded table and the (possibly grown) slice is
+// returned so callers can amortize it across evaluations. With a non-nil
+// scratch and an F64 pipeline the contraction performs no allocations once
+// the scratch has warmed up — the inner loop of the paper's Fig. 3 fused
+// kernel.
+func (tp *TensorProduct) ApplyFusedInto(out, x, y *tensor.Tensor, weights []float64, p tensor.Precision, entryScratch []TPEntry) []TPEntry {
+	z, u := tp.checkShapes(x, y)
+	if out.Dim(0) != z || out.Dim(1) != u || out.Dim(2) != tp.Out.Width {
+		panic("o3: ApplyFusedInto output shape mismatch")
+	}
+	entries := tp.fused
+	if entries == nil {
+		entryScratch = tp.FlattenInto(entryScratch[:0], weights)
+		entries = entryScratch
+	}
+	tp.contract(out, x, y, entries, p)
+	return entryScratch
+}
+
+// FlattenInto appends the weight-folded entry table to dst and returns it
+// (the allocation-free form of the transient table ApplyFused builds).
+func (tp *TensorProduct) FlattenInto(dst []TPEntry, weights []float64) []TPEntry {
+	if weights != nil && len(weights) != len(tp.Paths) {
+		panic(fmt.Sprintf("o3: got %d weights for %d paths", len(weights), len(tp.Paths)))
+	}
+	for pi, path := range tp.Paths {
+		w := 1.0
+		if weights != nil {
+			w = weights[pi]
+		}
+		if w == 0 {
+			continue
+		}
+		for _, e := range path.Entries {
+			dst = append(dst, TPEntry{A: e.A, B: e.B, C: e.C, W: e.W * w})
+		}
+	}
+	return dst
+}
+
 // flattenWeighted builds a transient entry table with the given per-path
 // weights applied (the training-time four-tensor contraction).
 func (tp *TensorProduct) flattenWeighted(weights []float64) []TPEntry {
@@ -302,17 +344,25 @@ func pathNormInto(tp *TensorProduct, i3 int) float64 {
 // gradient *correctness* tests require the exact adjoint, and the precision
 // ablation quantizes activations rather than adjoints).
 func (tp *TensorProduct) Backward(x, y, gOut *tensor.Tensor, weights []float64, gX, gY *tensor.Tensor) []float64 {
-	z, u := tp.checkShapes(x, y)
-	if weights == nil {
-		weights = make([]float64, len(tp.Paths))
-		for i := range weights {
-			weights[i] = 1
-		}
-	}
 	gW := make([]float64, len(tp.Paths))
+	tp.BackwardInto(x, y, gOut, weights, gX, gY, gW)
+	return gW
+}
+
+// BackwardInto is Backward with a caller-provided per-path weight-gradient
+// buffer gW (len NumPaths), performing no allocations. gX and gY must be
+// zero-filled [Z,U,width] tensors; gW is overwritten.
+func (tp *TensorProduct) BackwardInto(x, y, gOut *tensor.Tensor, weights []float64, gX, gY *tensor.Tensor, gW []float64) {
+	z, u := tp.checkShapes(x, y)
+	if len(gW) != len(tp.Paths) {
+		panic(fmt.Sprintf("o3: BackwardInto got %d gradient slots for %d paths", len(gW), len(tp.Paths)))
+	}
 	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
 	for pi, path := range tp.Paths {
-		w := weights[pi]
+		w := 1.0
+		if weights != nil {
+			w = weights[pi]
+		}
 		var gwAcc float64
 		for zi := 0; zi < z; zi++ {
 			for ui := 0; ui < u; ui++ {
@@ -335,5 +385,4 @@ func (tp *TensorProduct) Backward(x, y, gOut *tensor.Tensor, weights []float64, 
 		}
 		gW[pi] = gwAcc
 	}
-	return gW
 }

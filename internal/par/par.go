@@ -1,0 +1,98 @@
+// Package par provides the bounded, persistent worker pool shared by the
+// parallel evaluation pipeline (cell-list neighbor builds, sharded force
+// reductions). Pools keep their goroutines alive between dispatches and
+// communicate over buffered channels of ints, so steady-state dispatch
+// performs no heap allocations — the property the zero-allocation force
+// path is built on.
+package par
+
+import "runtime"
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0); the result is clamped to [1, max] (max <= 0 means
+// no upper clamp).
+func Workers(requested, max int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max > 0 && w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Pool is a bounded set of persistent worker goroutines executing indexed
+// jobs. The zero value is ready to use; goroutines are spawned lazily on
+// the first parallel Run and released by Close. A Pool is owned by one
+// dispatching goroutine (the job bodies themselves run concurrently).
+//
+// To keep dispatch allocation-free, callers should hoist the job closure:
+// build it once (reading per-dispatch state through captured pointers) and
+// pass the same func value to every Run.
+type Pool struct {
+	fn      func(int)
+	jobs    chan int
+	done    chan struct{}
+	spawned int
+}
+
+// chanCap bounds in-flight jobs; larger dispatches still complete (the
+// producer blocks until workers free slots), it only caps buffering.
+const chanCap = 256
+
+// Run executes fn(0) … fn(chunks-1), running up to `chunks` bodies
+// concurrently on the pool (the dispatcher itself runs chunk 0). It returns
+// after every body has finished. With chunks <= 1 the call is a plain
+// serial loop and touches no pool state.
+func (p *Pool) Run(chunks int, fn func(int)) {
+	if chunks <= 1 {
+		if chunks == 1 {
+			fn(0)
+		}
+		return
+	}
+	if p.jobs == nil {
+		p.jobs = make(chan int, chanCap)
+		p.done = make(chan struct{}, chanCap)
+	}
+	for p.spawned < chunks-1 {
+		go workerLoop(p, p.jobs, p.done)
+		p.spawned++
+	}
+	p.fn = fn
+	for ci := 1; ci < chunks; ci++ {
+		p.jobs <- ci
+	}
+	fn(0)
+	for ci := 1; ci < chunks; ci++ {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+// workerLoop is the long-lived body of one pool goroutine. The channels are
+// passed in (not read from the Pool) so Close can nil the fields without
+// racing workers that have not yet been scheduled; p.fn reads are ordered
+// by the jobs send / done receive pair.
+func workerLoop(p *Pool, jobs chan int, done chan struct{}) {
+	for ci := range jobs {
+		p.fn(ci)
+		done <- struct{}{}
+	}
+}
+
+// Close releases the worker goroutines. The Pool remains usable afterwards
+// (a later parallel Run restarts it). Pools that never ran a parallel
+// dispatch have nothing to release.
+func (p *Pool) Close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+		p.done = nil
+		p.spawned = 0
+	}
+}

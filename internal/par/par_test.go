@@ -1,0 +1,59 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0,0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8,3) = %d, want 3", got)
+	}
+	if got := Workers(-2, 0); got < 1 {
+		t.Fatalf("Workers(-2,0) = %d, want >= 1", got)
+	}
+	if got := Workers(5, 0); got != 5 {
+		t.Fatalf("Workers(5,0) = %d, want 5", got)
+	}
+}
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	var p Pool
+	defer p.Close()
+	for _, chunks := range []int{1, 2, 5, 16, 40} {
+		counts := make([]int64, chunks)
+		p.Run(chunks, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("chunks=%d: index %d ran %d times", chunks, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolReusableAfterClose(t *testing.T) {
+	var p Pool
+	var n atomic.Int64
+	p.Run(4, func(int) { n.Add(1) })
+	p.Close()
+	p.Run(4, func(int) { n.Add(1) })
+	p.Close()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d jobs, want 8", n.Load())
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	var p Pool
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) } // hoisted once, as documented
+	p.Run(4, fn)
+	if allocs := testing.AllocsPerRun(20, func() { p.Run(4, fn) }); allocs > 0 {
+		t.Errorf("steady-state dispatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}

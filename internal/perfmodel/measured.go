@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/atoms"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Measurement captures the achieved steady-state throughput and allocation
+// rate of the parallel evaluation pipeline on this node. It replaces the
+// frozen calibration constants with numbers measured on the hardware the
+// reproduction actually runs on: the cluster-scale model is then anchored
+// at a measured single-node operating point instead of the A100 constants
+// (which remain the defaults for reproducing the paper's published curves).
+type Measurement struct {
+	Atoms   int // atoms in the measured system
+	Pairs   int // ordered pairs per force call (including padding)
+	Workers int // resolved worker-pool size
+	Steps   int // timed force calls
+
+	PairsPerSec float64 // achieved ordered pairs per second
+	AtomsPerSec float64 // achieved atom evaluations per second
+	TimePerAtom float64 // wall seconds per atom per force call
+	AllocsPerOp float64 // heap allocations per force call (steady state)
+	BytesPerOp  float64 // heap bytes per force call (steady state)
+}
+
+// String renders the measurement for reports.
+func (m Measurement) String() string {
+	return fmt.Sprintf("measured: %d atoms, %d pairs, %d workers: %.3g pairs/s, %.3g s/atom, %.0f allocs/op",
+		m.Atoms, m.Pairs, m.Workers, m.PairsPerSec, m.TimePerAtom, m.AllocsPerOp)
+}
+
+// MeasureSingleNode runs `steps` steady-state force calls of the model on
+// sys through a fresh core.Evaluator (parallel neighbor build, arena-backed
+// tape, sharded force reduction) and reports achieved throughput and
+// allocation rates. Two warm-up calls size the arena and worker pools
+// before timing starts, so the numbers reflect the steady state the paper's
+// Sec. V-C padding is designed to reach.
+func MeasureSingleNode(m *core.Model, sys *atoms.System, steps int) Measurement {
+	if steps < 1 {
+		steps = 1
+	}
+	ev := core.NewEvaluator(m)
+	defer ev.Close()
+	forces := make([][3]float64, sys.NumAtoms())
+	ev.EnergyForcesInto(sys, forces)
+	ev.EnergyForcesInto(sys, forces)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		ev.EnergyForcesInto(sys, forces)
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	n := sys.NumAtoms()
+	pairs := ev.PairWork()
+	meas := Measurement{
+		Atoms:   n,
+		Pairs:   pairs,
+		Workers: par.Workers(m.Cfg.Workers, 0),
+		Steps:   steps,
+	}
+	if wall > 0 {
+		meas.PairsPerSec = float64(pairs) * float64(steps) / wall
+		meas.AtomsPerSec = float64(n) * float64(steps) / wall
+		meas.TimePerAtom = wall / (float64(steps) * float64(n))
+	}
+	meas.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
+	meas.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
+	return meas
+}
+
+// CalibrateMachine anchors a cluster machine model at a measured operating
+// point: the per-atom compute time becomes the measured single-node value
+// instead of the frozen A100 constant. Communication and synchronization
+// terms keep their configured values (they model the interconnect, which a
+// single-node measurement cannot see).
+func CalibrateMachine(mach cluster.Machine, meas Measurement) cluster.Machine {
+	if meas.TimePerAtom > 0 {
+		mach.TimePerAtom = meas.TimePerAtom
+	}
+	return mach
+}

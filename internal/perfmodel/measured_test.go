@@ -1,0 +1,57 @@
+package perfmodel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/units"
+)
+
+func TestMeasureSingleNode(t *testing.T) {
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := data.WaterBox(rand.New(rand.NewPCG(3, 4)), 2, 2, 2)
+	meas := MeasureSingleNode(m, sys, 3)
+	if meas.Atoms != sys.NumAtoms() {
+		t.Fatalf("atoms %d vs %d", meas.Atoms, sys.NumAtoms())
+	}
+	if meas.Pairs <= 0 || meas.PairsPerSec <= 0 || meas.TimePerAtom <= 0 {
+		t.Fatalf("degenerate measurement: %+v", meas)
+	}
+	if meas.Workers < 1 {
+		t.Fatalf("workers %d", meas.Workers)
+	}
+	// Steady state must stay far below one allocation per pair — the
+	// regression guard for the zero-allocation pipeline.
+	if meas.AllocsPerOp > float64(meas.Pairs) {
+		t.Errorf("allocs/op %.0f exceeds pair count %d: steady-state reuse broken", meas.AllocsPerOp, meas.Pairs)
+	}
+}
+
+func TestCalibrateMachine(t *testing.T) {
+	mach := cluster.Perlmutter()
+	meas := Measurement{TimePerAtom: 3.3e-6}
+	cal := CalibrateMachine(mach, meas)
+	if cal.TimePerAtom != 3.3e-6 {
+		t.Fatalf("calibration not applied: %g", cal.TimePerAtom)
+	}
+	if cal.GhostBandwidth != mach.GhostBandwidth || cal.SyncPerLog2 != mach.SyncPerLog2 {
+		t.Fatalf("communication terms must be preserved")
+	}
+	// A degenerate measurement must not zero the machine model.
+	if CalibrateMachine(mach, Measurement{}).TimePerAtom != mach.TimePerAtom {
+		t.Fatalf("zero measurement should leave machine untouched")
+	}
+	// The calibrated machine steps faster at the same scale when measured
+	// compute is faster than the frozen constant.
+	w := cluster.Water("water", 1_000_000)
+	if cal.StepTime(w, 16) >= mach.StepTime(w, 16) {
+		t.Fatalf("faster compute did not reduce modeled step time")
+	}
+}

@@ -1,0 +1,144 @@
+package tensor
+
+// Arena is a slab allocator for Tensors with identical lifetime — the tensor
+// workspaces of one force evaluation. All storage (float64 data, Tensor
+// headers, shape ints) comes from reusable slabs; Reset makes every slab
+// available again without freeing, so an evaluation pipeline that allocates
+// the same shapes step after step performs no heap allocations once the
+// slabs are warm. This is the Go analogue of the stable-shape arena the
+// paper coaxes out of the PyTorch caching allocator with padded inputs
+// (Sec. V-C, Fig. 5).
+//
+// Tensors returned by New are zero-filled and valid until the next Reset.
+// An Arena is not safe for concurrent use; each worker owns its own.
+type Arena struct {
+	slabs   [][]float64
+	slab    int // slab currently being carved
+	off     int // floats used in slabs[slab]
+	hdrs    [][]Tensor
+	hdrUsed int
+	ints    [][]int
+	intSlab int
+	intOff  int
+}
+
+const (
+	arenaMinSlab  = 1 << 14 // floats; first slab 128 KiB, grows as needed
+	arenaHdrBlock = 64
+	arenaIntSlab  = 1024
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// New returns a zero-filled tensor of the given shape carved from the arena.
+func (a *Arena) New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: negative dimension in arena shape")
+		}
+		n *= s
+	}
+	t := a.allocHdr()
+	t.Shape = a.allocShape(shape)
+	t.Data = a.allocFloats(n)
+	return t
+}
+
+// NewLike returns a zero-filled tensor with t's shape.
+func (a *Arena) NewLike(t *Tensor) *Tensor { return a.New(t.Shape...) }
+
+// Clone returns an arena-backed deep copy of t.
+func (a *Arena) Clone(t *Tensor) *Tensor {
+	c := a.New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Floats returns a zeroed float64 slice of length n from the arena (scratch
+// that shares the tensors' lifetime).
+func (a *Arena) Floats(n int) []float64 { return a.allocFloats(n) }
+
+// Reset makes all arena storage reusable. Tensors previously returned by New
+// become invalid: their data will be handed out again.
+func (a *Arena) Reset() {
+	a.slab = 0
+	a.off = 0
+	a.hdrUsed = 0
+	a.intSlab = 0
+	a.intOff = 0
+}
+
+// Bytes reports the total float64 slab capacity in bytes (diagnostics).
+func (a *Arena) Bytes() int {
+	n := 0
+	for _, s := range a.slabs {
+		n += len(s)
+	}
+	return 8 * n
+}
+
+func (a *Arena) allocFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.slab < len(a.slabs) {
+			s := a.slabs[a.slab]
+			if a.off+n <= len(s) {
+				out := s[a.off : a.off+n : a.off+n]
+				a.off += n
+				clear(out)
+				return out
+			}
+			// Current slab exhausted for this request; move on. The skipped
+			// tail is reclaimed at the next Reset.
+			a.slab++
+			a.off = 0
+			continue
+		}
+		shift := len(a.slabs)
+		if shift > 10 {
+			shift = 10
+		}
+		size := arenaMinSlab << shift
+		if size < n {
+			size = n
+		}
+		a.slabs = append(a.slabs, make([]float64, size))
+	}
+}
+
+func (a *Arena) allocHdr() *Tensor {
+	blk := a.hdrUsed / arenaHdrBlock
+	off := a.hdrUsed % arenaHdrBlock
+	if blk == len(a.hdrs) {
+		a.hdrs = append(a.hdrs, make([]Tensor, arenaHdrBlock))
+	}
+	a.hdrUsed++
+	t := &a.hdrs[blk][off]
+	t.Shape = nil
+	t.Data = nil
+	return t
+}
+
+func (a *Arena) allocShape(shape []int) []int {
+	n := len(shape)
+	if a.intSlab < len(a.ints) && a.intOff+n > len(a.ints[a.intSlab]) {
+		a.intSlab++
+		a.intOff = 0
+	}
+	if a.intSlab == len(a.ints) {
+		size := arenaIntSlab
+		if size < n {
+			size = n
+		}
+		a.ints = append(a.ints, make([]int, size))
+		a.intOff = 0
+	}
+	dst := a.ints[a.intSlab][a.intOff : a.intOff+n : a.intOff+n]
+	a.intOff += n
+	copy(dst, shape)
+	return dst
+}

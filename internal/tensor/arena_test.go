@@ -1,0 +1,66 @@
+package tensor
+
+import "testing"
+
+func TestArenaZeroedAndReused(t *testing.T) {
+	a := NewArena()
+	x := a.New(4, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	y := a.New(2, 2)
+	y.Fill(7)
+	if x.Len() != 12 || y.Len() != 4 {
+		t.Fatalf("bad lengths %d %d", x.Len(), y.Len())
+	}
+	a.Reset()
+	x2 := a.New(4, 3)
+	for i, v := range x2.Data {
+		if v != 0 {
+			t.Fatalf("reused slab not zeroed at %d: %g", i, v)
+		}
+	}
+	// Same layout after Reset reuses the same backing storage.
+	if &x2.Data[0] != &x.Data[0] {
+		t.Fatalf("arena did not reuse slab storage after Reset")
+	}
+}
+
+func TestArenaGrowth(t *testing.T) {
+	a := NewArena()
+	// Force several slabs, including one oversized request.
+	for i := 0; i < 4; i++ {
+		a.New(arenaMinSlab / 2)
+	}
+	big := a.New(3 * arenaMinSlab)
+	if big.Len() != 3*arenaMinSlab {
+		t.Fatalf("oversized request truncated: %d", big.Len())
+	}
+	if a.Bytes() == 0 {
+		t.Fatalf("expected slab capacity")
+	}
+	warm := a.Bytes()
+	a.Reset()
+	for i := 0; i < 4; i++ {
+		a.New(arenaMinSlab / 2)
+	}
+	a.New(3 * arenaMinSlab)
+	if a.Bytes() != warm {
+		t.Fatalf("replaying the same requests grew the arena: %d -> %d", warm, a.Bytes())
+	}
+}
+
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := NewArena()
+	shapes := [][]int{{64, 3}, {64, 9}, {64, 4, 18}, {1}, {128}}
+	round := func() {
+		for _, sh := range shapes {
+			a.New(sh...)
+		}
+		a.Reset()
+	}
+	round() // warm-up
+	if allocs := testing.AllocsPerRun(20, round); allocs > 0 {
+		t.Errorf("steady-state arena round allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -114,6 +114,20 @@ func MatMulT(a, b *Tensor, p Precision) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
+	MatMulTInto(c, a, b, p)
+	return c
+}
+
+// MatMulTInto computes dst = A * B^T with dst preallocated to [m,n]. The F64
+// path performs no allocations; the narrow-precision paths allocate rounding
+// scratch (they model GPU tile conversion, not the hot CPU path).
+func MatMulTInto(dst, a, b *Tensor, p Precision) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulTInto destination shape mismatch")
+	}
+	c := dst
 	switch p {
 	case F64:
 		for i := 0; i < m; i++ {
@@ -152,7 +166,36 @@ func MatMulT(a, b *Tensor, p Precision) *Tensor {
 			}
 		}
 	}
-	return c
+}
+
+// MatMulTransAInto computes dst = A^T * B for A [k,m], B [k,n], dst [m,n] in
+// float64 without allocating (the weight-gradient contraction gW = g^T x of
+// the backward pass).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto inner dims %d vs %d", k, k2))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulTransAInto destination shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for l := 0; l < k; l++ {
+		al := a.Data[l*m : (l+1)*m]
+		bl := b.Data[l*n : (l+1)*n]
+		for i, av := range al {
+			if av == 0 {
+				continue
+			}
+			ci := dst.Data[i*n : (i+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
 }
 
 // MatVec computes y = A*x for A [m,k] and x [k] under precision p.
