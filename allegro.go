@@ -14,7 +14,9 @@
 //	internal/ad          reverse-mode autodiff over geometric ops, backed by
 //	                     a reusable tensor arena in steady-state loops
 //	internal/md          molecular dynamics engine
-//	internal/domain      LAMMPS-style spatial decomposition on goroutines
+//	internal/domain      persistent rank runtime: LAMMPS-style spatial
+//	                     decomposition with incremental ghost exchange and
+//	                     Verlet-skin neighbor reuse on long-lived goroutines
 //	internal/neighbor    parallel, allocation-free cell-list neighbor builds
 //	internal/par         bounded persistent worker pools
 //	internal/baselines   classical / GAP / BP / SchNet / NequIP comparators
@@ -38,6 +40,7 @@ import (
 
 	"repro/internal/atoms"
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/experiments"
 	"repro/internal/groundtruth"
 	"repro/internal/md"
@@ -57,6 +60,15 @@ type (
 	Evaluator = core.Evaluator
 	// EvalScratch is the reusable buffer arena owned by one evaluation loop.
 	EvalScratch = core.EvalScratch
+	// Runtime is the persistent domain-decomposed force engine: long-lived
+	// rank workers with incremental ghost exchange and Verlet-skin neighbor
+	// reuse (the paper's LAMMPS production pattern).
+	Runtime = domain.Runtime
+	// RuntimeOptions configures the rank grid, Verlet skin, halo, and
+	// per-rank worker pools of a Runtime.
+	RuntimeOptions = domain.RuntimeOptions
+	// DecomposedSim is an MD simulation driven by a persistent Runtime.
+	DecomposedSim = md.DecomposedSim
 	// Frame is a labeled structure (system + reference energy/forces).
 	Frame = atoms.Frame
 	// System is a collection of atoms, optionally periodic.
@@ -108,6 +120,21 @@ func NewSim(sys *System, model *Model, dt float64) *md.Sim {
 // NewEvaluator wraps a model in the reusable-buffer evaluation pipeline for
 // callers that drive force calls directly instead of through NewSim.
 func NewEvaluator(model *Model) *Evaluator { return core.NewEvaluator(model) }
+
+// NewDecomposedSim prepares a spatially decomposed MD simulation: the box
+// is split across opts.Grid rank workers, each owning its subdomain's atoms
+// plus a ghost halo of one cutoff (+ Verlet skin), and every Step runs the
+// persistent runtime's incremental exchange instead of a global force call.
+// Trajectories are bit-identical to the single-rank path for any grid and
+// skin; steady-state steps (no rebuild) allocate nothing. Call Close on the
+// returned simulation when done.
+func NewDecomposedSim(sys *System, model *Model, dt float64, opts RuntimeOptions) (*DecomposedSim, error) {
+	rt, err := domain.NewRuntime(model, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	return md.NewDecomposedSim(sys, rt, dt), nil
+}
 
 // Oracle returns the synthetic reference potential used to label datasets.
 func Oracle() *groundtruth.Oracle { return groundtruth.New() }

@@ -1,6 +1,7 @@
 package allegro
 
 import (
+	"fmt"
 	"io"
 	"math/rand/v2"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/atoms"
 	"repro/internal/cluster"
 	"repro/internal/data"
+	"repro/internal/domain"
 	"repro/internal/experiments"
 	"repro/internal/neighbor"
 	"repro/internal/o3"
@@ -258,4 +260,40 @@ func BenchmarkMixedPrecisionMatmul(b *testing.B) {
 		})
 	}
 	_ = perfmodel.PeakTF32
+}
+
+// BenchmarkRuntimeStep measures the steady-state decomposed MD step: warm
+// Verlet lists, no rebuild, incremental ghost exchange and canonical
+// reduction across persistent rank workers — 0 allocs/op (the CI bench-smoke
+// job enforces this), with achieved pairs/s reported.
+func BenchmarkRuntimeStep(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Workers = 1
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 3, 3, 3)
+	for _, grid := range [][3]int{{1, 1, 1}, {2, 2, 2}} {
+		b.Run(fmt.Sprintf("ranks=%d", grid[0]*grid[1]*grid[2]), func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt, err := domain.NewRuntime(model, sys, domain.RuntimeOptions{Grid: grid, Skin: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			forces := make([][3]float64, sys.NumAtoms())
+			rt.EnergyForcesInto(sys, forces)
+			rt.EnergyForcesInto(sys, forces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.EnergyForcesInto(sys, forces)
+			}
+			st := rt.Stats()
+			b.ReportMetric(float64(st.PairWork)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
 }

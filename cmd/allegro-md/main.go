@@ -1,10 +1,14 @@
 // Command allegro-md runs molecular dynamics with a trained Allegro model,
-// optionally spatially decomposed over goroutine ranks (the LAMMPS pattern).
+// optionally spatially decomposed over persistent goroutine ranks (the
+// LAMMPS pattern): each rank keeps its subdomain's atoms, a ghost halo of
+// one cutoff plus the Verlet skin, and reusable exchange buffers alive
+// across steps, rebuilding only when an atom has moved skin/2.
 //
 // Usage:
 //
 //	allegro-md -model model.json -system water -steps 200 -temp 300
-//	allegro-md -model model.json -system water -steps 200 -grid 2x1x1
+//	allegro-md -model model.json -system water -steps 200 -grid 2x1x1 -skin 0.5
+//	allegro-md -model model.json -grid 2x2x1 -skin 0.5 -workers-per-rank 2 -measure
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/groundtruth"
 	"repro/internal/md"
+	"repro/internal/perfmodel"
 )
 
 func main() {
@@ -32,6 +37,9 @@ func main() {
 		temp      = flag.Float64("temp", 300, "thermostat temperature (K); 0 = NVE")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 		grid      = flag.String("grid", "", "spatial decomposition grid, e.g. 2x1x1 (empty = serial)")
+		skin      = flag.Float64("skin", 0.5, "Verlet skin (A) for the decomposed path; 0 rebuilds every step")
+		wpr       = flag.Int("workers-per-rank", 1, "worker pool size inside each rank")
+		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume of the decomposed path")
 	)
 	flag.Parse()
 	model, err := core.Load(*modelPath)
@@ -55,21 +63,38 @@ func main() {
 	}
 	fmt.Println("system:", sys)
 
-	var pot md.Potential = model
+	var sim *md.Sim
+	var rt *domain.Runtime
+	if *measure && *grid == "" {
+		log.Fatal("-measure requires a decomposition grid (-grid), e.g. -grid 2x1x1")
+	}
 	if *grid != "" {
 		var g [3]int
 		if _, err := fmt.Sscanf(strings.ReplaceAll(*grid, "x", " "), "%d %d %d", &g[0], &g[1], &g[2]); err != nil {
 			log.Fatalf("bad -grid %q: %v", *grid, err)
 		}
-		opts := domain.Options{Grid: g, Halo: model.Cuts.Max()}
-		if err := opts.Validate(sys); err != nil {
+		opts := domain.RuntimeOptions{Grid: g, Skin: *skin, WorkersPerRank: *wpr}
+		if *measure {
+			meas, err := perfmodel.MeasureDecomposed(model, sys, opts, *steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(meas)
+			return
+		}
+		rt, err = domain.NewRuntime(model, sys, opts)
+		if err != nil {
 			log.Fatal(err)
 		}
-		pot = &domain.Potential{Pot: model, Opts: opts}
-		fmt.Printf("spatial decomposition: %d ranks, halo %.1f A\n", opts.NumRanks(), opts.Halo)
+		dec := md.NewDecomposedSim(sys, rt, *dt)
+		defer dec.Close()
+		sim = dec.Sim
+		fmt.Printf("spatial decomposition: %d ranks, halo %.1f A + skin %.1f A, %d workers/rank\n",
+			rt.NumRanks(), model.Cuts.Max(), *skin, *wpr)
+	} else {
+		sim = md.NewSim(sys, core.NewEvaluator(model), *dt)
 	}
 
-	sim := md.NewSim(sys, pot, *dt)
 	if *temp > 0 {
 		sim.Thermostat = &md.Langevin{TempK: *temp, Gamma: 0.05, Rng: rng}
 		sim.InitVelocities(*temp, rng)
@@ -88,4 +113,10 @@ func main() {
 	el := time.Since(start).Seconds()
 	fmt.Printf("done: %d steps in %.2f s (%.2f steps/s, %.3f ns/day at this dt)\n",
 		*steps, el, float64(*steps)/el, float64(*steps)/el*(*dt)*1e-6*86400)
+	if rt != nil {
+		st := rt.Stats()
+		fmt.Printf("runtime: %d rebuilds over %d steps (%.1f steps/rebuild), %d migrations, ghost exchange %d B/step forward + %d B/step reverse\n",
+			st.Rebuilds, st.Steps, float64(st.Steps)/float64(st.Rebuilds), st.Migrations,
+			st.ForwardBytesPerStep, st.ReverseBytesPerStep)
+	}
 }

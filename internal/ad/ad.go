@@ -33,7 +33,7 @@ type Value struct {
 	T    *tensor.Tensor
 	grad *tensor.Tensor
 	req  bool   // participates in differentiation
-	back func() // accumulates into the grads of the inputs
+	back backOp // pooled op accumulating into the grads of the inputs
 	tp   *Tape  // owning tape (gradient buffers come from its allocator)
 }
 
@@ -69,6 +69,7 @@ type Tape struct {
 	arena  *tensor.Arena // nil: plain heap allocation
 	blocks [][]Value     // pooled node storage (pointer-stable blocks)
 	used   int
+	ops    opPools // pooled backward-op storage (no closures on the hot path)
 
 	// Reusable op scratch that persists across Reset (grown on demand).
 	sphBuf    []float64
@@ -99,6 +100,7 @@ func NewTapeArena(compute, store tensor.Precision, arena *tensor.Arena) *Tape {
 func (tp *Tape) Reset() {
 	tp.vals = tp.vals[:0]
 	tp.used = 0
+	tp.ops.reset()
 	if tp.arena != nil {
 		tp.arena.Reset()
 	}
@@ -145,12 +147,12 @@ func (tp *Tape) Leaf(t *tensor.Tensor, req bool) *Value {
 // Const registers a non-differentiable input.
 func (tp *Tape) Const(t *tensor.Tensor) *Value { return tp.Leaf(t, false) }
 
-// node registers an op output whose back closure propagates the adjoint.
-func (tp *Tape) node(t *tensor.Tensor, req bool, back func()) *Value {
+// node registers an op output; the caller attaches a pooled backward op to
+// v.back (left nil for non-differentiable outputs).
+func (tp *Tape) node(t *tensor.Tensor, req bool) *Value {
 	v := tp.newValue()
 	v.T = t
 	v.req = req
-	v.back = back
 	tp.vals = append(tp.vals, v)
 	return v
 }
@@ -169,7 +171,7 @@ func (tp *Tape) Backward(root *Value) {
 	for i := len(tp.vals) - 1; i >= 0; i-- {
 		v := tp.vals[i]
 		if v.back != nil && v.req && v.grad != nil {
-			v.back()
+			v.back.run()
 		}
 	}
 }

@@ -19,25 +19,10 @@ func (tp *Tape) Norm(rvec *Value) *Value {
 		r := rvec.T.Row(i)
 		y.Data[i] = math.Sqrt(r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
 	}
-	v := tp.node(y, rvec.req, nil)
-	v.back = func() {
-		if !rvec.req {
-			return
-		}
-		g := rvec.ensureGrad()
-		for i := 0; i < z; i++ {
-			r := rvec.T.Row(i)
-			d := y.Data[i]
-			if d == 0 {
-				continue
-			}
-			gv := v.grad.Data[i] / d
-			row := g.Row(i)
-			row[0] += gv * r[0]
-			row[1] += gv * r[1]
-			row[2] += gv * r[2]
-		}
-	}
+	v := tp.node(y, rvec.req)
+	op := tp.ops.norm.get()
+	*op = normOp{v: v, rvec: rvec, z: z}
+	v.back = op
 	return v
 }
 
@@ -76,27 +61,10 @@ func (tp *Tape) SphHarm(rvec *Value, lmax int) *Value {
 		copy(y.Row(i), buf)
 	}
 	tp.store(y)
-	v := tp.node(y, rvec.req, nil)
-	v.back = func() {
-		if !rvec.req {
-			return
-		}
-		g := rvec.ensureGrad()
-		for i := 0; i < z; i++ {
-			gRow := g.Row(i)
-			vg := v.grad.Row(i)
-			gi := grads.Row(i)
-			for c := 0; c < dim; c++ {
-				gc := vg[c]
-				if gc == 0 {
-					continue
-				}
-				gRow[0] += gc * gi[3*c]
-				gRow[1] += gc * gi[3*c+1]
-				gRow[2] += gc * gi[3*c+2]
-			}
-		}
-	}
+	v := tp.node(y, rvec.req)
+	op := tp.ops.sph.get()
+	*op = sphHarmOp{v: v, rvec: rvec, grads: grads, z: z, dim: dim}
+	v.back = op
 	return v
 }
 
@@ -121,26 +89,10 @@ func (tp *Tape) Bessel(r *Value, rcuts []float64, nb int) *Value {
 		}
 	}
 	tp.store(y)
-	v := tp.node(y, r.req, nil)
-	v.back = func() {
-		if !r.req {
-			return
-		}
-		g := r.ensureGrad()
-		for i := 0; i < z; i++ {
-			rv := r.T.Data[i]
-			rc := rcuts[i]
-			pref := math.Sqrt(2 / rc)
-			acc := 0.0
-			for n := 1; n <= nb; n++ {
-				k := float64(n) * math.Pi / rc
-				// d/dr [pref*sin(k r)/r] = pref*(k*cos(k r)/r - sin(k r)/r^2)
-				db := pref * (k*math.Cos(k*rv)/rv - math.Sin(k*rv)/(rv*rv))
-				acc += v.grad.Data[i*nb+n-1] * db
-			}
-			g.Data[i] += acc
-		}
-	}
+	v := tp.node(y, r.req)
+	op := tp.ops.bessel.get()
+	*op = besselOp{v: v, r: r, rcuts: rcuts, z: z, nb: nb}
+	v.back = op
 	return v
 }
 
@@ -169,23 +121,10 @@ func (tp *Tape) PolyCutoff(r *Value, rcuts []float64, p int) *Value {
 		y.Data[i] = 1 - c1*xp + c2*xp*x - c3*xp*x*x
 	}
 	tp.store(y)
-	v := tp.node(y, r.req, nil)
-	v.back = func() {
-		if !r.req {
-			return
-		}
-		g := r.ensureGrad()
-		for i := 0; i < z; i++ {
-			rc := rcuts[i]
-			x := r.T.Data[i] / rc
-			if x >= 1 {
-				continue
-			}
-			xpm := math.Pow(x, fp-1)
-			df := (-c1*fp*xpm + c2*(fp+1)*xpm*x - c3*(fp+2)*xpm*x*x) / rc
-			g.Data[i] += v.grad.Data[i] * df
-		}
-	}
+	v := tp.node(y, r.req)
+	op := tp.ops.polycut.get()
+	*op = polyCutoffOp{v: v, r: r, rcuts: rcuts, fp: fp, c1: c1, c2: c2, c3: c3, z: z}
+	v.back = op
 	return v
 }
 
@@ -214,35 +153,10 @@ func (tp *Tape) EnvSum(w, y *Value, center []int, n int, scale float64) *Value {
 		}
 	}
 	tp.store(out)
-	v := tp.node(out, w.req || y.req, nil)
-	v.back = func() {
-		for zi := 0; zi < z; zi++ {
-			i := center[zi]
-			yRow := y.T.Row(zi)
-			if w.req {
-				gw := w.ensureGrad()
-				for ui := 0; ui < u; ui++ {
-					g := v.grad.Data[(i*u+ui)*c : (i*u+ui+1)*c]
-					acc := 0.0
-					for j, yv := range yRow {
-						acc += g[j] * yv
-					}
-					gw.Data[zi*u+ui] += scale * acc
-				}
-			}
-			if y.req {
-				gy := y.ensureGrad()
-				gyRow := gy.Row(zi)
-				for ui := 0; ui < u; ui++ {
-					wv := scale * w.T.Data[zi*u+ui]
-					g := v.grad.Data[(i*u+ui)*c : (i*u+ui+1)*c]
-					for j := range gyRow {
-						gyRow[j] += g[j] * wv
-					}
-				}
-			}
-		}
-	}
+	v := tp.node(out, w.req || y.req)
+	op := tp.ops.envsum.get()
+	*op = envSumOp{v: v, w: w, y: y, center: center, scale: scale, z: z, u: u, c: c}
+	v.back = op
 	return v
 }
 
@@ -255,24 +169,9 @@ func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value) *Val
 	out := tp.Alloc(x.T.Dim(0), x.T.Dim(1), prod.Out.Width)
 	tp.tpEntries = prod.ApplyFusedInto(out, x.T, y.T, weights.T.Data, tp.Compute, tp.tpEntries)
 	tp.store(out)
-	v := tp.node(out, x.req || y.req || weights.req, nil)
-	v.back = func() {
-		gx := tp.Alloc(x.T.Shape...)
-		gy := tp.Alloc(y.T.Shape...)
-		gw := tp.Alloc(prod.NumPaths())
-		prod.BackwardInto(x.T, y.T, v.grad, weights.T.Data, gx, gy, gw.Data)
-		if x.req {
-			x.ensureGrad().AddInPlace(gx, tensor.F64)
-		}
-		if y.req {
-			y.ensureGrad().AddInPlace(gy, tensor.F64)
-		}
-		if weights.req {
-			wg := weights.ensureGrad()
-			for i, g := range gw.Data {
-				wg.Data[i] += g
-			}
-		}
-	}
+	v := tp.node(out, x.req || y.req || weights.req)
+	op := tp.ops.tprod.get()
+	*op = tensorProdOp{v: v, x: x, y: y, weights: weights, prod: prod}
+	v.back = op
 	return v
 }

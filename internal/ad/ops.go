@@ -30,31 +30,10 @@ func (tp *Tape) Linear(x, w, b *Value) *Value {
 	}
 	tp.store(y)
 	req := x.req || w.req || (b != nil && b.req)
-	v := tp.node(y, req, nil)
-	v.back = func() {
-		g := v.grad
-		if x.req {
-			// gX += g W
-			gx := tp.Alloc(n, in)
-			tensor.MatMulInto(gx, g, w.T, tensor.F64)
-			x.ensureGrad().AddInPlace(gx, tensor.F64)
-		}
-		if w.req {
-			// gW += g^T x
-			gw := tp.Alloc(out, in)
-			tensor.MatMulTransAInto(gw, g, x.T)
-			w.ensureGrad().AddInPlace(gw, tensor.F64)
-		}
-		if b != nil && b.req {
-			gb := b.ensureGrad()
-			for i := 0; i < n; i++ {
-				row := g.Row(i)
-				for j := 0; j < out; j++ {
-					gb.Data[j] += row[j]
-				}
-			}
-		}
-	}
+	v := tp.node(y, req)
+	op := tp.ops.linear.get()
+	*op = linearOp{v: v, x: x, w: w, b: b, n: n, in: in, out_: out}
+	v.back = op
 	return v
 }
 
@@ -65,17 +44,10 @@ func (tp *Tape) SiLU(x *Value) *Value {
 		y.Data[i] = v / (1 + math.Exp(-v))
 	}
 	tp.store(y)
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for i, xv := range x.T.Data {
-			s := 1 / (1 + math.Exp(-xv))
-			gx.Data[i] += v.grad.Data[i] * s * (1 + xv*(1-s))
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.silu.get()
+	*op = siluOp{v: v, x: x}
+	v.back = op
 	return v
 }
 
@@ -86,17 +58,10 @@ func (tp *Tape) Tanh(x *Value) *Value {
 		y.Data[i] = math.Tanh(v)
 	}
 	tp.store(y)
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for i := range x.T.Data {
-			t := y.Data[i]
-			gx.Data[i] += v.grad.Data[i] * (1 - t*t)
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.tanh.get()
+	*op = tanhOp{v: v, x: x}
+	v.back = op
 	return v
 }
 
@@ -107,15 +72,10 @@ func (tp *Tape) Add(a, b *Value) *Value {
 	}
 	y := tp.cloneT(a.T)
 	y.AddInPlace(b.T, tp.Store)
-	v := tp.node(y, a.req || b.req, nil)
-	v.back = func() {
-		if a.req {
-			a.ensureGrad().AddInPlace(v.grad, tensor.F64)
-		}
-		if b.req {
-			b.ensureGrad().AddInPlace(v.grad, tensor.F64)
-		}
-	}
+	v := tp.node(y, a.req || b.req)
+	op := tp.ops.add.get()
+	*op = addOp{v: v, a: a, b: b}
+	v.back = op
 	return v
 }
 
@@ -128,18 +88,10 @@ func (tp *Tape) Sub(a, b *Value) *Value {
 	for i := range y.Data {
 		y.Data[i] = tp.Store.Round(a.T.Data[i] - b.T.Data[i])
 	}
-	v := tp.node(y, a.req || b.req, nil)
-	v.back = func() {
-		if a.req {
-			a.ensureGrad().AddInPlace(v.grad, tensor.F64)
-		}
-		if b.req {
-			gb := b.ensureGrad()
-			for i := range gb.Data {
-				gb.Data[i] -= v.grad.Data[i]
-			}
-		}
-	}
+	v := tp.node(y, a.req || b.req)
+	op := tp.ops.sub.get()
+	*op = subOp{v: v, a: a, b: b}
+	v.back = op
 	return v
 }
 
@@ -152,21 +104,10 @@ func (tp *Tape) Mul(a, b *Value) *Value {
 	for i := range y.Data {
 		y.Data[i] = tp.Store.Round(a.T.Data[i] * b.T.Data[i])
 	}
-	v := tp.node(y, a.req || b.req, nil)
-	v.back = func() {
-		if a.req {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += v.grad.Data[i] * b.T.Data[i]
-			}
-		}
-		if b.req {
-			gb := b.ensureGrad()
-			for i := range gb.Data {
-				gb.Data[i] += v.grad.Data[i] * a.T.Data[i]
-			}
-		}
-	}
+	v := tp.node(y, a.req || b.req)
+	op := tp.ops.mul.get()
+	*op = mulOp{v: v, a: a, b: b}
+	v.back = op
 	return v
 }
 
@@ -174,16 +115,10 @@ func (tp *Tape) Mul(a, b *Value) *Value {
 func (tp *Tape) Scale(x *Value, c float64) *Value {
 	y := tp.cloneT(x.T)
 	y.Scale(c, tp.Store)
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for i := range gx.Data {
-			gx.Data[i] += v.grad.Data[i] * c
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.scale.get()
+	*op = scaleOp{v: v, x: x, c: c}
+	v.back = op
 	return v
 }
 
@@ -211,24 +146,11 @@ func (tp *Tape) Concat(xs ...*Value) *Value {
 		}
 		off += c
 	}
-	v := tp.node(y, req, nil)
-	v.back = func() {
-		off := 0
-		for _, x := range xs {
-			c := x.T.Shape[1]
-			if x.req {
-				gx := x.ensureGrad()
-				for i := 0; i < n; i++ {
-					src := v.grad.Data[i*total+off : i*total+off+c]
-					dst := gx.Row(i)
-					for j, g := range src {
-						dst[j] += g
-					}
-				}
-			}
-			off += c
-		}
-	}
+	v := tp.node(y, req)
+	op := tp.ops.concat.get()
+	op.v, op.n, op.total = v, n, total
+	op.xs = append(op.xs[:0], xs...) // copy: the variadic slice is the caller's
+	v.back = op
 	return v
 }
 
@@ -248,20 +170,10 @@ func (tp *Tape) SliceLast(x *Value, lo, hi int) *Value {
 	for r := 0; r < rows; r++ {
 		copy(y.Data[r*width:(r+1)*width], x.T.Data[r*last+lo:r*last+hi])
 	}
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for r := 0; r < rows; r++ {
-			src := v.grad.Data[r*width : (r+1)*width]
-			dst := gx.Data[r*last+lo : r*last+hi]
-			for j, g := range src {
-				dst[j] += g
-			}
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.slice.get()
+	*op = sliceLastOp{v: v, x: x, rows: rows, width: width, last: last, lo_: lo}
+	v.back = op
 	return v
 }
 
@@ -269,19 +181,15 @@ func (tp *Tape) SliceLast(x *Value, lo, hi int) *Value {
 func (tp *Tape) Reshape(x *Value, shape ...int) *Value {
 	y := tp.Alloc(shape...)
 	if y.Len() != x.T.Len() {
-		panic(fmt.Sprintf("ad: cannot reshape %v to %v", x.T.Shape, shape))
+		// Element counts only: formatting the shape slice would make every
+		// caller's variadic argument escape to the heap.
+		panic(fmt.Sprintf("ad: cannot reshape %d elements to %d", x.T.Len(), y.Len()))
 	}
 	copy(y.Data, x.T.Data)
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for i := range gx.Data {
-			gx.Data[i] += v.grad.Data[i]
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.reshape.get()
+	*op = reshapeOp{v: v, x: x}
+	v.back = op
 	return v
 }
 
@@ -295,17 +203,10 @@ func (tp *Tape) SumAll(x *Value) *Value {
 	}
 	y := tp.Alloc(1)
 	y.Data[0] = s
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		g := v.grad.Data[0]
-		gx := x.ensureGrad()
-		for i := range gx.Data {
-			gx.Data[i] += g
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.sum.get()
+	*op = sumAllOp{v: v, x: x}
+	v.back = op
 	return v
 }
 
@@ -321,17 +222,10 @@ func (tp *Tape) WeightedSumAll(x *Value, w []float64) *Value {
 	}
 	y := tp.Alloc(1)
 	y.Data[0] = s
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		g := v.grad.Data[0]
-		gx := x.ensureGrad()
-		for i := range gx.Data {
-			gx.Data[i] += g * w[i]
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.wsum.get()
+	*op = weightedSumOp{v: v, x: x, w: w}
+	v.back = op
 	return v
 }
 
@@ -345,20 +239,10 @@ func (tp *Tape) GatherRows(x *Value, idx []int) *Value {
 	for z, i := range idx {
 		copy(y.Data[z*rowLen:(z+1)*rowLen], x.T.Data[i*rowLen:(i+1)*rowLen])
 	}
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for z, i := range idx {
-			src := v.grad.Data[z*rowLen : (z+1)*rowLen]
-			dst := gx.Data[i*rowLen : (i+1)*rowLen]
-			for j, g := range src {
-				dst[j] += g
-			}
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.gather.get()
+	*op = gatherOp{v: v, x: x, idx: idx, rowLen: rowLen}
+	v.back = op
 	return v
 }
 
@@ -381,20 +265,10 @@ func (tp *Tape) ScatterAddRows(x *Value, idx []int, n int) *Value {
 			dst[j] += v
 		}
 	}
-	v := tp.node(y, x.req, nil)
-	v.back = func() {
-		if !x.req {
-			return
-		}
-		gx := x.ensureGrad()
-		for z, i := range idx {
-			src := v.grad.Data[i*rowLen : (i+1)*rowLen]
-			dst := gx.Data[z*rowLen : (z+1)*rowLen]
-			for j, g := range src {
-				dst[j] += g
-			}
-		}
-	}
+	v := tp.node(y, x.req)
+	op := tp.ops.scatter.get()
+	*op = scatterOp{v: v, x: x, idx: idx, rowLen: rowLen}
+	v.back = op
 	return v
 }
 
@@ -414,28 +288,10 @@ func (tp *Tape) MulBroadcastLast(x, s *Value) *Value {
 			y.Data[r*c+j] = tp.Store.Round(x.T.Data[r*c+j] * sv)
 		}
 	}
-	v := tp.node(y, x.req || s.req, nil)
-	v.back = func() {
-		if x.req {
-			gx := x.ensureGrad()
-			for r := 0; r < rows; r++ {
-				sv := s.T.Data[r]
-				for j := 0; j < c; j++ {
-					gx.Data[r*c+j] += v.grad.Data[r*c+j] * sv
-				}
-			}
-		}
-		if s.req {
-			gs := s.ensureGrad()
-			for r := 0; r < rows; r++ {
-				acc := 0.0
-				for j := 0; j < c; j++ {
-					acc += v.grad.Data[r*c+j] * x.T.Data[r*c+j]
-				}
-				gs.Data[r] += acc
-			}
-		}
-	}
+	v := tp.node(y, x.req || s.req)
+	op := tp.ops.mulb.get()
+	*op = mulBroadcastOp{v: v, x: x, s: s, rows: rows, c: c}
+	v.back = op
 	return v
 }
 
@@ -457,35 +313,9 @@ func (tp *Tape) OuterMul(s, y *Value) *Value {
 			}
 		}
 	}
-	v := tp.node(out, s.req || y.req, nil)
-	v.back = func() {
-		if s.req {
-			gs := s.ensureGrad()
-			for zi := 0; zi < z; zi++ {
-				yRow := y.T.Row(zi)
-				for ui := 0; ui < u; ui++ {
-					acc := 0.0
-					g := v.grad.Data[(zi*u+ui)*c : (zi*u+ui+1)*c]
-					for j, yv := range yRow {
-						acc += g[j] * yv
-					}
-					gs.Data[zi*u+ui] += acc
-				}
-			}
-		}
-		if y.req {
-			gy := y.ensureGrad()
-			for zi := 0; zi < z; zi++ {
-				gRow := gy.Row(zi)
-				for ui := 0; ui < u; ui++ {
-					sv := s.T.Data[zi*u+ui]
-					g := v.grad.Data[(zi*u+ui)*c : (zi*u+ui+1)*c]
-					for j := range gRow {
-						gRow[j] += g[j] * sv
-					}
-				}
-			}
-		}
-	}
+	v := tp.node(out, s.req || y.req)
+	op := tp.ops.outer.get()
+	*op = outerMulOp{v: v, s: s, y: y, z: z, u: u, c: c}
+	v.back = op
 	return v
 }

@@ -27,6 +27,12 @@ import (
 // next evaluation. Call Close when discarding a scratch whose worker pools
 // have been started.
 type EvalScratch struct {
+	// Workers overrides the evaluation worker count for this scratch;
+	// 0 defers to the model's Config.Workers. Domain-decomposition ranks
+	// set it to their per-rank budget so that ranks x workers stays
+	// bounded instead of every rank spinning up a full-size pool.
+	Workers int
+
 	builder neighbor.Builder
 	pairs   neighbor.Pairs
 	arena   *tensor.Arena
@@ -56,6 +62,13 @@ type EvalScratch struct {
 	evalModel *Model
 	evalSys   *atoms.System
 	evalFn    func(int)
+
+	// Row-harvest mode (EvaluateRowsInto): per-pair outputs written straight
+	// into caller buffers instead of being reduced to per-atom forces.
+	rowsOut    [][3]float64
+	pairEOut   []float64
+	rowsScale  float64
+	evalRowsFn func(int)
 }
 
 // workerEval is one worker's private evaluation state: Allegro's strict
@@ -97,7 +110,11 @@ func (es *EvalScratch) ensure(m *Model) {
 		es.tape = ad.NewTapeArena(m.Cfg.Precision.Compute, m.Cfg.Precision.Weights, es.arena)
 		es.binder = nn.NewBinder(es.tape, false)
 	}
-	es.workers = par.Workers(m.Cfg.Workers, 0)
+	req := m.Cfg.Workers
+	if es.Workers != 0 {
+		req = es.Workers
+	}
+	es.workers = par.Workers(req, 0)
 	es.builder.Workers = es.workers
 }
 
@@ -176,15 +193,38 @@ func (es *EvalScratch) evaluateChunked(m *Model, sys *atoms.System, pairs *neigh
 		return g.energy.T.Data[0]
 	}
 
-	// Grow per-worker state and force shards.
+	es.prepareChunkWorkers(m, pairs, nw)
+	n := sys.NumAtoms()
+	es.growShards(nw, n)
+
+	es.evalModel, es.evalSys, es.curPairs = m, sys, pairs
+	es.nShards = nw
+	es.atomChunk = (n + nw - 1) / nw
+	if es.evalFn == nil {
+		es.evalFn = es.runWorkerEval
+		es.mergeFn = es.runMerge
+	}
+	es.forces = es.res.Forces
+	es.pool.Run(nw, es.evalFn)
+	es.pool.Run(nw, es.mergeFn)
+	es.evalModel, es.evalSys, es.curPairs, es.forces = nil, nil, nil, nil
+
+	energy := 0.0
+	for w := 0; w < nw; w++ {
+		energy += es.workerScr[w].energy
+	}
+	return energy
+}
+
+// prepareChunkWorkers sizes per-worker tapes/binders and carves the
+// center-contiguous sub-views for the chunk boundaries in es.bounds.
+func (es *EvalScratch) prepareChunkWorkers(m *Model, pairs *neighbor.Pairs, nw int) {
 	for len(es.workerScr) < nw {
 		ws := &workerEval{arena: tensor.NewArena()}
 		ws.tape = ad.NewTapeArena(m.Cfg.Precision.Compute, m.Cfg.Precision.Weights, ws.arena)
 		ws.binder = nn.NewBinder(ws.tape, false)
 		es.workerScr = append(es.workerScr, ws)
 	}
-	n := sys.NumAtoms()
-	es.growShards(nw, n)
 	for w := 0; w < nw; w++ {
 		ws := es.workerScr[w]
 		if ws.tape.Compute != m.Cfg.Precision.Compute || ws.tape.Store != m.Cfg.Precision.Weights {
@@ -208,24 +248,6 @@ func (es *EvalScratch) evaluateChunked(m *Model, sys *atoms.System, pairs *neigh
 		}
 		ws.sub.NumReal = real
 	}
-
-	es.evalModel, es.evalSys, es.curPairs = m, sys, pairs
-	es.nShards = nw
-	es.atomChunk = (n + nw - 1) / nw
-	if es.evalFn == nil {
-		es.evalFn = es.runWorkerEval
-		es.mergeFn = es.runMerge
-	}
-	es.forces = es.res.Forces
-	es.pool.Run(nw, es.evalFn)
-	es.pool.Run(nw, es.mergeFn)
-	es.evalModel, es.evalSys, es.curPairs, es.forces = nil, nil, nil, nil
-
-	energy := 0.0
-	for w := 0; w < nw; w++ {
-		energy += es.workerScr[w].energy
-	}
-	return energy
 }
 
 // computeBounds splits the pair list into up to nw chunks of roughly equal
@@ -267,6 +289,79 @@ func (es *EvalScratch) runWorkerEval(w int) {
 		sh[i] = [3]float64{}
 	}
 	accumPairRange(&ws.sub, g.rvec.Grad(), sh, 0, ws.sub.NumReal)
+}
+
+// EvaluateRowsInto computes the raw per-pair outputs of one evaluation
+// instead of reducing them to per-atom forces: rows[z] receives the force
+// row dE/d rvec_z (to be added to the center atom and subtracted from the
+// neighbor) and pairE[z] the sigma-weighted pair energy, both including the
+// pair's ZBL share when the model enables it. Rows are what the domain
+// runtime's ranks exchange: each rank evaluates its local pair list here —
+// chunked-parallel on arena-backed tapes, exactly like EvaluatePairsInto —
+// and hands the rows to a deterministic, canonically ordered global
+// reduction. Per-species energy shifts and final-precision rounding are
+// atom- and total-level terms and are left to that reducer.
+//
+// rows and pairE must have pairs.Len() entries; both are fully overwritten.
+func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neighbor.Pairs, rows [][3]float64, pairE []float64) {
+	es.ensure(m)
+	if len(rows) != pairs.Len() || len(pairE) != pairs.Len() {
+		panic("core: EvaluateRowsInto buffer length mismatch")
+	}
+	nw := es.workers
+	if maxW := pairs.NumReal / minEvalPairsPerWorker; nw > maxW {
+		nw = maxW
+	}
+	chunked := false
+	if nw > 1 {
+		es.computeBounds(pairs, nw)
+		nw = len(es.bounds) - 1 // boundary snapping may merge chunks
+		chunked = nw > 1
+	}
+	if chunked {
+		es.prepareChunkWorkers(m, pairs, nw)
+		es.evalModel, es.evalSys = m, sys
+		es.rowsOut, es.pairEOut, es.rowsScale = rows, pairE, m.EnergyScale
+		if es.evalRowsFn == nil {
+			es.evalRowsFn = es.runWorkerEvalRows
+		}
+		es.pool.Run(nw, es.evalRowsFn)
+		es.evalModel, es.evalSys = nil, nil
+		es.rowsOut, es.pairEOut = nil, nil
+	} else {
+		es.tape.Reset()
+		es.binder.Reset(es.tape, false)
+		g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
+		g.tape.Backward(g.energy)
+		harvestRows(&g, 0, pairs.Len(), rows, pairE, m.EnergyScale)
+	}
+	if m.Cfg.ZBL {
+		addZBLRows(sys, pairs, rows, pairE)
+	}
+}
+
+// runWorkerEvalRows runs one worker's sub-graph forward+backward and writes
+// its pair range of the caller's row buffers (ranges are disjoint, so no
+// merge phase is needed).
+func (es *EvalScratch) runWorkerEvalRows(w int) {
+	ws := es.workerScr[w]
+	ws.tape.Reset()
+	ws.binder.Reset(ws.tape, false)
+	g := es.evalModel.buildGraphOn(ws.tape, ws.binder, es.evalSys, &ws.sub, false)
+	ws.tape.Backward(g.energy)
+	lo := es.bounds[w]
+	harvestRows(&g, lo, lo+ws.sub.Len(), es.rowsOut, es.pairEOut, es.rowsScale)
+}
+
+// harvestRows copies a graph's pair-vector gradients and sigma-weighted
+// pair energies into the global row buffers at [lo,hi).
+func harvestRows(g *graph, lo, hi int, rows [][3]float64, pairE []float64, scale float64) {
+	grad := g.rvec.Grad()
+	for z := lo; z < hi; z++ {
+		row := grad.Row(z - lo)
+		rows[z] = [3]float64{row[0], row[1], row[2]}
+		pairE[z] = scale * g.pairE.T.Data[z-lo]
+	}
 }
 
 // minPairsPerWorker keeps the sharded reduction from dispatching workers on

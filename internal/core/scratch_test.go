@@ -237,3 +237,85 @@ func TestChunkedEvaluationExact(t *testing.T) {
 		e.Close()
 	}
 }
+
+// TestEvaluateRowsIntoMatchesForces checks the row-level entry point (the
+// domain runtime's rank evaluation): reducing rows[z] (+center, -neighbor)
+// plus pair energies, species shifts and final rounding must reproduce
+// EvaluatePairsInto bit for bit — serial and chunked-parallel alike, since
+// per-pair rows are independent of the chunk layout.
+func TestEvaluateRowsIntoMatchesForces(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		m := testModel(t, workers)
+		m.SetScaleShift(1.25, []float64{-0.5, -1.75})
+		sys := testWater(9)
+		es := NewEvalScratch()
+		var pairs neighbor.Pairs
+		es.ensure(m)
+		es.builder.BuildInto(&pairs, sys, m.Cuts)
+
+		ref := NewEvalScratch()
+		want := m.EvaluatePairsInto(ref, sys, &pairs)
+		wantForces := append([][3]float64(nil), want.Forces...)
+		ref.Close()
+
+		rows := make([][3]float64, pairs.Len())
+		pairE := make([]float64, pairs.Len())
+		m.EvaluateRowsInto(es, sys, &pairs, rows, pairE)
+		es.Close()
+
+		forces := make([][3]float64, sys.NumAtoms())
+		energy := 0.0
+		for z := 0; z < pairs.NumReal; z++ {
+			i, j := pairs.I[z], pairs.J[z]
+			for k := 0; k < 3; k++ {
+				forces[i][k] += rows[z][k]
+				forces[j][k] -= rows[z][k]
+			}
+			energy += pairE[z]
+		}
+		for _, sp := range sys.Species {
+			energy += m.EnergyShift[m.Idx.Index(sp)]
+		}
+		if math.Abs(energy-want.Energy) > 1e-10 {
+			t.Fatalf("workers=%d: row energy %.17g vs %.17g", workers, energy, want.Energy)
+		}
+		for i := range forces {
+			for k := 0; k < 3; k++ {
+				if math.Abs(forces[i][k]-wantForces[i][k]) > 1e-10 {
+					t.Fatalf("workers=%d: row-reduced force mismatch at atom %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateRowsSkinPairsExactlyZero pins the Verlet-reuse identity: rows
+// and pair energies of skin-shell pairs (Dist >= Cut) are exactly zero, so
+// a skin list evaluates to bit-identical totals as the exact list.
+func TestEvaluateRowsSkinPairsExactlyZero(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(10)
+	es := NewEvalScratch()
+	defer es.Close()
+	es.ensure(m)
+	es.builder.Skin = 0.8
+	var pairs neighbor.Pairs
+	es.builder.BuildInto(&pairs, sys, m.Cuts)
+	skinPairs := 0
+	rows := make([][3]float64, pairs.Len())
+	pairE := make([]float64, pairs.Len())
+	m.EvaluateRowsInto(es, sys, &pairs, rows, pairE)
+	for z := 0; z < pairs.NumReal; z++ {
+		if pairs.Dist[z] < pairs.Cut[z] {
+			continue
+		}
+		skinPairs++
+		if rows[z] != [3]float64{} || pairE[z] != 0 {
+			t.Fatalf("skin pair %d (r=%.3f, rc=%.3f) contributes: row %v, e %g",
+				z, pairs.Dist[z], pairs.Cut[z], rows[z], pairE[z])
+		}
+	}
+	if skinPairs == 0 {
+		t.Fatal("expected skin-shell pairs in the inflated list")
+	}
+}

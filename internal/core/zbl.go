@@ -19,38 +19,51 @@ const (
 	zblSwitchOff = 1.4
 )
 
+// zblPair evaluates one ordered pair's ZBL contribution: half the switched
+// pair energy and the radial force factor fr such that the force row is
+// fr*Vec (added to the center, subtracted from the neighbor).
+func zblPair(zi, zj, r float64) (eHalf, fr float64) {
+	a := 0.46850 / (math.Pow(zi, 0.23) + math.Pow(zj, 0.23))
+	x := r / a
+	var phi, dphi float64
+	for t := 0; t < 4; t++ {
+		e := zblC[t] * math.Exp(zblD[t]*x)
+		phi += e
+		dphi += zblD[t] * e
+	}
+	dphi /= a
+	pref := units.CoulombConst * zi * zj
+	e := pref / r * phi
+	de := -pref/(r*r)*phi + pref/r*dphi
+	// Smooth switch to zero before the learned region takes over.
+	s, ds := switchDown(r)
+	eSw := e * s
+	deSw := de*s + e*ds
+	// Ordered pairs visit each geometric pair twice: half weights.
+	return 0.5 * eSw, 0.5 * deSw / r
+}
+
+// zblActive gates the ZBL term to genuine in-cutoff close approaches. Pairs
+// at or beyond their ordered cutoff — Verlet-skin shell entries and the
+// fake padding pairs, both of which carry Dist >= Cut — must contribute
+// exactly zero so that skin reuse and padding leave energies and forces
+// bit-identical to an exact-cutoff rebuild.
+func zblActive(pairs *neighbor.Pairs, z int) bool {
+	return pairs.Dist[z] < zblSwitchOff && pairs.Dist[z] < pairs.Cut[z]
+}
+
 // addZBL accumulates the repulsive Ziegler-Biersack-Littmark pair energy and
 // forces (Sec. VI-D adds this term to stabilize the potential against
 // unphysically close approaches). Returns the total ZBL energy.
 func addZBL(sys *atoms.System, pairs *neighbor.Pairs, forces [][3]float64) float64 {
 	total := 0.0
 	for z := 0; z < pairs.NumReal; z++ {
-		i, j := pairs.I[z], pairs.J[z]
-		r := pairs.Dist[z]
-		if r >= zblSwitchOff {
+		if !zblActive(pairs, z) {
 			continue
 		}
-		zi := float64(sys.Species[i])
-		zj := float64(sys.Species[j])
-		a := 0.46850 / (math.Pow(zi, 0.23) + math.Pow(zj, 0.23))
-		x := r / a
-		var phi, dphi float64
-		for t := 0; t < 4; t++ {
-			e := zblC[t] * math.Exp(zblD[t]*x)
-			phi += e
-			dphi += zblD[t] * e
-		}
-		dphi /= a
-		pref := units.CoulombConst * zi * zj
-		e := pref / r * phi
-		de := -pref/(r*r)*phi + pref/r*dphi
-		// Smooth switch to zero before the learned region takes over.
-		s, ds := switchDown(r)
-		eSw := e * s
-		deSw := de*s + e*ds
-		// Ordered pairs visit each geometric pair twice: half weights.
-		total += 0.5 * eSw
-		fr := 0.5 * deSw / r
+		i, j := pairs.I[z], pairs.J[z]
+		eHalf, fr := zblPair(float64(sys.Species[i]), float64(sys.Species[j]), pairs.Dist[z])
+		total += eHalf
 		v := pairs.Vec[z]
 		for k := 0; k < 3; k++ {
 			// Gradient dE/dr_j = fr*v, dE/dr_i = -fr*v; force is negative.
@@ -59,6 +72,24 @@ func addZBL(sys *atoms.System, pairs *neighbor.Pairs, forces [][3]float64) float
 		}
 	}
 	return total
+}
+
+// addZBLRows adds each pair's ZBL share to the raw per-pair outputs of a
+// row-level evaluation: pairE[z] gains the half pair energy and rows[z] the
+// force row (+row on the center, -row on the neighbor).
+func addZBLRows(sys *atoms.System, pairs *neighbor.Pairs, rows [][3]float64, pairE []float64) {
+	for z := 0; z < pairs.NumReal; z++ {
+		if !zblActive(pairs, z) {
+			continue
+		}
+		i, j := pairs.I[z], pairs.J[z]
+		eHalf, fr := zblPair(float64(sys.Species[i]), float64(sys.Species[j]), pairs.Dist[z])
+		pairE[z] += eHalf
+		v := pairs.Vec[z]
+		for k := 0; k < 3; k++ {
+			rows[z][k] += fr * v[k]
+		}
+	}
 }
 
 // switchDown is 1 below zblSwitchOn and 0 above zblSwitchOff (C1 cubic).

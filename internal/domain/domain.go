@@ -1,36 +1,43 @@
 // Package domain implements LAMMPS-style spatial domain decomposition for
 // strictly local potentials: the periodic box is split into a 3-D grid of
-// subdomains ("ranks", realized as goroutines communicating over channels
-// in place of MPI), each rank evaluates the potential for the ordered pairs
-// *centered* on its owned atoms using ghost copies of boundary atoms from
-// neighboring subdomains, and ghost force contributions are communicated
-// back to their owners (LAMMPS "reverse communication").
+// subdomains ("ranks", realized as long-lived goroutines communicating over
+// preallocated channels in place of MPI), each rank evaluates the potential
+// for the ordered pairs *centered* on its owned atoms using ghost copies of
+// boundary atoms from neighboring subdomains, and ghost force contributions
+// are communicated back to their owners (LAMMPS "reverse communication").
 //
 // Because Allegro's receptive field never grows with depth, a ghost halo of
 // one cutoff radius is exactly sufficient — the property that lets the paper
-// scale to 5120 GPUs. The package supports a configurable halo multiplier so
-// the message-passing ablation (a NequIP-style model needs L x cutoff of
-// halo) can be demonstrated quantitatively.
+// scale to 5120 GPUs. The package supports a configurable halo so the
+// message-passing ablation (a NequIP-style model needs L x cutoff of halo)
+// can be demonstrated quantitatively.
+//
+// The production path is the persistent Runtime: rank workers that keep
+// their neighbor lists (with a Verlet skin), ghost-exchange plans, and
+// evaluation arenas alive across MD steps, re-deriving them only when the
+// skin/2 displacement trigger fires. Evaluate is the one-shot convenience
+// wrapper over a transient Runtime.
 package domain
 
 import (
-	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/atoms"
+	"repro/internal/core"
 )
 
 // CenterPotential evaluates energy and forces counting only interactions
 // centered on atoms i with owned[i] == true. For a strictly local,
 // pair-centered energy decomposition (Allegro's E = sum_ij E_ij with ij
 // grouped by center i), summing centered evaluations over a partition of
-// ownership reproduces the serial result exactly.
+// ownership reproduces the serial result exactly. core.Model implements it;
+// the partition-identity tests rest on this interface.
 type CenterPotential interface {
 	EnergyForcesCentered(sys *atoms.System, owned []bool) (float64, [][3]float64)
 }
 
-// Options configures a decomposition.
+// Options configures a one-shot decomposed evaluation (see RuntimeOptions
+// for the persistent runtime).
 type Options struct {
 	// Grid is the number of subdomains per dimension.
 	Grid [3]int
@@ -41,37 +48,11 @@ type Options struct {
 
 // Validate checks decomposition invariants against a system.
 func (o *Options) Validate(sys *atoms.System) error {
-	if !sys.PBC {
-		return fmt.Errorf("domain: decomposition requires a periodic system")
-	}
-	for k := 0; k < 3; k++ {
-		if o.Grid[k] < 1 {
-			return fmt.Errorf("domain: grid dimension %d must be >= 1", k)
-		}
-		sub := sys.Cell[k] / float64(o.Grid[k])
-		if o.Halo > sub {
-			return fmt.Errorf("domain: halo %.2f exceeds subdomain width %.2f along %d (grid too fine)", o.Halo, sub, k)
-		}
-	}
-	if o.Halo <= 0 {
-		return fmt.Errorf("domain: halo must be positive")
-	}
-	return nil
+	return validateRuntime(sys, RuntimeOptions{Grid: o.Grid, Halo: o.Halo})
 }
 
 // NumRanks returns the total rank count.
 func (o *Options) NumRanks() int { return o.Grid[0] * o.Grid[1] * o.Grid[2] }
-
-// rankResult is what each rank sends back on its channel.
-type rankResult struct {
-	rank   int
-	energy float64
-	// force contributions keyed by global atom index.
-	idx    []int
-	forces [][3]float64
-	// statistics
-	owned, ghosts int
-}
 
 // Stats summarizes one decomposed evaluation.
 type Stats struct {
@@ -81,165 +62,61 @@ type Stats struct {
 	TotalGhost int
 }
 
-// Evaluate computes energy and forces of sys under pot using the
-// decomposition described by opts. Rank evaluations run concurrently on
-// goroutines; the reduction is deterministic (rank-ordered).
-func Evaluate(sys *atoms.System, pot CenterPotential, opts Options) (float64, [][3]float64, Stats, error) {
-	if err := opts.Validate(sys); err != nil {
+// Evaluate computes energy and forces of sys under m using the
+// decomposition described by opts: it constructs a Runtime, runs one step,
+// and tears it down, so the one-shot API shares the persistent code path
+// exactly. Steady-state loops should hold a Runtime (or use
+// allegro.NewDecomposedSim) instead.
+func Evaluate(sys *atoms.System, m *core.Model, opts Options) (float64, [][3]float64, Stats, error) {
+	rt, err := NewRuntime(m, sys, RuntimeOptions{Grid: opts.Grid, Halo: opts.Halo})
+	if err != nil {
 		return 0, nil, Stats{}, err
 	}
-	wrapped := sys.Clone()
-	wrapped.Wrap()
-	n := wrapped.NumAtoms()
-	r := opts.NumRanks()
-
-	// Subdomain geometry.
-	var sub [3]float64
-	for k := 0; k < 3; k++ {
-		sub[k] = wrapped.Cell[k] / float64(opts.Grid[k])
-	}
-	rankOf := func(p [3]float64) int {
-		var c [3]int
-		for k := 0; k < 3; k++ {
-			c[k] = int(p[k] / sub[k])
-			if c[k] >= opts.Grid[k] {
-				c[k] = opts.Grid[k] - 1
-			}
-			if c[k] < 0 {
-				c[k] = 0
-			}
-		}
-		return (c[0]*opts.Grid[1]+c[1])*opts.Grid[2] + c[2]
-	}
-	owner := make([]int, n)
-	for i := 0; i < n; i++ {
-		owner[i] = rankOf(wrapped.Pos[i])
-	}
-
-	results := make(chan rankResult, r)
-	for rank := 0; rank < r; rank++ {
-		go func(rank int) {
-			results <- evaluateRank(wrapped, pot, opts, sub, owner, rank)
-		}(rank)
-	}
-	collected := make([]rankResult, 0, r)
-	for i := 0; i < r; i++ {
-		collected = append(collected, <-results)
-	}
-	sort.Slice(collected, func(a, b int) bool { return collected[a].rank < collected[b].rank })
-
-	forces := make([][3]float64, n)
-	var st Stats
-	for _, res := range collected {
-		st.Energy += res.energy
-		for t, gi := range res.idx {
-			for k := 0; k < 3; k++ {
-				forces[gi][k] += res.forces[t][k]
-			}
-		}
-		if res.owned > st.MaxOwned {
-			st.MaxOwned = res.owned
-		}
-		if res.ghosts > st.MaxGhosts {
-			st.MaxGhosts = res.ghosts
-		}
-		st.TotalGhost += res.ghosts
-	}
-	return st.Energy, forces, st, nil
+	defer rt.Close()
+	e, forces := rt.EnergyForces(sys)
+	st := rt.Stats()
+	return e, forces, Stats{Energy: e, MaxOwned: st.MaxOwned, MaxGhosts: st.MaxGhosts, TotalGhost: st.TotalGhost}, nil
 }
 
-// evaluateRank builds the local (owned + ghost) sub-system and evaluates the
-// potential centered on owned atoms.
-func evaluateRank(sys *atoms.System, pot CenterPotential, opts Options, sub [3]float64, owner []int, rank int) rankResult {
-	g := opts.Grid
-	cz := rank % g[2]
-	cy := (rank / g[2]) % g[1]
-	cx := rank / (g[1] * g[2])
-	var lo, hi [3]float64
-	coord := [3]int{cx, cy, cz}
-	for k := 0; k < 3; k++ {
-		lo[k] = float64(coord[k]) * sub[k]
-		hi[k] = lo[k] + sub[k]
-	}
-
-	// Owned atoms first, then ghost images within the halo of the box.
-	var localIdx []int
-	var localPos [][3]float64
-	for i := 0; i < sys.NumAtoms(); i++ {
-		if owner[i] == rank {
-			localIdx = append(localIdx, i)
-			localPos = append(localPos, sys.Pos[i])
-		}
-	}
-	nOwned := len(localIdx)
-	// Ghost import: check all 27 periodic images of every atom against the
-	// halo-expanded box. (An O(N*27) scan per rank; a production code uses
-	// neighbor-rank exchanges, but the imported set is identical.)
-	for i := 0; i < sys.NumAtoms(); i++ {
-		for sx := -1; sx <= 1; sx++ {
-			for sy := -1; sy <= 1; sy++ {
-				for sz := -1; sz <= 1; sz++ {
-					img := [3]float64{
-						sys.Pos[i][0] + float64(sx)*sys.Cell[0],
-						sys.Pos[i][1] + float64(sy)*sys.Cell[1],
-						sys.Pos[i][2] + float64(sz)*sys.Cell[2],
-					}
-					if owner[i] == rank && sx == 0 && sy == 0 && sz == 0 {
-						continue // the owned copy itself
-					}
-					inside := true
-					for k := 0; k < 3; k++ {
-						if img[k] < lo[k]-opts.Halo || img[k] >= hi[k]+opts.Halo {
-							inside = false
-							break
-						}
-					}
-					if inside {
-						localIdx = append(localIdx, i)
-						localPos = append(localPos, img)
-					}
-				}
-			}
-		}
-	}
-
-	local := atoms.NewSystem(len(localIdx))
-	for t, gi := range localIdx {
-		local.Species[t] = sys.Species[gi]
-		local.Pos[t] = localPos[t]
-	}
-	ownedMask := make([]bool, len(localIdx))
-	for t := 0; t < nOwned; t++ {
-		ownedMask[t] = true
-	}
-	e, f := pot.EnergyForcesCentered(local, ownedMask)
-	res := rankResult{rank: rank, energy: e, owned: nOwned, ghosts: len(localIdx) - nOwned}
-	// Forward owned forces and reverse-communicate ghost contributions.
-	for t, gi := range localIdx {
-		if f[t][0] != 0 || f[t][1] != 0 || f[t][2] != 0 {
-			res.idx = append(res.idx, gi)
-			res.forces = append(res.forces, f[t])
-		}
-	}
-	return res
-}
-
-// Potential adapts a decomposed evaluation to the md.Potential interface so
-// an MD loop runs each force call across the rank grid — the paper's
-// LAMMPS-driven production pattern.
+// Potential adapts a decomposed evaluation to the md.Potential interface.
+// It lazily constructs a Runtime on first use (rebuilding it if pointed at
+// a different system), so repeated force calls reuse the persistent rank
+// workers.
+//
+// Deprecated: construct the Runtime directly (NewRuntime, or
+// allegro.NewDecomposedSim for MD): it exposes the zero-allocation
+// md.InPlacePotential path, the Verlet skin, and Close. Potential cannot
+// release its rank workers deterministically.
 type Potential struct {
-	Pot  CenterPotential
+	Pot  *core.Model
 	Opts Options
+
+	rt  *Runtime
+	sys *atoms.System
 }
 
 // EnergyForces evaluates through the decomposition. Errors (which indicate
 // a misconfigured grid, not a runtime condition) panic.
 func (p *Potential) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
-	e, f, _, err := Evaluate(sys, p.Pot, p.Opts)
-	if err != nil {
-		panic("domain: " + err.Error())
+	if p.rt == nil || p.sys != sys {
+		if p.rt != nil {
+			p.rt.Close()
+		}
+		rt, err := NewRuntime(p.Pot, sys, RuntimeOptions{Grid: p.Opts.Grid, Halo: p.Opts.Halo})
+		if err != nil {
+			panic("domain: " + err.Error())
+		}
+		p.rt, p.sys = rt, sys
 	}
-	return e, f
+	return p.rt.EnergyForces(sys)
+}
+
+// Close releases the underlying runtime's rank workers, if any.
+func (p *Potential) Close() {
+	if p.rt != nil {
+		p.rt.Close()
+		p.rt, p.sys = nil, nil
+	}
 }
 
 // HaloVolumeFraction returns the analytic ratio of imported ghost volume to
@@ -255,7 +132,8 @@ func HaloVolumeFraction(edge, halo float64) float64 {
 
 // RequiredHalo returns the ghost-import distance a model needs: cutoff for a
 // strictly local model, layers*cutoff for an MPNN with the given number of
-// message-passing layers.
+// message-passing layers. The Runtime adds its Verlet skin on top of this
+// base distance, so skin reuse never shrinks the physical halo.
 func RequiredHalo(cutoff float64, mpLayers int) float64 {
 	if mpLayers < 1 {
 		mpLayers = 1

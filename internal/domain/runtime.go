@@ -1,0 +1,717 @@
+package domain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/neighbor"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// RuntimeOptions configures a persistent rank runtime.
+type RuntimeOptions struct {
+	// Grid is the number of subdomains per dimension.
+	Grid [3]int
+	// Skin is the Verlet skin added to every cutoff when rank-local
+	// neighbor lists are built. Lists (and with them the ghost imports,
+	// exchange plan and evaluation arenas) are reused until any atom has
+	// moved Skin/2 since the last rebuild; skin-shell pairs contribute
+	// exactly zero, so results are independent of the skin and of the
+	// rebuild schedule. Zero rebuilds every step.
+	Skin float64
+	// Halo overrides the ghost-import distance (before the skin is added).
+	// Zero selects the model's largest cutoff — exactly sufficient for a
+	// strictly local model, the property the paper's scaling rests on.
+	// Values below the cutoff deliberately under-import (the MPNN halo
+	// ablation); values above it import more ghosts than needed.
+	Halo float64
+	// WorkersPerRank bounds each rank's internal worker pool (chunked-graph
+	// evaluation and neighbor builds). Values <= 0 select 1: by default
+	// parallelism comes from the ranks themselves.
+	WorkersPerRank int
+}
+
+// RuntimeStats aggregates the runtime's behaviour over its lifetime.
+type RuntimeStats struct {
+	Steps      int // force evaluations served
+	Rebuilds   int // neighbor/exchange rebuilds (incl. the first)
+	Migrations int // ownership changes observed at rebuilds after the first
+	PairWork   int // Verlet pairs evaluated per step, summed over ranks
+	MaxOwned   int // largest per-rank owned-atom count at the last rebuild
+	MaxGhosts  int // largest per-rank ghost count at the last rebuild
+	TotalGhost int // ghost imports summed over ranks at the last rebuild
+	// ForwardBytesPerStep is the forward ghost-exchange volume: the ghost
+	// positions every rank refreshes from its neighbors each step.
+	// ReverseBytesPerStep is the reverse volume: force rows computed on
+	// ghost neighbors that flow back to the owning ranks in the reduction.
+	ForwardBytesPerStep int
+	ReverseBytesPerStep int
+}
+
+// rankCmd is one phase command sent to every rank worker.
+type rankCmd uint8
+
+const (
+	// cmdRebuild re-derives rank membership: owned atoms, ghost imports
+	// within halo+skin, the rank-local Verlet list in canonical per-center
+	// order, and the per-center pair counts the slot assignment needs.
+	cmdRebuild rankCmd = iota
+	// cmdSlots assigns every local pair its global slot (canonical order:
+	// ascending global center, then (global neighbor, image)) and publishes
+	// the slot's global endpoints for the adjacency build.
+	cmdSlots
+	// cmdEval refreshes pair vectors from current positions, evaluates the
+	// rank's pair rows on its own EvalScratch, and scatters rows and pair
+	// energies into the global slot buffers.
+	cmdEval
+	// cmdReduce accumulates each owned atom's force from the global rows in
+	// canonical slot order (the deterministic reverse ghost reduction).
+	cmdReduce
+)
+
+// Runtime is the persistent domain-decomposed force engine: long-lived rank
+// workers (goroutines over preallocated channels, standing in for MPI
+// ranks) that each own a core.EvalScratch, a local neighbor.Builder with a
+// Verlet skin, and reusable ghost/exchange buffers. In steady state — no
+// atom has moved skin/2 since the last rebuild — a Step refreshes pair
+// vectors, evaluates rank-local rows and reduces forces without a single
+// heap allocation; rebuilds (membership migration, ghost import, neighbor
+// lists, exchange plan) happen only when the displacement trigger fires.
+//
+// Determinism: every pair is assigned a canonical global slot — ascending
+// global center atom, then (global neighbor, periodic image) — independent
+// of the rank grid, and per-atom forces and the total energy are reduced in
+// slot order. Combined with Allegro's strict locality (a center's pairs
+// form an independent sub-graph wholly owned by one rank), trajectories are
+// bit-identical across rank grids, worker counts, and skin values.
+//
+// A Runtime is bound to the *atoms.System it was constructed with and
+// serves one simulation loop; it implements md.InPlacePotential. Call Close
+// to release the rank workers.
+type Runtime struct {
+	model *core.Model
+	sys   *atoms.System
+	opts  RuntimeOptions
+	grid  [3]int
+	sub   [3]float64
+	halo  float64 // ghost-import distance before the skin is added
+	skin  float64
+
+	n      int
+	pw     [][3]float64 // wrapped positions, refreshed every step
+	refPos [][3]float64 // unwrapped positions at the last rebuild
+	owner  []int32      // owning rank per atom, frozen between rebuilds
+
+	ranks []*rank
+	cmds  []chan rankCmd
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// Global slot-indexed exchange state (rebuilt with the neighbor lists).
+	nPairs    int
+	pairCnt   []int32 // per-atom pair count (rebuild scratch)
+	pairStart []int32 // slot prefix per atom, len n+1
+	pairGI    []int32 // global center per slot
+	pairGJ    []int32 // global neighbor per slot
+	rows      [][3]float64
+	pairE     []float64
+	adj       []int32 // per-atom signed slot refs: slot<<1 | isNeighborSide
+	adjPtr    []int32 // len n+1
+	adjFill   []int32 // rebuild scratch
+
+	forces  [][3]float64 // caller buffer, set for the duration of one step
+	energy  float64
+	started bool
+	closed  bool
+	stats   RuntimeStats
+}
+
+// rank is the persistent state of one subdomain worker.
+type rank struct {
+	rt     *Runtime
+	id     int
+	lo, hi [3]float64
+
+	nOwned int
+	gOf    []int32       // local index -> global atom (owned first, then ghosts)
+	shift  [][3]float64  // local index -> periodic image offset (owned: zero)
+	code   []uint8       // local index -> image code in [0,27) (owned: 13)
+	local  *atoms.System // local species + build-time positions
+
+	builder  neighbor.Builder
+	pairs    neighbor.Pairs
+	slotOf   []int32
+	scratch  *core.EvalScratch
+	rowsBuf  [][3]float64
+	pairEBuf []float64
+
+	// Canonical-sort scratch (rebuild only).
+	perm                   []int
+	tmpI, tmpJ             []int
+	tmpVec                 [][3]float64
+	tmpDist, tmpCut        []float64
+	nGhosts, ghostRowCount int
+}
+
+// centerCode is the image code of an atom's own (unshifted) copy.
+const centerCode = 13
+
+// NewRuntime validates the decomposition and starts the rank workers. The
+// runtime is bound to sys: the caller (an MD integrator) mutates sys.Pos in
+// place and calls EnergyForcesInto each step. No evaluation happens until
+// the first step.
+func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime, error) {
+	if opts.Halo == 0 {
+		opts.Halo = m.Cuts.Max()
+	}
+	if err := validateRuntime(sys, opts); err != nil {
+		return nil, err
+	}
+	n := sys.NumAtoms()
+	r := &Runtime{
+		model:  m,
+		sys:    sys,
+		opts:   opts,
+		grid:   opts.Grid,
+		halo:   opts.Halo,
+		skin:   opts.Skin,
+		n:      n,
+		pw:     make([][3]float64, n),
+		refPos: make([][3]float64, n),
+		owner:  make([]int32, n),
+
+		pairCnt:   make([]int32, n),
+		pairStart: make([]int32, n+1),
+		adjPtr:    make([]int32, n+1),
+		adjFill:   make([]int32, n),
+	}
+	nr := opts.Grid[0] * opts.Grid[1] * opts.Grid[2]
+	for k := 0; k < 3; k++ {
+		r.sub[k] = sys.Cell[k] / float64(opts.Grid[k])
+	}
+	wpr := opts.WorkersPerRank
+	if wpr <= 0 {
+		wpr = 1 // by default parallelism comes from the ranks themselves
+	}
+	r.done = make(chan struct{}, nr)
+	r.cmds = make([]chan rankCmd, nr)
+	r.ranks = make([]*rank, nr)
+	for id := 0; id < nr; id++ {
+		g := opts.Grid
+		cz := id % g[2]
+		cy := (id / g[2]) % g[1]
+		cx := id / (g[1] * g[2])
+		rk := &rank{rt: r, id: id, scratch: core.NewEvalScratch(), local: atoms.NewSystem(0)}
+		coord := [3]int{cx, cy, cz}
+		for k := 0; k < 3; k++ {
+			rk.lo[k] = float64(coord[k]) * r.sub[k]
+			rk.hi[k] = rk.lo[k] + r.sub[k]
+		}
+		// The per-rank budget bounds both the local neighbor builds and the
+		// scratch's chunked-graph evaluation (overriding Config.Workers, so
+		// a loaded model's global worker setting cannot oversubscribe the
+		// node with ranks x GOMAXPROCS pools).
+		rk.builder.Workers = wpr
+		rk.scratch.Workers = wpr
+		rk.builder.Skin = opts.Skin
+		r.ranks[id] = rk
+		r.cmds[id] = make(chan rankCmd, 1)
+		r.wg.Add(1)
+		go rk.loop(r.cmds[id])
+	}
+	return r, nil
+}
+
+// validateRuntime checks the decomposition invariants.
+func validateRuntime(sys *atoms.System, opts RuntimeOptions) error {
+	if !sys.PBC {
+		return fmt.Errorf("domain: decomposition requires a periodic system")
+	}
+	if opts.Halo <= 0 {
+		return fmt.Errorf("domain: halo must be positive")
+	}
+	if opts.Skin < 0 {
+		return fmt.Errorf("domain: skin must be non-negative")
+	}
+	haloTot := opts.Halo + opts.Skin
+	for k := 0; k < 3; k++ {
+		if opts.Grid[k] < 1 {
+			return fmt.Errorf("domain: grid dimension %d must be >= 1", k)
+		}
+		sub := sys.Cell[k] / float64(opts.Grid[k])
+		if haloTot > sub {
+			return fmt.Errorf("domain: halo+skin %.2f exceeds subdomain width %.2f along %d (grid too fine)", haloTot, sub, k)
+		}
+		// The minimum-image refresh must keep resolving each listed pair to
+		// its build-time image while atoms drift up to skin/2 each.
+		if 2*(haloTot+opts.Skin) > sys.Cell[k] {
+			return fmt.Errorf("domain: halo+2*skin %.2f exceeds half the cell %.2f along %d", haloTot+opts.Skin, sys.Cell[k]/2, k)
+		}
+	}
+	return nil
+}
+
+// loop is the long-lived body of one rank worker.
+func (rk *rank) loop(cmds chan rankCmd) {
+	defer rk.rt.wg.Done()
+	defer rk.builder.Close()
+	defer rk.scratch.Close()
+	for c := range cmds {
+		switch c {
+		case cmdRebuild:
+			rk.execRebuild()
+		case cmdSlots:
+			rk.execSlots()
+		case cmdEval:
+			rk.execEval()
+		case cmdReduce:
+			rk.execReduce()
+		}
+		rk.rt.done <- struct{}{}
+	}
+}
+
+// dispatch broadcasts one phase to every rank and waits for completion; the
+// channel handshakes order all cross-rank reads and writes.
+func (r *Runtime) dispatch(c rankCmd) {
+	for _, ch := range r.cmds {
+		ch <- c
+	}
+	for range r.ranks {
+		<-r.done
+	}
+}
+
+// Close shuts the rank workers down and releases their pools. The runtime
+// is unusable afterwards.
+func (r *Runtime) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, ch := range r.cmds {
+		close(ch)
+	}
+	r.wg.Wait()
+}
+
+// Stats returns the accumulated runtime statistics.
+func (r *Runtime) Stats() RuntimeStats { return r.stats }
+
+// NumRanks returns the rank-grid size.
+func (r *Runtime) NumRanks() int { return len(r.ranks) }
+
+// Energy returns the potential energy of the last step.
+func (r *Runtime) Energy() float64 { return r.energy }
+
+// EnergyForcesInto implements md.InPlacePotential: one decomposed force
+// evaluation into the caller's buffer. sys must be the system the runtime
+// was constructed with. Steady-state calls (no rebuild) allocate nothing.
+func (r *Runtime) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64 {
+	if sys != r.sys {
+		panic("domain: Runtime is bound to the system it was constructed with")
+	}
+	if len(forces) != r.n {
+		panic("domain: force buffer length mismatch")
+	}
+	r.wrap()
+	if r.needRebuild() {
+		r.rebuild()
+	}
+	r.forces = forces
+	r.dispatch(cmdEval)
+	r.dispatch(cmdReduce)
+	r.forces = nil
+	r.energy = r.reduceEnergy()
+	r.stats.Steps++
+	return r.energy
+}
+
+// EnergyForces implements md.Potential (fresh force buffer per call).
+func (r *Runtime) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	forces := make([][3]float64, r.n)
+	e := r.EnergyForcesInto(sys, forces)
+	return e, forces
+}
+
+// wrap refreshes the wrapped positions (same arithmetic as the neighbor
+// builder's PBC binning, so admission decisions are grid-independent).
+func (r *Runtime) wrap() {
+	cell := r.sys.Cell
+	for i, p := range r.sys.Pos {
+		for k := 0; k < 3; k++ {
+			l := cell[k]
+			r.pw[i][k] = p[k] - l*math.Floor(p[k]/l)
+		}
+	}
+}
+
+// needRebuild fires the Verlet trigger: any atom displaced skin/2 since the
+// last rebuild invalidates the lists. The criterion is global, so the
+// rebuild schedule — and with it every admitted pair — is identical on
+// every rank grid.
+func (r *Runtime) needRebuild() bool {
+	if !r.started {
+		return true
+	}
+	if r.skin <= 0 {
+		return true
+	}
+	lim := (r.skin / 2) * (r.skin / 2)
+	for i, p := range r.sys.Pos {
+		ref := r.refPos[i]
+		d0 := p[0] - ref[0]
+		d1 := p[1] - ref[1]
+		d2 := p[2] - ref[2]
+		if d0*d0+d1*d1+d2*d2 >= lim {
+			return true
+		}
+	}
+	return false
+}
+
+// rankOf maps a wrapped position to its owning rank.
+func (r *Runtime) rankOf(p [3]float64) int {
+	var c [3]int
+	for k := 0; k < 3; k++ {
+		c[k] = int(p[k] / r.sub[k])
+		if c[k] >= r.grid[k] {
+			c[k] = r.grid[k] - 1
+		}
+		if c[k] < 0 {
+			c[k] = 0
+		}
+	}
+	return (c[0]*r.grid[1]+c[1])*r.grid[2] + c[2]
+}
+
+// rebuild re-derives ownership (incremental migration: assignments change
+// only here, when atoms have crossed subdomain boundaries), ghost imports,
+// rank-local Verlet lists, the canonical slot layout, and the reduction
+// adjacency. Rebuild steps may allocate (lists and arenas re-warm); steady
+// steps do not.
+func (r *Runtime) rebuild() {
+	r.stats.Rebuilds++
+	mig := 0
+	for i := 0; i < r.n; i++ {
+		o := int32(r.rankOf(r.pw[i]))
+		if r.started && o != r.owner[i] {
+			mig++
+		}
+		r.owner[i] = o
+	}
+	if r.started {
+		r.stats.Migrations += mig
+	}
+	copy(r.refPos, r.sys.Pos)
+	for i := range r.pairCnt {
+		r.pairCnt[i] = 0
+	}
+
+	r.dispatch(cmdRebuild)
+
+	// Canonical slot layout: ascending global center, each center's block
+	// in the owning rank's sorted order.
+	total := int32(0)
+	r.pairStart[0] = 0
+	for i := 0; i < r.n; i++ {
+		total += r.pairCnt[i]
+		r.pairStart[i+1] = total
+	}
+	r.nPairs = int(total)
+	if cap(r.pairGI) < r.nPairs {
+		r.pairGI = make([]int32, r.nPairs)
+		r.pairGJ = make([]int32, r.nPairs)
+		r.rows = make([][3]float64, r.nPairs)
+		r.pairE = make([]float64, r.nPairs)
+	}
+	r.pairGI = r.pairGI[:r.nPairs]
+	r.pairGJ = r.pairGJ[:r.nPairs]
+	r.rows = r.rows[:r.nPairs]
+	r.pairE = r.pairE[:r.nPairs]
+
+	r.dispatch(cmdSlots)
+	r.buildAdjacency()
+
+	st := &r.stats
+	st.PairWork = r.nPairs
+	st.MaxOwned, st.MaxGhosts, st.TotalGhost = 0, 0, 0
+	st.ForwardBytesPerStep, st.ReverseBytesPerStep = 0, 0
+	for _, rk := range r.ranks {
+		if rk.nOwned > st.MaxOwned {
+			st.MaxOwned = rk.nOwned
+		}
+		if rk.nGhosts > st.MaxGhosts {
+			st.MaxGhosts = rk.nGhosts
+		}
+		st.TotalGhost += rk.nGhosts
+		st.ForwardBytesPerStep += rk.nGhosts * 24       // 3 float64 per ghost position
+		st.ReverseBytesPerStep += rk.ghostRowCount * 24 // 3 float64 per ghost force row
+	}
+	r.started = true
+}
+
+// buildAdjacency precomputes, per atom, the slots contributing to its force
+// in ascending slot order: +row where the atom is the center, -row where it
+// is the neighbor — exactly the serial accumulation order, split per atom.
+func (r *Runtime) buildAdjacency() {
+	need := 2 * r.nPairs
+	if cap(r.adj) < need {
+		r.adj = make([]int32, need)
+	}
+	r.adj = r.adj[:need]
+	cnt := r.adjFill
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for z := 0; z < r.nPairs; z++ {
+		cnt[r.pairGI[z]]++
+		cnt[r.pairGJ[z]]++
+	}
+	r.adjPtr[0] = 0
+	for i := 0; i < r.n; i++ {
+		r.adjPtr[i+1] = r.adjPtr[i] + cnt[i]
+	}
+	copy(cnt, r.adjPtr[:r.n]) // running write offsets
+	for z := 0; z < r.nPairs; z++ {
+		gi, gj := r.pairGI[z], r.pairGJ[z]
+		r.adj[cnt[gi]] = int32(z) << 1
+		cnt[gi]++
+		r.adj[cnt[gj]] = int32(z)<<1 | 1
+		cnt[gj]++
+	}
+}
+
+// reduceEnergy sums pair energies in canonical slot order, then per-species
+// shifts in atom order, then applies the final-stage precision — identical
+// on every rank grid.
+func (r *Runtime) reduceEnergy() float64 {
+	e := 0.0
+	for _, pe := range r.pairE {
+		e += pe
+	}
+	m := r.model
+	for _, sp := range r.sys.Species {
+		e += m.EnergyShift[m.Idx.Index(sp)]
+	}
+	if m.Cfg.Precision.Final != tensor.F64 {
+		e = m.Cfg.Precision.Final.Round(e)
+	}
+	return e
+}
+
+// --- rank phases ---
+
+// execRebuild re-derives this rank's membership and Verlet list.
+func (rk *rank) execRebuild() {
+	rt := rk.rt
+	rk.gOf = rk.gOf[:0]
+	rk.shift = rk.shift[:0]
+	rk.code = rk.code[:0]
+	for i := 0; i < rt.n; i++ {
+		if rt.owner[i] == int32(rk.id) {
+			rk.gOf = append(rk.gOf, int32(i))
+			rk.shift = append(rk.shift, [3]float64{})
+			rk.code = append(rk.code, centerCode)
+		}
+	}
+	rk.nOwned = len(rk.gOf)
+
+	// Ghost import: every periodic image inside the halo+skin envelope of
+	// the subdomain, in deterministic (atom, image) order. Shift vectors
+	// are exact multiples of the cell, so a ghost position equals the
+	// owner's wrapped position plus its shift on every grid.
+	haloTot := rt.halo + rt.skin
+	cell := rt.sys.Cell
+	for j := 0; j < rt.n; j++ {
+		p := rt.pw[j]
+		for sx := -1; sx <= 1; sx++ {
+			for sy := -1; sy <= 1; sy++ {
+				for sz := -1; sz <= 1; sz++ {
+					if rt.owner[j] == int32(rk.id) && sx == 0 && sy == 0 && sz == 0 {
+						continue // the owned copy itself
+					}
+					sh := [3]float64{float64(sx) * cell[0], float64(sy) * cell[1], float64(sz) * cell[2]}
+					inside := true
+					for k := 0; k < 3; k++ {
+						v := p[k] + sh[k]
+						if v < rk.lo[k]-haloTot || v >= rk.hi[k]+haloTot {
+							inside = false
+							break
+						}
+					}
+					if inside {
+						rk.gOf = append(rk.gOf, int32(j))
+						rk.shift = append(rk.shift, sh)
+						rk.code = append(rk.code, uint8((sx+1)*9+(sy+1)*3+(sz+1)))
+					}
+				}
+			}
+		}
+	}
+	rk.nGhosts = len(rk.gOf) - rk.nOwned
+
+	// Local system: owned atoms first (CenterLimit), ghosts after.
+	nLoc := len(rk.gOf)
+	if cap(rk.local.Pos) < nLoc {
+		rk.local.Pos = make([][3]float64, nLoc)
+		rk.local.Species = make([]units.Species, nLoc)
+	}
+	rk.local.Pos = rk.local.Pos[:nLoc]
+	rk.local.Species = rk.local.Species[:nLoc]
+	for t, g := range rk.gOf {
+		rk.local.Species[t] = rt.sys.Species[g]
+		sh := rk.shift[t]
+		pw := rt.pw[g]
+		rk.local.Pos[t] = [3]float64{pw[0] + sh[0], pw[1] + sh[1], pw[2] + sh[2]}
+	}
+	rk.local.PBC = false
+
+	if rk.nOwned > 0 {
+		rk.builder.CenterLimit = rk.nOwned
+		rk.builder.BuildInto(&rk.pairs, rk.local, rt.model.Cuts)
+		rk.canonicalize()
+	} else {
+		// A rank that owns no atoms centers no pairs. (Builder.CenterLimit
+		// treats 0 as "all atoms", which would build ghost-centered
+		// duplicates of other ranks' pairs — skip the build entirely.)
+		rk.pairs.Reset(nLoc)
+	}
+
+	// Publish per-center pair counts (centers are owned, hence disjoint
+	// across ranks) and count reverse-exchange rows.
+	rk.ghostRowCount = 0
+	p := &rk.pairs
+	for t := 0; t < p.Len(); t++ {
+		rt.pairCnt[rk.gOf[p.I[t]]]++
+		if p.J[t] >= rk.nOwned {
+			rk.ghostRowCount++
+		}
+	}
+	if cap(rk.rowsBuf) < p.Len() {
+		rk.rowsBuf = make([][3]float64, p.Len())
+		rk.pairEBuf = make([]float64, p.Len())
+	}
+	rk.rowsBuf = rk.rowsBuf[:p.Len()]
+	rk.pairEBuf = rk.pairEBuf[:p.Len()]
+	if cap(rk.slotOf) < p.Len() {
+		rk.slotOf = make([]int32, p.Len())
+	}
+	rk.slotOf = rk.slotOf[:p.Len()]
+}
+
+// canonicalize orders each center's pairs by (global neighbor, periodic
+// image) — a key independent of the rank grid and of the local cell-scan
+// order, so per-center environment sums accumulate identically everywhere.
+func (rk *rank) canonicalize() {
+	p := &rk.pairs
+	z := p.Len()
+	rk.perm = rk.perm[:0]
+	for t := 0; t < z; t++ {
+		rk.perm = append(rk.perm, t)
+	}
+	key := func(t int) int64 {
+		j := p.J[t]
+		return int64(rk.gOf[j])*27 + int64(rk.code[j])
+	}
+	for blo := 0; blo < z; {
+		bhi := blo + 1
+		for bhi < z && p.I[bhi] == p.I[blo] {
+			bhi++
+		}
+		blk := rk.perm[blo:bhi]
+		sort.Slice(blk, func(a, b int) bool { return key(blk[a]) < key(blk[b]) })
+		blo = bhi
+	}
+	rk.tmpI = append(rk.tmpI[:0], p.I...)
+	rk.tmpJ = append(rk.tmpJ[:0], p.J...)
+	rk.tmpVec = append(rk.tmpVec[:0], p.Vec...)
+	rk.tmpDist = append(rk.tmpDist[:0], p.Dist...)
+	rk.tmpCut = append(rk.tmpCut[:0], p.Cut...)
+	for t, src := range rk.perm {
+		p.I[t] = rk.tmpI[src]
+		p.J[t] = rk.tmpJ[src]
+		p.Vec[t] = rk.tmpVec[src]
+		p.Dist[t] = rk.tmpDist[src]
+		p.Cut[t] = rk.tmpCut[src]
+	}
+}
+
+// execSlots assigns global slots. A rank's pairs are grouped by ascending
+// global center (owned atoms were appended in global order), so each
+// center's block lands contiguously at the center's canonical offset.
+func (rk *rank) execSlots() {
+	rt := rk.rt
+	p := &rk.pairs
+	z := p.Len()
+	for t := 0; t < z; {
+		center := p.I[t]
+		gi := rk.gOf[center]
+		slot := rt.pairStart[gi]
+		for ; t < z && p.I[t] == center; t++ {
+			rk.slotOf[t] = slot
+			rt.pairGI[slot] = gi
+			rt.pairGJ[slot] = rk.gOf[p.J[t]]
+			slot++
+		}
+	}
+}
+
+// execEval is the steady-state force phase: refresh every pair vector from
+// the current wrapped positions with the one minimum-image formula used on
+// all grids, evaluate the rank's rows, and scatter them to their slots.
+func (rk *rank) execEval() {
+	rt := rk.rt
+	p := &rk.pairs
+	if p.Len() == 0 {
+		return
+	}
+	cell := rt.sys.Cell
+	for t := 0; t < p.Len(); t++ {
+		gi, gj := rk.gOf[p.I[t]], rk.gOf[p.J[t]]
+		pi, pj := rt.pw[gi], rt.pw[gj]
+		var d [3]float64
+		for k := 0; k < 3; k++ {
+			dk := pj[k] - pi[k]
+			dk -= cell[k] * math.Round(dk/cell[k])
+			d[k] = dk
+		}
+		p.Vec[t] = d
+		p.Dist[t] = math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
+	}
+	rt.model.EvaluateRowsInto(rk.scratch, rk.local, p, rk.rowsBuf, rk.pairEBuf)
+	for t := 0; t < p.Len(); t++ {
+		s := rk.slotOf[t]
+		rt.rows[s] = rk.rowsBuf[t]
+		rt.pairE[s] = rk.pairEBuf[t]
+	}
+}
+
+// execReduce computes every owned atom's force from the global rows in
+// ascending slot order — bitwise the serial accumulation, partitioned by
+// ownership.
+func (rk *rank) execReduce() {
+	rt := rk.rt
+	for t := 0; t < rk.nOwned; t++ {
+		a := rk.gOf[t]
+		var f [3]float64
+		for _, e := range rt.adj[rt.adjPtr[a]:rt.adjPtr[a+1]] {
+			row := &rt.rows[e>>1]
+			if e&1 == 0 {
+				f[0] += row[0]
+				f[1] += row[1]
+				f[2] += row[2]
+			} else {
+				f[0] -= row[0]
+				f[1] -= row[1]
+				f[2] -= row[2]
+			}
+		}
+		rt.forces[a] = f
+	}
+}

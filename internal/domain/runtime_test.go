@@ -1,0 +1,205 @@
+package domain
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/md"
+)
+
+// runTrajectory advances an NVE trajectory on a fresh clone of the water box
+// under a decomposed runtime and returns the simulation (caller reads
+// positions/forces/energy). Identical velocity seeding everywhere.
+func runTrajectory(t *testing.T, opts RuntimeOptions, steps int, tempK float64) *md.DecomposedSim {
+	t.Helper()
+	m := tinyModel(t)
+	sys := data.WaterBox(rand.New(rand.NewPCG(31, 32)), 3, 3, 3)
+	rt, err := NewRuntime(m, sys, opts)
+	if err != nil {
+		t.Fatalf("grid %v skin %g: %v", opts.Grid, opts.Skin, err)
+	}
+	sim := md.NewDecomposedSim(sys, rt, 0.5)
+	sim.InitVelocities(tempK, rand.New(rand.NewPCG(33, 34)))
+	sim.Run(steps)
+	return sim
+}
+
+// TestRuntimeTrajectoryBitwiseAcrossGridsAndSkins is the central property of
+// the persistent runtime: NVE trajectories are bit-identical to the
+// single-rank path for every rank grid and every Verlet skin — the
+// canonical slot ordering makes the decomposition exact, not approximately
+// correct. The trajectory is long and hot enough to trigger several
+// rebuilds, so the rebuild schedule and migrations are covered too.
+func TestRuntimeTrajectoryBitwiseAcrossGridsAndSkins(t *testing.T) {
+	const steps, temp = 40, 600.0
+	base := runTrajectory(t, RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: 0.5}, steps, temp)
+	defer base.Close()
+	variants := []RuntimeOptions{
+		{Grid: [3]int{1, 1, 1}, Skin: 0},                      // rebuild every step
+		{Grid: [3]int{1, 1, 1}, Skin: 0.8},                    // different rebuild cadence
+		{Grid: [3]int{2, 1, 1}, Skin: 0.5},                    // split one axis
+		{Grid: [3]int{2, 1, 1}, Skin: 0.25},                   // split + different skin
+		{Grid: [3]int{2, 2, 2}, Skin: 0.5},                    // full 8-rank grid
+		{Grid: [3]int{2, 2, 2}, Skin: 0.5, WorkersPerRank: 2}, // chunked eval inside ranks
+	}
+	for _, opts := range variants {
+		sim := runTrajectory(t, opts, steps, temp)
+		if sim.Energy != base.Energy {
+			t.Errorf("grid %v skin %g: energy %.17g != base %.17g", opts.Grid, opts.Skin, sim.Energy, base.Energy)
+		}
+		for i := range base.Sys.Pos {
+			if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+				t.Errorf("grid %v skin %g: position of atom %d diverged: %v vs %v",
+					opts.Grid, opts.Skin, i, sim.Sys.Pos[i], base.Sys.Pos[i])
+				break
+			}
+			if sim.Forces[i] != base.Forces[i] {
+				t.Errorf("grid %v skin %g: force on atom %d diverged", opts.Grid, opts.Skin, i)
+				break
+			}
+		}
+		sim.Close()
+	}
+}
+
+// TestRuntimeMatchesSingleRankSim checks the satellite identity in its
+// md-level form: a DecomposedSim on a rank grid reproduces a single-rank
+// md.Sim (runtime-backed InPlacePotential through the ordinary NewSim path)
+// bit for bit.
+func TestRuntimeMatchesSingleRankSim(t *testing.T) {
+	m := tinyModel(t)
+	sysA := data.WaterBox(rand.New(rand.NewPCG(41, 42)), 3, 3, 3)
+	rtA, err := NewRuntime(m, sysA, RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtA.Close()
+	simA := md.NewSim(sysA, rtA, 0.5) // plain Sim, in-place fast path
+	simA.InitVelocities(500, rand.New(rand.NewPCG(43, 44)))
+
+	sysB := data.WaterBox(rand.New(rand.NewPCG(41, 42)), 3, 3, 3)
+	rtB, err := NewRuntime(m, sysB, RuntimeOptions{Grid: [3]int{2, 2, 1}, Skin: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB := md.NewDecomposedSim(sysB, rtB, 0.5)
+	defer simB.Close()
+	simB.InitVelocities(500, rand.New(rand.NewPCG(43, 44)))
+
+	simA.Run(25)
+	simB.Run(25)
+	if simA.Energy != simB.Energy {
+		t.Fatalf("energies diverged: %.17g vs %.17g", simA.Energy, simB.Energy)
+	}
+	for i := range sysA.Pos {
+		if sysA.Pos[i] != sysB.Pos[i] {
+			t.Fatalf("positions diverged at atom %d", i)
+		}
+	}
+}
+
+// TestRuntimeMigration drives a hot trajectory with a tight skin so atoms
+// provably cross subdomain boundaries mid-run: the runtime must observe
+// migrations (ownership changes at rebuilds) and still match the
+// single-rank trajectory exactly.
+func TestRuntimeMigration(t *testing.T) {
+	const steps, temp = 80, 1500.0
+	base := runTrajectory(t, RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: 0.3}, steps, temp)
+	defer base.Close()
+	sim := runTrajectory(t, RuntimeOptions{Grid: [3]int{2, 1, 1}, Skin: 0.3}, steps, temp)
+	defer sim.Close()
+
+	st := sim.Runtime.(*Runtime).Stats()
+	if st.Rebuilds < 3 {
+		t.Fatalf("expected several rebuilds on a hot trajectory, got %d", st.Rebuilds)
+	}
+	if st.Migrations == 0 {
+		t.Fatalf("expected atoms to cross subdomain boundaries (rebuilds=%d)", st.Rebuilds)
+	}
+	for i := range base.Sys.Pos {
+		if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+			t.Fatalf("trajectory diverged at atom %d after migrations", i)
+		}
+	}
+}
+
+// TestRuntimeStepZeroAllocSteadyState pins the steady-state contract: with
+// warm lists and no rebuild trigger, a decomposed step performs zero heap
+// allocations across all rank workers.
+func TestRuntimeStepZeroAllocSteadyState(t *testing.T) {
+	m := tinyModel(t)
+	sys := data.WaterBox(rand.New(rand.NewPCG(51, 52)), 3, 3, 3)
+	rt, err := NewRuntime(m, sys, RuntimeOptions{Grid: [3]int{2, 1, 1}, Skin: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	forces := make([][3]float64, sys.NumAtoms())
+	rt.EnergyForcesInto(sys, forces) // first build
+	rt.EnergyForcesInto(sys, forces) // warm arenas
+	rebuilds := rt.Stats().Rebuilds
+	allocs := testing.AllocsPerRun(20, func() {
+		rt.EnergyForcesInto(sys, forces)
+	})
+	if got := rt.Stats().Rebuilds; got != rebuilds {
+		t.Fatalf("positions are static but lists were rebuilt (%d -> %d)", rebuilds, got)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state Runtime step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRuntimeValidation covers the runtime-specific invariants beyond the
+// legacy Options checks.
+func TestRuntimeValidation(t *testing.T) {
+	m := tinyModel(t)
+	sys := data.WaterBox(rand.New(rand.NewPCG(61, 62)), 3, 3, 3)
+	if _, err := NewRuntime(m, sys, RuntimeOptions{Grid: [3]int{3, 1, 1}, Skin: 0.5}); err == nil {
+		t.Fatal("halo+skin wider than the subdomain must be rejected")
+	}
+	if _, err := NewRuntime(m, sys, RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: -0.1}); err == nil {
+		t.Fatal("negative skin must be rejected")
+	}
+	rt, err := NewRuntime(m, sys, RuntimeOptions{Grid: [3]int{2, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumRanks() != 2 {
+		t.Fatalf("NumRanks = %d, want 2", rt.NumRanks())
+	}
+	rt.Close()
+	rt.Close() // idempotent
+}
+
+// TestRuntimeEmptyRank pins the empty-subdomain case: a rank that owns no
+// atoms (vacuum gap) must center no pairs — it must not fall into the
+// builder's "CenterLimit 0 = all atoms" convention and double-count other
+// ranks' work.
+func TestRuntimeEmptyRank(t *testing.T) {
+	m := tinyModel(t)
+	rng := rand.New(rand.NewPCG(71, 72))
+	sys := data.WaterBox(rng, 3, 3, 3)
+	// Stretch the box along x: all atoms stay in [0, 9.32), the second
+	// subdomain of a 2x1x1 grid is pure vacuum.
+	sys.Cell[0] *= 2
+	eSerial, fSerial := m.EnergyForces(sys)
+
+	e, f, st, err := Evaluate(sys, m, Options{Grid: [3]int{2, 1, 1}, Halo: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := e - eSerial; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy with an empty rank: %.12g vs serial %.12g", e, eSerial)
+	}
+	for i := range fSerial {
+		for k := 0; k < 3; k++ {
+			if d := f[i][k] - fSerial[i][k]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("force mismatch at atom %d with an empty rank", i)
+			}
+		}
+	}
+	if st.MaxOwned != sys.NumAtoms() {
+		t.Fatalf("one rank should own all %d atoms, MaxOwned=%d", sys.NumAtoms(), st.MaxOwned)
+	}
+}

@@ -30,6 +30,33 @@ type InPlacePotential interface {
 	EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64
 }
 
+// PersistentPotential is an InPlacePotential with long-lived internal state
+// — rank workers, neighbor lists, exchange buffers — that advances with the
+// trajectory and must be released when the simulation is discarded
+// (domain.Runtime is the canonical implementation).
+type PersistentPotential interface {
+	InPlacePotential
+	Close()
+}
+
+// DecomposedSim drives a Sim whose force calls are served by a persistent
+// decomposed runtime instead of a global potential: every Step runs the
+// rank grid's steady-state exchange/evaluate/reduce cycle through the
+// zero-allocation in-place path. Close releases the runtime's rank workers.
+type DecomposedSim struct {
+	*Sim
+	Runtime PersistentPotential
+}
+
+// NewDecomposedSim prepares a decomposed simulation (forces are evaluated
+// once at construction, warming the runtime's lists and arenas).
+func NewDecomposedSim(sys *atoms.System, rt PersistentPotential, dt float64) *DecomposedSim {
+	return &DecomposedSim{Sim: NewSim(sys, rt, dt), Runtime: rt}
+}
+
+// Close shuts down the runtime's rank workers.
+func (d *DecomposedSim) Close() { d.Runtime.Close() }
+
 // Combined sums several potentials (e.g. a learned short-range model plus
 // the Wolf-summation long-range electrostatics extension).
 type Combined []Potential

@@ -25,6 +25,22 @@ type Builder struct {
 	// Close when discarding a parallel Builder to release the pool.
 	Workers int
 
+	// Skin is the Verlet-list skin: pairs are admitted out to their ordered
+	// cutoff plus Skin, while Pairs.Cut still records the true cutoff. A
+	// skin list built at one configuration stays a superset of every exact
+	// cutoff list until an atom has moved Skin/2, so MD loops can reuse it
+	// across steps; pairs in the skin shell (Dist >= Cut) sit exactly on or
+	// beyond the cutoff envelope and contribute exactly zero energy and
+	// force. Zero disables the skin.
+	Skin float64
+
+	// CenterLimit restricts which atoms act as pair centers: only atoms
+	// with index < CenterLimit are scanned as centers (all atoms remain
+	// visible as neighbors). Domain-decomposition ranks lay out their local
+	// systems owned-atoms-first and set CenterLimit to the owned count, so
+	// ghost-centered pairs are never built. Values <= 0 mean all atoms.
+	CenterLimit int
+
 	// Reusable per-build scratch.
 	tIdx      []int        // species index per atom
 	pos       [][3]float64 // wrapped positions for binning
@@ -101,7 +117,7 @@ func (b *Builder) BuildInto(p *Pairs, sys *atoms.System, cuts *CutoffTable) {
 	p.Reset(n)
 	b.sys = sys
 	b.cuts = cuts
-	b.rcMax = cuts.Max()
+	b.rcMax = cuts.Max() + b.Skin
 
 	// Resolve species indices once.
 	if cap(b.tIdx) < n {
@@ -117,19 +133,23 @@ func (b *Builder) BuildInto(p *Pairs, sys *atoms.System, cuts *CutoffTable) {
 		b.bin()
 	}
 
-	nw := b.effectiveWorkers(n)
+	centers := n
+	if b.CenterLimit > 0 && b.CenterLimit < n {
+		centers = b.CenterLimit
+	}
+	nw := b.effectiveWorkers(centers)
 	if cap(b.shards) < nw {
 		grown := make([]shard, nw)
 		copy(grown, b.shards)
 		b.shards = grown
 	}
 	b.shards = b.shards[:nw]
-	chunk := (n + nw - 1) / nw
+	chunk := (centers + nw - 1) / nw
 	for ci := 0; ci < nw; ci++ {
 		lo := ci * chunk
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi > centers {
+			hi = centers
 		}
 		b.shards[ci].reset(lo, hi)
 	}
@@ -357,15 +377,17 @@ func (b *Builder) scanCells(s *shard) {
 	}
 }
 
-// visit applies the ordered per-species-pair cutoff test and records the
-// pair in the chunk's shard.
+// visit applies the ordered per-species-pair cutoff test (inflated by the
+// Verlet skin) and records the pair in the chunk's shard. The recorded
+// cutoff is the true ordered cutoff: skin pairs carry Dist >= Cut and a
+// zero cutoff envelope.
 func (b *Builder) visit(s *shard, i, j int, d [3]float64) {
 	r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
 	if r2 > b.rcMax*b.rcMax || r2 == 0 {
 		return
 	}
 	r := math.Sqrt(r2)
-	if rc := b.cuts.Rc[b.tIdx[i]][b.tIdx[j]]; r < rc {
+	if rc := b.cuts.Rc[b.tIdx[i]][b.tIdx[j]]; r < rc+b.Skin {
 		s.add(i, j, d, r, rc)
 	}
 }

@@ -202,3 +202,83 @@ func BenchmarkBuilderSteadyState(b *testing.B) {
 		})
 	}
 }
+
+// TestBuilderSkinSuperset pins the Verlet-skin contract: a skin build is a
+// superset of the exact build, extra pairs all sit in the skin shell
+// (Dist >= Cut), and Cut still records the true ordered cutoff.
+func TestBuilderSkinSuperset(t *testing.T) {
+	species := []units.Species{units.H, units.O}
+	rng := rand.New(rand.NewPCG(21, 22))
+	// Edge large enough that the exact and the skin build both take the
+	// cell-list path (identical displacement arithmetic, comparable bits).
+	sys := randomPeriodic(rng, 260, 16, species)
+	cuts := PaperBioCutoffs(atoms.NewSpeciesIndex(species))
+
+	exact := Build(sys, cuts)
+	skin := 0.7
+	var bld Builder
+	bld.Skin = skin
+	defer bld.Close()
+	var p Pairs
+	bld.BuildInto(&p, sys, cuts)
+	if err := p.ValidateSkin(skin); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumReal <= exact.NumReal {
+		t.Fatalf("skin list (%d pairs) should exceed exact list (%d)", p.NumReal, exact.NumReal)
+	}
+	type vecKey struct {
+		i, j int
+		vec  [3]float64
+	}
+	inExact := map[vecKey]bool{}
+	for z := 0; z < exact.NumReal; z++ {
+		inExact[vecKey{exact.I[z], exact.J[z], exact.Vec[z]}] = true
+	}
+	found := 0
+	for z := 0; z < p.NumReal; z++ {
+		k := vecKey{p.I[z], p.J[z], p.Vec[z]}
+		if inExact[k] {
+			found++
+			continue
+		}
+		if p.Dist[z] < p.Cut[z] {
+			t.Fatalf("extra pair %d inside the true cutoff: dist %g < cut %g", z, p.Dist[z], p.Cut[z])
+		}
+	}
+	if found != exact.NumReal {
+		t.Fatalf("skin list covers %d of %d exact pairs", found, exact.NumReal)
+	}
+}
+
+// TestBuilderCenterLimit pins the owned-centers contract used by the domain
+// runtime: with CenterLimit k, exactly the pairs centered on atoms < k are
+// built, identical to the unrestricted list filtered by center.
+func TestBuilderCenterLimit(t *testing.T) {
+	species := []units.Species{units.H, units.O}
+	rng := rand.New(rand.NewPCG(23, 24))
+	sys := randomPeriodic(rng, 120, 12, species)
+	cuts := PaperBioCutoffs(atoms.NewSpeciesIndex(species))
+
+	full := Build(sys, cuts)
+	limit := 47
+	keep := make([]bool, sys.NumAtoms())
+	for i := 0; i < limit; i++ {
+		keep[i] = true
+	}
+	want := full.FilterCenters(keep)
+
+	var bld Builder
+	bld.CenterLimit = limit
+	defer bld.Close()
+	var p Pairs
+	bld.BuildInto(&p, sys, cuts)
+	if p.NumReal != want.NumReal {
+		t.Fatalf("center-limited build has %d pairs, want %d", p.NumReal, want.NumReal)
+	}
+	for z := 0; z < p.NumReal; z++ {
+		if p.I[z] != want.I[z] || p.J[z] != want.J[z] || p.Vec[z] != want.Vec[z] {
+			t.Fatalf("pair %d differs from filtered reference", z)
+		}
+	}
+}

@@ -182,8 +182,14 @@ func (p *Pairs) AvgNeighbors() float64 {
 	return float64(p.NumReal) / float64(p.NAtoms)
 }
 
-// Validate checks structural invariants; tests call it after construction.
-func (p *Pairs) Validate() error {
+// Validate checks structural invariants of an exact-cutoff list; tests call
+// it after construction. Verlet-skin lists (Builder.Skin > 0) admit pairs
+// out to Cut+skin and must be checked with ValidateSkin instead.
+func (p *Pairs) Validate() error { return p.ValidateSkin(0) }
+
+// ValidateSkin checks structural invariants allowing pair distances up to
+// Cut+skin (the Verlet shell).
+func (p *Pairs) ValidateSkin(skin float64) error {
 	if len(p.J) != len(p.I) || len(p.Vec) != len(p.I) || len(p.Dist) != len(p.I) || len(p.Cut) != len(p.I) {
 		return fmt.Errorf("neighbor: ragged pair arrays")
 	}
@@ -194,8 +200,8 @@ func (p *Pairs) Validate() error {
 		if p.I[z] == p.J[z] {
 			return fmt.Errorf("neighbor: self pair at %d", z)
 		}
-		if p.Dist[z] >= p.Cut[z] {
-			return fmt.Errorf("neighbor: pair %d beyond its cutoff (%g >= %g)", z, p.Dist[z], p.Cut[z])
+		if p.Dist[z] >= p.Cut[z]+skin {
+			return fmt.Errorf("neighbor: pair %d beyond its cutoff+skin (%g >= %g+%g)", z, p.Dist[z], p.Cut[z], skin)
 		}
 		v := p.Vec[z]
 		r := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])

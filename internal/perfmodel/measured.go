@@ -8,6 +8,7 @@ import (
 	"repro/internal/atoms"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/par"
 )
 
@@ -77,6 +78,84 @@ func MeasureSingleNode(m *core.Model, sys *atoms.System, steps int) Measurement 
 	meas.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
 	meas.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
 	return meas
+}
+
+// DecomposedMeasurement extends Measurement with the rank-level numbers of
+// the persistent domain runtime: achieved pairs/sec per rank and the
+// per-step ghost-exchange volume — the terms the cluster model's
+// communication side is parameterized by.
+type DecomposedMeasurement struct {
+	Measurement
+	Ranks            int
+	PairsPerSecRank  float64 // achieved ordered pairs per second per rank
+	ForwardBytesStep int     // ghost-position scatter volume per step
+	ReverseBytesStep int     // ghost force-row return volume per step
+	Rebuilds         int     // list/exchange rebuilds during the run
+}
+
+// String renders the decomposed measurement for reports.
+func (m DecomposedMeasurement) String() string {
+	return fmt.Sprintf("measured decomposed: %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps",
+		m.Ranks, m.Atoms, m.Pairs, m.PairsPerSec, m.PairsPerSecRank, m.AllocsPerOp,
+		m.ForwardBytesStep, m.ReverseBytesStep, m.Rebuilds, m.Steps)
+}
+
+// MeasureDecomposed runs `steps` steady-state force calls through a fresh
+// domain.Runtime on the given rank grid and reports achieved throughput,
+// allocation rate, and ghost-exchange volume. Two warm-up calls build the
+// Verlet lists and exchange plan and warm every rank's arena before timing
+// starts. The embedded Measurement feeds CalibrateMachine exactly like the
+// single-node path.
+func MeasureDecomposed(m *core.Model, sys *atoms.System, opts domain.RuntimeOptions, steps int) (DecomposedMeasurement, error) {
+	if steps < 1 {
+		steps = 1
+	}
+	rt, err := domain.NewRuntime(m, sys, opts)
+	if err != nil {
+		return DecomposedMeasurement{}, err
+	}
+	defer rt.Close()
+	forces := make([][3]float64, sys.NumAtoms())
+	rt.EnergyForcesInto(sys, forces)
+	rt.EnergyForcesInto(sys, forces)
+	preRebuilds := rt.Stats().Rebuilds
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		rt.EnergyForcesInto(sys, forces)
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	st := rt.Stats()
+	n := sys.NumAtoms()
+	wpr := opts.WorkersPerRank
+	if wpr < 1 {
+		wpr = 1 // the runtime's default: parallelism comes from the ranks
+	}
+	meas := DecomposedMeasurement{
+		Measurement: Measurement{
+			Atoms:   n,
+			Pairs:   st.PairWork,
+			Workers: rt.NumRanks() * wpr,
+			Steps:   steps,
+		},
+		Ranks:            rt.NumRanks(),
+		ForwardBytesStep: st.ForwardBytesPerStep,
+		ReverseBytesStep: st.ReverseBytesPerStep,
+		Rebuilds:         st.Rebuilds - preRebuilds,
+	}
+	if wall > 0 {
+		meas.PairsPerSec = float64(st.PairWork) * float64(steps) / wall
+		meas.PairsPerSecRank = meas.PairsPerSec / float64(rt.NumRanks())
+		meas.AtomsPerSec = float64(n) * float64(steps) / wall
+		meas.TimePerAtom = wall / (float64(steps) * float64(n))
+	}
+	meas.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
+	meas.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
+	return meas, nil
 }
 
 // CalibrateMachine anchors a cluster machine model at a measured operating

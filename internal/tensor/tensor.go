@@ -25,7 +25,10 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+			// Keep the slice out of the panic message: referencing shape in a
+			// fmt call would make every caller's variadic argument escape to
+			// the heap, breaking the zero-allocation steady state.
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape", s))
 		}
 		n *= s
 	}
