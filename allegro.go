@@ -26,12 +26,15 @@
 //	internal/cluster     Perlmutter-scale throughput simulation
 //	internal/experiments per-table/figure reproduction harnesses
 //
-// Force evaluation runs on the parallel zero-allocation pipeline: NewSim
-// wraps the model in an Evaluator whose EvalScratch (neighbor builder, pair
-// list, tensor arena, force shards) is recycled every step. The scratch
-// belongs to exactly one simulation loop; size its worker pool with
-// Config.Workers (default: all cores). See README.md for the full
-// ownership contract and a quickstart.
+// Molecular dynamics runs through one entry point, NewSimulation, whose
+// functional options pick the force backend — the serial zero-allocation
+// Evaluator by default; the persistent decomposed Runtime under
+// WithGrid/WithAutoDecompose — behind one uniform lifecycle: Step,
+// Run(ctx), Report, Checkpoint/Resume, idempotent Close, and observer
+// hooks (WithObserver, WithTrajectoryWriter). Trajectories are
+// bit-identical across backends, rank grids, skins, and worker counts.
+// See README.md for the options table and the migration guide from the
+// deprecated NewSim/NewDecomposedSim constructors.
 package allegro
 
 import (
@@ -113,6 +116,11 @@ func LoadModel(path string) (*Model, error) { return core.Load(path) }
 // first step the force path performs (almost) no heap allocations, the
 // single-node analogue of the paper's padded, allocator-stable LAMMPS
 // plugin. Size the worker pool with Config.Workers (default: all cores).
+//
+// Deprecated: use NewSimulation, which runs the identical serial backend
+// (default-option trajectories are bit-for-bit the same) behind the
+// uniform lifecycle — Run(ctx), Report, observers, Checkpoint/Resume,
+// Close — and scales to the decomposed backend by options alone.
 func NewSim(sys *System, model *Model, dt float64) *md.Sim {
 	return md.NewSim(sys, core.NewEvaluator(model), dt)
 }
@@ -128,6 +136,11 @@ func NewEvaluator(model *Model) *Evaluator { return core.NewEvaluator(model) }
 // Trajectories are bit-identical to the single-rank path for any grid and
 // skin; steady-state steps (no rebuild) allocate nothing. Call Close on the
 // returned simulation when done.
+//
+// Deprecated: use NewSimulation with WithGrid (or WithAutoDecompose),
+// which runs the identical persistent runtime (trajectories are
+// bit-for-bit the same for equal grid/skin/workers) behind the uniform
+// lifecycle shared with the serial backend.
 func NewDecomposedSim(sys *System, model *Model, dt float64, opts RuntimeOptions) (*DecomposedSim, error) {
 	rt, err := domain.NewRuntime(model, sys, opts)
 	if err != nil {
@@ -135,6 +148,11 @@ func NewDecomposedSim(sys *System, model *Model, dt float64, opts RuntimeOptions
 	}
 	return md.NewDecomposedSim(sys, rt, dt), nil
 }
+
+// NewWaterLongRange returns the Wolf-summation long-range electrostatics
+// extension for water, composable with a model via WithExtraPotential
+// (the paper's Sec. VI-A strict-locality extension).
+func NewWaterLongRange() *core.LongRange { return core.NewWaterLongRange() }
 
 // Oracle returns the synthetic reference potential used to label datasets.
 func Oracle() *groundtruth.Oracle { return groundtruth.New() }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/atoms"
 	"repro/internal/cluster"
 	"repro/internal/data"
-	"repro/internal/domain"
 	"repro/internal/experiments"
 	"repro/internal/neighbor"
 	"repro/internal/o3"
@@ -184,8 +183,10 @@ func BenchmarkNeighborBuildSteadyState(b *testing.B) {
 
 // BenchmarkEvaluatorSteadyState measures the full zero-allocation force
 // pipeline — parallel neighbor build, arena-backed tape, sharded force
-// reduction — against the allocating Evaluate path. Steady-state allocs/op
-// stay fixed and small (tape node closures) regardless of system size.
+// reduction — against the allocating Evaluate path. The backend is wired
+// through allegro.NewSimulation (the one simulation API), so the guard
+// covers exactly what production MD runs. Steady-state allocs/op stay fixed
+// and small regardless of system size.
 func BenchmarkEvaluatorSteadyState(b *testing.B) {
 	cfg := DefaultConfig([]Species{H, O})
 	rng := rand.New(rand.NewPCG(7, 9))
@@ -196,22 +197,26 @@ func BenchmarkEvaluatorSteadyState(b *testing.B) {
 			name = "workers=max"
 		}
 		b.Run(name, func(b *testing.B) {
-			cfg.Workers = workers
 			model, err := NewModel(cfg, 5)
 			if err != nil {
 				b.Fatal(err)
 			}
-			ev := NewEvaluator(model)
-			defer ev.Close()
-			forces := make([][3]float64, sys.NumAtoms())
-			ev.EnergyForcesInto(sys, forces)
-			ev.EnergyForcesInto(sys, forces)
+			sim, err := NewSimulation(sys.Clone(), model, WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			forces := make([][3]float64, run.NumAtoms())
+			pot.EnergyForcesInto(run, forces)
+			pot.EnergyForcesInto(run, forces)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ev.EnergyForcesInto(sys, forces)
+				pot.EnergyForcesInto(run, forces)
 			}
-			b.ReportMetric(float64(ev.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+			b.ReportMetric(float64(pot.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 		})
 	}
 }
@@ -265,7 +270,8 @@ func BenchmarkMixedPrecisionMatmul(b *testing.B) {
 // BenchmarkRuntimeStep measures the steady-state decomposed MD step: warm
 // Verlet lists, no rebuild, incremental ghost exchange and canonical
 // reduction across persistent rank workers — 0 allocs/op (the CI bench-smoke
-// job enforces this), with achieved pairs/s reported.
+// job enforces this), with achieved pairs/s reported. The runtime is wired
+// through allegro.NewSimulation, the one simulation API.
 func BenchmarkRuntimeStep(b *testing.B) {
 	cfg := DefaultConfig([]Species{H, O})
 	cfg.Workers = 1
@@ -279,21 +285,78 @@ func BenchmarkRuntimeStep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rt, err := domain.NewRuntime(model, sys, domain.RuntimeOptions{Grid: grid, Skin: 0.5})
+			sim, err := NewSimulation(sys.Clone(), model,
+				WithGrid(grid[0], grid[1], grid[2]), WithSkin(0.5))
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer rt.Close()
-			forces := make([][3]float64, sys.NumAtoms())
-			rt.EnergyForcesInto(sys, forces)
-			rt.EnergyForcesInto(sys, forces)
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			forces := make([][3]float64, run.NumAtoms())
+			pot.EnergyForcesInto(run, forces)
+			pot.EnergyForcesInto(run, forces)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rt.EnergyForcesInto(sys, forces)
+				pot.EnergyForcesInto(run, forces)
 			}
-			st := rt.Stats()
+			st, _ := sim.Stats()
 			b.ReportMetric(float64(st.PairWork)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkSimulationStep measures the one-API engine loop end to end —
+// NewSimulation, observers detached, Step driving integration plus the
+// backend force call — on both backends. Positions and velocities are
+// restored after every step so the trajectory stays in the runtime's
+// steady state (no Verlet rebuilds, stable pair counts): what remains is
+// the engine's own overhead, which must be 0 allocs/op (CI-enforced).
+func BenchmarkSimulationStep(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Workers = 1
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 3, 3, 3)
+	for _, bk := range []struct {
+		name string
+		opts []Option
+	}{
+		{"serial", nil},
+		{"ranks=8", []Option{WithGrid(2, 2, 2), WithSkin(0.5)}},
+	} {
+		b.Run(bk.name, func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := NewSimulation(sys.Clone(), model, bk.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			run := sim.System()
+			pos0 := make([][3]float64, len(run.Pos))
+			copy(pos0, run.Pos)
+			vel := sim.Velocities()
+			reset := func() {
+				copy(run.Pos, pos0)
+				for j := range vel {
+					vel[j] = [3]float64{}
+				}
+			}
+			sim.Step()
+			reset()
+			sim.Step()
+			reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+				reset()
+			}
 		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	allegro "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -70,18 +71,24 @@ func main() {
 	}
 }
 
-// runMeasure times the parallel zero-allocation pipeline on a water box and
-// prints the cluster throughput model re-anchored at the measured per-atom
-// time (instead of the frozen A100 calibration constants).
+// runMeasure times the force backend behind the one simulation API on a
+// water box and prints the cluster throughput model re-anchored at the
+// measured per-atom time (instead of the frozen A100 calibration
+// constants). The same allegro.NewSimulation + Measure pair serves the
+// decomposed backend in allegro-md -measure.
 func runMeasure(workers, steps int, seed uint64) error {
 	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
-	cfg.Workers = workers
 	model, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xBE9C)))
 	if err != nil {
 		return err
 	}
 	sys := data.WaterBox(rand.New(rand.NewPCG(seed, 2)), 3, 3, 3)
-	meas := perfmodel.MeasureSingleNode(model, sys, steps)
+	sim, err := allegro.NewSimulation(sys, model, allegro.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	meas := sim.Measure(steps).Measurement
 	fmt.Println(meas)
 	fmt.Printf("  atoms/s            %12.4g\n", meas.AtomsPerSec)
 	fmt.Printf("  bytes/op           %12.0f\n", meas.BytesPerOp)

@@ -1,31 +1,34 @@
-// Command allegro-md runs molecular dynamics with a trained Allegro model,
-// optionally spatially decomposed over persistent goroutine ranks (the
-// LAMMPS pattern): each rank keeps its subdomain's atoms, a ghost halo of
-// one cutoff plus the Verlet skin, and reusable exchange buffers alive
-// across steps, rebuilding only when an atom has moved skin/2.
+// Command allegro-md runs molecular dynamics with a trained Allegro model
+// through the one simulation API: the same allegro.NewSimulation call
+// serves the serial zero-allocation evaluator and the spatially decomposed
+// persistent rank runtime (the LAMMPS pattern) — the backend is picked by
+// flags, not by a different code path.
 //
 // Usage:
 //
 //	allegro-md -model model.json -system water -steps 200 -temp 300
 //	allegro-md -model model.json -system water -steps 200 -grid 2x1x1 -skin 0.5
+//	allegro-md -model model.json -auto-grid -steps 200
 //	allegro-md -model model.json -grid 2x2x1 -skin 0.5 -workers-per-rank 2 -measure
+//	allegro-md -model model.json -traj traj.xyz -traj-every 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	allegro "repro"
 	"repro/internal/atoms"
 	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/domain"
 	"repro/internal/groundtruth"
-	"repro/internal/md"
-	"repro/internal/perfmodel"
 )
 
 func main() {
@@ -37,9 +40,12 @@ func main() {
 		temp      = flag.Float64("temp", 300, "thermostat temperature (K); 0 = NVE")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 		grid      = flag.String("grid", "", "spatial decomposition grid, e.g. 2x1x1 (empty = serial)")
+		autoGrid  = flag.Bool("auto-grid", false, "let the performance model pick the rank grid")
 		skin      = flag.Float64("skin", 0.5, "Verlet skin (A) for the decomposed path; 0 rebuilds every step")
 		wpr       = flag.Int("workers-per-rank", 1, "worker pool size inside each rank")
-		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume of the decomposed path")
+		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume, then exit")
+		traj      = flag.String("traj", "", "write an XYZ trajectory to this file")
+		trajEvery = flag.Int("traj-every", 10, "steps between trajectory frames")
 	)
 	flag.Parse()
 	model, err := core.Load(*modelPath)
@@ -63,58 +69,64 @@ func main() {
 	}
 	fmt.Println("system:", sys)
 
-	var sim *md.Sim
-	var rt *domain.Runtime
-	if *measure && *grid == "" {
-		log.Fatal("-measure requires a decomposition grid (-grid), e.g. -grid 2x1x1")
-	}
-	if *grid != "" {
-		var g [3]int
-		if _, err := fmt.Sscanf(strings.ReplaceAll(*grid, "x", " "), "%d %d %d", &g[0], &g[1], &g[2]); err != nil {
-			log.Fatalf("bad -grid %q: %v", *grid, err)
-		}
-		opts := domain.RuntimeOptions{Grid: g, Skin: *skin, WorkersPerRank: *wpr}
-		if *measure {
-			meas, err := perfmodel.MeasureDecomposed(model, sys, opts, *steps)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(meas)
-			return
-		}
-		rt, err = domain.NewRuntime(model, sys, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dec := md.NewDecomposedSim(sys, rt, *dt)
-		defer dec.Close()
-		sim = dec.Sim
-		fmt.Printf("spatial decomposition: %d ranks, halo %.1f A + skin %.1f A, %d workers/rank\n",
-			rt.NumRanks(), model.Cuts.Max(), *skin, *wpr)
-	} else {
-		sim = md.NewSim(sys, core.NewEvaluator(model), *dt)
-	}
-
-	if *temp > 0 {
-		sim.Thermostat = &md.Langevin{TempK: *temp, Gamma: 0.05, Rng: rng}
-		sim.InitVelocities(*temp, rng)
-	}
-	start := time.Now()
 	report := *steps / 10
 	if report < 1 {
 		report = 1
 	}
-	for s := 0; s < *steps; s++ {
-		sim.Step()
-		if (s+1)%report == 0 {
-			fmt.Println(sim)
+	opts := []allegro.Option{
+		allegro.WithTimestep(*dt),
+		allegro.WithSeed(*seed),
+		allegro.WithSkin(*skin),
+		allegro.WithObserver(report, func(r allegro.Report) { fmt.Println(r) }),
+	}
+	if *temp > 0 {
+		opts = append(opts, allegro.WithTemperature(*temp))
+	}
+	if *grid != "" && *autoGrid {
+		log.Fatal("-grid and -auto-grid are mutually exclusive")
+	}
+	switch {
+	case *grid != "":
+		var g [3]int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*grid, "x", " "), "%d %d %d", &g[0], &g[1], &g[2]); err != nil {
+			log.Fatalf("bad -grid %q: %v", *grid, err)
 		}
+		opts = append(opts, allegro.WithGrid(g[0], g[1], g[2]), allegro.WithWorkers(*wpr))
+	case *autoGrid:
+		opts = append(opts, allegro.WithAutoDecompose(), allegro.WithWorkers(*wpr))
+	}
+	if *traj != "" {
+		f, err := os.Create(*traj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, allegro.WithTrajectoryWriter(f, *trajEvery))
+	}
+
+	sim, err := allegro.NewSimulation(sys, model, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+	fmt.Printf("backend: %s (%d ranks, halo %.1f A + skin %.1f A)\n",
+		sim.Backend(), sim.NumRanks(), model.Cuts.Max(), *skin)
+
+	if *measure {
+		fmt.Println(sim.Measure(*steps))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	if err := sim.Run(ctx, *steps); err != nil {
+		log.Fatal(err)
 	}
 	el := time.Since(start).Seconds()
 	fmt.Printf("done: %d steps in %.2f s (%.2f steps/s, %.3f ns/day at this dt)\n",
 		*steps, el, float64(*steps)/el, float64(*steps)/el*(*dt)*1e-6*86400)
-	if rt != nil {
-		st := rt.Stats()
+	if st, ok := sim.Stats(); ok {
 		fmt.Printf("runtime: %d rebuilds over %d steps (%.1f steps/rebuild), %d migrations, ghost exchange %d B/step forward + %d B/step reverse\n",
 			st.Rebuilds, st.Steps, float64(st.Steps)/float64(st.Rebuilds), st.Migrations,
 			st.ForwardBytesPerStep, st.ReverseBytesPerStep)

@@ -4,13 +4,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	allegro "repro"
 	"repro/internal/cluster"
 	"repro/internal/data"
-	"repro/internal/md"
 )
 
 func main() {
@@ -45,11 +45,20 @@ func main() {
 
 	// Strong Langevin coupling: the demo potential sees minutes of training,
 	// not the paper's 7 days, so the thermostat carries more of the load.
-	sim := allegro.NewSim(sys.Clone(), model, 0.25)
-	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.5, Rng: rng}
-	sim.InitVelocities(300, rng)
-	for s := 0; s < 20; s++ {
-		sim.Step()
+	// WithThermostat overrides the default friction; the engine RNG (seeded
+	// by WithSeed) is wired into the thermostat automatically.
+	sim, err := allegro.NewSimulation(sys.Clone(), model,
+		allegro.WithTimestep(0.25),
+		allegro.WithTemperature(300),
+		allegro.WithThermostat(&allegro.Langevin{TempK: 300, Gamma: 0.5}),
+		allegro.WithSeed(11),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 20); err != nil {
+		panic(err)
 	}
 	fmt.Println("after 20 NVT steps:", sim)
 

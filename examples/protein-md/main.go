@@ -4,13 +4,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	allegro "repro"
 	"repro/internal/analysis"
 	"repro/internal/data"
-	"repro/internal/md"
 )
 
 func main() {
@@ -44,26 +44,34 @@ func main() {
 	tc.BatchSize = 2
 	allegro.Train(model, frames, tc)
 
-	// NVT dynamics with backbone RMSD tracking (Fig. 4).
-	sim := allegro.NewSim(sys.Clone(), model, 0.5)
-	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.05, Rng: rng}
-	sim.InitVelocities(300, rng)
+	// NVT dynamics with backbone RMSD tracking (Fig. 4): the RMSD probe is
+	// an observer on the one simulation API instead of a hand-rolled loop.
+	run := sys.Clone()
 	ref := make([][3]float64, len(backbone))
 	cur := make([][3]float64, len(backbone))
 	for t, i := range backbone {
-		ref[t] = sim.Sys.Pos[i]
+		ref[t] = run.Pos[i]
 	}
 	var rmsd analysis.Series
-	for s := 0; s < 120; s++ {
-		sim.Step()
-		if (s+1)%20 == 0 {
+	sim, err := allegro.NewSimulation(run, model,
+		allegro.WithTimestep(0.5),
+		allegro.WithTemperature(300),
+		allegro.WithSeed(5),
+		allegro.WithObserver(20, func(r allegro.Report) {
 			for t, i := range backbone {
-				cur[t] = sim.Sys.Pos[i]
+				cur[t] = run.Pos[i]
 			}
-			rmsd.Append(float64(s+1)*sim.Dt, analysis.RMSD(ref, cur))
+			rmsd.Append(r.Time, analysis.RMSD(ref, cur))
 			fmt.Printf("t=%5.1f fs  RMSD=%.3f A  T=%.0f K\n",
-				float64(s+1)*sim.Dt, rmsd.Y[len(rmsd.Y)-1], sim.Temperature())
-		}
+				r.Time, rmsd.Y[len(rmsd.Y)-1], r.Temperature)
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 120); err != nil {
+		panic(err)
 	}
 	fmt.Printf("backbone RMSD plateau: %.3f A (stable structure, cf. paper Fig. 4)\n", rmsd.TailMean(0.4))
 }

@@ -4,12 +4,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	allegro "repro"
 	"repro/internal/data"
-	"repro/internal/md"
 )
 
 func main() {
@@ -46,15 +46,22 @@ func main() {
 	tc.Logf = func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
 	allegro.Train(model, frames, tc)
 
-	// 3. Run NVT molecular dynamics under the learned potential.
-	sim := allegro.NewSim(box.Clone(), model, 0.5)
-	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.05, Rng: rng}
-	sim.InitVelocities(300, rng)
-	for s := 0; s < 50; s++ {
-		sim.Step()
-		if (s+1)%10 == 0 {
-			fmt.Println(sim)
-		}
+	// 3. Run NVT molecular dynamics under the learned potential through the
+	//    one simulation API: WithTemperature initializes velocities and
+	//    attaches the default Langevin thermostat, and the observer replaces
+	//    a hand-rolled step loop.
+	sim, err := allegro.NewSimulation(box.Clone(), model,
+		allegro.WithTimestep(0.5),
+		allegro.WithTemperature(300),
+		allegro.WithSeed(1),
+		allegro.WithObserver(10, func(r allegro.Report) { fmt.Println(r) }),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 50); err != nil {
+		panic(err)
 	}
 	fmt.Println("quickstart complete")
 }

@@ -5,13 +5,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	allegro "repro"
 	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/md"
 )
 
 func main() {
@@ -46,19 +46,28 @@ func main() {
 		u.StructureUncertainty(frames[0].Sys))
 
 	// Combine the learned short-range model with explicit long-range
-	// electrostatics (straightforward thanks to strict locality, Sec. VI-A).
-	pot := md.Combined{model, core.NewWaterLongRange()}
-
-	sim := md.NewSim(box.Clone(), pot, 0.5)
-	sim.Thermostat = &md.Langevin{TempK: 300, Gamma: 0.2, Rng: rng}
-	sim.InitVelocities(300, rng)
-	for s := 0; s < 60; s++ {
-		sim.Step()
-		if (s+1)%15 == 0 {
-			unc := u.StructureUncertainty(sim.Sys)
+	// electrostatics (straightforward thanks to strict locality, Sec. VI-A):
+	// WithExtraPotential composes terms through the in-place path, and the
+	// uncertainty probe rides an observer.
+	run := box.Clone()
+	sim, err := allegro.NewSimulation(run, model,
+		allegro.WithExtraPotential(allegro.NewWaterLongRange()),
+		allegro.WithTimestep(0.5),
+		allegro.WithTemperature(300),
+		allegro.WithThermostat(&allegro.Langevin{TempK: 300, Gamma: 0.2}),
+		allegro.WithSeed(21),
+		allegro.WithObserver(15, func(r allegro.Report) {
+			unc := u.StructureUncertainty(run)
 			fmt.Printf("step %3d: T=%6.0f K  E=%9.3f eV  uncertainty=%6.2f\n",
-				s+1, sim.Temperature(), sim.Energy, unc)
-		}
+				r.Step, r.Temperature, r.PotentialEnergy, unc)
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 60); err != nil {
+		panic(err)
 	}
 	fmt.Println("uncertainty stays near the training level while dynamics remain in-distribution;")
 	fmt.Println("an active-learning loop (cmd: allegro-bench -exp active-learning) thresholds on it")

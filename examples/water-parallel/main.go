@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -68,45 +69,55 @@ func main() {
 			opts.NumRanks(), grid, e, el.Seconds()*1e3, math.Abs(e-eSerial), maxDiff, st.MaxGhosts)
 	}
 
-	// End-to-end decomposed MD on the persistent runtime: 2x2x1 ranks with
-	// a Verlet skin, against the identically seeded single-rank runtime.
+	// End-to-end decomposed MD through the one simulation API: the same
+	// NewSimulation call, with only the grid option differing, against the
+	// identically seeded single-rank runtime.
 	const steps, dt, skin = 60, 0.4, 0.4
-	single := sys.Clone()
-	simS, err := allegro.NewDecomposedSim(single, model, dt, allegro.RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: skin})
-	if err != nil {
-		panic(err)
+	mkSim := func(nx, ny, nz int) *allegro.Simulation {
+		s, err := allegro.NewSimulation(sys.Clone(), model,
+			allegro.WithTimestep(dt),
+			allegro.WithGrid(nx, ny, nz),
+			allegro.WithSkin(skin),
+			allegro.WithTemperature(300),
+			allegro.WithThermostat(nil), // NVE: drift is the exactness probe
+			allegro.WithSeed(9),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return s
 	}
+	simS := mkSim(1, 1, 1)
 	defer simS.Close()
-	decSys := sys.Clone()
-	simD, err := allegro.NewDecomposedSim(decSys, model, dt, allegro.RuntimeOptions{Grid: [3]int{2, 2, 1}, Skin: skin})
-	if err != nil {
-		panic(err)
-	}
+	simD := mkSim(2, 2, 1)
 	defer simD.Close()
-	simS.InitVelocities(300, rand.New(rand.NewPCG(9, 10)))
-	simD.InitVelocities(300, rand.New(rand.NewPCG(9, 10)))
 
 	t2 := time.Now()
-	simS.Run(steps)
+	if err := simS.Run(context.Background(), steps); err != nil {
+		panic(err)
+	}
 	elS := time.Since(t2)
 	t3 := time.Now()
-	simD.Run(steps)
+	if err := simD.Run(context.Background(), steps); err != nil {
+		panic(err)
+	}
 	elD := time.Since(t3)
 
 	maxDrift := 0.0
-	for i := range single.Pos {
+	for i := range simS.System().Pos {
 		for k := 0; k < 3; k++ {
-			if d := math.Abs(single.Pos[i][k] - decSys.Pos[i][k]); d > maxDrift {
+			if d := math.Abs(simS.System().Pos[i][k] - simD.System().Pos[i][k]); d > maxDrift {
 				maxDrift = d
 			}
 		}
 	}
 	fmt.Printf("\nMD %d steps, dt=%.1f fs, skin=%.1f A:\n", steps, dt, skin)
-	fmt.Printf("  1 rank : %6.1f ms  %s\n", elS.Seconds()*1e3, simS.Sim)
-	fmt.Printf("  4 ranks: %6.1f ms  %s\n", elD.Seconds()*1e3, simD.Sim)
+	fmt.Printf("  1 rank : %6.1f ms  %s\n", elS.Seconds()*1e3, simS)
+	fmt.Printf("  4 ranks: %6.1f ms  %s\n", elD.Seconds()*1e3, simD)
 	fmt.Printf("  max position drift: %.3g A (bit-identical decomposition)\n", maxDrift)
-	st := simD.Runtime.(*domain.Runtime).Stats()
-	fmt.Printf("  runtime: %d rebuilds over %d steps, %d migrations, ghost exchange %d B fwd + %d B rev per step\n",
-		st.Rebuilds, st.Steps, st.Migrations, st.ForwardBytesPerStep, st.ReverseBytesPerStep)
+	if st, ok := simD.Stats(); ok {
+		fmt.Printf("  runtime: %d rebuilds over %d steps, %d migrations, ghost exchange %d B fwd + %d B rev per step\n",
+			st.Rebuilds, st.Steps, st.Migrations, st.ForwardBytesPerStep, st.ReverseBytesPerStep)
+	}
 	fmt.Println("decomposed evaluation is exact: Allegro's strict locality in action")
 }

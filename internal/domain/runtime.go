@@ -306,6 +306,21 @@ func (r *Runtime) Stats() RuntimeStats { return r.stats }
 // NumRanks returns the rank-grid size.
 func (r *Runtime) NumRanks() int { return len(r.ranks) }
 
+// Grid returns the rank grid of the decomposition.
+func (r *Runtime) Grid() [3]int { return r.grid }
+
+// PairWork reports the Verlet pairs evaluated per step, summed over ranks
+// (the workload term measurements normalize by).
+func (r *Runtime) PairWork() int { return r.stats.PairWork }
+
+// WorkersPerRank returns the resolved per-rank worker budget.
+func (r *Runtime) WorkersPerRank() int {
+	if r.opts.WorkersPerRank <= 0 {
+		return 1 // the runtime's default: parallelism comes from the ranks
+	}
+	return r.opts.WorkersPerRank
+}
+
 // Energy returns the potential energy of the last step.
 func (r *Runtime) Energy() float64 { return r.energy }
 

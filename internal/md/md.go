@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/atoms"
 	"repro/internal/units"
@@ -58,23 +59,56 @@ func NewDecomposedSim(sys *atoms.System, rt PersistentPotential, dt float64) *De
 func (d *DecomposedSim) Close() { d.Runtime.Close() }
 
 // Combined sums several potentials (e.g. a learned short-range model plus
-// the Wolf-summation long-range electrostatics extension).
+// the Wolf-summation long-range electrostatics extension). It implements
+// InPlacePotential, so a composed potential rides the same zero-allocation
+// Sim fast path as its members: members that support the in-place contract
+// write into a pooled scratch buffer instead of allocating per call.
 type Combined []Potential
+
+// combinedScratch pools the per-call accumulation buffer of the in-place
+// path; one buffer is in flight per concurrently stepping Combined, so
+// steady-state force calls allocate nothing.
+var combinedScratch = sync.Pool{New: func() any { return new([][3]float64) }}
 
 // EnergyForces implements Potential.
 func (c Combined) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
-	total := 0.0
 	forces := make([][3]float64, sys.NumAtoms())
+	return c.EnergyForcesInto(sys, forces), forces
+}
+
+// EnergyForcesInto implements InPlacePotential: forces is overwritten with
+// the member sum. Members implementing InPlacePotential are evaluated into
+// a pooled scratch buffer (no per-member allocation); allocating members
+// fall back to their EnergyForces path.
+func (c Combined) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64 {
+	for i := range forces {
+		forces[i] = [3]float64{}
+	}
+	sp := combinedScratch.Get().(*[][3]float64)
+	scratch := *sp
+	if cap(scratch) < len(forces) {
+		scratch = make([][3]float64, len(forces))
+	}
+	scratch = scratch[:len(forces)]
+	total := 0.0
 	for _, p := range c {
-		e, f := p.EnergyForces(sys)
-		total += e
+		f := scratch
+		if ip, ok := p.(InPlacePotential); ok {
+			total += ip.EnergyForcesInto(sys, scratch)
+		} else {
+			var e float64
+			e, f = p.EnergyForces(sys)
+			total += e
+		}
 		for i := range f {
-			for k := 0; k < 3; k++ {
-				forces[i][k] += f[i][k]
-			}
+			forces[i][0] += f[i][0]
+			forces[i][1] += f[i][1]
+			forces[i][2] += f[i][2]
 		}
 	}
-	return total, forces
+	*sp = scratch
+	combinedScratch.Put(sp)
+	return total
 }
 
 // Thermostat adjusts velocities once per step after the Verlet update.
@@ -119,7 +153,7 @@ func (b *Berendsen) Apply(vel [][3]float64, masses []float64, dt float64) {
 		v2 := vel[i][0]*vel[i][0] + vel[i][1]*vel[i][1] + vel[i][2]*vel[i][2]
 		ke += 0.5 * masses[i] * v2 / units.AccelFactor
 	}
-	ndof := 3 * len(vel)
+	ndof := units.KineticDOF(len(vel))
 	t := units.TemperatureFromKE(ke, ndof)
 	if t <= 0 {
 		return
@@ -165,11 +199,20 @@ func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
 	if ip, ok := pot.(InPlacePotential); ok {
 		s.inPlace = ip
 		s.Forces = make([][3]float64, sys.NumAtoms())
-		s.Energy = ip.EnergyForcesInto(sys, s.Forces)
-	} else {
-		s.Energy, s.Forces = pot.EnergyForces(sys)
 	}
+	s.RecomputeForces()
 	return s
+}
+
+// RecomputeForces re-evaluates energy and forces at the current positions
+// (into the reused buffer when the potential supports it) — the force
+// refresh shared by construction, stepping, and checkpoint resume.
+func (s *Sim) RecomputeForces() {
+	if s.inPlace != nil {
+		s.Energy = s.inPlace.EnergyForcesInto(s.Sys, s.Forces)
+	} else {
+		s.Energy, s.Forces = s.Pot.EnergyForces(s.Sys)
+	}
 }
 
 // InitVelocities draws Maxwell-Boltzmann velocities at tempK and removes
@@ -213,11 +256,7 @@ func (s *Sim) Step() {
 		}
 	}
 	// New forces (into the reused buffer when the potential supports it).
-	if s.inPlace != nil {
-		s.Energy = s.inPlace.EnergyForcesInto(s.Sys, s.Forces)
-	} else {
-		s.Energy, s.Forces = s.Pot.EnergyForces(s.Sys)
-	}
+	s.RecomputeForces()
 	// Second half kick.
 	for i := range s.Vel {
 		f := units.AccelFactor / s.Masses[i]
@@ -248,9 +287,11 @@ func (s *Sim) KineticEnergy() float64 {
 	return ke
 }
 
-// Temperature returns the instantaneous kinetic temperature in K.
+// Temperature returns the instantaneous kinetic temperature in K over the
+// 3N-3 degrees of freedom that remain once the center-of-mass drift is
+// removed — the same count the thermostats target.
 func (s *Sim) Temperature() float64 {
-	return units.TemperatureFromKE(s.KineticEnergy(), 3*len(s.Vel))
+	return units.TemperatureFromKE(s.KineticEnergy(), units.KineticDOF(len(s.Vel)))
 }
 
 // TotalEnergy returns potential + kinetic energy (conserved in NVE).

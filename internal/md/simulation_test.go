@@ -1,0 +1,376 @@
+package md
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestSimulationMatchesLegacySim checks that the engine with equivalent
+// settings reproduces the legacy NewSim trajectory bit-for-bit: same
+// integrator, same thermostat stream, same velocity initialization.
+func TestSimulationMatchesLegacySim(t *testing.T) {
+	const seed, tempK, dt, steps = 3, 250.0, 0.4, 25
+
+	sysNew := testSpringSystem(30)
+	eng, err := NewSimulation(sysNew, newSpringInPlace(sysNew, 1.5),
+		WithTimestep(dt), WithTemperature(tempK), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	sysOld := testSpringSystem(30)
+	legacy := NewSim(sysOld, newSpringInPlace(sysOld, 1.5), dt)
+	rng := rand.New(rand.NewPCG(seed, SeedStream))
+	legacy.Thermostat = &Langevin{TempK: tempK, Gamma: DefaultLangevinGamma, Rng: rng}
+	legacy.InitVelocities(tempK, rng)
+
+	if err := eng.Run(context.Background(), steps); err != nil {
+		t.Fatal(err)
+	}
+	legacy.Run(steps)
+
+	for i := range sysNew.Pos {
+		if sysNew.Pos[i] != sysOld.Pos[i] {
+			t.Fatalf("trajectories diverged at atom %d: %v vs %v", i, sysNew.Pos[i], sysOld.Pos[i])
+		}
+	}
+	if eng.Report().PotentialEnergy != legacy.Energy {
+		t.Fatalf("energies diverged: %v vs %v", eng.Report().PotentialEnergy, legacy.Energy)
+	}
+}
+
+func TestSimulationOptionValidation(t *testing.T) {
+	sys := testSpringSystem(4)
+	for _, tc := range []struct {
+		name string
+		opt  SimOption
+	}{
+		{"timestep", WithTimestep(-1)},
+		{"temperature", WithTemperature(-5)},
+		{"observer cadence", WithObserver(0, func(Report) {})},
+		{"observer fn", WithObserver(5, nil)},
+		{"trajectory writer", WithTrajectoryWriter(nil, 5)},
+		{"trajectory cadence", WithTrajectoryWriter(&bytes.Buffer{}, 0)},
+	} {
+		if _, err := NewSimulation(sys, newSpringInPlace(sys, 1), tc.opt); err == nil {
+			t.Errorf("invalid %s accepted", tc.name)
+		}
+	}
+}
+
+func TestSimulationRunCancellation(t *testing.T) {
+	sys := testSpringSystem(8)
+	steps := 0
+	sim, err := NewSimulation(sys, newSpringInPlace(sys, 1),
+		WithObserver(1, func(Report) { steps++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.Run(ctx, 100); err == nil {
+		t.Fatal("cancelled Run returned nil")
+	}
+	if steps != 0 {
+		t.Fatalf("cancelled Run advanced %d steps", steps)
+	}
+	if err := sim.Run(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 10 {
+		t.Fatalf("observer fired %d times over 10 steps at cadence 1", steps)
+	}
+}
+
+func TestSimulationObserverCadence(t *testing.T) {
+	sys := testSpringSystem(8)
+	var at []int
+	var reports []Report
+	sim, err := NewSimulation(sys, newSpringInPlace(sys, 1),
+		WithTemperature(200),
+		WithObserver(3, func(r Report) {
+			at = append(at, r.Step)
+			reports = append(reports, r)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 3 || at[0] != 3 || at[1] != 6 || at[2] != 9 {
+		t.Fatalf("observer fired at steps %v, want [3 6 9]", at)
+	}
+	for _, r := range reports {
+		if r.Time != float64(r.Step)*sim.Timestep() {
+			t.Fatalf("report time %g != step %d x dt", r.Time, r.Step)
+		}
+		if r.TotalEnergy != r.PotentialEnergy+r.KineticEnergy {
+			t.Fatal("report total energy inconsistent")
+		}
+		if r.Temperature <= 0 || r.MaxForce < 0 {
+			t.Fatalf("degenerate report %+v", r)
+		}
+	}
+}
+
+func TestSimulationTrajectoryWriter(t *testing.T) {
+	sys := testSpringSystem(5)
+	var buf bytes.Buffer
+	sim, err := NewSimulation(sys, newSpringInPlace(sys, 1),
+		WithTrajectoryWriter(&buf, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	// Initial frame plus frames after steps 4 and 8.
+	frames := strings.Count(buf.String(), "step=")
+	if frames != 3 {
+		t.Fatalf("%d trajectory frames, want 3\n%s", frames, buf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3*(2+5) {
+		t.Fatalf("trajectory has %d lines, want %d", len(lines), 3*(2+5))
+	}
+	if !strings.HasPrefix(lines[2], "O ") {
+		t.Fatalf("atom line %q lacks species symbol", lines[2])
+	}
+}
+
+// TestSimulationCheckpointResume checks that a run split by a
+// checkpoint/resume pair reproduces the uninterrupted deterministic (NVE)
+// trajectory bit-for-bit.
+func TestSimulationCheckpointResume(t *testing.T) {
+	mk := func() *Simulation {
+		sys := testSpringSystem(20)
+		sim, err := NewSimulation(sys, newSpringInPlace(sys, 2), WithTimestep(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic nonzero velocities (no thermostat: NVE).
+		rng := rand.New(rand.NewPCG(11, 12))
+		for i := range sim.Velocities() {
+			for k := 0; k < 3; k++ {
+				sim.Velocities()[i][k] = 0.01 * rng.NormFloat64()
+			}
+		}
+		return sim
+	}
+
+	ref := mk()
+	defer ref.Close()
+	if err := ref.Run(context.Background(), 30); err != nil {
+		t.Fatal(err)
+	}
+
+	split := mk()
+	defer split.Close()
+	if err := split.Run(context.Background(), 12); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := split.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := mk()
+	defer resumed.Close()
+	if err := resumed.Resume(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Report().Step != 12 {
+		t.Fatalf("resumed at step %d, want 12", resumed.Report().Step)
+	}
+	if err := resumed.Run(context.Background(), 18); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range ref.System().Pos {
+		if ref.System().Pos[i] != resumed.System().Pos[i] {
+			t.Fatalf("checkpoint/resume diverged at atom %d", i)
+		}
+		if ref.Velocities()[i] != resumed.Velocities()[i] {
+			t.Fatalf("velocities diverged at atom %d", i)
+		}
+	}
+}
+
+func TestSimulationResumeRejectsMismatch(t *testing.T) {
+	big := testSpringSystem(10)
+	sim, err := NewSimulation(big, newSpringInPlace(big, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	var ckpt bytes.Buffer
+	if err := sim.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	small := testSpringSystem(4)
+	other, err := NewSimulation(small, newSpringInPlace(small, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Resume(&ckpt); err == nil {
+		t.Fatal("atom-count mismatch accepted")
+	}
+
+	// A checkpoint written at a different timestep is not a continuation.
+	ckpt.Reset()
+	if err := sim.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	otherDt, err := NewSimulation(big, newSpringInPlace(big, 1), WithTimestep(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer otherDt.Close()
+	if err := otherDt.Resume(&ckpt); err == nil {
+		t.Fatal("timestep mismatch accepted")
+	}
+}
+
+// closeCounter counts Close calls through the engine.
+type closeCounter struct {
+	*springInPlace
+	closes int
+}
+
+func (c *closeCounter) Close() { c.closes++ }
+
+func TestSimulationCloseIdempotent(t *testing.T) {
+	sys := testSpringSystem(6)
+	pot := &closeCounter{springInPlace: newSpringInPlace(sys, 1)}
+	sim, err := NewSimulation(sys, pot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pot.closes != 1 {
+		t.Fatalf("potential closed %d times, want exactly 1", pot.closes)
+	}
+	if !sim.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if err := sim.Run(context.Background(), 1); err == nil {
+		t.Fatal("Run after Close succeeded")
+	}
+
+	// A potential without Close (the serial contract): Close is a no-op and
+	// still idempotent.
+	sys2 := testSpringSystem(6)
+	plain, err := NewSimulation(sys2, newSpringInPlace(sys2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulationStepZeroAlloc asserts that the engine loop preserves the
+// integrator's zero-allocation steady state when no observers are attached.
+func TestSimulationStepZeroAlloc(t *testing.T) {
+	sys := testSpringSystem(100)
+	sim, err := NewSimulation(sys, newSpringInPlace(sys, 1.5), WithTemperature(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if allocs := testing.AllocsPerRun(50, sim.Step); allocs != 0 {
+		t.Errorf("engine Step allocates %.1f allocs/op with observers detached, want 0", allocs)
+	}
+}
+
+// TestCombinedInPlace checks the composed potential's in-place path: same
+// results as the allocating path, zero steady-state allocations, and
+// qualification for Sim's InPlacePotential fast path.
+func TestCombinedInPlace(t *testing.T) {
+	sys := testSpringSystem(40)
+	inplace := newSpringInPlace(sys, 1.2)
+	// An allocating member (Into method hidden) mixed with an in-place one.
+	alloc := struct{ Potential }{newSpringInPlace(sys, 0.7)}
+	comb := Combined{inplace, alloc}
+
+	eRef := 0.0
+	fRef := make([][3]float64, sys.NumAtoms())
+	for _, p := range []Potential{inplace, alloc} {
+		e, f := p.EnergyForces(sys)
+		eRef += e
+		for i := range f {
+			for k := 0; k < 3; k++ {
+				fRef[i][k] += f[i][k]
+			}
+		}
+	}
+
+	forces := make([][3]float64, sys.NumAtoms())
+	e := comb.EnergyForcesInto(sys, forces)
+	if math.Abs(e-eRef) > 1e-12 {
+		t.Fatalf("in-place energy %g != %g", e, eRef)
+	}
+	for i := range forces {
+		if forces[i] != fRef[i] {
+			t.Fatalf("in-place forces differ at atom %d", i)
+		}
+	}
+	e2, f2 := comb.EnergyForces(sys)
+	if e2 != e {
+		t.Fatalf("EnergyForces %g != EnergyForcesInto %g", e2, e)
+	}
+	for i := range f2 {
+		if f2[i] != forces[i] {
+			t.Fatalf("paths disagree at atom %d", i)
+		}
+	}
+
+	// All-in-place composition steps without allocating.
+	allIn := Combined{newSpringInPlace(sys, 1.0), newSpringInPlace(sys, 2.0)}
+	sim := NewSim(sys, allIn, 0.5)
+	sim.InitVelocities(200, rand.New(rand.NewPCG(1, 2)))
+	sim.Step() // warm the pooled scratch
+	if allocs := testing.AllocsPerRun(30, sim.Step); allocs != 0 {
+		t.Errorf("composed in-place Step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestThermostatAndReportingDOFAgree drives a drift-free system with the
+// Berendsen thermostat and checks the reported temperature relaxes to the
+// target — the 3N-3 agreement the engine's reporting relies on.
+func TestThermostatAndReportingDOFAgree(t *testing.T) {
+	sys := testSpringSystem(50)
+	sim := NewSim(sys, &harmonicPot{k: 0}, 0.5)
+	sim.InitVelocities(500, rand.New(rand.NewPCG(2, 3)))
+	sim.Thermostat = &Berendsen{TempK: 300, Tau: 5}
+	for i := 0; i < 300; i++ {
+		sim.Step()
+	}
+	// Free particles: Berendsen drives kinetic temperature exactly onto its
+	// target; with consistent dof counting the reported value matches too.
+	if got := sim.Temperature(); math.Abs(got-300) > 1 {
+		t.Fatalf("reported T %g K after Berendsen equilibration, want 300 (dof mismatch?)", got)
+	}
+	if ndof := units.KineticDOF(len(sim.Vel)); ndof != 3*50-3 {
+		t.Fatalf("KineticDOF(50) = %d, want 147", ndof)
+	}
+}

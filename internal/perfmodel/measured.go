@@ -9,8 +9,18 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/md"
 	"repro/internal/par"
 )
+
+// InstrumentedPotential is an in-place potential that reports the pair
+// workload of its last evaluation — the seam that lets one measurement
+// driver serve every force backend behind allegro.NewSimulation
+// (core.Evaluator and domain.Runtime both implement it).
+type InstrumentedPotential interface {
+	md.InPlacePotential
+	PairWork() int
+}
 
 // Measurement captures the achieved steady-state throughput and allocation
 // rate of the parallel evaluation pipeline on this node. It replaces the
@@ -44,30 +54,45 @@ func (m Measurement) String() string {
 // before timing starts, so the numbers reflect the steady state the paper's
 // Sec. V-C padding is designed to reach.
 func MeasureSingleNode(m *core.Model, sys *atoms.System, steps int) Measurement {
+	ev := core.NewEvaluator(m)
+	defer ev.Close()
+	return MeasurePotential(ev, sys, steps, par.Workers(m.Cfg.Workers, 0))
+}
+
+// MeasurePotential runs `steps` timed steady-state force calls of any
+// instrumented in-place backend (after two warm-up calls that size its
+// buffers) and reports achieved throughput and allocation rates — the
+// backend-generic driver behind MeasureSingleNode, MeasureRuntime, and
+// allegro's Simulation.Measure. It does not advance the system: positions
+// are untouched and the caller's simulation state is unaffected.
+func MeasurePotential(pot InstrumentedPotential, sys *atoms.System, steps, workers int) Measurement {
+	forces := make([][3]float64, sys.NumAtoms())
+	pot.EnergyForcesInto(sys, forces)
+	pot.EnergyForcesInto(sys, forces)
+	return measureSteadyState(pot, sys, forces, steps, workers)
+}
+
+// measureSteadyState is the timed window shared by every measurement path;
+// the backend must already be warm.
+func measureSteadyState(pot InstrumentedPotential, sys *atoms.System, forces [][3]float64, steps, workers int) Measurement {
 	if steps < 1 {
 		steps = 1
 	}
-	ev := core.NewEvaluator(m)
-	defer ev.Close()
-	forces := make([][3]float64, sys.NumAtoms())
-	ev.EnergyForcesInto(sys, forces)
-	ev.EnergyForcesInto(sys, forces)
-
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for i := 0; i < steps; i++ {
-		ev.EnergyForcesInto(sys, forces)
+		pot.EnergyForcesInto(sys, forces)
 	}
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&ms1)
 
 	n := sys.NumAtoms()
-	pairs := ev.PairWork()
+	pairs := pot.PairWork()
 	meas := Measurement{
 		Atoms:   n,
 		Pairs:   pairs,
-		Workers: par.Workers(m.Cfg.Workers, 0),
+		Workers: workers,
 		Steps:   steps,
 	}
 	if wall > 0 {
@@ -107,55 +132,35 @@ func (m DecomposedMeasurement) String() string {
 // starts. The embedded Measurement feeds CalibrateMachine exactly like the
 // single-node path.
 func MeasureDecomposed(m *core.Model, sys *atoms.System, opts domain.RuntimeOptions, steps int) (DecomposedMeasurement, error) {
-	if steps < 1 {
-		steps = 1
-	}
 	rt, err := domain.NewRuntime(m, sys, opts)
 	if err != nil {
 		return DecomposedMeasurement{}, err
 	}
 	defer rt.Close()
+	return MeasureRuntime(rt, sys, steps), nil
+}
+
+// MeasureRuntime measures an existing (caller-owned) runtime in place: two
+// warm-up calls build the Verlet lists and exchange plan, then the shared
+// steady-state window runs. The runtime stays usable — allegro's
+// Simulation.Measure calls this on the live MD backend.
+func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) DecomposedMeasurement {
 	forces := make([][3]float64, sys.NumAtoms())
 	rt.EnergyForcesInto(sys, forces)
 	rt.EnergyForcesInto(sys, forces)
 	preRebuilds := rt.Stats().Rebuilds
 
-	var ms0, ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	for i := 0; i < steps; i++ {
-		rt.EnergyForcesInto(sys, forces)
-	}
-	wall := time.Since(start).Seconds()
-	runtime.ReadMemStats(&ms1)
-
+	m := measureSteadyState(rt, sys, forces, steps, rt.NumRanks()*rt.WorkersPerRank())
 	st := rt.Stats()
-	n := sys.NumAtoms()
-	wpr := opts.WorkersPerRank
-	if wpr < 1 {
-		wpr = 1 // the runtime's default: parallelism comes from the ranks
-	}
 	meas := DecomposedMeasurement{
-		Measurement: Measurement{
-			Atoms:   n,
-			Pairs:   st.PairWork,
-			Workers: rt.NumRanks() * wpr,
-			Steps:   steps,
-		},
+		Measurement:      m,
 		Ranks:            rt.NumRanks(),
 		ForwardBytesStep: st.ForwardBytesPerStep,
 		ReverseBytesStep: st.ReverseBytesPerStep,
 		Rebuilds:         st.Rebuilds - preRebuilds,
 	}
-	if wall > 0 {
-		meas.PairsPerSec = float64(st.PairWork) * float64(steps) / wall
-		meas.PairsPerSecRank = meas.PairsPerSec / float64(rt.NumRanks())
-		meas.AtomsPerSec = float64(n) * float64(steps) / wall
-		meas.TimePerAtom = wall / (float64(steps) * float64(n))
-	}
-	meas.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
-	meas.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
-	return meas, nil
+	meas.PairsPerSecRank = meas.PairsPerSec / float64(rt.NumRanks())
+	return meas
 }
 
 // CalibrateMachine anchors a cluster machine model at a measured operating

@@ -77,6 +77,19 @@ func Name(s Species) string {
 	return "X"
 }
 
+// KineticDOF returns the kinetic degrees of freedom of an n-atom system
+// whose center-of-mass momentum is constrained to zero: 3n-3. The MD engine
+// removes the drift at velocity initialization, so thermostat targets and
+// reported temperatures must both count 3n-3 or they disagree by a factor
+// n/(n-1). Systems of one (or zero) atoms have no removable drift and keep
+// 3n, so trivial temperatures remain defined.
+func KineticDOF(n int) int {
+	if n <= 1 {
+		return 3 * n
+	}
+	return 3*n - 3
+}
+
 // TemperatureFromKE returns the instantaneous temperature in K of a system
 // with total kinetic energy ke (eV) and ndof kinetic degrees of freedom.
 func TemperatureFromKE(ke float64, ndof int) float64 {
