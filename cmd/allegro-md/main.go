@@ -8,7 +8,7 @@
 //
 //	allegro-md -model model.json -system water -steps 200 -temp 300
 //	allegro-md -model model.json -system water -steps 200 -grid 2x1x1 -skin 0.5
-//	allegro-md -model model.json -auto-grid -steps 200
+//	allegro-md -model model.json -auto-grid -overlap -steps 200
 //	allegro-md -model model.json -grid 2x2x1 -skin 0.5 -workers-per-rank 2 -measure
 //	allegro-md -model model.json -traj traj.xyz -traj-every 10
 package main
@@ -42,6 +42,7 @@ func main() {
 		grid      = flag.String("grid", "", "spatial decomposition grid, e.g. 2x1x1 (empty = serial)")
 		autoGrid  = flag.Bool("auto-grid", false, "let the performance model pick the rank grid")
 		skin      = flag.Float64("skin", 0.5, "Verlet skin (A) for the decomposed path; 0 rebuilds every step")
+		overlap   = flag.Bool("overlap", false, "hide the ghost exchange behind interior-block evaluation (decomposed path)")
 		wpr       = flag.Int("workers-per-rank", 1, "worker pool size inside each rank")
 		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume, then exit")
 		traj      = flag.String("traj", "", "write an XYZ trajectory to this file")
@@ -95,6 +96,9 @@ func main() {
 	case *autoGrid:
 		opts = append(opts, allegro.WithAutoDecompose(), allegro.WithWorkers(*wpr))
 	}
+	if *overlap {
+		opts = append(opts, allegro.WithOverlap())
+	}
 	if *traj != "" {
 		f, err := os.Create(*traj)
 		if err != nil {
@@ -130,5 +134,10 @@ func main() {
 		fmt.Printf("runtime: %d rebuilds over %d steps (%.1f steps/rebuild), %d migrations, ghost exchange %d B/step forward + %d B/step reverse\n",
 			st.Rebuilds, st.Steps, float64(st.Steps)/float64(st.Rebuilds), st.Migrations,
 			st.ForwardBytesPerStep, st.ReverseBytesPerStep)
+		perStep := func(ns int64) float64 { return float64(ns) / float64(st.Steps) / 1e3 }
+		fmt.Printf("phases: exchange %.1f us exposed, interior %.1f us (%d pairs), frontier %.1f us (%d pairs), reduce %.1f us per step; overlap fraction %.0f%%\n",
+			perStep(st.ExchangeWaitNs), perStep(st.InteriorNs), st.InteriorPairs,
+			perStep(st.FrontierNs), st.PairWork-st.InteriorPairs,
+			perStep(st.ReduceNs), 100*st.OverlapFraction())
 	}
 }

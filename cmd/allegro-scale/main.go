@@ -2,9 +2,17 @@
 // scaling (Fig. 6), weak scaling (Fig. 7), and the tight-binding comparison
 // (Table III) for arbitrary systems and node counts.
 //
+// The -overlap flag feeds a measured overlap fraction (for example the one
+// `allegro-md -measure` or Simulation.Measure reports for the
+// communication-hiding step pipeline) into the analytic cluster model: the
+// strong-scaling table then prints synchronous and overlapped step-time
+// columns side by side, showing how much of the halo-exchange term hiding
+// the communication recovers at scale.
+//
 // Usage:
 //
 //	allegro-scale -mode strong -system Capsid -max-nodes 1280
+//	allegro-scale -mode strong -system all -overlap 0.9
 //	allegro-scale -mode strong -atoms 5000000
 //	allegro-scale -mode weak -atoms-per-node 100000
 package main
@@ -21,36 +29,43 @@ import (
 func main() {
 	var (
 		mode         = flag.String("mode", "strong", "strong | weak")
-		system       = flag.String("system", "", "named system (DHFR, FactorIX, Cellulose, STMV, 10STMV, Capsid)")
+		system       = flag.String("system", "", "named system (DHFR, FactorIX, Cellulose, STMV, 10STMV, Capsid) or 'all'")
 		atoms        = flag.Int("atoms", 0, "water system size (used when -system is empty)")
 		atomsPerNode = flag.Int("atoms-per-node", 100_000, "weak scaling: atoms per node")
 		maxNodes     = flag.Int("max-nodes", 1280, "largest node count")
+		overlap      = flag.Float64("overlap", 0, "measured overlap fraction in [0,1]: hide that share of the halo exchange and print sync vs overlapped columns")
 	)
 	flag.Parse()
+	if *overlap < 0 || *overlap > 1 {
+		log.Fatalf("-overlap must be in [0,1], got %g", *overlap)
+	}
 	m := cluster.Perlmutter()
 	switch *mode {
 	case "strong":
-		var w cluster.Workload
-		if *system != "" {
+		var workloads []cluster.Workload
+		switch {
+		case *system == "all":
+			for _, s := range data.PaperSystems() {
+				workloads = append(workloads, cluster.Biosystem(s.Name, s.Atoms))
+			}
+		case *system != "":
 			found := false
 			for _, s := range data.PaperSystems() {
 				if s.Name == *system {
-					w = cluster.Biosystem(s.Name, s.Atoms)
+					workloads = append(workloads, cluster.Biosystem(s.Name, s.Atoms))
 					found = true
 				}
 			}
 			if !found {
 				log.Fatalf("unknown system %q", *system)
 			}
-		} else if *atoms > 0 {
-			w = cluster.Water(fmt.Sprintf("water-%d", *atoms), *atoms)
-		} else {
+		case *atoms > 0:
+			workloads = append(workloads, cluster.Water(fmt.Sprintf("water-%d", *atoms), *atoms))
+		default:
 			log.Fatal("need -system or -atoms")
 		}
-		fmt.Printf("strong scaling: %s (%d atoms)\n", w.Name, w.Atoms)
-		fmt.Printf("%8s %12s %10s %10s\n", "nodes", "atoms/GPU", "steps/s", "ns/day")
-		for _, p := range m.StrongScaling(w, *maxNodes) {
-			fmt.Printf("%8d %12.0f %10.2f %10.2f\n", p.Nodes, p.AtomsPerGPU, p.StepsPerSec, p.NsPerDay)
+		for _, w := range workloads {
+			printStrong(m, w, *maxNodes, *overlap)
 		}
 	case "weak":
 		fmt.Printf("weak scaling: %d atoms/node\n", *atomsPerNode)
@@ -60,5 +75,32 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// printStrong renders one strong-scaling sweep; with a nonzero overlap
+// fraction, a synchronous (bulk-synchronous exchange) and an overlapped
+// (communication-hiding pipeline) column are printed side by side.
+func printStrong(m cluster.Machine, w cluster.Workload, maxNodes int, overlap float64) {
+	fmt.Printf("strong scaling: %s (%d atoms)\n", w.Name, w.Atoms)
+	if overlap <= 0 {
+		fmt.Printf("%8s %12s %10s %10s\n", "nodes", "atoms/GPU", "steps/s", "ns/day")
+		for _, p := range m.StrongScaling(w, maxNodes) {
+			fmt.Printf("%8d %12.0f %10.2f %10.2f\n", p.Nodes, p.AtomsPerGPU, p.StepsPerSec, p.NsPerDay)
+		}
+		return
+	}
+	ov := m
+	ov.Overlap = overlap
+	// Both sweeps start at the same MinNodes (memory, not overlap, sets
+	// the floor), so the rows zip one to one.
+	syncPts := m.StrongScaling(w, maxNodes)
+	ovPts := ov.StrongScaling(w, maxNodes)
+	fmt.Printf("%8s %12s %12s %14s %10s %10s\n",
+		"nodes", "atoms/GPU", "sync ms/step", "ovl ms/step", "steps/s", "ns/day")
+	for i, p := range ovPts {
+		fmt.Printf("%8d %12.0f %12.3f %14.3f %10.2f %10.2f\n",
+			p.Nodes, p.AtomsPerGPU, 1e3/syncPts[i].StepsPerSec, 1e3/p.StepsPerSec,
+			p.StepsPerSec, p.NsPerDay)
 	}
 }

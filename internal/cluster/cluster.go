@@ -35,6 +35,14 @@ type Machine struct {
 	Density float64
 	// Halo is the ghost import distance (A).
 	Halo float64
+	// Overlap is the fraction of the halo-exchange time hidden behind
+	// computation by the communication-overlapping step pipeline (0 =
+	// bulk-synchronous, 1 = fully hidden): StepTime charges only the
+	// exposed remainder of the ghost-exchange term. Calibrate it from a
+	// measured runtime with perfmodel.CalibrateMachineDecomposed. The
+	// per-step collective/sync term is not discounted — barriers cannot
+	// hide behind local work.
+	Overlap float64
 }
 
 // Perlmutter returns the calibrated machine model.
@@ -101,6 +109,12 @@ func (m Machine) StepTime(w Workload, nodes int) float64 {
 	ghosts := m.Density * (outer*outer*outer - edge*edge*edge)
 	const bytesPerGhost = 48 // positions out + forces back
 	comm := ghosts*bytesPerGhost/m.GhostBandwidth + 26*m.MsgLatency
+	if ov := m.Overlap; ov > 0 {
+		if ov > 1 {
+			ov = 1
+		}
+		comm *= 1 - ov // only the exposed remainder of the exchange counts
+	}
 	sync := m.SyncPerLog2 * math.Log2(gpus)
 	return compute + comm + sync
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/atoms"
 	"repro/internal/core"
@@ -34,6 +35,16 @@ type RuntimeOptions struct {
 	// evaluation and neighbor builds). Values <= 0 select 1: by default
 	// parallelism comes from the ranks themselves.
 	WorkersPerRank int
+	// Overlap enables the communication-hiding step pipeline: the forward
+	// ghost-position exchange is posted asynchronously and hidden behind
+	// the interior-block evaluation, the interior force reduction runs
+	// concurrently with the frontier-block evaluation, and the reverse
+	// ghost-force reduction of frontier atoms overlaps the caller's
+	// integration of interior atoms (md.PipelinedPotential). Trajectories
+	// are bit-identical with Overlap on or off: the schedule changes, the
+	// canonical slot arithmetic does not. Off runs the same phases
+	// bulk-synchronously.
+	Overlap bool
 }
 
 // RuntimeStats aggregates the runtime's behaviour over its lifetime.
@@ -42,57 +53,137 @@ type RuntimeStats struct {
 	Rebuilds   int // neighbor/exchange rebuilds (incl. the first)
 	Migrations int // ownership changes observed at rebuilds after the first
 	PairWork   int // Verlet pairs evaluated per step, summed over ranks
-	MaxOwned   int // largest per-rank owned-atom count at the last rebuild
-	MaxGhosts  int // largest per-rank ghost count at the last rebuild
-	TotalGhost int // ghost imports summed over ranks at the last rebuild
+	// InteriorPairs counts the pairs in the interior blocks at the last
+	// rebuild: centers whose complete environment references no ghost, so
+	// their evaluation can hide the forward exchange. PairWork -
+	// InteriorPairs is the frontier workload that must wait for arrival.
+	InteriorPairs int
+	MaxOwned      int // largest per-rank owned-atom count at the last rebuild
+	MaxGhosts     int // largest per-rank ghost count at the last rebuild
+	TotalGhost    int // ghost imports summed over ranks at the last rebuild
 	// ForwardBytesPerStep is the forward ghost-exchange volume: the ghost
 	// positions every rank refreshes from its neighbors each step.
 	// ReverseBytesPerStep is the reverse volume: force rows computed on
 	// ghost neighbors that flow back to the owning ranks in the reduction.
 	ForwardBytesPerStep int
 	ReverseBytesPerStep int
+
+	// Per-phase timers, cumulative nanoseconds over all steps.
+	// ExchangeWaitNs is measured on the dispatching goroutine: the
+	// *exposed* forward-exchange wait — the time the step actually stalled
+	// for ghost positions after any overlapping computation finished —
+	// while CommWallNs is the full post-to-arrival wall of the exchange;
+	// their ratio is the overlap fraction. InteriorNs, FrontierNs, and
+	// ReduceNs are the slowest rank's time spent *inside* each phase
+	// (interior-block eval, frontier-block eval, both force reductions),
+	// self-timed on the rank goroutines — so the numbers mean the same
+	// thing with the overlap pipeline on or off and exclude dispatch and
+	// caller-callback overhead.
+	ExchangeWaitNs int64
+	CommWallNs     int64
+	InteriorNs     int64
+	FrontierNs     int64
+	ReduceNs       int64
 }
 
-// rankCmd is one phase command sent to every rank worker.
+// OverlapFraction reports how much of the forward ghost-exchange wall time
+// was hidden behind computation: 1 - exposed/total, clamped to [0, 1]. A
+// bulk-synchronous runtime exposes the whole exchange (fraction ~0); the
+// overlap pipeline hides it behind the interior block (fraction near 1 when
+// the interior workload dominates the exchange).
+func (s RuntimeStats) OverlapFraction() float64 {
+	if s.CommWallNs <= 0 {
+		return 0
+	}
+	f := 1 - float64(s.ExchangeWaitNs)/float64(s.CommWallNs)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// rankCmd is one phase command sent to a rank's worker or comm goroutine.
 type rankCmd uint8
 
 const (
+	// Worker-goroutine phases.
+	//
 	// cmdRebuild re-derives rank membership: owned atoms, ghost imports
 	// within halo+skin, the rank-local Verlet list in canonical per-center
-	// order, and the per-center pair counts the slot assignment needs.
+	// order partitioned into interior/frontier blocks, and the per-center
+	// pair counts the slot assignment needs.
 	cmdRebuild rankCmd = iota
 	// cmdSlots assigns every local pair its global slot (canonical order:
-	// ascending global center, then (global neighbor, image)) and publishes
-	// the slot's global endpoints for the adjacency build.
+	// ascending global center, then (global neighbor, image)), publishes
+	// the slot's global endpoints for the adjacency build, and marks
+	// interior slots.
 	cmdSlots
-	// cmdEval refreshes pair vectors from current positions, evaluates the
-	// rank's pair rows on its own EvalScratch, and scatters rows and pair
-	// energies into the global slot buffers.
-	cmdEval
-	// cmdReduce accumulates each owned atom's force from the global rows in
-	// canonical slot order (the deterministic reverse ghost reduction).
-	cmdReduce
+	// cmdPlan derives the split reduction plan from the master's per-atom
+	// classification: which owned atoms reduce after the interior block and
+	// which must wait for the frontier rows.
+	cmdPlan
+	// cmdEvalInterior refreshes the interior-block pair vectors from owned
+	// positions only (no ghost data), evaluates the block, and scatters
+	// rows and pair energies into the global slot buffers.
+	cmdEvalInterior
+	// cmdEvalFrontier refreshes the frontier-block pair vectors — ghost
+	// neighbors read from the staged arena the forward exchange filled —
+	// evaluates the block, and scatters.
+	cmdEvalFrontier
+	// cmdEvalAll runs both blocks back to back in one dispatch — the
+	// bulk-synchronous schedule, where the exchange has already completed
+	// so nothing is gained by splitting the barriers.
+	cmdEvalAll
+	// cmdReduceFrontier accumulates the forces of owned atoms that receive
+	// frontier rows, in canonical slot order.
+	cmdReduceFrontier
+
+	// Comm-goroutine phases.
+	//
+	// cmdPack is the forward ghost-position exchange: stage every ghost's
+	// wrapped position into the current half of the double-buffered arena.
+	cmdPack
+	// cmdReduceInterior accumulates the forces of owned atoms whose every
+	// contribution is an interior row; it runs on the comm goroutine so it
+	// can overlap the worker's frontier evaluation.
+	cmdReduceInterior
 )
 
 // Runtime is the persistent domain-decomposed force engine: long-lived rank
 // workers (goroutines over preallocated channels, standing in for MPI
 // ranks) that each own a core.EvalScratch, a local neighbor.Builder with a
-// Verlet skin, and reusable ghost/exchange buffers. In steady state — no
-// atom has moved skin/2 since the last rebuild — a Step refreshes pair
-// vectors, evaluates rank-local rows and reduces forces without a single
-// heap allocation; rebuilds (membership migration, ghost import, neighbor
-// lists, exchange plan) happen only when the displacement trigger fires.
+// Verlet skin, reusable ghost/exchange buffers, and a companion comm
+// goroutine (the MPI progress thread stand-in) serving the asynchronous
+// ghost exchange and the early half of the split force reduction. In steady
+// state — no atom has moved skin/2 since the last rebuild — a Step
+// refreshes pair vectors, evaluates rank-local rows and reduces forces
+// without a single heap allocation; rebuilds (membership migration, ghost
+// import, neighbor lists, exchange plan, interior/frontier partition)
+// happen only when the displacement trigger fires.
+//
+// Each step runs the communication-hiding pipeline of the paper's scaling
+// argument: the forward ghost-position exchange is posted first, the
+// interior pair blocks (centers whose environments reference no ghost)
+// evaluate while it is in flight, the frontier blocks evaluate on arrival,
+// and the force reduction is split so interior atoms finish — and can be
+// integrated by a pipelined caller — while the reverse ghost-force
+// reduction of frontier atoms is still running. With Overlap false the same
+// phases run bulk-synchronously; the arithmetic is identical either way.
 //
 // Determinism: every pair is assigned a canonical global slot — ascending
 // global center atom, then (global neighbor, periodic image) — independent
 // of the rank grid, and per-atom forces and the total energy are reduced in
 // slot order. Combined with Allegro's strict locality (a center's pairs
 // form an independent sub-graph wholly owned by one rank), trajectories are
-// bit-identical across rank grids, worker counts, and skin values.
+// bit-identical across rank grids, worker counts, skin values, and overlap
+// on/off.
 //
 // A Runtime is bound to the *atoms.System it was constructed with and
-// serves one simulation loop; it implements md.InPlacePotential. Call Close
-// to release the rank workers.
+// serves one simulation loop; it implements md.InPlacePotential and
+// md.PipelinedPotential. Call Close to release the rank workers.
 type Runtime struct {
 	model *core.Model
 	sys   *atoms.System
@@ -107,10 +198,12 @@ type Runtime struct {
 	refPos [][3]float64 // unwrapped positions at the last rebuild
 	owner  []int32      // owning rank per atom, frozen between rebuilds
 
-	ranks []*rank
-	cmds  []chan rankCmd
-	done  chan struct{}
-	wg    sync.WaitGroup
+	ranks    []*rank
+	cmds     []chan rankCmd // worker-goroutine channels
+	comm     []chan rankCmd // comm-goroutine channels
+	done     chan struct{}
+	commDone chan struct{}
+	wg       sync.WaitGroup
 
 	// Global slot-indexed exchange state (rebuilt with the neighbor lists).
 	nPairs    int
@@ -123,6 +216,15 @@ type Runtime struct {
 	adj       []int32 // per-atom signed slot refs: slot<<1 | isNeighborSide
 	adjPtr    []int32 // len n+1
 	adjFill   []int32 // rebuild scratch
+
+	// Interior/frontier classification (rebuilt with the slot layout).
+	interiorSlot  []bool  // per-slot: row independent of ghost data
+	atomInterior  []bool  // per-atom: every contributing slot is interior
+	readyInterior []int32 // atoms deliverable after the interior reduction
+	readyFrontier []int32 // atoms deliverable only after the frontier rows
+
+	parity   int       // double-buffer half the current step's exchange fills
+	postTime time.Time // when the current step's exchange was posted
 
 	forces  [][3]float64 // caller buffer, set for the duration of one step
 	energy  float64
@@ -150,6 +252,28 @@ type rank struct {
 	rowsBuf  [][3]float64
 	pairEBuf []float64
 
+	// Interior/frontier partition of the canonical local pair list: pairs
+	// [0, nInterior) form the interior block, the rest the frontier block.
+	// The views alias rk.pairs and are refreshed at rebuilds.
+	nInterior          int
+	intView, frontView neighbor.Pairs
+
+	// Double-buffered ghost-position arena: ghost[rt.parity] is the staging
+	// buffer the current step's forward exchange fills (see the ownership
+	// contract in the README); ghost local index t reads ghost[parity][t-nOwned].
+	ghost [2][][3]float64
+
+	// Split reduction plan: local owned indices whose forces are final
+	// after the interior rows (redInterior) vs those needing frontier rows.
+	redInterior, redFrontier []int32
+
+	// Per-step phase self-timing (read by the master after barriers):
+	// forward-exchange wall (post -> staged) and time spent inside each
+	// compute phase on this rank's goroutines.
+	packNs                     int64
+	evalIntNs, evalFrontNs     int64
+	reduceIntNs, reduceFrontNs int64
+
 	// Canonical-sort scratch (rebuild only).
 	perm                   []int
 	tmpI, tmpJ             []int
@@ -161,10 +285,10 @@ type rank struct {
 // centerCode is the image code of an atom's own (unshifted) copy.
 const centerCode = 13
 
-// NewRuntime validates the decomposition and starts the rank workers. The
-// runtime is bound to sys: the caller (an MD integrator) mutates sys.Pos in
-// place and calls EnergyForcesInto each step. No evaluation happens until
-// the first step.
+// NewRuntime validates the decomposition and starts the rank workers (one
+// compute goroutine and one comm goroutine per rank). The runtime is bound
+// to sys: the caller (an MD integrator) mutates sys.Pos in place and calls
+// EnergyForcesInto each step. No evaluation happens until the first step.
 func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime, error) {
 	if opts.Halo == 0 {
 		opts.Halo = m.Cuts.Max()
@@ -189,6 +313,10 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		pairStart: make([]int32, n+1),
 		adjPtr:    make([]int32, n+1),
 		adjFill:   make([]int32, n),
+
+		atomInterior:  make([]bool, n),
+		readyInterior: make([]int32, 0, n),
+		readyFrontier: make([]int32, 0, n),
 	}
 	nr := opts.Grid[0] * opts.Grid[1] * opts.Grid[2]
 	for k := 0; k < 3; k++ {
@@ -199,7 +327,9 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		wpr = 1 // by default parallelism comes from the ranks themselves
 	}
 	r.done = make(chan struct{}, nr)
+	r.commDone = make(chan struct{}, nr)
 	r.cmds = make([]chan rankCmd, nr)
+	r.comm = make([]chan rankCmd, nr)
 	r.ranks = make([]*rank, nr)
 	for id := 0; id < nr; id++ {
 		g := opts.Grid
@@ -221,8 +351,10 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		rk.builder.Skin = opts.Skin
 		r.ranks[id] = rk
 		r.cmds[id] = make(chan rankCmd, 1)
-		r.wg.Add(1)
+		r.comm[id] = make(chan rankCmd, 1)
+		r.wg.Add(2)
 		go rk.loop(r.cmds[id])
+		go rk.commLoop(r.comm[id])
 	}
 	return r, nil
 }
@@ -256,7 +388,7 @@ func validateRuntime(sys *atoms.System, opts RuntimeOptions) error {
 	return nil
 }
 
-// loop is the long-lived body of one rank worker.
+// loop is the long-lived body of one rank's compute goroutine.
 func (rk *rank) loop(cmds chan rankCmd) {
 	defer rk.rt.wg.Done()
 	defer rk.builder.Close()
@@ -267,24 +399,74 @@ func (rk *rank) loop(cmds chan rankCmd) {
 			rk.execRebuild()
 		case cmdSlots:
 			rk.execSlots()
-		case cmdEval:
-			rk.execEval()
-		case cmdReduce:
-			rk.execReduce()
+		case cmdPlan:
+			rk.execPlan()
+		case cmdEvalInterior:
+			rk.evalIntNs = rk.timeEval(0, rk.nInterior, &rk.intView)
+		case cmdEvalFrontier:
+			rk.evalFrontNs = rk.timeEval(rk.nInterior, rk.pairs.Len(), &rk.frontView)
+		case cmdEvalAll:
+			rk.evalIntNs = rk.timeEval(0, rk.nInterior, &rk.intView)
+			rk.evalFrontNs = rk.timeEval(rk.nInterior, rk.pairs.Len(), &rk.frontView)
+		case cmdReduceFrontier:
+			t := time.Now()
+			rk.execReduce(rk.redFrontier)
+			rk.reduceFrontNs = time.Since(t).Nanoseconds()
 		}
 		rk.rt.done <- struct{}{}
 	}
 }
 
-// dispatch broadcasts one phase to every rank and waits for completion; the
-// channel handshakes order all cross-rank reads and writes.
-func (r *Runtime) dispatch(c rankCmd) {
-	for _, ch := range r.cmds {
+// commLoop is the long-lived body of one rank's comm goroutine — the
+// progress-thread stand-in serving the asynchronous ghost exchange and the
+// interior half of the split reduction (so it can overlap the compute
+// goroutine's frontier evaluation).
+func (rk *rank) commLoop(cmds chan rankCmd) {
+	defer rk.rt.wg.Done()
+	for c := range cmds {
+		switch c {
+		case cmdPack:
+			rk.execPack()
+		case cmdReduceInterior:
+			t := time.Now()
+			rk.execReduce(rk.redInterior)
+			rk.reduceIntNs = time.Since(t).Nanoseconds()
+		}
+		rk.rt.commDone <- struct{}{}
+	}
+}
+
+// send posts one phase command to every channel without waiting.
+func (r *Runtime) send(chs []chan rankCmd, c rankCmd) {
+	for _, ch := range chs {
 		ch <- c
 	}
+}
+
+// waitWorkers / waitComm collect one completion per rank; the channel
+// handshakes order all cross-rank reads and writes.
+func (r *Runtime) waitWorkers() {
 	for range r.ranks {
 		<-r.done
 	}
+}
+
+func (r *Runtime) waitComm() {
+	for range r.ranks {
+		<-r.commDone
+	}
+}
+
+// dispatch broadcasts one phase to every rank worker and waits.
+func (r *Runtime) dispatch(c rankCmd) {
+	r.send(r.cmds, c)
+	r.waitWorkers()
+}
+
+// dispatchComm broadcasts one phase to every comm goroutine and waits.
+func (r *Runtime) dispatchComm(c rankCmd) {
+	r.send(r.comm, c)
+	r.waitComm()
 }
 
 // Close shuts the rank workers down and releases their pools. The runtime
@@ -295,6 +477,9 @@ func (r *Runtime) Close() {
 	}
 	r.closed = true
 	for _, ch := range r.cmds {
+		close(ch)
+	}
+	for _, ch := range r.comm {
 		close(ch)
 	}
 	r.wg.Wait()
@@ -308,6 +493,9 @@ func (r *Runtime) NumRanks() int { return len(r.ranks) }
 
 // Grid returns the rank grid of the decomposition.
 func (r *Runtime) Grid() [3]int { return r.grid }
+
+// Overlapped reports whether the communication-hiding pipeline is enabled.
+func (r *Runtime) Overlapped() bool { return r.opts.Overlap }
 
 // PairWork reports the Verlet pairs evaluated per step, summed over ranks
 // (the workload term measurements normalize by).
@@ -328,6 +516,17 @@ func (r *Runtime) Energy() float64 { return r.energy }
 // evaluation into the caller's buffer. sys must be the system the runtime
 // was constructed with. Steady-state calls (no rebuild) allocate nothing.
 func (r *Runtime) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64 {
+	return r.EnergyForcesOverlap(sys, forces, nil)
+}
+
+// EnergyForcesOverlap implements md.PipelinedPotential: like
+// EnergyForcesInto, but ready (when non-nil) is invoked with batches of
+// atom indices as soon as their forces are final — interior atoms while the
+// reverse ghost-force reduction of frontier atoms is still in flight, the
+// frontier batch before returning. Every atom is delivered exactly once per
+// call. The batches and their contents are identical with Overlap on or
+// off; only the schedule differs.
+func (r *Runtime) EnergyForcesOverlap(sys *atoms.System, forces [][3]float64, ready func(atoms []int32)) float64 {
 	if sys != r.sys {
 		panic("domain: Runtime is bound to the system it was constructed with")
 	}
@@ -339,12 +538,106 @@ func (r *Runtime) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float
 		r.rebuild()
 	}
 	r.forces = forces
-	r.dispatch(cmdEval)
-	r.dispatch(cmdReduce)
+	r.parity ^= 1
+	if r.opts.Overlap {
+		r.stepOverlap(ready)
+	} else {
+		r.stepSync(ready)
+	}
 	r.forces = nil
-	r.energy = r.reduceEnergy()
 	r.stats.Steps++
 	return r.energy
+}
+
+// stepOverlap is the communication-hiding schedule: post the forward
+// exchange, hide it behind the interior block, overlap the interior
+// reduction with the frontier block, and overlap the frontier (reverse
+// ghost-force) reduction with the caller's integration of interior atoms
+// and the canonical energy sum.
+func (r *Runtime) stepOverlap(ready func([]int32)) {
+	st := &r.stats
+	r.postTime = time.Now()
+	r.send(r.comm, cmdPack) // forward exchange posted asynchronously
+
+	r.send(r.cmds, cmdEvalInterior) // interior block hides the exchange
+	r.waitWorkers()
+
+	t := time.Now()
+	r.waitComm() // exposed exchange wait: whatever the interior didn't hide
+	st.ExchangeWaitNs += time.Since(t).Nanoseconds()
+
+	r.send(r.cmds, cmdEvalFrontier)   // frontier block on arrived ghosts
+	r.send(r.comm, cmdReduceInterior) // overlapped: interior rows are final
+	r.waitComm()                      // interior forces final
+	r.waitWorkers()                   // frontier rows in their slots
+
+	r.send(r.cmds, cmdReduceFrontier) // reverse ghost-force reduction...
+	if ready != nil {
+		ready(r.readyInterior) // ...overlapped with interior integration
+	}
+	e := r.reduceEnergy() // ...and with the canonical energy sum
+	r.waitWorkers()
+	r.collectPhaseTimers()
+	if ready != nil {
+		ready(r.readyFrontier)
+	}
+	r.energy = e
+}
+
+// stepSync runs the identical phase arithmetic bulk-synchronously: the
+// forward exchange completes before any evaluation starts (the whole
+// exchange wall is exposed), then one fused evaluation dispatch runs both
+// blocks, then both reductions run (concurrently per rank across the
+// worker/comm goroutines — reduction is still strictly after all
+// evaluation, the BSP shape). Three barriers per step, matching the
+// pre-pipeline runtime plus the explicit exchange phase.
+func (r *Runtime) stepSync(ready func([]int32)) {
+	st := &r.stats
+	r.postTime = time.Now()
+	t := r.postTime
+	r.dispatchComm(cmdPack)
+	st.ExchangeWaitNs += time.Since(t).Nanoseconds()
+
+	r.dispatch(cmdEvalAll)
+
+	r.send(r.cmds, cmdReduceFrontier)
+	r.send(r.comm, cmdReduceInterior)
+	r.waitWorkers()
+	r.waitComm()
+	r.collectPhaseTimers()
+
+	r.energy = r.reduceEnergy()
+	if ready != nil {
+		ready(r.readyInterior)
+		ready(r.readyFrontier)
+	}
+}
+
+// collectPhaseTimers aggregates the ranks' per-step self-timed phase walls
+// (valid once every phase of the step has passed its barrier): the slowest
+// rank defines each phase, so the numbers are comparable between the
+// overlapped and bulk-synchronous schedules.
+func (r *Runtime) collectPhaseTimers() {
+	var pack, evalInt, evalFront, reduce int64
+	for _, rk := range r.ranks {
+		if rk.packNs > pack {
+			pack = rk.packNs
+		}
+		if rk.evalIntNs > evalInt {
+			evalInt = rk.evalIntNs
+		}
+		if rk.evalFrontNs > evalFront {
+			evalFront = rk.evalFrontNs
+		}
+		if red := rk.reduceIntNs + rk.reduceFrontNs; red > reduce {
+			reduce = red
+		}
+	}
+	st := &r.stats
+	st.CommWallNs += pack
+	st.InteriorNs += evalInt
+	st.FrontierNs += evalFront
+	st.ReduceNs += reduce
 }
 
 // EnergyForces implements md.Potential (fresh force buffer per call).
@@ -407,8 +700,9 @@ func (r *Runtime) rankOf(p [3]float64) int {
 
 // rebuild re-derives ownership (incremental migration: assignments change
 // only here, when atoms have crossed subdomain boundaries), ghost imports,
-// rank-local Verlet lists, the canonical slot layout, and the reduction
-// adjacency. Rebuild steps may allocate (lists and arenas re-warm); steady
+// rank-local Verlet lists with their interior/frontier partition, the
+// canonical slot layout, the reduction adjacency, and the split reduction
+// plan. Rebuild steps may allocate (lists and arenas re-warm); steady
 // steps do not.
 func (r *Runtime) rebuild() {
 	r.stats.Rebuilds++
@@ -449,12 +743,19 @@ func (r *Runtime) rebuild() {
 	r.pairGJ = r.pairGJ[:r.nPairs]
 	r.rows = r.rows[:r.nPairs]
 	r.pairE = r.pairE[:r.nPairs]
+	if cap(r.interiorSlot) < r.nPairs {
+		r.interiorSlot = make([]bool, r.nPairs)
+	}
+	r.interiorSlot = r.interiorSlot[:r.nPairs]
 
 	r.dispatch(cmdSlots)
 	r.buildAdjacency()
+	r.classifyAtoms()
+	r.dispatch(cmdPlan)
 
 	st := &r.stats
 	st.PairWork = r.nPairs
+	st.InteriorPairs = 0
 	st.MaxOwned, st.MaxGhosts, st.TotalGhost = 0, 0, 0
 	st.ForwardBytesPerStep, st.ReverseBytesPerStep = 0, 0
 	for _, rk := range r.ranks {
@@ -464,6 +765,7 @@ func (r *Runtime) rebuild() {
 		if rk.nGhosts > st.MaxGhosts {
 			st.MaxGhosts = rk.nGhosts
 		}
+		st.InteriorPairs += rk.nInterior
 		st.TotalGhost += rk.nGhosts
 		st.ForwardBytesPerStep += rk.nGhosts * 24       // 3 float64 per ghost position
 		st.ReverseBytesPerStep += rk.ghostRowCount * 24 // 3 float64 per ghost force row
@@ -502,6 +804,31 @@ func (r *Runtime) buildAdjacency() {
 	}
 }
 
+// classifyAtoms derives the split reduction plan: an atom's force is final
+// after the interior rows iff every slot in its adjacency belongs to an
+// interior center — no frontier row, from any rank, touches it. The ready
+// lists keep ascending atom order, so a pipelined integrator visits atoms
+// deterministically.
+func (r *Runtime) classifyAtoms() {
+	r.readyInterior = r.readyInterior[:0]
+	r.readyFrontier = r.readyFrontier[:0]
+	for a := 0; a < r.n; a++ {
+		interior := true
+		for _, e := range r.adj[r.adjPtr[a]:r.adjPtr[a+1]] {
+			if !r.interiorSlot[e>>1] {
+				interior = false
+				break
+			}
+		}
+		r.atomInterior[a] = interior
+		if interior {
+			r.readyInterior = append(r.readyInterior, int32(a))
+		} else {
+			r.readyFrontier = append(r.readyFrontier, int32(a))
+		}
+	}
+}
+
 // reduceEnergy sums pair energies in canonical slot order, then per-species
 // shifts in atom order, then applies the final-stage precision — identical
 // on every rank grid.
@@ -522,7 +849,8 @@ func (r *Runtime) reduceEnergy() float64 {
 
 // --- rank phases ---
 
-// execRebuild re-derives this rank's membership and Verlet list.
+// execRebuild re-derives this rank's membership, Verlet list, partition,
+// and staging arenas.
 func (rk *rank) execRebuild() {
 	rt := rk.rt
 	rk.gOf = rk.gOf[:0]
@@ -571,6 +899,14 @@ func (rk *rank) execRebuild() {
 	}
 	rk.nGhosts = len(rk.gOf) - rk.nOwned
 
+	// Double-buffered ghost staging arenas (forward-exchange destination).
+	for pr := 0; pr < 2; pr++ {
+		if cap(rk.ghost[pr]) < rk.nGhosts {
+			rk.ghost[pr] = make([][3]float64, rk.nGhosts)
+		}
+		rk.ghost[pr] = rk.ghost[pr][:rk.nGhosts]
+	}
+
 	// Local system: owned atoms first (CenterLimit), ghosts after.
 	nLoc := len(rk.gOf)
 	if cap(rk.local.Pos) < nLoc {
@@ -591,12 +927,16 @@ func (rk *rank) execRebuild() {
 		rk.builder.CenterLimit = rk.nOwned
 		rk.builder.BuildInto(&rk.pairs, rk.local, rt.model.Cuts)
 		rk.canonicalize()
+		rk.nInterior = rk.builder.PartitionInterior(&rk.pairs)
 	} else {
 		// A rank that owns no atoms centers no pairs. (Builder.CenterLimit
 		// treats 0 as "all atoms", which would build ghost-centered
 		// duplicates of other ranks' pairs — skip the build entirely.)
 		rk.pairs.Reset(nLoc)
+		rk.nInterior = 0
 	}
+	rk.intView = pairsView(&rk.pairs, 0, rk.nInterior)
+	rk.frontView = pairsView(&rk.pairs, rk.nInterior, rk.pairs.Len())
 
 	// Publish per-center pair counts (centers are owned, hence disjoint
 	// across ranks) and count reverse-exchange rows.
@@ -618,6 +958,17 @@ func (rk *rank) execRebuild() {
 		rk.slotOf = make([]int32, p.Len())
 	}
 	rk.slotOf = rk.slotOf[:p.Len()]
+}
+
+// pairsView carves the [lo,hi) sub-list of p as an aliasing Pairs value
+// (the block the evaluator runs over; storage is shared with p).
+func pairsView(p *neighbor.Pairs, lo, hi int) neighbor.Pairs {
+	return neighbor.Pairs{
+		I: p.I[lo:hi], J: p.J[lo:hi], Vec: p.Vec[lo:hi],
+		Dist: p.Dist[lo:hi], Cut: p.Cut[lo:hi],
+		NumReal: hi - lo,
+		NAtoms:  p.NAtoms,
+	}
 }
 
 // canonicalize orders each center's pairs by (global neighbor, periodic
@@ -657,9 +1008,10 @@ func (rk *rank) canonicalize() {
 	}
 }
 
-// execSlots assigns global slots. A rank's pairs are grouped by ascending
-// global center (owned atoms were appended in global order), so each
-// center's block lands contiguously at the center's canonical offset.
+// execSlots assigns global slots and marks interior ones. A rank's pairs
+// are grouped by contiguous center blocks (canonical within each class),
+// so each center's block lands contiguously at the center's canonical
+// offset; the partition moved whole blocks, never split one.
 func (rk *rank) execSlots() {
 	rt := rk.rt
 	p := &rk.pairs
@@ -672,24 +1024,74 @@ func (rk *rank) execSlots() {
 			rk.slotOf[t] = slot
 			rt.pairGI[slot] = gi
 			rt.pairGJ[slot] = rk.gOf[p.J[t]]
+			rt.interiorSlot[slot] = t < rk.nInterior
 			slot++
 		}
 	}
 }
 
-// execEval is the steady-state force phase: refresh every pair vector from
-// the current wrapped positions with the one minimum-image formula used on
-// all grids, evaluate the rank's rows, and scatter them to their slots.
-func (rk *rank) execEval() {
+// execPlan splits this rank's owned atoms by the master's classification:
+// forces of redInterior atoms are final after the interior rows, the rest
+// wait for the frontier (reverse ghost-force) rows.
+func (rk *rank) execPlan() {
 	rt := rk.rt
-	p := &rk.pairs
-	if p.Len() == 0 {
+	rk.redInterior = rk.redInterior[:0]
+	rk.redFrontier = rk.redFrontier[:0]
+	for t := 0; t < rk.nOwned; t++ {
+		if rt.atomInterior[rk.gOf[t]] {
+			rk.redInterior = append(rk.redInterior, int32(t))
+		} else {
+			rk.redFrontier = append(rk.redFrontier, int32(t))
+		}
+	}
+}
+
+// execPack is the forward ghost-position exchange: stage every ghost's
+// wrapped position into the current half of the double-buffered arena.
+// packNs records the post-to-staged wall (what an MPI exchange would take),
+// which the overlap pipeline hides behind the interior block.
+func (rk *rank) execPack() {
+	rt := rk.rt
+	buf := rk.ghost[rt.parity]
+	for t := rk.nOwned; t < len(rk.gOf); t++ {
+		buf[t-rk.nOwned] = rt.pw[rk.gOf[t]]
+	}
+	rk.packNs = time.Since(rt.postTime).Nanoseconds()
+}
+
+// timeEval runs execEval under the rank's phase self-timer; empty blocks
+// report zero.
+func (rk *rank) timeEval(lo, hi int, view *neighbor.Pairs) int64 {
+	if hi <= lo {
+		return 0
+	}
+	t := time.Now()
+	rk.execEval(lo, hi, view)
+	return time.Since(t).Nanoseconds()
+}
+
+// execEval evaluates one block of this rank's pair list: refresh the
+// block's pair vectors from current positions with the one minimum-image
+// formula used on all grids — interior blocks read owned positions only;
+// frontier blocks read ghost neighbors from the staged arena the forward
+// exchange filled — evaluate the block's rows, and scatter them to their
+// canonical slots.
+func (rk *rank) execEval(lo, hi int, view *neighbor.Pairs) {
+	if hi <= lo {
 		return
 	}
+	rt := rk.rt
+	p := &rk.pairs
 	cell := rt.sys.Cell
-	for t := 0; t < p.Len(); t++ {
-		gi, gj := rk.gOf[p.I[t]], rk.gOf[p.J[t]]
-		pi, pj := rt.pw[gi], rt.pw[gj]
+	ghosts := rk.ghost[rt.parity]
+	for t := lo; t < hi; t++ {
+		pi := rt.pw[rk.gOf[p.I[t]]]
+		var pj [3]float64
+		if j := p.J[t]; j >= rk.nOwned {
+			pj = ghosts[j-rk.nOwned] // staged ghost, bitwise the owner's position
+		} else {
+			pj = rt.pw[rk.gOf[j]]
+		}
 		var d [3]float64
 		for k := 0; k < 3; k++ {
 			dk := pj[k] - pi[k]
@@ -699,20 +1101,20 @@ func (rk *rank) execEval() {
 		p.Vec[t] = d
 		p.Dist[t] = math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
 	}
-	rt.model.EvaluateRowsInto(rk.scratch, rk.local, p, rk.rowsBuf, rk.pairEBuf)
-	for t := 0; t < p.Len(); t++ {
+	rt.model.EvaluateRowsInto(rk.scratch, rk.local, view, rk.rowsBuf[lo:hi], rk.pairEBuf[lo:hi])
+	for t := lo; t < hi; t++ {
 		s := rk.slotOf[t]
 		rt.rows[s] = rk.rowsBuf[t]
 		rt.pairE[s] = rk.pairEBuf[t]
 	}
 }
 
-// execReduce computes every owned atom's force from the global rows in
-// ascending slot order — bitwise the serial accumulation, partitioned by
-// ownership.
-func (rk *rank) execReduce() {
+// execReduce computes the listed owned atoms' forces from the global rows
+// in ascending slot order — bitwise the serial accumulation, partitioned by
+// ownership and by interior/frontier readiness.
+func (rk *rank) execReduce(which []int32) {
 	rt := rk.rt
-	for t := 0; t < rk.nOwned; t++ {
+	for _, t := range which {
 		a := rk.gOf[t]
 		var f [3]float64
 		for _, e := range rt.adj[rt.adjPtr[a]:rt.adjPtr[a+1]] {

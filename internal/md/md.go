@@ -40,6 +40,25 @@ type PersistentPotential interface {
 	Close()
 }
 
+// PipelinedPotential is an InPlacePotential whose force evaluation can
+// stream per-atom completion: EnergyForcesOverlap behaves exactly like
+// EnergyForcesInto, but invokes ready with batches of atom indices as soon
+// as those atoms' force entries are final — before the whole evaluation has
+// returned. Every atom is delivered exactly once per call, and the batch
+// contents must not depend on the backend's internal schedule (only the
+// timing may). Sim detects the interface at construction and applies the
+// second velocity half-kick per batch, overlapping integration with the
+// potential's trailing work — for domain.Runtime, the reverse ghost-force
+// reduction of frontier atoms (the communication-hiding step pipeline).
+//
+// ready runs on the evaluating goroutine; it may read and write the
+// delivered atoms' force and velocity entries but nothing else shared with
+// the evaluation.
+type PipelinedPotential interface {
+	InPlacePotential
+	EnergyForcesOverlap(sys *atoms.System, forces [][3]float64, ready func(atoms []int32)) float64
+}
+
 // DecomposedSim drives a Sim whose force calls are served by a persistent
 // decomposed runtime instead of a global potential: every Step runs the
 // rank grid's steady-state exchange/evaluate/reduce cycle through the
@@ -182,12 +201,18 @@ type Sim struct {
 	Energy  float64 // last potential energy
 	StepNum int
 
-	inPlace InPlacePotential // non-nil: reuse Forces across steps
+	inPlace   InPlacePotential   // non-nil: reuse Forces across steps
+	pipelined PipelinedPotential // non-nil: stream the second half-kick
+	kickFn    func([]int32)      // hoisted ready callback (allocation-free)
 }
 
 // NewSim prepares a simulation; forces are evaluated once at construction.
 // If pot implements InPlacePotential, every step reuses the simulation's
-// force buffer and the force path allocates nothing in steady state.
+// force buffer and the force path allocates nothing in steady state. If it
+// additionally implements PipelinedPotential, Step overlaps the second
+// velocity half-kick of early-completing atoms with the potential's
+// trailing force work (bit-identical to the sequential kick: per-atom
+// updates are independent and every atom is delivered exactly once).
 func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
 	s := &Sim{
 		Sys:    sys,
@@ -200,8 +225,25 @@ func NewSim(sys *atoms.System, pot Potential, dt float64) *Sim {
 		s.inPlace = ip
 		s.Forces = make([][3]float64, sys.NumAtoms())
 	}
+	if pp, ok := pot.(PipelinedPotential); ok {
+		s.pipelined = pp
+		s.kickFn = s.halfKick
+	}
 	s.RecomputeForces()
 	return s
+}
+
+// halfKick applies the second velocity-Verlet half-kick to one batch of
+// atoms — the ready callback of the pipelined force path, hoisted so
+// steady-state dispatch allocates nothing.
+func (s *Sim) halfKick(atoms []int32) {
+	dt := s.Dt
+	for _, a := range atoms {
+		f := units.AccelFactor / s.Masses[a]
+		for k := 0; k < 3; k++ {
+			s.Vel[a][k] += 0.5 * dt * f * s.Forces[a][k]
+		}
+	}
 }
 
 // RecomputeForces re-evaluates energy and forces at the current positions
@@ -245,6 +287,11 @@ func (s *Sim) RemoveDrift() {
 }
 
 // Step advances one velocity-Verlet step (plus thermostat if configured).
+// On a PipelinedPotential the second half-kick streams per ready batch,
+// overlapping integration with the potential's trailing force work; the
+// trajectory is bit-identical to the sequential path (per-atom updates are
+// independent, and the thermostat runs after every force is final, so its
+// RNG stream is untouched).
 func (s *Sim) Step() {
 	dt := s.Dt
 	// Half kick + drift.
@@ -255,13 +302,18 @@ func (s *Sim) Step() {
 			s.Sys.Pos[i][k] += dt * s.Vel[i][k]
 		}
 	}
-	// New forces (into the reused buffer when the potential supports it).
-	s.RecomputeForces()
-	// Second half kick.
-	for i := range s.Vel {
-		f := units.AccelFactor / s.Masses[i]
-		for k := 0; k < 3; k++ {
-			s.Vel[i][k] += 0.5 * dt * f * s.Forces[i][k]
+	if s.pipelined != nil {
+		// Pipelined force + second half-kick: batches kick as they land.
+		s.Energy = s.pipelined.EnergyForcesOverlap(s.Sys, s.Forces, s.kickFn)
+	} else {
+		// New forces (into the reused buffer when the potential supports
+		// it), then the second half kick.
+		s.RecomputeForces()
+		for i := range s.Vel {
+			f := units.AccelFactor / s.Masses[i]
+			for k := 0; k < 3; k++ {
+				s.Vel[i][k] += 0.5 * dt * f * s.Forces[i][k]
+			}
 		}
 	}
 	if s.Thermostat != nil {

@@ -39,6 +39,9 @@ type Builder struct {
 	// visible as neighbors). Domain-decomposition ranks lay out their local
 	// systems owned-atoms-first and set CenterLimit to the owned count, so
 	// ghost-centered pairs are never built. Values <= 0 mean all atoms.
+	// The same owned-prefix convention classifies neighbors as ghosts in
+	// PartitionInterior, the interior/frontier split of the overlap
+	// pipeline.
 	CenterLimit int
 
 	// Reusable per-build scratch.
@@ -48,6 +51,11 @@ type Builder struct {
 	cellPtr   []int32      // counting-sort cell offsets, len ncells+1
 	cellAtoms []int32      // atom indices grouped by cell, ascending per cell
 	shards    []shard      // per-chunk pair outputs
+
+	// PartitionInterior scratch (stable center-block gather).
+	partI, partJ      []int
+	partVec           [][3]float64
+	partDist, partCut []float64
 
 	// Per-build state shared with worker goroutines (set before jobs are
 	// dispatched, read-only while they run; the pool's channel handshakes

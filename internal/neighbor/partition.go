@@ -1,0 +1,79 @@
+package neighbor
+
+// PartitionInterior stably reorders the real pairs of p so that the
+// **interior block** comes first: the pairs of every center whose complete
+// environment references only owned atoms (neighbor index < CenterLimit).
+// The remaining pairs — centers with at least one ghost neighbor — form the
+// **frontier block**. It returns the interior pair count.
+//
+// This is the list-level form of the communication-hiding split used by the
+// domain runtime: an interior center's environment sum, and therefore every
+// row it produces, is independent of ghost data, so its block can be
+// evaluated while the ghost-position exchange is still in flight; frontier
+// blocks wait for arrival. The geometric intuition is the depth rule — a
+// center deeper than halo+skin from every subdomain face cannot reach a
+// ghost — but the list test is exact where the depth rule is conservative.
+//
+// The partition is center-block granular and stable: each center's pairs
+// stay contiguous and keep their relative (canonical) order, and within
+// each class the centers keep their relative order. Slot assignments keyed
+// on the global center are therefore unchanged — only the local traversal
+// order moves. CenterLimit plays its generalized role here: beyond
+// restricting which atoms act as centers during a build, it marks the
+// owned-atom prefix of the local index space, which is what classifies a
+// neighbor as a ghost. CenterLimit <= 0 (or covering all atoms) means no
+// ghosts exist and the whole list is interior.
+//
+// Padding pairs (beyond NumReal) are left in place at the tail. The
+// builder's partition scratch is reused across calls, so steady repetitions
+// on a fixed system size allocate nothing.
+func (b *Builder) PartitionInterior(p *Pairs) int {
+	n := p.NumReal
+	limit := b.CenterLimit
+	if n == 0 {
+		return 0
+	}
+	if limit <= 0 || limit >= p.NAtoms {
+		return n // no ghost atoms: every center is interior
+	}
+	b.partI = growInts(b.partI, n)
+	b.partJ = growInts(b.partJ, n)
+	b.partVec = growVecs(b.partVec, n)
+	b.partDist = growFloats(b.partDist, n)
+	b.partCut = growFloats(b.partCut, n)
+	copy(b.partI, p.I[:n])
+	copy(b.partJ, p.J[:n])
+	copy(b.partVec, p.Vec[:n])
+	copy(b.partDist, p.Dist[:n])
+	copy(b.partCut, p.Cut[:n])
+
+	write := 0
+	emit := func(wantInterior bool) {
+		for blo := 0; blo < n; {
+			bhi := blo + 1
+			for bhi < n && b.partI[bhi] == b.partI[blo] {
+				bhi++
+			}
+			interior := true
+			for t := blo; t < bhi; t++ {
+				if b.partJ[t] >= limit {
+					interior = false
+					break
+				}
+			}
+			if interior == wantInterior {
+				copy(p.I[write:], b.partI[blo:bhi])
+				copy(p.J[write:], b.partJ[blo:bhi])
+				copy(p.Vec[write:], b.partVec[blo:bhi])
+				copy(p.Dist[write:], b.partDist[blo:bhi])
+				copy(p.Cut[write:], b.partCut[blo:bhi])
+				write += bhi - blo
+			}
+			blo = bhi
+		}
+	}
+	emit(true)
+	nInterior := write
+	emit(false)
+	return nInterior
+}

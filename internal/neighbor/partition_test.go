@@ -1,0 +1,161 @@
+package neighbor
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// partKey identifies one pair independently of its list position (the exact
+// displacement disambiguates multiple periodic images of the same (i,j)).
+type partKey struct {
+	i, j int
+	vec  [3]float64
+}
+
+func partKeys(p *Pairs) map[partKey]int {
+	m := make(map[partKey]int)
+	for z := 0; z < p.NumReal; z++ {
+		m[partKey{p.I[z], p.J[z], p.Vec[z]}]++
+	}
+	return m
+}
+
+func partSystem(seed uint64) *atoms.System {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	return randomPeriodic(rng, 160, 9.0, []units.Species{units.H, units.O})
+}
+
+func partCuts() *CutoffTable {
+	return PaperBioCutoffs(atoms.NewSpeciesIndex([]units.Species{units.H, units.O}))
+}
+
+// TestPartitionInteriorExactSplit is the list-level form of the partition
+// property: interior plus frontier is exactly the original canonical list —
+// no duplicates, no drops — the interior block references no ghost
+// neighbors, every frontier center has at least one, and center blocks stay
+// contiguous.
+func TestPartitionInteriorExactSplit(t *testing.T) {
+	sys := partSystem(17)
+	cuts := partCuts()
+	for _, limit := range []int{0, sys.NumAtoms() / 3, sys.NumAtoms() / 2, sys.NumAtoms()} {
+		b := Builder{CenterLimit: limit}
+		var p Pairs
+		b.BuildInto(&p, sys, cuts)
+		before := partKeys(&p)
+		total := p.NumReal
+
+		nInt := b.PartitionInterior(&p)
+		if p.NumReal != total {
+			t.Fatalf("limit %d: partition changed the pair count %d -> %d", limit, total, p.NumReal)
+		}
+		after := partKeys(&p)
+		if len(after) != len(before) {
+			t.Fatalf("limit %d: pair multiset changed (%d vs %d distinct)", limit, len(after), len(before))
+		}
+		for k, c := range before {
+			if after[k] != c {
+				t.Fatalf("limit %d: pair %v count %d -> %d (duplicate or drop)", limit, k, c, after[k])
+			}
+		}
+
+		ghostsExist := limit > 0 && limit < p.NAtoms
+		if !ghostsExist && nInt != total {
+			t.Fatalf("limit %d: no ghosts but interior %d != total %d", limit, nInt, total)
+		}
+		// Interior block: no ghost neighbors anywhere.
+		if ghostsExist {
+			for z := 0; z < nInt; z++ {
+				if p.J[z] >= limit {
+					t.Fatalf("limit %d: interior pair %d references ghost neighbor %d", limit, z, p.J[z])
+				}
+			}
+		}
+		// Frontier block: center-block granular, each block holding >= 1 ghost.
+		for blo := nInt; blo < total; {
+			bhi := blo + 1
+			for bhi < total && p.I[bhi] == p.I[blo] {
+				bhi++
+			}
+			hasGhost := false
+			for z := blo; z < bhi; z++ {
+				if p.J[z] >= limit {
+					hasGhost = true
+				}
+			}
+			if !hasGhost {
+				t.Fatalf("limit %d: frontier center %d has no ghost neighbor", limit, p.I[blo])
+			}
+			blo = bhi
+		}
+		// Center blocks stay contiguous across the whole list.
+		seen := make(map[int]bool)
+		for blo := 0; blo < total; {
+			bhi := blo + 1
+			for bhi < total && p.I[bhi] == p.I[blo] {
+				bhi++
+			}
+			if seen[p.I[blo]] {
+				t.Fatalf("limit %d: center %d split across blocks", limit, p.I[blo])
+			}
+			seen[p.I[blo]] = true
+			blo = bhi
+		}
+	}
+}
+
+// TestPartitionInteriorStable pins stability: within each class, pairs keep
+// the relative order the canonical build produced (required for the slot
+// assignment keyed on contiguous per-center blocks to stay unchanged).
+func TestPartitionInteriorStable(t *testing.T) {
+	sys := partSystem(19)
+	limit := sys.NumAtoms() / 2
+	b := Builder{CenterLimit: limit}
+	var ref Pairs
+	b.BuildInto(&ref, sys, partCuts())
+	orig := make([]partKey, ref.NumReal)
+	for z := range orig {
+		orig[z] = partKey{ref.I[z], ref.J[z], ref.Vec[z]}
+	}
+	nInt := b.PartitionInterior(&ref)
+
+	// Walk the original order and check each class appears as a subsequence.
+	intPos, frontPos := 0, nInt
+	for _, k := range orig {
+		if intPos < nInt && (partKey{ref.I[intPos], ref.J[intPos], ref.Vec[intPos]}) == k {
+			intPos++
+			continue
+		}
+		if frontPos < ref.NumReal && (partKey{ref.I[frontPos], ref.J[frontPos], ref.Vec[frontPos]}) == k {
+			frontPos++
+			continue
+		}
+		t.Fatalf("pair %v out of stable order (interior at %d/%d, frontier at %d/%d)",
+			k, intPos, nInt, frontPos, ref.NumReal)
+	}
+	if intPos != nInt || frontPos != ref.NumReal {
+		t.Fatalf("stable walk did not consume both classes: %d/%d interior, %d/%d frontier",
+			intPos, nInt, frontPos, ref.NumReal)
+	}
+}
+
+// TestPartitionInteriorSteadyStateAllocs pins the scratch-reuse contract:
+// repeated build+partition cycles on a fixed system size allocate nothing.
+func TestPartitionInteriorSteadyStateAllocs(t *testing.T) {
+	sys := partSystem(21)
+	cuts := partCuts()
+	b := Builder{Workers: 1, CenterLimit: sys.NumAtoms() / 2}
+	defer b.Close()
+	var p Pairs
+	b.BuildInto(&p, sys, cuts)
+	b.PartitionInterior(&p)
+	allocs := testing.AllocsPerRun(10, func() {
+		b.BuildInto(&p, sys, cuts)
+		b.PartitionInterior(&p)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state build+partition allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -106,9 +106,10 @@ func measureSteadyState(pot InstrumentedPotential, sys *atoms.System, forces [][
 }
 
 // DecomposedMeasurement extends Measurement with the rank-level numbers of
-// the persistent domain runtime: achieved pairs/sec per rank and the
-// per-step ghost-exchange volume — the terms the cluster model's
-// communication side is parameterized by.
+// the persistent domain runtime: achieved pairs/sec per rank, the per-step
+// ghost-exchange volume, and the per-phase step breakdown of the overlap
+// pipeline — the terms the cluster model's communication side is
+// parameterized by.
 type DecomposedMeasurement struct {
 	Measurement
 	Ranks            int
@@ -116,13 +117,28 @@ type DecomposedMeasurement struct {
 	ForwardBytesStep int     // ghost-position scatter volume per step
 	ReverseBytesStep int     // ghost force-row return volume per step
 	Rebuilds         int     // list/exchange rebuilds during the run
+
+	// Phase breakdown of one steady-state step (nanoseconds, averaged over
+	// the timed window): exposed forward-exchange wait, interior-block
+	// evaluation, frontier-block evaluation, and force reduction.
+	ExchangeNsStep int64
+	InteriorNsStep int64
+	FrontierNsStep int64
+	ReduceNsStep   int64
+	// OverlapFraction is the measured share of the forward ghost-exchange
+	// wall hidden behind computation (0 bulk-synchronous, -> 1 fully
+	// hidden). It feeds CalibrateMachineDecomposed, which discounts the
+	// analytic cluster model's communication term accordingly.
+	OverlapFraction float64
 }
 
 // String renders the decomposed measurement for reports.
 func (m DecomposedMeasurement) String() string {
-	return fmt.Sprintf("measured decomposed: %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps",
+	return fmt.Sprintf("measured decomposed: %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps, phases xchg %d + int %d + front %d + red %d ns/step, overlap %.0f%%",
 		m.Ranks, m.Atoms, m.Pairs, m.PairsPerSec, m.PairsPerSecRank, m.AllocsPerOp,
-		m.ForwardBytesStep, m.ReverseBytesStep, m.Rebuilds, m.Steps)
+		m.ForwardBytesStep, m.ReverseBytesStep, m.Rebuilds, m.Steps,
+		m.ExchangeNsStep, m.InteriorNsStep, m.FrontierNsStep, m.ReduceNsStep,
+		100*m.OverlapFraction)
 }
 
 // MeasureDecomposed runs `steps` steady-state force calls through a fresh
@@ -148,7 +164,7 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 	forces := make([][3]float64, sys.NumAtoms())
 	rt.EnergyForcesInto(sys, forces)
 	rt.EnergyForcesInto(sys, forces)
-	preRebuilds := rt.Stats().Rebuilds
+	pre := rt.Stats()
 
 	m := measureSteadyState(rt, sys, forces, steps, rt.NumRanks()*rt.WorkersPerRank())
 	st := rt.Stats()
@@ -157,9 +173,20 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 		Ranks:            rt.NumRanks(),
 		ForwardBytesStep: st.ForwardBytesPerStep,
 		ReverseBytesStep: st.ReverseBytesPerStep,
-		Rebuilds:         st.Rebuilds - preRebuilds,
+		Rebuilds:         st.Rebuilds - pre.Rebuilds,
 	}
 	meas.PairsPerSecRank = meas.PairsPerSec / float64(rt.NumRanks())
+	if n := int64(m.Steps); n > 0 {
+		meas.ExchangeNsStep = (st.ExchangeWaitNs - pre.ExchangeWaitNs) / n
+		meas.InteriorNsStep = (st.InteriorNs - pre.InteriorNs) / n
+		meas.FrontierNsStep = (st.FrontierNs - pre.FrontierNs) / n
+		meas.ReduceNsStep = (st.ReduceNs - pre.ReduceNs) / n
+	}
+	window := domain.RuntimeStats{
+		ExchangeWaitNs: st.ExchangeWaitNs - pre.ExchangeWaitNs,
+		CommWallNs:     st.CommWallNs - pre.CommWallNs,
+	}
+	meas.OverlapFraction = window.OverlapFraction()
 	return meas
 }
 
@@ -171,6 +198,19 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 func CalibrateMachine(mach cluster.Machine, meas Measurement) cluster.Machine {
 	if meas.TimePerAtom > 0 {
 		mach.TimePerAtom = meas.TimePerAtom
+	}
+	return mach
+}
+
+// CalibrateMachineDecomposed anchors the machine at a decomposed
+// measurement: the per-atom compute time as in CalibrateMachine, plus the
+// measured overlap fraction of the communication-hiding pipeline, which
+// discounts the analytic ghost-exchange term to its exposed remainder in
+// Machine.StepTime.
+func CalibrateMachineDecomposed(mach cluster.Machine, meas DecomposedMeasurement) cluster.Machine {
+	mach = CalibrateMachine(mach, meas.Measurement)
+	if meas.OverlapFraction > 0 {
+		mach.Overlap = meas.OverlapFraction
 	}
 	return mach
 }

@@ -4,9 +4,11 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/atoms"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/domain"
 	"repro/internal/units"
 )
 
@@ -53,5 +55,68 @@ func TestCalibrateMachine(t *testing.T) {
 	w := cluster.Water("water", 1_000_000)
 	if cal.StepTime(w, 16) >= mach.StepTime(w, 16) {
 		t.Fatalf("faster compute did not reduce modeled step time")
+	}
+}
+
+// measuredFixture builds a small decomposable model + water box (cutoff
+// 3 A on the 3x3x3 cell, so a 2x1x1 grid satisfies the halo constraint).
+func measuredFixture(t *testing.T) (*core.Model, *atoms.System) {
+	t.Helper()
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	cfg.LMax = 1
+	cfg.NumLayers = 2
+	cfg.NumChannels = 2
+	cfg.LatentDim = 8
+	cfg.TwoBodyHidden = []int{8}
+	cfg.LatentHidden = []int{8}
+	cfg.EdgeHidden = 4
+	cfg.NumBessel = 4
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, data.WaterBox(rand.New(rand.NewPCG(3, 4)), 3, 3, 3)
+}
+
+// TestMeasureRuntimeOverlapAndCalibration checks the decomposed
+// measurement's pipeline numbers — phase breakdown and overlap fraction —
+// and that CalibrateMachineDecomposed threads both the compute anchor and
+// the overlap discount into the cluster model.
+func TestMeasureRuntimeOverlapAndCalibration(t *testing.T) {
+	m, sys := measuredFixture(t)
+	meas, err := MeasureDecomposed(m, sys, domain.RuntimeOptions{Grid: [3]int{2, 1, 1}, Skin: 0.5, Overlap: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.OverlapFraction < 0 || meas.OverlapFraction > 1 {
+		t.Fatalf("overlap fraction %g out of [0,1]", meas.OverlapFraction)
+	}
+	// Interior time is rank-self-timed and legitimately zero when the grid
+	// leaves no interior region on this small box; the other phases always
+	// do work.
+	if meas.InteriorNsStep < 0 || meas.FrontierNsStep <= 0 || meas.ReduceNsStep <= 0 {
+		t.Fatalf("phase breakdown did not populate: %+v", meas)
+	}
+	mach := cluster.Perlmutter()
+	cal := CalibrateMachineDecomposed(mach, meas)
+	if cal.TimePerAtom != meas.TimePerAtom {
+		t.Fatalf("compute anchor not applied: %g vs %g", cal.TimePerAtom, meas.TimePerAtom)
+	}
+	if meas.OverlapFraction > 0 && cal.Overlap != meas.OverlapFraction {
+		t.Fatalf("overlap fraction not applied: %g vs %g", cal.Overlap, meas.OverlapFraction)
+	}
+	// Against the same compute anchor, the overlap discount must never
+	// make a step slower, and must strictly help when positive.
+	w := cluster.Water("water-1M", 1_000_000)
+	calSync := CalibrateMachine(mach, meas.Measurement)
+	if s0, s1 := calSync.StepTime(w, 64), cal.StepTime(w, 64); s1 > s0 {
+		t.Fatalf("calibrated overlapped step %g slower than synchronous %g", s1, s0)
+	}
+	ov := mach
+	ov.Overlap = 0.9
+	if s0, s1 := mach.StepTime(w, 64), ov.StepTime(w, 64); s1 >= s0 {
+		t.Fatalf("overlap 0.9 did not reduce the step time: %g vs %g", s1, s0)
 	}
 }

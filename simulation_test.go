@@ -303,3 +303,49 @@ func TestSimulationMeasureBothBackends(t *testing.T) {
 		sim.Close()
 	}
 }
+
+// TestSimulationOverlapBitIdentical pins the public-API form of the
+// overlap pipeline's hard invariant: WithOverlap changes the step schedule
+// (async exchange, split reduction, pipelined half-kick), never the
+// trajectory — bit-identical positions and energy against the synchronous
+// decomposed backend, thermostat stream included.
+func TestSimulationOverlapBitIdentical(t *testing.T) {
+	model, _ := testModelAndBox(t)
+	// A box elongated along x so each 2x1x1 subdomain is deeper than
+	// halo+skin from its faces: the split then has a genuine interior.
+	box := data.WaterBox(rand.New(rand.NewPCG(7, 8)), 6, 3, 3)
+	run := func(opts ...Option) *Simulation {
+		base := []Option{WithTimestep(0.4), WithSkin(0.4), WithTemperature(300), WithSeed(9)}
+		sim, err := NewSimulation(box.Clone(), model, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(context.Background(), 30); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	syncSim := run(WithGrid(2, 1, 1))
+	defer syncSim.Close()
+	ovSim := run(WithGrid(2, 1, 1), WithOverlap())
+	defer ovSim.Close()
+	if syncSim.Overlapped() || !ovSim.Overlapped() {
+		t.Fatalf("Overlapped() wiring: sync=%v ov=%v", syncSim.Overlapped(), ovSim.Overlapped())
+	}
+	if a, b := syncSim.Report(), ovSim.Report(); a != b {
+		t.Fatalf("reports diverged:\n sync: %+v\n  ovl: %+v", a, b)
+	}
+	samePositions(t, "overlap vs sync", syncSim.System(), ovSim.System())
+
+	st, ok := ovSim.Stats()
+	if !ok {
+		t.Fatal("decomposed backend must expose stats")
+	}
+	if st.InteriorPairs <= 0 || st.InteriorPairs >= st.PairWork {
+		t.Fatalf("expected a genuine interior/frontier split on 2x1x1, got %d/%d", st.InteriorPairs, st.PairWork)
+	}
+	meas := ovSim.Measure(3)
+	if meas.OverlapFraction < 0 || meas.OverlapFraction > 1 {
+		t.Fatalf("measured overlap fraction %g out of [0,1]", meas.OverlapFraction)
+	}
+}
