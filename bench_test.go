@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/atoms"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/md"
@@ -218,6 +219,92 @@ func BenchmarkEvaluatorSteadyState(b *testing.B) {
 				pot.EnergyForcesInto(run, forces)
 			}
 			b.ReportMetric(float64(pot.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkCompiledEvaluatorSteadyState measures the compiled inference
+// engine against the interpreted tape on the identical serial workload at
+// the paper's production mixed precision (F64 final, F32 weights, TF32
+// compute) and production tensor multiplicity (64 channels, so the fused
+// tensor product carries its production share of the step) — the regime
+// where the tape pays per-call weight re-rounding and TPEntry re-folding,
+// rounding-scratch allocations, dead weight-adjoint accumulation, and
+// per-element precision dispatch that the record-once/replay plans fold
+// away at compile time. The two modes are bit-identical in outputs;
+// mode=compiled must stay 0 allocs/op and its pairs/s must exceed
+// mode=tape by >= 1.3x (both guarded in CI, ratio recorded in
+// BENCH_compiled.json).
+func BenchmarkCompiledEvaluatorSteadyState(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Precision = core.ProductionPrecision()
+	cfg.NumChannels = 64
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	for _, mode := range []string{"tape", "compiled"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := NewSimulation(sys.Clone(), model,
+				WithWorkers(1), WithCompiled(mode == "compiled"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			forces := make([][3]float64, run.NumAtoms())
+			pot.EnergyForcesInto(run, forces)
+			pot.EnergyForcesInto(run, forces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pot.EnergyForcesInto(run, forces)
+			}
+			b.ReportMetric(float64(pot.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkCompiledRuntimeStep measures the same tape-vs-compiled pair on
+// the decomposed persistent-rank runtime (every rank replays its own
+// per-shape plan cache) at production precision: the steady-state 2x2x2
+// step with warm Verlet lists. mode=compiled must stay 0 allocs/op
+// (CI-guarded alongside the evaluator benchmark).
+func BenchmarkCompiledRuntimeStep(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Workers = 1
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	cfg.Precision = core.ProductionPrecision()
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 3, 3, 3)
+	for _, mode := range []string{"tape", "compiled"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := NewSimulation(sys.Clone(), model,
+				WithGrid(2, 2, 2), WithSkin(0.5), WithCompiled(mode == "compiled"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			forces := make([][3]float64, run.NumAtoms())
+			pot.EnergyForcesInto(run, forces)
+			pot.EnergyForcesInto(run, forces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pot.EnergyForcesInto(run, forces)
+			}
+			st, _ := sim.Stats()
+			b.ReportMetric(float64(st.PairWork)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 		})
 	}
 }

@@ -8,9 +8,13 @@
 //	allegro-bench -list               # list experiment IDs
 //	allegro-bench -exp fig4 -full     # full (slower) scale
 //	allegro-bench -measure            # measure single-node pairs/sec and
-//	                                  # allocs/op of the parallel pipeline,
+//	                                  # allocs/op of the parallel pipeline
+//	                                  # in both execution modes (tape and
+//	                                  # compiled plans, with the speedup),
 //	                                  # then print a cluster model
 //	                                  # calibrated from the measurement
+//	allegro-bench -measure -compiled=false  # anchor the cluster model on
+//	                                  # the tape path instead
 package main
 
 import (
@@ -31,13 +35,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		full    = flag.Bool("full", false, "run at full scale (slower, larger datasets)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		measure = flag.Bool("measure", false, "measure single-node throughput and exit")
-		workers = flag.Int("workers", 0, "worker pool size for -measure (0: all cores)")
-		steps   = flag.Int("steps", 5, "timed force calls for -measure")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		full     = flag.Bool("full", false, "run at full scale (slower, larger datasets)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		measure  = flag.Bool("measure", false, "measure single-node throughput and exit")
+		workers  = flag.Int("workers", 0, "worker pool size for -measure (0: all cores)")
+		steps    = flag.Int("steps", 5, "timed force calls for -measure")
+		compiled = flag.Bool("compiled", true, "anchor -measure on the compiled inference plans (false: autodiff tape)")
 	)
 	flag.Parse()
 	if *list {
@@ -47,7 +52,7 @@ func main() {
 		return
 	}
 	if *measure {
-		if err := runMeasure(*workers, *steps, *seed); err != nil {
+		if err := runMeasure(*workers, *steps, *seed, *compiled); err != nil {
 			fmt.Fprintln(os.Stderr, "allegro-bench:", err)
 			os.Exit(1)
 		}
@@ -72,29 +77,43 @@ func main() {
 }
 
 // runMeasure times the force backend behind the one simulation API on a
-// water box and prints the cluster throughput model re-anchored at the
-// measured per-atom time (instead of the frozen A100 calibration
+// water box — in both execution modes, so the tape-vs-compiled speedup is
+// visible — and prints the cluster throughput model re-anchored at the
+// selected mode's per-atom time (instead of the frozen A100 calibration
 // constants). The same allegro.NewSimulation + Measure pair serves the
 // decomposed backend in allegro-md -measure.
-func runMeasure(workers, steps int, seed uint64) error {
+func runMeasure(workers, steps int, seed uint64, compiled bool) error {
 	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
 	model, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xBE9C)))
 	if err != nil {
 		return err
 	}
 	sys := data.WaterBox(rand.New(rand.NewPCG(seed, 2)), 3, 3, 3)
-	sim, err := allegro.NewSimulation(sys, model, allegro.WithWorkers(workers))
-	if err != nil {
-		return err
+	var meas perfmodel.Measurement
+	modes := []bool{false, true} // tape first, then the compiled replay
+	rates := map[bool]float64{}
+	for _, on := range modes {
+		sim, err := allegro.NewSimulation(sys, model,
+			allegro.WithWorkers(workers), allegro.WithCompiled(on))
+		if err != nil {
+			return err
+		}
+		m := sim.Measure(steps).Measurement
+		sim.Close()
+		rates[on] = m.PairsPerSec
+		fmt.Println(m)
+		fmt.Printf("  atoms/s            %12.4g\n", m.AtomsPerSec)
+		fmt.Printf("  bytes/op           %12.0f\n", m.BytesPerOp)
+		if on == compiled {
+			meas = m
+		}
 	}
-	defer sim.Close()
-	meas := sim.Measure(steps).Measurement
-	fmt.Println(meas)
-	fmt.Printf("  atoms/s            %12.4g\n", meas.AtomsPerSec)
-	fmt.Printf("  bytes/op           %12.0f\n", meas.BytesPerOp)
+	if rates[false] > 0 {
+		fmt.Printf("tape -> compiled speedup: %.2fx pairs/s\n", rates[true]/rates[false])
+	}
 
 	mach := perfmodel.CalibrateMachine(cluster.Perlmutter(), meas)
-	fmt.Println("calibrated cluster model (measured compute, configured interconnect):")
+	fmt.Printf("calibrated cluster model (measured %s compute, configured interconnect):\n", mach.AnchorMode)
 	for _, w := range []cluster.Workload{
 		cluster.Water("water-1M", 1_000_000),
 		cluster.Biosystem("Capsid", 44_000_000),

@@ -43,6 +43,7 @@ func main() {
 		autoGrid  = flag.Bool("auto-grid", false, "let the performance model pick the rank grid")
 		skin      = flag.Float64("skin", 0.5, "Verlet skin (A) for the decomposed path; 0 rebuilds every step")
 		overlap   = flag.Bool("overlap", false, "hide the ghost exchange behind interior-block evaluation (decomposed path)")
+		compiled  = flag.Bool("compiled", true, "replay compiled inference plans (false: interpreted autodiff tape; trajectories are bit-identical)")
 		wpr       = flag.Int("workers-per-rank", 1, "worker pool size inside each rank")
 		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume, then exit")
 		traj      = flag.String("traj", "", "write an XYZ trajectory to this file")
@@ -99,6 +100,7 @@ func main() {
 	if *overlap {
 		opts = append(opts, allegro.WithOverlap())
 	}
+	opts = append(opts, allegro.WithCompiled(*compiled))
 	if *traj != "" {
 		f, err := os.Create(*traj)
 		if err != nil {
@@ -113,11 +115,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sim.Close()
-	fmt.Printf("backend: %s (%d ranks, halo %.1f A + skin %.1f A)\n",
-		sim.Backend(), sim.NumRanks(), model.Cuts.Max(), *skin)
+	fmt.Printf("backend: %s, %s (%d ranks, halo %.1f A + skin %.1f A)\n",
+		sim.Backend(), sim.ExecMode(), sim.NumRanks(), model.Cuts.Max(), *skin)
 
 	if *measure {
-		fmt.Println(sim.Measure(*steps))
+		meas := sim.Measure(*steps)
+		fmt.Println(meas)
+		// Reference run in the other execution mode: the tape-vs-compiled
+		// speedup of this backend on this system.
+		refOpts := append(opts[:len(opts):len(opts)], allegro.WithCompiled(!*compiled))
+		ref, err := allegro.NewSimulation(sys, model, refOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refMeas := ref.Measure(*steps)
+		ref.Close()
+		fmt.Println(refMeas)
+		tapeRate, compRate := meas.PairsPerSec, refMeas.PairsPerSec
+		if *compiled {
+			tapeRate, compRate = refMeas.PairsPerSec, meas.PairsPerSec
+		}
+		if tapeRate > 0 {
+			fmt.Printf("tape -> compiled speedup: %.2fx pairs/s\n", compRate/tapeRate)
+		}
 		return
 	}
 

@@ -198,17 +198,17 @@ func TestTensorProductOpGradients(t *testing.T) {
 	checkGrad(t, "tp/x", func(tp *Tape, leaf *Value) *Value {
 		yv := tp.Leaf(y.Clone(), false)
 		wv := tp.Leaf(w.Clone(), false)
-		return tp.SumAll(tp.Square(tp.TensorProduct(prod, leaf, yv, wv)))
+		return tp.SumAll(tp.Square(tp.TensorProduct(prod, leaf, yv, wv, nil)))
 	}, x, 1e-5)
 	checkGrad(t, "tp/y", func(tp *Tape, leaf *Value) *Value {
 		xv := tp.Leaf(x.Clone(), false)
 		wv := tp.Leaf(w.Clone(), false)
-		return tp.SumAll(tp.Square(tp.TensorProduct(prod, xv, leaf, wv)))
+		return tp.SumAll(tp.Square(tp.TensorProduct(prod, xv, leaf, wv, nil)))
 	}, y, 1e-5)
 	checkGrad(t, "tp/w", func(tp *Tape, leaf *Value) *Value {
 		xv := tp.Leaf(x.Clone(), false)
 		yv := tp.Leaf(y.Clone(), false)
-		return tp.SumAll(tp.Square(tp.TensorProduct(prod, xv, yv, leaf)))
+		return tp.SumAll(tp.Square(tp.TensorProduct(prod, xv, yv, leaf, nil)))
 	}, w, 1e-5)
 }
 
@@ -251,7 +251,7 @@ func TestCompositePipelineGradient(t *testing.T) {
 		env := tp.EnvSum(envw, y, center, 3, 0.5)
 		envPairs := tp.GatherRows(env, center)
 		v0 := tp.OuterMul(envw, y)
-		tpo := tp.TensorProduct(prod, v0, envPairs, tp.Leaf(wtp.Clone(), false))
+		tpo := tp.TensorProduct(prod, v0, envPairs, tp.Leaf(wtp.Clone(), false), nil)
 		scal := tp.Reshape(tp.SliceLast(tpo, 0, 1), z, u)
 		cat := tp.Concat(h, scal)
 		_ = cat

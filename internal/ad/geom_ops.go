@@ -162,12 +162,23 @@ func (tp *Tape) EnvSum(w, y *Value, center []int, n int, scale float64) *Value {
 
 // TensorProduct applies the fused equivariant tensor product with learned
 // per-path weights: x [Z,U,W1] (x) y [Z,U,W2] -> [Z,U,W3].
-func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value) *Value {
+//
+// fused may carry a weight-folded entry table already flattened from the
+// same weights (the Model-level frozen-weight cache); the forward pass then
+// skips the per-call re-flatten. Pass nil to fold weights into the tape's
+// entry scratch as before. The backward pass always differentiates through
+// the per-path weights, so training gradients are unaffected either way.
+func (tp *Tape) TensorProduct(prod *o3.TensorProduct, x, y, weights *Value, fused []o3.TPEntry) *Value {
 	if weights.T.Len() != prod.NumPaths() {
 		panic(fmt.Sprintf("ad: TensorProduct got %d weights for %d paths", weights.T.Len(), prod.NumPaths()))
 	}
 	out := tp.Alloc(x.T.Dim(0), x.T.Dim(1), prod.Out.Width)
-	tp.tpEntries = prod.ApplyFusedInto(out, x.T, y.T, weights.T.Data, tp.Compute, tp.tpEntries)
+	if fused != nil {
+		o3.ContractEntries(out.Data, x.T.Data, y.T.Data, x.T.Dim(0)*x.T.Dim(1),
+			prod.In1.Width, prod.In2.Width, prod.Out.Width, fused, tp.Compute)
+	} else {
+		tp.tpEntries = prod.ApplyFusedInto(out, x.T, y.T, weights.T.Data, tp.Compute, tp.tpEntries)
+	}
 	tp.store(out)
 	v := tp.node(out, x.req || y.req || weights.req)
 	op := tp.ops.tprod.get()

@@ -226,8 +226,8 @@ func (m *NequIPModel) EnergyGrad(sys *atoms.System, disp []float64, wantForces, 
 		// spherical harmonics, weight radially, and aggregate to centers.
 		vj := tape.GatherRows(v, pairs.J) // [Z, C, inW]
 		sphPairs := broadcastChannels(tape, sph, m.Channels)
-		msg := tape.TensorProduct(tp, vj, sphPairs, b.Bind(m.tpWts[l])) // [Z, C, outW]
-		rw := m.radials[l].Apply(b, besCut)                             // [Z, C]
+		msg := tape.TensorProduct(tp, vj, sphPairs, b.Bind(m.tpWts[l]), nil) // [Z, C, outW]
+		rw := m.radials[l].Apply(b, besCut)                                  // [Z, C]
 		rwEnv := tape.MulBroadcastLast(rw, env)
 		msg = tape.MulBroadcastLast(msg, rwEnv)
 		agg := tape.Scale(tape.ScatterAddRows(msg, pairs.I, n), norm) // [N, C, outW]

@@ -43,6 +43,12 @@ type Machine struct {
 	// per-step collective/sync term is not discounted — barriers cannot
 	// hide behind local work.
 	Overlap float64
+	// AnchorMode records which execution mode ("compiled" or "tape")
+	// produced the measured TimePerAtom anchor, when the machine was
+	// calibrated from a perfmodel measurement (empty for the frozen
+	// published constants). perfmodel.CalibrateMachineDecomposed uses it
+	// to keep tape and compiled anchors from being mixed in one model.
+	AnchorMode string
 }
 
 // Perlmutter returns the calibrated machine model.

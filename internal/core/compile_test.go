@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/neighbor"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// mixedCluster builds nm three-atom molecules cycling through the given
+// species, scattered on a jittered grid (>= 3 species exercises the one-hot
+// and per-pair cutoff paths of the compiled plans).
+func mixedCluster(rng *rand.Rand, species []units.Species, nm int) *atoms.System {
+	sys := atoms.NewSystem(3 * nm)
+	for w := 0; w < 3*nm; w++ {
+		sys.Species[w] = species[w%len(species)]
+	}
+	for w := 0; w < nm; w++ {
+		base := [3]float64{float64(w%3) * 3.1, float64((w/3)%3) * 3.1, float64(w/9) * 3.1}
+		jit := func() float64 { return rng.NormFloat64() * 0.05 }
+		sys.Pos[3*w] = [3]float64{base[0] + jit(), base[1] + jit(), base[2] + jit()}
+		sys.Pos[3*w+1] = [3]float64{base[0] + 0.98 + jit(), base[1] + jit(), base[2] + jit()}
+		sys.Pos[3*w+2] = [3]float64{base[0] - 0.30 + jit(), base[1] + 0.93 + jit(), base[2] + jit()}
+	}
+	return sys
+}
+
+// TestCompiledMatchesTape is the correctness bar of the compiled inference
+// engine: across precision configs, species mixes, worker counts (serial,
+// chunked, ragged chunk tails), and pair-list padding, compiled replay must
+// reproduce the tape path's energies, forces, and row harvests exactly —
+// the two paths perform operation-for-operation identical arithmetic.
+func TestCompiledMatchesTape(t *testing.T) {
+	precisions := []struct {
+		name string
+		pc   PrecisionConfig
+	}{
+		{"exact", ExactPrecision()},
+		{"production", ProductionPrecision()},
+		// Off-diagonal combinations: narrow tiles over unrounded storage
+		// (the fused-SiLU rounding chain differs per pair) and a narrowed
+		// final stage (exercises the final-quantize op).
+		{"tf32-over-f64", PrecisionConfig{Final: tensor.F64, Weights: tensor.F64, Compute: tensor.TF32}},
+		{"f32-final", PrecisionConfig{Final: tensor.F32, Weights: tensor.F32, Compute: tensor.F32}},
+	}
+	speciesSets := [][]units.Species{
+		{units.H, units.O},
+		{units.H, units.C, units.O}, // >= 3 species
+	}
+	for _, pr := range precisions {
+		for si, species := range speciesSets {
+			cfg := DefaultConfig(species)
+			cfg.LMax = 2
+			cfg.NumChannels = 2
+			cfg.LatentDim = 8
+			cfg.TwoBodyHidden = []int{8}
+			cfg.LatentHidden = []int{8}
+			cfg.EdgeHidden = 4
+			cfg.NumBessel = 4
+			cfg.AvgNumNeighbors = 4
+			cfg.Precision = pr.pc
+			m, err := New(cfg, nil, rand.New(rand.NewPCG(uint64(si)+7, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetScaleShift(0.37, make([]float64, m.Idx.Len()))
+			rng := rand.New(rand.NewPCG(uint64(si)+11, 5))
+			sys := mixedCluster(rng, species, 9)
+
+			for _, pad := range []int{0, 17} { // 17 forces a ragged padded tail
+				pairs := neighbor.Build(sys, m.Cuts)
+				if pad > 0 {
+					pairs.PadTo(pairs.Len() + pad)
+				}
+				for _, workers := range []int{1, 3, 8} {
+					name := fmt.Sprintf("%s/species=%d/pad=%d/workers=%d", pr.name, len(species), pad, workers)
+
+					tape := NewEvalScratch()
+					tape.Workers = workers
+					tape.Compiled = CompiledOff
+					comp := NewEvalScratch()
+					comp.Workers = workers
+					comp.Compiled = CompiledOn
+
+					rt := m.EvaluatePairsInto(tape, sys, pairs)
+					eT := rt.Energy
+					fT := append([][3]float64(nil), rt.Forces...)
+					rc := m.EvaluatePairsInto(comp, sys, pairs)
+					if rc.Energy != eT {
+						t.Fatalf("%s: energy tape %v vs compiled %v", name, eT, rc.Energy)
+					}
+					for i := range fT {
+						if rc.Forces[i] != fT[i] {
+							t.Fatalf("%s: force[%d] tape %v vs compiled %v", name, i, fT[i], rc.Forces[i])
+						}
+					}
+
+					// Row-level entry point (the domain runtime's path).
+					rowsT := make([][3]float64, pairs.Len())
+					peT := make([]float64, pairs.Len())
+					rowsC := make([][3]float64, pairs.Len())
+					peC := make([]float64, pairs.Len())
+					m.EvaluateRowsInto(tape, sys, pairs, rowsT, peT)
+					m.EvaluateRowsInto(comp, sys, pairs, rowsC, peC)
+					for z := range rowsT {
+						if rowsC[z] != rowsT[z] || peC[z] != peT[z] {
+							t.Fatalf("%s: row %d tape (%v,%v) vs compiled (%v,%v)",
+								name, z, rowsT[z], peT[z], rowsC[z], peC[z])
+						}
+					}
+					tape.Close()
+					comp.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheReuse checks the plan-cache ownership contract: repeated
+// evaluations of one shape replay the same Program pointer with zero heap
+// allocations, and a parameter mutation (version bump) recompiles.
+func TestPlanCacheReuse(t *testing.T) {
+	for _, pr := range []struct {
+		name string
+		pc   PrecisionConfig
+	}{
+		{"exact", ExactPrecision()},
+		{"production", ProductionPrecision()},
+	} {
+		t.Run(pr.name, func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.Precision = pr.pc
+			m, err := New(cfg, nil, rand.New(rand.NewPCG(3, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(4, 5))
+			sys := waterCluster(rng, 6)
+			pairs := neighbor.Build(sys, m.Cuts)
+
+			es := NewEvalScratch()
+			es.Workers = 1
+			defer es.Close()
+			m.EvaluatePairsInto(es, sys, pairs)
+
+			key := planKey{pairs.Len(), pairs.NAtoms}
+			pg1 := es.plans.plans[key]
+			if pg1 == nil {
+				t.Fatal("no plan cached after a compiled evaluation")
+			}
+			m.EvaluatePairsInto(es, sys, pairs)
+			if es.plans.plans[key] != pg1 {
+				t.Fatal("same shape recompiled on the second call")
+			}
+			if allocs := testing.AllocsPerRun(10, func() {
+				m.EvaluatePairsInto(es, sys, pairs)
+			}); allocs != 0 {
+				t.Fatalf("steady-state compiled evaluation allocates %v/op, want 0", allocs)
+			}
+
+			// Parameter mutation must invalidate the cached fold.
+			m.Params.Bump()
+			m.EvaluatePairsInto(es, sys, pairs)
+			if es.plans.plans[key] == pg1 {
+				t.Fatal("plan survived a parameter version bump")
+			}
+		})
+	}
+}

@@ -77,6 +77,7 @@ func Load(path string) (*Model, error) {
 		}
 		copy(p.T.Data, src)
 	}
+	m.Params.Bump() // weights replaced wholesale: invalidate weight-derived caches
 	return m, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/ad"
 	"repro/internal/atoms"
@@ -35,6 +36,21 @@ type Model struct {
 	// from training-set statistics, not trained.
 	EnergyScale float64
 	EnergyShift []float64
+
+	// fused caches the weight-folded TPEntry tables per layer (the
+	// precomputed einsum("p,pcab->cab") of Sec. V-B2), keyed on the
+	// parameter version so training still sees fresh weights: every Params
+	// mutation (optimizer step, EMA copy, load) bumps the version and the
+	// next evaluation re-folds. The mutex makes concurrent lazy folds from
+	// domain-runtime ranks sharing one Model safe; mutating Params while
+	// evaluations are in flight is racy, exactly as for the raw weights.
+	fused struct {
+		sync.Mutex
+		version uint64
+		valid   bool
+		tabs    [][]o3.TPEntry
+		packed  [][]o3.TPEntry32 // narrow-compute packed form (same fold)
+	}
 }
 
 // New constructs a randomly initialized Allegro model. cuts may be nil, in
@@ -115,6 +131,43 @@ func (m *Model) addLinear(rng *rand.Rand, name string, out, in int) *tensor.Tens
 // NumWeights returns the number of trainable scalar parameters.
 func (m *Model) NumWeights() int { return m.Params.NumParams() }
 
+// fusedEntries returns the per-layer weight-folded tensor-product entry
+// tables, re-folding only when the parameter version moved. The returned
+// tables are shared and must be treated as read-only; they stay valid until
+// the next Params mutation.
+func (m *Model) fusedEntries() [][]o3.TPEntry {
+	tabs, _ := m.fusedTables()
+	return tabs
+}
+
+// fusedTables returns the per-layer weight-folded entry tables in both the
+// float64 and (for narrow compute precisions) the packed float32 form.
+func (m *Model) fusedTables() ([][]o3.TPEntry, [][]o3.TPEntry32) {
+	v := m.Params.Version()
+	f := &m.fused
+	f.Lock()
+	defer f.Unlock()
+	if !f.valid || f.version != v {
+		if f.tabs == nil {
+			f.tabs = make([][]o3.TPEntry, len(m.tps))
+		}
+		for l, tp := range m.tps {
+			f.tabs[l] = tp.FlattenInto(f.tabs[l][:0], m.tpWts[l].Data)
+		}
+		if m.Cfg.Precision.Compute != tensor.F64 {
+			if f.packed == nil {
+				f.packed = make([][]o3.TPEntry32, len(m.tps))
+			}
+			for l := range m.tps {
+				f.packed[l] = o3.PackEntries32(f.packed[l], f.tabs[l])
+			}
+		}
+		f.version = v
+		f.valid = true
+	}
+	return f.tabs, f.packed
+}
+
 // graph holds the tape nodes of one forward pass that later stages need.
 type graph struct {
 	tape    *ad.Tape
@@ -163,6 +216,8 @@ func (m *Model) buildGraphOn(tape *ad.Tape, b *nn.Binder, sys *atoms.System, pai
 		sigma[i] = m.EnergyScale
 	}
 
+	fused := m.fusedEntries() // frozen-weight TP tables (re-folded on Params mutation)
+
 	r := tape.Norm(rvec)                            // [Z,1]
 	env := tape.PolyCutoff(r, pairs.Cut, cfg.PolyP) // [Z,1]
 	bes := tape.Bessel(r, pairs.Cut, cfg.NumBessel) // [Z,NB]
@@ -183,7 +238,7 @@ func (m *Model) buildGraphOn(tape *ad.Tape, b *nn.Binder, sys *atoms.System, pai
 		wEnv := tape.MulBroadcastLast(tape.Linear(h, b.Bind(m.envLins[l]), nil), env) // [Z,U]
 		envSum := tape.EnvSum(wEnv, sph, pairs.I, pairs.NAtoms, cfg.envNorm())        // [N,U,sphW]
 		envPairs := tape.GatherRows(envSum, pairs.I)                                  // [Z,U,sphW]
-		tpo := tape.TensorProduct(tp, v, envPairs, b.Bind(m.tpWts[l]))                // [Z,U,outW]
+		tpo := tape.TensorProduct(tp, v, envPairs, b.Bind(m.tpWts[l]), fused[l])      // [Z,U,outW]
 
 		// Scalar (0e) channel extraction feeds the latent track.
 		scalIdx := tp.Out.ScalarIndex()

@@ -32,6 +32,10 @@ type EvalScratch struct {
 	// set it to their per-rank budget so that ranks x workers stays
 	// bounded instead of every rank spinning up a full-size pool.
 	Workers int
+	// Compiled overrides the execution mode for this scratch; CompiledAuto
+	// defers to the model's Config.Compiled (which itself defaults to the
+	// compiled record-once/replay plans).
+	Compiled CompiledMode
 
 	builder neighbor.Builder
 	pairs   neighbor.Pairs
@@ -41,6 +45,11 @@ type EvalScratch struct {
 	res     Result
 	pool    par.Pool
 	workers int
+
+	// Compiled-mode state: the serial context's plan cache and the mode
+	// resolved for the current dispatch (read by the hoisted worker fns).
+	plans        planCache
+	evalCompiled bool
 
 	// Per-worker force shards and the per-dispatch state the hoisted job
 	// closures read (set before Run, cleared after).
@@ -79,6 +88,7 @@ type workerEval struct {
 	arena  *tensor.Arena
 	tape   *ad.Tape
 	binder *nn.Binder
+	plans  planCache      // compiled-mode per-worker plan cache
 	sub    neighbor.Pairs // read-only view into the parent pair list
 	energy float64
 }
@@ -118,6 +128,33 @@ func (es *EvalScratch) ensure(m *Model) {
 	es.builder.Workers = es.workers
 }
 
+// compiledOn resolves the execution mode for one dispatch: the scratch
+// override wins, then the model's Config, and Auto means compiled. Training
+// never comes through here (it builds tapes directly), so this only ever
+// picks between two bit-identical inference paths.
+func (es *EvalScratch) compiledOn(m *Model) bool {
+	mode := es.Compiled
+	if mode == CompiledAuto {
+		mode = m.Cfg.Compiled
+	}
+	return mode.Enabled()
+}
+
+// serialEval runs one full forward+backward over the pair list in the
+// serial context and returns the network energy plus the [Z,3] pair-vector
+// adjoint rows (compiled: the plan's force rows; tape: rvec.Grad()).
+func (es *EvalScratch) serialEval(m *Model, sys *atoms.System, pairs *neighbor.Pairs) (float64, *tensor.Tensor) {
+	if es.evalCompiled {
+		pg := es.plans.run(m, sys, pairs)
+		return pg.Energy(), pg.ForceRows()
+	}
+	es.tape.Reset()
+	es.binder.Reset(es.tape, false)
+	g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
+	g.tape.Backward(g.energy)
+	return g.energy.T.Data[0], g.rvec.Grad()
+}
+
 // EvaluateInto computes energy and forces for sys, rebuilding the neighbor
 // list into the scratch's reusable pair list. The returned Result points
 // into the scratch (see the EvalScratch ownership contract).
@@ -150,6 +187,7 @@ func (m *Model) EvaluatePairsInto(es *EvalScratch, sys *atoms.System, pairs *nei
 	}
 	res.Forces = res.Forces[:n]
 
+	es.evalCompiled = es.compiledOn(m)
 	nw := es.workers
 	if maxW := pairs.NumReal / minEvalPairsPerWorker; nw > maxW {
 		nw = maxW
@@ -157,12 +195,9 @@ func (m *Model) EvaluatePairsInto(es *EvalScratch, sys *atoms.System, pairs *nei
 	if nw > 1 {
 		res.Energy = es.evaluateChunked(m, sys, pairs, nw)
 	} else {
-		es.tape.Reset()
-		es.binder.Reset(es.tape, false)
-		g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
-		g.tape.Backward(g.energy)
-		res.Energy = g.energy.T.Data[0]
-		es.assembleForces(pairs, g.rvec.Grad(), res.Forces)
+		energy, rows := es.serialEval(m, sys, pairs)
+		res.Energy = energy
+		es.assembleForces(pairs, rows, res.Forces)
 	}
 	for _, sp := range sys.Species {
 		res.Energy += m.EnergyShift[m.Idx.Index(sp)]
@@ -185,12 +220,9 @@ func (es *EvalScratch) evaluateChunked(m *Model, sys *atoms.System, pairs *neigh
 	nw = len(es.bounds) - 1 // boundary snapping may merge chunks
 	if nw <= 1 {
 		// Degenerate split (e.g. one giant center); fall back to serial.
-		es.tape.Reset()
-		es.binder.Reset(es.tape, false)
-		g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
-		g.tape.Backward(g.energy)
-		es.assembleForces(pairs, g.rvec.Grad(), es.res.Forces)
-		return g.energy.T.Data[0]
+		energy, rows := es.serialEval(m, sys, pairs)
+		es.assembleForces(pairs, rows, es.res.Forces)
+		return energy
 	}
 
 	es.prepareChunkWorkers(m, pairs, nw)
@@ -275,20 +307,32 @@ func (es *EvalScratch) computeBounds(pairs *neighbor.Pairs, nw int) {
 	es.bounds = append(es.bounds, total)
 }
 
-// runWorkerEval runs one worker's sub-graph forward+backward and fills its
-// force shard.
-func (es *EvalScratch) runWorkerEval(w int) {
-	ws := es.workerScr[w]
+// workerEvalPass runs one worker's sub-graph forward+backward (compiled
+// replay or tape, per the dispatch mode) and returns its adjoint rows.
+func (es *EvalScratch) workerEvalPass(ws *workerEval) *tensor.Tensor {
+	if es.evalCompiled {
+		pg := ws.plans.run(es.evalModel, es.evalSys, &ws.sub)
+		ws.energy = pg.Energy()
+		return pg.ForceRows()
+	}
 	ws.tape.Reset()
 	ws.binder.Reset(ws.tape, false)
 	g := es.evalModel.buildGraphOn(ws.tape, ws.binder, es.evalSys, &ws.sub, false)
 	ws.tape.Backward(g.energy)
 	ws.energy = g.energy.T.Data[0]
+	return g.rvec.Grad()
+}
+
+// runWorkerEval runs one worker's sub-graph forward+backward and fills its
+// force shard.
+func (es *EvalScratch) runWorkerEval(w int) {
+	ws := es.workerScr[w]
+	rows := es.workerEvalPass(ws)
 	sh := es.shards[w]
 	for i := range sh {
 		sh[i] = [3]float64{}
 	}
-	accumPairRange(&ws.sub, g.rvec.Grad(), sh, 0, ws.sub.NumReal)
+	accumPairRange(&ws.sub, rows, sh, 0, ws.sub.NumReal)
 }
 
 // EvaluateRowsInto computes the raw per-pair outputs of one evaluation
@@ -308,6 +352,7 @@ func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neig
 	if len(rows) != pairs.Len() || len(pairE) != pairs.Len() {
 		panic("core: EvaluateRowsInto buffer length mismatch")
 	}
+	es.evalCompiled = es.compiledOn(m)
 	nw := es.workers
 	if maxW := pairs.NumReal / minEvalPairsPerWorker; nw > maxW {
 		nw = maxW
@@ -329,11 +374,16 @@ func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neig
 		es.evalModel, es.evalSys = nil, nil
 		es.rowsOut, es.pairEOut = nil, nil
 	} else {
-		es.tape.Reset()
-		es.binder.Reset(es.tape, false)
-		g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
-		g.tape.Backward(g.energy)
-		harvestRows(&g, 0, pairs.Len(), rows, pairE, m.EnergyScale)
+		if es.evalCompiled {
+			pg := es.plans.run(m, sys, pairs)
+			harvestRows(pg.ForceRows(), pg.PairEnergies(), 0, pairs.Len(), rows, pairE, m.EnergyScale)
+		} else {
+			es.tape.Reset()
+			es.binder.Reset(es.tape, false)
+			g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
+			g.tape.Backward(g.energy)
+			harvestRows(g.rvec.Grad(), g.pairE.T.Data, 0, pairs.Len(), rows, pairE, m.EnergyScale)
+		}
 	}
 	if m.Cfg.ZBL {
 		addZBLRows(sys, pairs, rows, pairE)
@@ -345,22 +395,26 @@ func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neig
 // merge phase is needed).
 func (es *EvalScratch) runWorkerEvalRows(w int) {
 	ws := es.workerScr[w]
+	lo := es.bounds[w]
+	if es.evalCompiled {
+		pg := ws.plans.run(es.evalModel, es.evalSys, &ws.sub)
+		harvestRows(pg.ForceRows(), pg.PairEnergies(), lo, lo+ws.sub.Len(), es.rowsOut, es.pairEOut, es.rowsScale)
+		return
+	}
 	ws.tape.Reset()
 	ws.binder.Reset(ws.tape, false)
 	g := es.evalModel.buildGraphOn(ws.tape, ws.binder, es.evalSys, &ws.sub, false)
 	ws.tape.Backward(g.energy)
-	lo := es.bounds[w]
-	harvestRows(&g, lo, lo+ws.sub.Len(), es.rowsOut, es.pairEOut, es.rowsScale)
+	harvestRows(g.rvec.Grad(), g.pairE.T.Data, lo, lo+ws.sub.Len(), es.rowsOut, es.pairEOut, es.rowsScale)
 }
 
-// harvestRows copies a graph's pair-vector gradients and sigma-weighted
-// pair energies into the global row buffers at [lo,hi).
-func harvestRows(g *graph, lo, hi int, rows [][3]float64, pairE []float64, scale float64) {
-	grad := g.rvec.Grad()
+// harvestRows copies one sub-evaluation's pair-vector adjoints and
+// sigma-weighted pair energies into the global row buffers at [lo,hi).
+func harvestRows(grad *tensor.Tensor, pe []float64, lo, hi int, rows [][3]float64, pairE []float64, scale float64) {
 	for z := lo; z < hi; z++ {
 		row := grad.Row(z - lo)
 		rows[z] = [3]float64{row[0], row[1], row[2]}
-		pairE[z] = scale * g.pairE.T.Data[z-lo]
+		pairE[z] = scale * pe[z-lo]
 	}
 }
 
@@ -527,6 +581,16 @@ func (e *Evaluator) EnergyForcesInto(sys *atoms.System, forces [][3]float64) flo
 
 // PairWork reports the padded pair count of the last evaluation.
 func (e *Evaluator) PairWork() int { return e.Scratch.res.PairWork }
+
+// ExecMode names the execution mode of this evaluator's force calls
+// ("compiled" or "tape") — recorded by perfmodel measurements so cluster
+// calibrations never mix anchors across modes.
+func (e *Evaluator) ExecMode() string {
+	if e.Scratch.compiledOn(e.Model) {
+		return "compiled"
+	}
+	return "tape"
+}
 
 // Close releases the evaluator's worker pools.
 func (e *Evaluator) Close() { e.Scratch.Close() }

@@ -45,6 +45,11 @@ type RuntimeOptions struct {
 	// canonical slot arithmetic does not. Off runs the same phases
 	// bulk-synchronously.
 	Overlap bool
+	// Compiled selects each rank's execution mode: the compiled
+	// record-once/replay plans (the Auto default) or the autodiff tape.
+	// Both produce bit-identical rows, so trajectories are unaffected;
+	// every rank's scratch caches plans per local chunk shape.
+	Compiled core.CompiledMode
 }
 
 // RuntimeStats aggregates the runtime's behaviour over its lifetime.
@@ -348,6 +353,7 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		// node with ranks x GOMAXPROCS pools).
 		rk.builder.Workers = wpr
 		rk.scratch.Workers = wpr
+		rk.scratch.Compiled = opts.Compiled
 		rk.builder.Skin = opts.Skin
 		r.ranks[id] = rk
 		r.cmds[id] = make(chan rankCmd, 1)
@@ -496,6 +502,17 @@ func (r *Runtime) Grid() [3]int { return r.grid }
 
 // Overlapped reports whether the communication-hiding pipeline is enabled.
 func (r *Runtime) Overlapped() bool { return r.opts.Overlap }
+
+// ExecMode names the execution mode of the rank evaluations ("compiled" or
+// "tape") — recorded by perfmodel measurements so cluster calibrations
+// never mix anchors across modes.
+func (r *Runtime) ExecMode() string {
+	mode := r.opts.Compiled
+	if mode == core.CompiledAuto {
+		mode = r.model.Cfg.Compiled
+	}
+	return mode.String()
+}
 
 // PairWork reports the Verlet pairs evaluated per step, summed over ranks
 // (the workload term measurements normalize by).

@@ -20,9 +20,17 @@ type Param struct {
 }
 
 // ParamSet is an ordered collection of named parameters.
+//
+// The set carries a mutation version: caches derived from frozen weights
+// (the fused tensor-product entry tables and the compiled inference plans)
+// key on Version and rebuild when it changes. Every in-package mutator
+// (Adam.Step, EMA.CopyTo, Quantize) bumps it; code that writes parameter
+// Data directly must call Bump afterwards or downstream weight caches go
+// stale.
 type ParamSet struct {
-	params []*Param
-	byName map[string]*Param
+	params  []*Param
+	byName  map[string]*Param
+	version uint64
 }
 
 // NewParamSet returns an empty parameter set.
@@ -52,6 +60,14 @@ func (ps *ParamSet) Get(name string) *tensor.Tensor {
 	return nil
 }
 
+// Version returns the mutation counter of the set. It increments on every
+// Bump; equal versions guarantee the parameter values are unchanged (as long
+// as all mutators honour the Bump contract above).
+func (ps *ParamSet) Version() uint64 { return ps.version }
+
+// Bump records a parameter mutation, invalidating weight-derived caches.
+func (ps *ParamSet) Bump() { ps.version++ }
+
 // NumParams returns the total number of scalar weights.
 func (ps *ParamSet) NumParams() int {
 	n := 0
@@ -67,6 +83,7 @@ func (ps *ParamSet) Quantize(p tensor.Precision) {
 	for _, pr := range ps.params {
 		pr.T.Quantize(p)
 	}
+	ps.Bump()
 }
 
 // Binder caches one tape leaf per parameter tensor so that a module applied
@@ -213,6 +230,7 @@ func (a *Adam) Step(ps *ParamSet, grad func(t *tensor.Tensor) *tensor.Tensor) {
 		}
 		a.moment[p.T] = [2][]float64{m, v}
 	}
+	ps.Bump()
 }
 
 // EMA maintains an exponential moving average of a parameter set (decay
@@ -246,6 +264,7 @@ func (e *EMA) CopyTo(ps *ParamSet) {
 	for _, p := range ps.List() {
 		copy(p.T.Data, e.shadow[p.T])
 	}
+	ps.Bump()
 }
 
 // GradAccumulator sums gradients across structures in a batch.

@@ -531,3 +531,67 @@ func TestTensorProductLinearityProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestBackwardFusedEntriesMatchesBackwardInto checks the compiled plans'
+// inference backward: accumulating through the weight-folded flat entry
+// table must reproduce BackwardInto's input adjoints exactly (the skipped
+// per-path weight gradients are dead work during inference).
+func TestBackwardFusedEntriesMatchesBackwardInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	z, u := 5, 3
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	gOut := randFeature(rng, z, u, tp.Out.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	gX := tensor.New(z, u, tp.In1.Width)
+	gY := tensor.New(z, u, tp.In2.Width)
+	gW := make([]float64, tp.NumPaths())
+	tp.BackwardInto(x, y, gOut, weights, gX, gY, gW)
+
+	fused := tp.FlattenInto(nil, weights)
+	fX := tensor.New(z, u, tp.In1.Width)
+	fY := tensor.New(z, u, tp.In2.Width)
+	BackwardFusedEntries(fX.Data, fY.Data, x.Data, y.Data, gOut.Data,
+		z*u, tp.In1.Width, tp.In2.Width, tp.Out.Width, fused)
+	for i := range gX.Data {
+		if fX.Data[i] != gX.Data[i] {
+			t.Fatalf("gX[%d]: fused %g vs reference %g", i, fX.Data[i], gX.Data[i])
+		}
+	}
+	for i := range gY.Data {
+		if fY.Data[i] != gY.Data[i] {
+			t.Fatalf("gY[%d]: fused %g vs reference %g", i, fY.Data[i], gY.Data[i])
+		}
+	}
+}
+
+// TestContractEntries32MatchesNarrow checks the packed narrow-precision
+// contraction against the unpacked kernel for both F32 and TF32.
+func TestContractEntries32MatchesNarrow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 74))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	z, u := 4, 2
+	x := randFeature(rng, z, u, tp.In1.Width)
+	y := randFeature(rng, z, u, tp.In2.Width)
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	fused := tp.FlattenInto(nil, weights)
+	packed := PackEntries32(nil, fused)
+	for _, p := range []tensor.Precision{tensor.F32, tensor.TF32} {
+		want := tensor.New(z, u, tp.Out.Width)
+		ContractEntries(want.Data, x.Data, y.Data, z*u, tp.In1.Width, tp.In2.Width, tp.Out.Width, fused, p)
+		got := tensor.New(z, u, tp.Out.Width)
+		ContractEntries32(got.Data, x.Data, y.Data, z*u, tp.In1.Width, tp.In2.Width, tp.Out.Width, packed, p == tensor.TF32)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%v: packed contraction differs at %d: %g vs %g", p, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -214,40 +214,130 @@ func (tp *TensorProduct) checkShapes(x, y *tensor.Tensor) (z, u int) {
 // contract is the flat fused kernel shared by fused/weighted application.
 func (tp *TensorProduct) contract(out, x, y *tensor.Tensor, entries []TPEntry, p tensor.Precision) {
 	z, u := out.Dim(0), out.Dim(1)
-	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	ContractEntries(out.Data, x.Data, y.Data, z*u, tp.In1.Width, tp.In2.Width, tp.Out.Width, entries, p)
+}
+
+// contractMaxWidth bounds the per-block stack buffers of the narrow-precision
+// contraction; LMax <= 3 keeps every layout width at or below 32.
+const contractMaxWidth = 64
+
+// ContractEntries runs the fused three-tensor contraction over flat storage:
+// zu blocks of x [w1], y [w2] and out [w3], combined through the (already
+// weight-folded) entry table. The F64 path accumulates in place (out must be
+// zeroed by the caller); the narrow paths round the operand blocks to the
+// input format of p once per block, accumulate in float32, and fully
+// overwrite each output block — the per-element precision dispatch of the
+// previous kernel is hoisted into these specializations, and none of them
+// allocates. This is the replay kernel of the compiled inference plans.
+func ContractEntries(out, x, y []float64, zu, w1, w2, w3 int, entries []TPEntry, p tensor.Precision) {
 	switch p {
 	case tensor.F64:
-		for zi := 0; zi < z; zi++ {
-			for ui := 0; ui < u; ui++ {
-				xb := x.Data[(zi*u+ui)*w1 : (zi*u+ui+1)*w1]
-				yb := y.Data[(zi*u+ui)*w2 : (zi*u+ui+1)*w2]
-				ob := out.Data[(zi*u+ui)*w3 : (zi*u+ui+1)*w3]
-				for _, e := range entries {
-					ob[e.C] += e.W * xb[e.A] * yb[e.B]
-				}
+		for b := 0; b < zu; b++ {
+			xb := x[b*w1 : (b+1)*w1]
+			yb := y[b*w2 : (b+1)*w2]
+			ob := out[b*w3 : (b+1)*w3]
+			for _, e := range entries {
+				ob[e.C] += e.W * xb[e.A] * yb[e.B]
 			}
 		}
 	default:
-		rnd := func(v float64) float32 { return float32(v) }
-		if p == tensor.TF32 {
-			rnd = func(v float64) float32 { return float32(tensor.RoundTF32(v)) }
+		if w1 > contractMaxWidth || w2 > contractMaxWidth || w3 > contractMaxWidth {
+			panic("o3: ContractEntries width exceeds the narrow-precision block buffers")
 		}
-		acc := make([]float32, w3)
-		for zi := 0; zi < z; zi++ {
-			for ui := 0; ui < u; ui++ {
-				xb := x.Data[(zi*u+ui)*w1 : (zi*u+ui+1)*w1]
-				yb := y.Data[(zi*u+ui)*w2 : (zi*u+ui+1)*w2]
-				for c := range acc {
-					acc[c] = 0
+		var rx, ry, acc [contractMaxWidth]float32
+		tf32 := p == tensor.TF32
+		for b := 0; b < zu; b++ {
+			xb := x[b*w1 : (b+1)*w1]
+			yb := y[b*w2 : (b+1)*w2]
+			if tf32 {
+				for i, v := range xb {
+					rx[i] = float32(tensor.RoundTF32(v))
 				}
-				for _, e := range entries {
-					acc[e.C] += float32(e.W) * rnd(xb[e.A]) * rnd(yb[e.B])
+				for i, v := range yb {
+					ry[i] = float32(tensor.RoundTF32(v))
 				}
-				ob := out.Data[(zi*u+ui)*w3 : (zi*u+ui+1)*w3]
-				for c, v := range acc {
-					ob[c] = float64(v)
+			} else {
+				for i, v := range xb {
+					rx[i] = float32(v)
+				}
+				for i, v := range yb {
+					ry[i] = float32(v)
 				}
 			}
+			ab := acc[:w3]
+			for c := range ab {
+				ab[c] = 0
+			}
+			for _, e := range entries {
+				ab[e.C] += float32(e.W) * rx[e.A] * ry[e.B]
+			}
+			ob := out[b*w3 : (b+1)*w3]
+			for c, v := range ab {
+				ob[c] = float64(v)
+			}
+		}
+	}
+}
+
+// TPEntry32 is the packed form of a weight-folded entry table for the
+// narrow-precision replay kernels: int32 component offsets and the folded
+// coefficient pre-converted to the float32 the emulated tensor core
+// multiplies with. Packing folds the per-entry float64→float32 weight
+// conversion (one conversion per entry per pair-channel block in the
+// unpacked kernel) into compile time and halves the table's cache
+// footprint; the multiplied values are bit-identical.
+type TPEntry32 struct {
+	A, B, C int32
+	W       float32
+}
+
+// PackEntries32 converts a weight-folded entry table into packed form.
+func PackEntries32(dst []TPEntry32, entries []TPEntry) []TPEntry32 {
+	dst = dst[:0]
+	for _, e := range entries {
+		dst = append(dst, TPEntry32{A: int32(e.A), B: int32(e.B), C: int32(e.C), W: float32(e.W)})
+	}
+	return dst
+}
+
+// ContractEntries32 is the narrow-precision contraction over a packed entry
+// table — the compiled plans' forward TP kernel. Identical arithmetic to
+// ContractEntries' narrow path (block-rounded operands, float32
+// accumulation, full block overwrite), minus the per-entry weight
+// conversion.
+func ContractEntries32(out, x, y []float64, zu, w1, w2, w3 int, entries []TPEntry32, tf32 bool) {
+	if w1 > contractMaxWidth || w2 > contractMaxWidth || w3 > contractMaxWidth {
+		panic("o3: ContractEntries32 width exceeds the narrow-precision block buffers")
+	}
+	var rx, ry, acc [contractMaxWidth]float32
+	for b := 0; b < zu; b++ {
+		xb := x[b*w1 : (b+1)*w1]
+		yb := y[b*w2 : (b+1)*w2]
+		if tf32 {
+			for i, v := range xb {
+				rx[i] = float32(tensor.RoundTF32(v))
+			}
+			for i, v := range yb {
+				ry[i] = float32(tensor.RoundTF32(v))
+			}
+		} else {
+			for i, v := range xb {
+				rx[i] = float32(v)
+			}
+			for i, v := range yb {
+				ry[i] = float32(v)
+			}
+		}
+		ab := acc[:w3]
+		for c := range ab {
+			ab[c] = 0
+		}
+		for _, e := range entries {
+			ab[e.C] += e.W * rx[e.A] * ry[e.B]
+		}
+		ob := out[b*w3 : (b+1)*w3]
+		for c, v := range ab {
+			ob[c] = float64(v)
 		}
 	}
 }
@@ -384,5 +474,32 @@ func (tp *TensorProduct) BackwardInto(x, y, gOut *tensor.Tensor, weights []float
 			}
 		}
 		gW[pi] = gwAcc
+	}
+}
+
+// BackwardFusedEntries accumulates input adjoints for the fused contraction
+// from a weight-folded entry table over flat storage, skipping the per-path
+// weight gradients entirely — the inference backward of the compiled plans,
+// where weights are frozen and their adjoints are dead work (roughly a third
+// of BackwardInto's inner loop). Accumulation visits entries in table order,
+// which FlattenInto emits in path-major order, so every gX/gY slot receives
+// exactly the addend sequence BackwardInto would produce: replay stays
+// bit-identical to the tape backward. gX and gY accumulate in place (the
+// caller zeroes them); adjoints run in full float64 like every backward pass.
+func BackwardFusedEntries(gX, gY, x, y, gOut []float64, zu, w1, w2, w3 int, entries []TPEntry) {
+	for bI := 0; bI < zu; bI++ {
+		xb := x[bI*w1 : (bI+1)*w1]
+		yb := y[bI*w2 : (bI+1)*w2]
+		gob := gOut[bI*w3 : (bI+1)*w3]
+		gxb := gX[bI*w1 : (bI+1)*w1]
+		gyb := gY[bI*w2 : (bI+1)*w2]
+		for _, e := range entries {
+			g := gob[e.C]
+			if g == 0 {
+				continue
+			}
+			gxb[e.A] += e.W * yb[e.B] * g
+			gyb[e.B] += e.W * xb[e.A] * g
+		}
 	}
 }

@@ -29,10 +29,11 @@ type InstrumentedPotential interface {
 // at a measured single-node operating point instead of the A100 constants
 // (which remain the defaults for reproducing the paper's published curves).
 type Measurement struct {
-	Atoms   int // atoms in the measured system
-	Pairs   int // ordered pairs per force call (including padding)
-	Workers int // resolved worker-pool size
-	Steps   int // timed force calls
+	Atoms   int    // atoms in the measured system
+	Pairs   int    // ordered pairs per force call (including padding)
+	Workers int    // resolved worker-pool size
+	Steps   int    // timed force calls
+	Mode    string // execution mode that produced the numbers: "compiled" or "tape"
 
 	PairsPerSec float64 // achieved ordered pairs per second
 	AtomsPerSec float64 // achieved atom evaluations per second
@@ -43,8 +44,15 @@ type Measurement struct {
 
 // String renders the measurement for reports.
 func (m Measurement) String() string {
-	return fmt.Sprintf("measured: %d atoms, %d pairs, %d workers: %.3g pairs/s, %.3g s/atom, %.0f allocs/op",
-		m.Atoms, m.Pairs, m.Workers, m.PairsPerSec, m.TimePerAtom, m.AllocsPerOp)
+	return fmt.Sprintf("measured (%s): %d atoms, %d pairs, %d workers: %.3g pairs/s, %.3g s/atom, %.0f allocs/op",
+		m.modeLabel(), m.Atoms, m.Pairs, m.Workers, m.PairsPerSec, m.TimePerAtom, m.AllocsPerOp)
+}
+
+func (m Measurement) modeLabel() string {
+	if m.Mode == "" {
+		return "tape"
+	}
+	return m.Mode
 }
 
 // MeasureSingleNode runs `steps` steady-state force calls of the model on
@@ -69,7 +77,19 @@ func MeasurePotential(pot InstrumentedPotential, sys *atoms.System, steps, worke
 	forces := make([][3]float64, sys.NumAtoms())
 	pot.EnergyForcesInto(sys, forces)
 	pot.EnergyForcesInto(sys, forces)
-	return measureSteadyState(pot, sys, forces, steps, workers)
+	meas := measureSteadyState(pot, sys, forces, steps, workers)
+	meas.Mode = execModeOf(pot)
+	return meas
+}
+
+// execModeOf records which execution path produced a measurement: backends
+// expose ExecMode (core.Evaluator, domain.Runtime); anything else is the
+// interpreted default.
+func execModeOf(pot InstrumentedPotential) string {
+	if em, ok := pot.(interface{ ExecMode() string }); ok {
+		return em.ExecMode()
+	}
+	return "tape"
 }
 
 // measureSteadyState is the timed window shared by every measurement path;
@@ -134,8 +154,8 @@ type DecomposedMeasurement struct {
 
 // String renders the decomposed measurement for reports.
 func (m DecomposedMeasurement) String() string {
-	return fmt.Sprintf("measured decomposed: %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps, phases xchg %d + int %d + front %d + red %d ns/step, overlap %.0f%%",
-		m.Ranks, m.Atoms, m.Pairs, m.PairsPerSec, m.PairsPerSecRank, m.AllocsPerOp,
+	return fmt.Sprintf("measured decomposed (%s): %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps, phases xchg %d + int %d + front %d + red %d ns/step, overlap %.0f%%",
+		m.modeLabel(), m.Ranks, m.Atoms, m.Pairs, m.PairsPerSec, m.PairsPerSecRank, m.AllocsPerOp,
 		m.ForwardBytesStep, m.ReverseBytesStep, m.Rebuilds, m.Steps,
 		m.ExchangeNsStep, m.InteriorNsStep, m.FrontierNsStep, m.ReduceNsStep,
 		100*m.OverlapFraction)
@@ -167,6 +187,7 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 	pre := rt.Stats()
 
 	m := measureSteadyState(rt, sys, forces, steps, rt.NumRanks()*rt.WorkersPerRank())
+	m.Mode = execModeOf(rt)
 	st := rt.Stats()
 	meas := DecomposedMeasurement{
 		Measurement:      m,
@@ -192,12 +213,14 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 
 // CalibrateMachine anchors a cluster machine model at a measured operating
 // point: the per-atom compute time becomes the measured single-node value
-// instead of the frozen A100 constant. Communication and synchronization
-// terms keep their configured values (they model the interconnect, which a
-// single-node measurement cannot see).
+// instead of the frozen A100 constant, and the machine records which
+// execution mode (tape vs compiled) produced the anchor. Communication and
+// synchronization terms keep their configured values (they model the
+// interconnect, which a single-node measurement cannot see).
 func CalibrateMachine(mach cluster.Machine, meas Measurement) cluster.Machine {
 	if meas.TimePerAtom > 0 {
 		mach.TimePerAtom = meas.TimePerAtom
+		mach.AnchorMode = meas.modeLabel()
 	}
 	return mach
 }
@@ -206,10 +229,14 @@ func CalibrateMachine(mach cluster.Machine, meas Measurement) cluster.Machine {
 // measurement: the per-atom compute time as in CalibrateMachine, plus the
 // measured overlap fraction of the communication-hiding pipeline, which
 // discounts the analytic ghost-exchange term to its exposed remainder in
-// Machine.StepTime.
+// Machine.StepTime. Anchors never mix across execution modes: the overlap
+// discount is applied only when the machine's compute anchor was produced
+// by the same mode as this measurement (CalibrateMachine re-anchors both
+// together, so a valid decomposed measurement always matches itself; a
+// degenerate measurement cannot smear its overlap onto a foreign anchor).
 func CalibrateMachineDecomposed(mach cluster.Machine, meas DecomposedMeasurement) cluster.Machine {
 	mach = CalibrateMachine(mach, meas.Measurement)
-	if meas.OverlapFraction > 0 {
+	if meas.OverlapFraction > 0 && mach.AnchorMode == meas.modeLabel() {
 		mach.Overlap = meas.OverlapFraction
 	}
 	return mach

@@ -120,50 +120,73 @@ func MatMulT(a, b *Tensor, p Precision) *Tensor {
 
 // MatMulTInto computes dst = A * B^T with dst preallocated to [m,n]. The F64
 // path performs no allocations; the narrow-precision paths allocate rounding
-// scratch (they model GPU tile conversion, not the hot CPU path).
+// scratch (they model GPU tile conversion, not the hot CPU path — the
+// compiled inference plans preallocate this scratch and call the rounded
+// kernels directly).
 func MatMulTInto(dst, a, b *Tensor, p Precision) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic("tensor: MatMulTInto destination shape mismatch")
 	}
-	c := dst
 	switch p {
 	case F64:
-		for i := 0; i < m; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for l, av := range ai {
-					s += av * bj[l]
-				}
-				c.Data[i*n+j] = s
-			}
-		}
+		matMulTF64(dst.Data, a.Data, b.Data, m, k, n)
 	default:
-		rnd := func(v float64) float32 { return float32(v) }
-		if p == TF32 {
-			rnd = func(v float64) float32 { return float32(RoundTF32(v)) }
-		}
 		ra := make([]float32, len(a.Data))
 		rb := make([]float32, len(b.Data))
-		for i, v := range a.Data {
-			ra[i] = rnd(v)
-		}
-		for i, v := range b.Data {
-			rb[i] = rnd(v)
-		}
-		for i := 0; i < m; i++ {
-			ai := ra[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				bj := rb[j*k : (j+1)*k]
-				var s float32
-				for l, av := range ai {
-					s += av * bj[l]
-				}
-				c.Data[i*n+j] = float64(s)
+		RoundSliceTo(ra, a.Data, p)
+		RoundSliceTo(rb, b.Data, p)
+		MatMulTRounded(dst.Data, ra, rb, m, k, n)
+	}
+}
+
+// matMulTF64 is the full double-precision A*B^T inner kernel.
+func matMulTF64(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			s := 0.0
+			for l, av := range ai {
+				s += av * bj[l]
 			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// RoundSliceTo rounds src into the float32 buffer dst (len(dst) >= len(src))
+// per the input format of p: plain binary32 conversion for F32, the A100
+// tensor-core TF32 grid for TF32. The per-element precision dispatch is
+// hoisted out of the loop — these are the tile-load conversions of the
+// emulated matrix unit.
+func RoundSliceTo(dst []float32, src []float64, p Precision) {
+	if p == TF32 {
+		for i, v := range src {
+			dst[i] = float32(RoundTF32(v))
+		}
+		return
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// MatMulTRounded computes c = A*B^T from pre-rounded float32 operands with
+// float32 accumulation (the emulated tensor-core pipeline) and performs no
+// allocations: the compiled inference plans pre-round the frozen weight
+// operand once and reuse a persistent activation buffer.
+func MatMulTRounded(c []float64, ra, rb []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := ra[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			bj := rb[j*k : (j+1)*k]
+			var s float32
+			for l, av := range ai {
+				s += av * bj[l]
+			}
+			c[i*n+j] = float64(s)
 		}
 	}
 }

@@ -61,16 +61,17 @@ type Simulation struct {
 
 // simConfig accumulates functional options before backend dispatch.
 type simConfig struct {
-	engine  []md.SimOption
-	grid    [3]int
-	gridSet bool
-	auto    bool
-	overlap bool
-	skin    float64
-	halo    float64
-	workers int
-	extras  []Potential
-	err     error
+	engine   []md.SimOption
+	grid     [3]int
+	gridSet  bool
+	auto     bool
+	overlap  bool
+	compiled core.CompiledMode
+	skin     float64
+	halo     float64
+	workers  int
+	extras   []Potential
+	err      error
 }
 
 // Option configures NewSimulation.
@@ -166,6 +167,25 @@ func WithOverlap() Option {
 	return func(c *simConfig) { c.overlap = true }
 }
 
+// WithCompiled selects the inference execution mode of the force backend:
+// true (the default even without this option) replays the compiled
+// record-once/replay plans of internal/plan — the forward pass recorded
+// once per (model, chunk shape) with a hand-scheduled analytic backward —
+// and false falls back to the interpreted autodiff tape. The two paths are
+// bit-identical in energies, forces, and trajectories; compiled replay is
+// simply faster (it retires the per-step tape construction, re-folds no
+// weights, and stays allocation-free at every precision), so the toggle
+// exists for A/B measurement and as an escape hatch.
+func WithCompiled(on bool) Option {
+	return func(c *simConfig) {
+		if on {
+			c.compiled = core.CompiledOn
+		} else {
+			c.compiled = core.CompiledOff
+		}
+	}
+}
+
 // WithHalo overrides the ghost-import distance of the decomposed backend
 // (default: the model's largest cutoff — exactly sufficient for the
 // strictly local Allegro model; the MPNN ablation uses multiples of it).
@@ -259,6 +279,7 @@ func NewSimulation(sys *System, model *Model, opts ...Option) (*Simulation, erro
 			Halo:           cfg.halo,
 			WorkersPerRank: cfg.workers,
 			Overlap:        cfg.overlap,
+			Compiled:       cfg.compiled,
 		})
 		if err != nil {
 			return nil, err
@@ -270,6 +291,7 @@ func NewSimulation(sys *System, model *Model, opts ...Option) (*Simulation, erro
 		if cfg.workers != 0 {
 			ev.Scratch.Workers = cfg.workers
 		}
+		ev.Scratch.Compiled = cfg.compiled
 		s.evaluator = ev
 		pot = ev
 	}
@@ -338,6 +360,19 @@ func (s *Simulation) NumRanks() int {
 // communication-hiding pipeline (always false on the serial backend).
 func (s *Simulation) Overlapped() bool {
 	return s.runtime != nil && s.runtime.Overlapped()
+}
+
+// Compiled reports whether the force backend replays compiled inference
+// plans (true by default; see WithCompiled).
+func (s *Simulation) Compiled() bool { return s.ExecMode() == "compiled" }
+
+// ExecMode names the force backend's execution mode for logs and
+// measurements: "compiled" or "tape".
+func (s *Simulation) ExecMode() string {
+	if s.runtime != nil {
+		return s.runtime.ExecMode()
+	}
+	return s.evaluator.ExecMode()
 }
 
 // Backend names the force backend for logs: "serial",

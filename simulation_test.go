@@ -309,6 +309,46 @@ func TestSimulationMeasureBothBackends(t *testing.T) {
 // (async exchange, split reduction, pipelined half-kick), never the
 // trajectory — bit-identical positions and energy against the synchronous
 // decomposed backend, thermostat stream included.
+// TestSimulationCompiledBitIdentical is the trajectory-level half of the
+// compiled-engine correctness bar: on the serial backend and on rank grids
+// {1x1x1, 2x1x1, 2x2x2}, MD driven by compiled plan replay must be
+// bit-identical to the tape path — positions and reports exactly equal
+// after thermostatted steps. (The chunk-level property sweep lives in
+// core's TestCompiledMatchesTape.)
+func TestSimulationCompiledBitIdentical(t *testing.T) {
+	model, box := testModelAndBox(t)
+	run := func(opts ...Option) *Simulation {
+		base := []Option{WithTimestep(0.4), WithSkin(0.4), WithTemperature(300), WithSeed(9)}
+		sim, err := NewSimulation(box.Clone(), model, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(context.Background(), 25); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	grids := [][]Option{
+		nil, // serial backend
+		{WithGrid(1, 1, 1)},
+		{WithGrid(2, 1, 1)},
+		{WithGrid(2, 2, 2)},
+	}
+	for gi, grid := range grids {
+		tape := run(append([]Option{WithCompiled(false)}, grid...)...)
+		comp := run(append([]Option{WithCompiled(true)}, grid...)...)
+		if tape.ExecMode() != "tape" || comp.ExecMode() != "compiled" {
+			t.Fatalf("grid %d: ExecMode wiring: %q vs %q", gi, tape.ExecMode(), comp.ExecMode())
+		}
+		if a, b := tape.Report(), comp.Report(); a != b {
+			t.Fatalf("grid %d: reports diverged:\n tape: %+v\n comp: %+v", gi, a, b)
+		}
+		samePositions(t, "compiled vs tape", tape.System(), comp.System())
+		tape.Close()
+		comp.Close()
+	}
+}
+
 func TestSimulationOverlapBitIdentical(t *testing.T) {
 	model, _ := testModelAndBox(t)
 	// A box elongated along x so each 2x1x1 subdomain is deeper than
