@@ -1,0 +1,292 @@
+// Command allegro-loadgen drives allegro-serve with concurrent multi-tenant
+// load and reports latency percentiles, throughput, and plan-sharing
+// statistics (BENCH_serve.json — see docs/benchmarks.md).
+//
+// Usage:
+//
+//	allegro-loadgen -tenants 4 -requests 50 -verify -out BENCH_serve.json
+//	allegro-loadgen -addr http://127.0.0.1:8080 -tenants 8 -requests 100
+//
+// Without -addr it starts an in-process daemon over the deterministic demo
+// model (matching `allegro-serve -demo` with the same -seed), so one binary
+// exercises the whole wire path. -verify re-evaluates every request shape
+// on a fresh serial evaluator and requires bit-identical responses; it
+// needs the in-process daemon (or a remote daemon running the same -seed
+// demo model).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/serve"
+	"repro/internal/units"
+)
+
+type benchReport struct {
+	Tenants       int                    `json:"tenants"`
+	Requests      int                    `json:"requests_per_tenant"`
+	Trajectories  int                    `json:"trajectory_requests"`
+	Total         int                    `json:"total_requests"`
+	Completed     int                    `json:"completed"`
+	Retries       int                    `json:"backpressure_retries"`
+	P50Ms         float64                `json:"p50_ms"`
+	P95Ms         float64                `json:"p95_ms"`
+	P99Ms         float64                `json:"p99_ms"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	WallSeconds   float64                `json:"wall_seconds"`
+	Verified      bool                   `json:"verified"`
+	Stats         serve.Stats            `json:"server_stats"`
+	Shapes        []serve.Shape          `json:"observed_shapes"`
+	Registry      core.PlanRegistryStats `json:"-"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon base URL (empty: start in-process)")
+		tenants  = flag.Int("tenants", 4, "concurrent tenants")
+		requests = flag.Int("requests", 25, "energy/forces requests per tenant")
+		trajEach = flag.Int("traj", 2, "trajectory requests per tenant")
+		seed     = flag.Uint64("seed", 5, "demo model seed (must match the daemon)")
+		verify   = flag.Bool("verify", false, "assert responses bit-identical to a fresh serial evaluator")
+		out      = flag.String("out", "", "write the JSON report to this file (default: stdout only)")
+		workers  = flag.Int("workers", 0, "in-process daemon workers (0: all cores)")
+	)
+	flag.Parse()
+	if err := run(*addr, *tenants, *requests, *trajEach, *seed, *verify, *out, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "allegro-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, tenants, requests, trajEach int, seed uint64, verify bool, out string, workers int) error {
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	model, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xA11E)))
+	if err != nil {
+		return err
+	}
+
+	base := addr
+	var svc *serve.Service
+	if base == "" {
+		svc, err = serve.NewService(serve.Config{
+			Model: model, Workers: workers,
+			TenantInFlight: 8, QueueDepth: 1024,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: serve.NewHTTPHandler(svc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("allegro-loadgen: in-process daemon at %s\n", base)
+	}
+
+	// Mixed request shapes: three periodic water boxes and one open cluster.
+	rng := rand.New(rand.NewPCG(7, 9))
+	systems := []*atoms.System{
+		data.WaterBox(rng, 2, 2, 2),
+		data.WaterBox(rng, 3, 2, 2),
+		data.WaterBox(rng, 3, 3, 3),
+	}
+	cluster := data.WaterBox(rng, 2, 2, 1).Clone()
+	cluster.PBC = false
+	systems = append(systems, cluster)
+
+	type ref struct {
+		e float64
+		f [][3]float64
+	}
+	var refs []ref
+	if verify {
+		for _, sys := range systems {
+			es := core.NewEvalScratch()
+			es.Workers = 1
+			r := model.EvaluateInto(es, sys)
+			f := make([][3]float64, len(r.Forces))
+			copy(f, r.Forces)
+			refs = append(refs, ref{r.Energy, f})
+			es.Close()
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		retries   int
+		completed int
+		shapeSet  = map[serve.Shape]bool{}
+	)
+	record := func(d time.Duration, shape serve.Shape, nRetries int) {
+		mu.Lock()
+		latencies = append(latencies, float64(d.Microseconds())/1000)
+		retries += nRetries
+		completed++
+		shapeSet[shape] = true
+		mu.Unlock()
+	}
+
+	errCh := make(chan error, tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			client := &serve.Client{Base: base, Tenant: fmt.Sprintf("tenant-%d", tn)}
+			for i := 0; i < requests; i++ {
+				si := (tn + i) % len(systems)
+				req := serve.EnergyForcesRequest{System: specFromSystem(systems[si])}
+				t0 := time.Now()
+				resp, n, err := withBackoff(func() (*serve.EnergyForcesResponse, error) {
+					return client.EnergyForces(context.Background(), &req)
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("tenant %d: %w", tn, err)
+					return
+				}
+				record(time.Since(t0), resp.Shape, n)
+				if verify {
+					if resp.Energy != refs[si].e {
+						errCh <- fmt.Errorf("verify: system %d energy %v != serial %v", si, resp.Energy, refs[si].e)
+						return
+					}
+					for a := range refs[si].f {
+						if resp.Forces[a] != refs[si].f[a] {
+							errCh <- fmt.Errorf("verify: system %d atom %d force mismatch", si, a)
+							return
+						}
+					}
+				}
+			}
+			for i := 0; i < trajEach; i++ {
+				req := serve.TrajectoryRequest{
+					System: specFromSystem(systems[i%len(systems)]),
+					Steps:  10, Dt: 0.25, TempK: 200, Seed: uint64(i),
+				}
+				t0 := time.Now()
+				resp, n, err := withBackoff(func() (*serve.TrajectoryResponse, error) {
+					return client.Trajectory(context.Background(), &req)
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("tenant %d trajectory: %w", tn, err)
+					return
+				}
+				record(time.Since(t0), resp.Shape, n)
+			}
+		}(tn)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	client := &serve.Client{Base: base}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		return err
+	}
+
+	sort.Float64s(latencies)
+	shapes := make([]serve.Shape, 0, len(shapeSet))
+	for s := range shapeSet {
+		shapes = append(shapes, s)
+	}
+	sort.Slice(shapes, func(i, j int) bool {
+		if shapes[i].Atoms != shapes[j].Atoms {
+			return shapes[i].Atoms < shapes[j].Atoms
+		}
+		return shapes[i].Pairs < shapes[j].Pairs
+	})
+	rep := benchReport{
+		Tenants: tenants, Requests: requests, Trajectories: trajEach * tenants,
+		Total: tenants * (requests + trajEach), Completed: completed,
+		Retries:       retries,
+		P50Ms:         percentile(latencies, 0.50),
+		P95Ms:         percentile(latencies, 0.95),
+		P99Ms:         percentile(latencies, 0.99),
+		ThroughputRPS: float64(completed) / wall.Seconds(),
+		WallSeconds:   wall.Seconds(),
+		Verified:      verify,
+		Stats:         *stats,
+		Shapes:        shapes,
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if out != "" {
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("allegro-loadgen: wrote %s\n", out)
+	}
+
+	if stats.Registry.Hits == 0 {
+		return fmt.Errorf("no cross-tenant plan-pool hits recorded (registry: %+v)", stats.Registry)
+	}
+	if verify {
+		fmt.Println("allegro-loadgen: all responses bit-identical to the serial evaluator")
+	}
+	return nil
+}
+
+// withBackoff retries backpressure rejections (429/503) with a short delay,
+// returning the retry count alongside the response.
+func withBackoff[T any](do func() (T, error)) (T, int, error) {
+	var zero T
+	for n := 0; ; n++ {
+		resp, err := do()
+		if err == nil {
+			return resp, n, nil
+		}
+		if !serve.IsBackpressure(err) || n >= 100 {
+			return zero, n, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func specFromSystem(sys *atoms.System) serve.SystemSpec {
+	spec := serve.SystemSpec{
+		Species: make([]int, sys.NumAtoms()),
+		Pos:     make([][3]float64, sys.NumAtoms()),
+		Cell:    sys.Cell,
+		PBC:     sys.PBC,
+	}
+	for i, sp := range sys.Species {
+		spec.Species[i] = int(sp)
+	}
+	copy(spec.Pos, sys.Pos)
+	return spec
+}

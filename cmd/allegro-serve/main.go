@@ -1,0 +1,98 @@
+// Command allegro-serve runs the multi-tenant batched inference daemon:
+// an HTTP/JSON service that evaluates energy/force and short-trajectory
+// requests from many concurrent clients through one shared compiled-plan
+// registry (see docs/serving.md for the API and tuning guide).
+//
+// Usage:
+//
+//	allegro-serve -model model.json -addr 127.0.0.1:8080
+//	allegro-serve -demo -workers 8 -queue-depth 512
+//
+// With -demo (or an empty -model) the daemon serves a randomly initialized
+// H/O model — useful for smoke tests and load generation without a training
+// run. The daemon drains gracefully on SIGINT/SIGTERM: admission stops,
+// in-flight and queued requests complete, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelPath  = flag.String("model", "", "trained model file (empty: -demo model)")
+		demo       = flag.Bool("demo", false, "serve a randomly initialized H/O demo model")
+		seed       = flag.Uint64("seed", 5, "demo model seed")
+		workers    = flag.Int("workers", 0, "evaluation workers (0: all cores)")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue bound (0: default 256)")
+		tenantCap  = flag.Int("tenant-inflight", 0, "per-tenant in-flight cap (0: default 4)")
+		maxAtoms   = flag.Int("max-atoms", 0, "largest admitted system (0: default 8192)")
+		maxSteps   = flag.Int("max-steps", 0, "longest admitted trajectory (0: default 1000)")
+	)
+	flag.Parse()
+
+	model, err := loadOrDemoModel(*modelPath, *demo, *seed)
+	if err != nil {
+		fail(err)
+	}
+	svc, err := serve.NewService(serve.Config{
+		Model: model, Workers: *workers, QueueDepth: *queueDepth,
+		TenantInFlight: *tenantCap, MaxAtoms: *maxAtoms, MaxSteps: *maxSteps,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHTTPHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("allegro-serve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("allegro-serve: %v, draining\n", s)
+	case err := <-errCh:
+		fail(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "allegro-serve: http shutdown:", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "allegro-serve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("allegro-serve: drained")
+}
+
+// loadOrDemoModel loads a trained model, or builds the deterministic demo
+// model (the same construction allegro-loadgen uses for -verify).
+func loadOrDemoModel(path string, demo bool, seed uint64) (*core.Model, error) {
+	if path != "" && !demo {
+		return core.Load(path)
+	}
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	return core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xA11E)))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "allegro-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+package allegro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target). The
+// target is captured up to the closing paren; titles ("...") are not used
+// in this repo's docs.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsLinks is the docs lint gate (CI build job): every relative link
+// in README.md and the docs/ tree must resolve to a file inside the
+// repository. External (scheme-qualified) links and pure in-page anchors
+// are skipped; a relative link's optional #fragment is stripped before the
+// existence check.
+func TestDocsLinks(t *testing.T) {
+	pages := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("reading docs/: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			pages = append(pages, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(pages) < 4 {
+		t.Fatalf("expected README.md + >=3 docs pages, found %v", pages)
+	}
+
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, page := range pages {
+		blob, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("reading %s: %v", page, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(page), target)
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+				t.Errorf("%s: link %q escapes the repository", page, m[1])
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (%s does not exist)", page, m[1], resolved)
+			}
+		}
+	}
+}

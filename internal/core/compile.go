@@ -98,11 +98,19 @@ type planKey struct{ z, n int }
 // changes — so training between evaluations recompiles instead of replaying
 // stale folded weights. Like the scratch it lives in, a planCache serves one
 // goroutine.
+//
+// With shared set (EvalScratch.UsePlanRegistry), the cache stops compiling
+// privately: plans are *leased* from the cross-tenant PlanRegistry on first
+// dispatch of a shape, held locally (the steady-state fast path stays
+// lock-free and allocation-free) and returned by releaseAll when the owning
+// request completes. Stale leases — detected by the same version check —
+// are handed back to the registry, which drops them.
 type planCache struct {
 	model   *Model
 	version uint64
 	prec    PrecisionConfig
 	plans   map[planKey]*plan.Program
+	shared  *PlanRegistry
 	ti, tj  []int
 	in      plan.Inputs
 }
@@ -114,14 +122,14 @@ type planCache struct {
 // Evicting everything on overflow is fine: recompiles are cheap and rare.
 const maxCachedPlans = 8
 
-// program returns the cached (or freshly compiled) plan for the shape.
+// program returns the cached (or freshly compiled/leased) plan for the shape.
 func (pc *planCache) program(m *Model, z, nAtoms int) *plan.Program {
 	v := m.Params.Version()
 	if pc.plans == nil || pc.model != m || pc.version != v || pc.prec != m.Cfg.Precision {
 		if pc.plans == nil {
 			pc.plans = make(map[planKey]*plan.Program)
 		} else {
-			clear(pc.plans)
+			pc.flush() // stale leases go back to the registry (dropped there)
 		}
 		pc.model, pc.version, pc.prec = m, v, m.Cfg.Precision
 	}
@@ -129,12 +137,40 @@ func (pc *planCache) program(m *Model, z, nAtoms int) *plan.Program {
 	pg := pc.plans[key]
 	if pg == nil {
 		if len(pc.plans) >= maxCachedPlans {
-			clear(pc.plans) // dead-shape slabs outweigh the recompiles
+			pc.flush() // dead-shape slabs outweigh the recompiles
 		}
-		pg = m.compilePlan(z, nAtoms)
+		if pc.shared != nil {
+			pg = pc.shared.acquire(m, z, nAtoms)
+		} else {
+			pg = m.compilePlan(z, nAtoms)
+		}
 		pc.plans[key] = pg
 	}
 	return pg
+}
+
+// flush empties the local plan map. Privately compiled plans are simply
+// dropped; leased plans are returned to the shared registry under the
+// binding they were leased with (the registry pools the current ones and
+// evicts the stale).
+func (pc *planCache) flush() {
+	if pc.shared != nil {
+		for key, pg := range pc.plans {
+			pc.shared.release(pc.model, pc.version, pc.prec, key, pg)
+		}
+	}
+	clear(pc.plans)
+}
+
+// releaseAll returns every leased plan to the shared registry (no-op for a
+// private cache). Evaluation contexts serving independent requests call this
+// between requests so the programs they warmed are available to every other
+// tenant.
+func (pc *planCache) releaseAll() {
+	if pc.shared == nil || len(pc.plans) == 0 {
+		return
+	}
+	pc.flush()
 }
 
 // run replays the plan for the pair list: it refreshes the species-index

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// PlanRegistryStats is a snapshot of a registry's counters. Hits count
+// acquisitions served from the shared pool (a plan compiled for one tenant
+// replayed for another); Misses count acquisitions that had to compile;
+// Evictions count programs dropped because the parameter version (or the
+// model/precision binding) moved; Pooled and Leased describe the current
+// population.
+type PlanRegistryStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Compiles  uint64 `json:"compiles"`
+	Evictions uint64 `json:"evictions"`
+	Pooled    int    `json:"pooled"`
+	Leased    int    `json:"leased"`
+	Shapes    int    `json:"shapes"`
+}
+
+// PlanRegistry is the cross-tenant pool of compiled inference plans: one
+// shared cache of plan.Programs per (model, chunk shape), validated against
+// nn.ParamSet.Version on every acquisition, amortizing plan compilation and
+// slab memory across every evaluation context that uses it — instead of each
+// EvalScratch compiling (and holding) a private copy of the same program.
+//
+// A plan.Program carries replay state (its activation and gradient slabs),
+// so sharing is by *lease*, not by concurrent use: an EvalScratch bound to
+// the registry (EvalScratch.UsePlanRegistry) checks a program out on first
+// dispatch of a shape, replays it privately — zero allocations and no
+// registry traffic while the shape recurs — and hands it back with
+// EvalScratch.ReleasePlans when its request completes. Two tenants hitting
+// the same shape concurrently get two program instances (the pool compiles a
+// second on demand and keeps both); sequential requests share one.
+//
+// Invalidation piggybacks on the nn.ParamSet version contract: acquire and
+// release both compare the model's current version against the one the
+// pooled programs were compiled for, and drop (never hand out) stale
+// programs. Invalidate() additionally empties the pool eagerly, for weight
+// swaps that want the memory back immediately. The registry is safe for
+// concurrent use; the weights themselves are not — callers that mutate
+// parameters must drain or gate in-flight evaluations first (see
+// internal/serve's weight-swap gate).
+type PlanRegistry struct {
+	mu      sync.Mutex
+	model   *Model
+	version uint64
+	prec    PrecisionConfig
+	free    map[planKey][]*plan.Program
+	leased  int
+
+	hits      uint64
+	misses    uint64
+	compiles  uint64
+	evictions uint64
+}
+
+// NewPlanRegistry returns an empty registry for the model. The binding is
+// not exclusive — acquire revalidates the model on every call — but one
+// registry serves one model at a time; a different model evicts the pool
+// exactly like a version bump.
+func NewPlanRegistry(m *Model) *PlanRegistry {
+	return &PlanRegistry{model: m, free: map[planKey][]*plan.Program{}}
+}
+
+// revalidate drops the pool if the (model, version, precision) binding
+// moved. Caller holds r.mu.
+func (r *PlanRegistry) revalidate(m *Model, v uint64) {
+	if r.model == m && r.version == v && r.prec == m.Cfg.Precision {
+		return
+	}
+	r.dropAllLocked()
+	r.model, r.version, r.prec = m, v, m.Cfg.Precision
+}
+
+// dropAllLocked evicts every pooled program. Caller holds r.mu.
+func (r *PlanRegistry) dropAllLocked() {
+	for k, list := range r.free {
+		r.evictions += uint64(len(list))
+		delete(r.free, k)
+	}
+}
+
+// acquire leases a program for the shape, compiling one when the pool has
+// none free. The caller owns the returned program until it releases it.
+func (r *PlanRegistry) acquire(m *Model, z, nAtoms int) *plan.Program {
+	v := m.Params.Version()
+	key := planKey{z, nAtoms}
+
+	r.mu.Lock()
+	r.revalidate(m, v)
+	if list := r.free[key]; len(list) > 0 {
+		pg := list[len(list)-1]
+		r.free[key] = list[:len(list)-1]
+		r.leased++
+		r.hits++
+		r.mu.Unlock()
+		return pg
+	}
+	r.misses++
+	r.compiles++
+	r.leased++
+	r.mu.Unlock()
+
+	// Compile outside the lock: compilation is the expensive path, and
+	// distinct shapes (or a second instance of a hot shape) must not
+	// serialize behind it.
+	return m.compilePlan(z, nAtoms)
+}
+
+// release returns a leased program to the pool. Programs whose compile-time
+// binding no longer matches the model's current version are dropped instead
+// of pooled, so a stale plan can never be handed to a later acquirer.
+func (r *PlanRegistry) release(m *Model, v uint64, prec PrecisionConfig, key planKey, pg *plan.Program) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leased--
+	if r.model != m || r.version != v || r.prec != prec ||
+		v != m.Params.Version() || prec != m.Cfg.Precision {
+		r.evictions++
+		return
+	}
+	r.free[key] = append(r.free[key], pg)
+}
+
+// Invalidate eagerly evicts every pooled program. Lazy invalidation (the
+// version check on acquire/release) already guarantees correctness; this
+// releases the slab memory of a retired weight set immediately and makes
+// the eviction visible in Stats.
+func (r *PlanRegistry) Invalidate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropAllLocked()
+	// Force the next acquire to rebind by moving the recorded version off
+	// any live value (revalidate compares against the model's counter).
+	r.model = nil
+}
+
+// Stats snapshots the registry counters.
+func (r *PlanRegistry) Stats() PlanRegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pooled, shapes := 0, 0
+	for _, list := range r.free {
+		if len(list) > 0 {
+			shapes++
+			pooled += len(list)
+		}
+	}
+	return PlanRegistryStats{
+		Hits: r.hits, Misses: r.misses, Compiles: r.compiles,
+		Evictions: r.evictions, Pooled: pooled, Leased: r.leased,
+		Shapes: shapes,
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// TestPlanRegistryLeaseCycle exercises the acquire/release contract: a
+// released program is handed back on the next acquisition of its shape, a
+// stale release (version bumped while leased) is dropped, and Invalidate
+// empties the pool.
+func TestPlanRegistryLeaseCycle(t *testing.T) {
+	m := newTinyModel(t, 3)
+	r := NewPlanRegistry(m)
+	key := planKey{z: 64, n: 16}
+
+	pg := r.acquire(m, key.z, key.n)
+	if pg == nil {
+		t.Fatal("acquire returned nil program")
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Compiles != 1 || st.Leased != 1 {
+		t.Fatalf("after first acquire: %+v", st)
+	}
+
+	r.release(m, m.Params.Version(), m.Cfg.Precision, key, pg)
+	if st = r.Stats(); st.Pooled != 1 || st.Leased != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+
+	pg2 := r.acquire(m, key.z, key.n)
+	if pg2 != pg {
+		t.Fatal("second acquire did not reuse the pooled program")
+	}
+	if st = r.Stats(); st.Hits != 1 {
+		t.Fatalf("expected a pool hit: %+v", st)
+	}
+
+	// A version bump while the program is leased: the release must drop it,
+	// never pool it for a later acquirer.
+	m.Params.Bump()
+	r.release(m, m.Params.Version()-1, m.Cfg.Precision, key, pg2)
+	if st = r.Stats(); st.Pooled != 0 || st.Evictions == 0 {
+		t.Fatalf("stale release must evict: %+v", st)
+	}
+
+	pg3 := r.acquire(m, key.z, key.n)
+	r.release(m, m.Params.Version(), m.Cfg.Precision, key, pg3)
+	if st = r.Stats(); st.Pooled != 1 {
+		t.Fatalf("fresh-version release should pool: %+v", st)
+	}
+	r.Invalidate()
+	if st = r.Stats(); st.Pooled != 0 {
+		t.Fatalf("Invalidate must empty the pool: %+v", st)
+	}
+}
+
+// TestScratchSharedRegistryBitIdentical binds two scratches to one registry
+// and checks (a) the second context replays the program the first compiled
+// (a registry hit) and (b) shared-plan evaluation is bit-identical to a
+// private scratch.
+func TestScratchSharedRegistryBitIdentical(t *testing.T) {
+	m := newTinyModel(t, 3)
+	sys := waterDimer()
+
+	private := NewEvalScratch()
+	private.Workers = 1
+	defer private.Close()
+	want := m.EvaluateInto(private, sys)
+	wantE := want.Energy
+	wantF := append([][3]float64(nil), want.Forces...)
+
+	r := NewPlanRegistry(m)
+	a, b := NewEvalScratch(), NewEvalScratch()
+	a.Workers, b.Workers = 1, 1
+	a.UsePlanRegistry(r)
+	b.UsePlanRegistry(r)
+	defer a.Close()
+	defer b.Close()
+
+	ra := m.EvaluateInto(a, sys)
+	if ra.Energy != wantE {
+		t.Fatalf("shared-registry energy %v != private %v", ra.Energy, wantE)
+	}
+	a.ReleasePlans()
+
+	rb := m.EvaluateInto(b, sys)
+	if rb.Energy != wantE {
+		t.Fatalf("second context energy %v != private %v", rb.Energy, wantE)
+	}
+	for i := range wantF {
+		if rb.Forces[i] != wantF[i] {
+			t.Fatalf("force %d: shared %v != private %v", i, rb.Forces[i], wantF[i])
+		}
+	}
+	b.ReleasePlans()
+
+	if st := r.Stats(); st.Hits == 0 {
+		t.Fatalf("second context should lease the first context's program: %+v", st)
+	}
+}
+
+// waterDimer builds a small non-periodic system for registry tests.
+func waterDimer() *atoms.System {
+	sys := atoms.NewSystem(6)
+	sys.Species = []units.Species{units.O, units.H, units.H, units.O, units.H, units.H}
+	sys.Pos = [][3]float64{
+		{0, 0, 0}, {0.96, 0, 0}, {-0.24, 0.93, 0},
+		{2.9, 0.1, 0.2}, {3.6, 0.6, -0.3}, {2.4, 0.8, 0.8},
+	}
+	return sys
+}

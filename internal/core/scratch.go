@@ -111,6 +111,33 @@ func (es *EvalScratch) ArenaBytes() int {
 	return es.arena.Bytes()
 }
 
+// UsePlanRegistry binds the scratch (and every chunk worker it spawns) to a
+// shared cross-tenant plan pool: compiled-mode dispatches lease programs
+// from r instead of compiling privately, so one compilation serves every
+// evaluation context bound to the same registry. Leased programs stay with
+// the scratch — lock-free, allocation-free — until ReleasePlans hands them
+// back; callers serving independent requests release between requests.
+// Pass nil to detach (the scratch reverts to private compilation).
+func (es *EvalScratch) UsePlanRegistry(r *PlanRegistry) {
+	es.plans.releaseAll()
+	es.plans.shared = r
+	for _, ws := range es.workerScr {
+		ws.plans.releaseAll()
+		ws.plans.shared = r
+	}
+}
+
+// ReleasePlans returns every plan leased from the registry bound by
+// UsePlanRegistry to the shared pool (a no-op for an unbound scratch). The
+// next evaluation re-leases on demand; with a recurring shape that is one
+// mutex-guarded map lookup, not a recompilation.
+func (es *EvalScratch) ReleasePlans() {
+	es.plans.releaseAll()
+	for _, ws := range es.workerScr {
+		ws.plans.releaseAll()
+	}
+}
+
 // ensure binds the scratch to a model's precision scheme and worker count.
 func (es *EvalScratch) ensure(m *Model) {
 	if es.arena == nil {
@@ -255,6 +282,7 @@ func (es *EvalScratch) prepareChunkWorkers(m *Model, pairs *neighbor.Pairs, nw i
 		ws := &workerEval{arena: tensor.NewArena()}
 		ws.tape = ad.NewTapeArena(m.Cfg.Precision.Compute, m.Cfg.Precision.Weights, ws.arena)
 		ws.binder = nn.NewBinder(ws.tape, false)
+		ws.plans.shared = es.plans.shared // inherit the scratch's registry binding
 		es.workerScr = append(es.workerScr, ws)
 	}
 	for w := 0; w < nw; w++ {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/ad"
 	"repro/internal/tensor"
@@ -27,10 +28,17 @@ type Param struct {
 // (Adam.Step, EMA.CopyTo, Quantize) bumps it; code that writes parameter
 // Data directly must call Bump afterwards or downstream weight caches go
 // stale.
+//
+// The counter is atomic so that cross-goroutine weight caches (the
+// model-level fused tables, core's shared PlanRegistry) can validate their
+// entries from any goroutine without a data race. Atomicity covers the
+// version only — mutating parameter Data while evaluations are in flight is
+// racy exactly as before; a serving tier must gate weight swaps against
+// in-flight requests (see internal/serve).
 type ParamSet struct {
 	params  []*Param
 	byName  map[string]*Param
-	version uint64
+	version atomic.Uint64
 }
 
 // NewParamSet returns an empty parameter set.
@@ -62,11 +70,14 @@ func (ps *ParamSet) Get(name string) *tensor.Tensor {
 
 // Version returns the mutation counter of the set. It increments on every
 // Bump; equal versions guarantee the parameter values are unchanged (as long
-// as all mutators honour the Bump contract above).
-func (ps *ParamSet) Version() uint64 { return ps.version }
+// as all mutators honour the Bump contract above). Safe to call from any
+// goroutine.
+func (ps *ParamSet) Version() uint64 { return ps.version.Load() }
 
 // Bump records a parameter mutation, invalidating weight-derived caches.
-func (ps *ParamSet) Bump() { ps.version++ }
+// Safe to call from any goroutine, but see the ParamSet contract: the bump
+// publishes only the version, not the parameter values themselves.
+func (ps *ParamSet) Bump() { ps.version.Add(1) }
 
 // NumParams returns the total number of scalar weights.
 func (ps *ParamSet) NumParams() int {

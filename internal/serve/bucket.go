@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"math"
+	"sync"
+)
+
+// bucketTable maps a request's real (atoms, pairs) counts onto a small set
+// of padded shapes so that compiled plans — which are specific to the exact
+// (Z, N) — are shared across requests instead of compiled per system size.
+//
+// The atom count rounds up to AtomBucket; the pair count takes the paper's
+// PadFactor headroom, rounds up to PairBucket, and then joins a per-atom-
+// bucket running maximum: the same PadTo running-max discipline the serial
+// Evaluator applies across MD steps, applied here across tenants. Shapes
+// therefore converge — after warm-up, every request of a given size class
+// evaluates at one fixed shape, and the shared registry's pool stops
+// growing. Padding is exact, not approximate: fake pairs carry a zero
+// cutoff envelope and surplus atom rows are never gathered, so a bucketed
+// evaluation is bit-identical to the unpadded serial one.
+type bucketTable struct {
+	atomBucket int
+	pairBucket int
+	padFactor  float64
+
+	mu   sync.Mutex
+	maxZ map[int]int // bucketed atom count -> running-max bucketed pair count
+}
+
+func (bt *bucketTable) init(atomBucket, pairBucket int, padFactor float64) {
+	bt.atomBucket = atomBucket
+	bt.pairBucket = pairBucket
+	bt.padFactor = padFactor
+	bt.maxZ = make(map[int]int)
+}
+
+// shape returns the padded (atoms, pairs) shape for a request with nReal
+// atoms and zReal pairs, advancing the running maximum for its size class.
+func (bt *bucketTable) shape(nReal, zReal int) (nB, zB int) {
+	nB = roundUp(nReal, bt.atomBucket)
+	zB = roundUp(int(math.Ceil(bt.padFactor*float64(zReal))), bt.pairBucket)
+	bt.mu.Lock()
+	if cur := bt.maxZ[nB]; cur >= zB {
+		zB = cur
+	} else {
+		bt.maxZ[nB] = zB
+	}
+	bt.mu.Unlock()
+	return nB, zB
+}
+
+// shapes reports the number of distinct size classes seen so far.
+func (bt *bucketTable) shapes() int {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	return len(bt.maxZ)
+}
+
+func roundUp(n, b int) int {
+	if n <= 0 {
+		return b
+	}
+	return (n + b - 1) / b * b
+}

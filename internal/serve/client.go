@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a thin typed client for the HTTP/JSON transport. The zero
+// value needs only Base; Tenant stamps every request's TenantHeader, and
+// HTTP overrides http.DefaultClient.
+type Client struct {
+	Base   string // server base URL, e.g. "http://127.0.0.1:8080"
+	Tenant string
+	HTTP   *http.Client
+}
+
+// StatusError is a non-2xx server response. Backpressure statuses (429,
+// 503) mean "back off and retry"; see IsBackpressure.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Code, e.Msg)
+}
+
+// IsBackpressure reports whether err is a retryable server rejection
+// (admission queue full, tenant cap, or draining).
+func IsBackpressure(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) &&
+		(se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable)
+}
+
+// EnergyForces submits one energy/forces evaluation.
+func (c *Client) EnergyForces(ctx context.Context, req *EnergyForcesRequest) (*EnergyForcesResponse, error) {
+	var resp EnergyForcesResponse
+	if err := c.post(ctx, "/v1/energy-forces", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trajectory submits one short-trajectory request.
+func (c *Client) Trajectory(ctx context.Context, req *TrajectoryRequest) (*TrajectoryResponse, error) {
+	var resp TrajectoryResponse
+	if err := c.post(ctx, "/v1/trajectory", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var stats Stats
+	if err := c.do(req, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(raw, &eb) != nil || eb.Error == "" {
+			eb.Error = string(bytes.TrimSpace(raw))
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/md"
+	"repro/internal/neighbor"
+)
+
+// trajectorySeedStream is the fixed second word of the trajectory PCG seed,
+// making (seed -> velocity stream) a pure function of the request.
+const trajectorySeedStream = 0x616c6c6567726f // "allegro"
+
+// evalContext is one worker's private evaluation pipeline: a single-worker
+// EvalScratch leased onto the service's shared plan registry, plus a
+// reusable neighbor builder and pair list. Requests flow build -> bucket ->
+// pad -> EvaluatePairsInto; in steady state (shapes converged, plans
+// leased) the whole path is allocation-free except for the response copy.
+type evalContext struct {
+	s       *Service
+	scratch *core.EvalScratch
+	builder neighbor.Builder
+	pairs   neighbor.Pairs
+}
+
+func newEvalContext(s *Service) *evalContext {
+	ec := &evalContext{s: s, scratch: core.NewEvalScratch()}
+	// One worker per scratch: the service parallelizes across requests, so
+	// intra-request chunking would only oversubscribe cores — and the serial
+	// path is the one whose plan cache leases from the shared registry.
+	ec.scratch.Workers = 1
+	ec.scratch.UsePlanRegistry(s.registry)
+	ec.builder.Workers = 1
+	return ec
+}
+
+func (ec *evalContext) releasePlans() { ec.scratch.ReleasePlans() }
+
+func (ec *evalContext) close() {
+	ec.scratch.ReleasePlans()
+	ec.scratch.Close()
+	ec.builder.Close()
+}
+
+// evaluate runs the bucketed pipeline once. The returned Result points into
+// the scratch and is valid until the next evaluation.
+func (ec *evalContext) evaluate(sys *atoms.System) *core.Result {
+	m := ec.s.model
+	ec.builder.BuildInto(&ec.pairs, sys, m.Cuts)
+	nB, zB := ec.s.buckets.shape(sys.NumAtoms(), ec.pairs.NumReal)
+	ec.pairs.PadTo(zB)
+	// Bucketing the atom count only adds environment-sum rows that stay
+	// zero and are never gathered (no pair references them), so the padded
+	// shape evaluates bit-identically to the real one.
+	ec.pairs.NAtoms = nB
+	return m.EvaluatePairsInto(ec.scratch, sys, &ec.pairs)
+}
+
+// shape reports the bucketed shape of the last evaluation.
+func (ec *evalContext) shape() Shape {
+	return Shape{Pairs: ec.pairs.Len(), Atoms: ec.pairs.NAtoms}
+}
+
+func (ec *evalContext) energyForces(sys *atoms.System) (*EnergyForcesResponse, error) {
+	res := ec.evaluate(sys)
+	resp := &EnergyForcesResponse{
+		Energy: res.Energy,
+		Forces: make([][3]float64, len(res.Forces)),
+		Shape:  ec.shape(),
+	}
+	copy(resp.Forces, res.Forces)
+	return resp, nil
+}
+
+// EnergyForcesInto implements md.InPlacePotential so the context can drive
+// a trajectory directly: every force call goes through the same bucketed
+// shared-plan pipeline as a standalone request.
+func (ec *evalContext) EnergyForcesInto(sys *atoms.System, forces [][3]float64) float64 {
+	res := ec.evaluate(sys)
+	copy(forces, res.Forces)
+	return res.Energy
+}
+
+// EnergyForces implements md.Potential (allocating variant; the MD engine
+// prefers EnergyForcesInto).
+func (ec *evalContext) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
+	res := ec.evaluate(sys)
+	out := make([][3]float64, len(res.Forces))
+	copy(out, res.Forces)
+	return res.Energy, out
+}
+
+// trajectory integrates a short velocity-Verlet trajectory on the task's
+// (request-owned) system. Deterministic for a given request: the velocity
+// stream is a pure function of (temp_k, seed).
+func (ec *evalContext) trajectory(t *task) (*TrajectoryResponse, error) {
+	sim := md.NewSim(t.sys, ec, t.dt)
+	if t.tempK > 0 {
+		rng := rand.New(rand.NewPCG(t.seed, trajectorySeedStream))
+		sim.InitVelocities(t.tempK, rng)
+	}
+	resp := &TrajectoryResponse{Energies: make([]float64, 0, t.steps+1)}
+	resp.Energies = append(resp.Energies, sim.Energy)
+	for i := 0; i < t.steps; i++ {
+		sim.Step()
+		resp.Energies = append(resp.Energies, sim.Energy)
+	}
+	resp.FinalEnergy = resp.Energies[len(resp.Energies)-1]
+	resp.Shape = ec.shape()
+	if t.wantPos {
+		resp.Positions = make([][3]float64, len(t.sys.Pos))
+		copy(resp.Positions, t.sys.Pos)
+	}
+	return resp, nil
+}

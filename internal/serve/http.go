@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// API is the transport seam: the service's typed request surface,
+// independent of wire format. *Service implements it; NewHTTPHandler binds
+// it to HTTP/JSON, and a gRPC transport would wrap the same interface
+// without touching the service.
+type API interface {
+	EnergyForces(ctx context.Context, tenant string, req *EnergyForcesRequest) (*EnergyForcesResponse, error)
+	Trajectory(ctx context.Context, tenant string, req *TrajectoryRequest) (*TrajectoryResponse, error)
+	Stats() Stats
+}
+
+var _ API = (*Service)(nil)
+
+// TenantHeader carries the caller's tenant identity. Requests without it
+// share the "anonymous" tenant (and its in-flight cap).
+const TenantHeader = "X-Allegro-Tenant"
+
+// maxBodyBytes bounds request bodies (a generous ceiling for MaxAtoms-sized
+// systems; decode failures map to 400, not resource exhaustion).
+const maxBodyBytes = 64 << 20
+
+// NewHTTPHandler binds an API to the HTTP/JSON wire format:
+//
+//	POST /v1/energy-forces  EnergyForcesRequest -> EnergyForcesResponse
+//	POST /v1/trajectory     TrajectoryRequest   -> TrajectoryResponse
+//	GET  /v1/stats          -> Stats
+//	GET  /healthz           -> 200 "ok"
+//
+// Error mapping: validation failures are 400; queue-full and tenant-cap
+// backpressure are 429 with Retry-After; draining is 503 with Retry-After;
+// everything else is 500. Error bodies are {"error": "..."}.
+func NewHTTPHandler(api API) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/energy-forces", func(w http.ResponseWriter, r *http.Request) {
+		var req EnergyForcesRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := api.EnergyForces(r.Context(), r.Header.Get(TenantHeader), &req)
+		writeResult(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/trajectory", func(w http.ResponseWriter, r *http.Request) {
+		var req TrajectoryRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := api.Trajectory(r.Context(), r.Header.Get(TenantHeader), &req)
+		writeResult(w, resp, err)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeResult(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps service errors onto HTTP statuses. Backpressure sentinels
+// are retryable (429/503); context errors surface as 504 (the client gave
+// up while the request was queued or running).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

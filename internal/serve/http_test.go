@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestHTTPTransport drives the full wire path — client, JSON codec,
+// handler, service — and checks the responses are byte-faithful to the
+// in-process API (and therefore bit-identical to the serial evaluator).
+func TestHTTPTransport(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 2, MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(NewHTTPHandler(svc))
+	defer ts.Close()
+	c := &Client{Base: ts.URL, Tenant: "http-test"}
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	wantE, wantF := refEval(m, sys)
+
+	resp, err := c.EnergyForces(context.Background(), &EnergyForcesRequest{System: specFromSystem(sys)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Energy != wantE {
+		t.Fatalf("energy over HTTP %v != serial %v", resp.Energy, wantE)
+	}
+	for i := range wantF {
+		if resp.Forces[i] != wantF[i] {
+			t.Fatalf("force %d over HTTP %v != serial %v", i, resp.Forces[i], wantF[i])
+		}
+	}
+
+	// Trajectory: deterministic over the wire.
+	treq := TrajectoryRequest{System: specFromSystem(sys), Steps: 5, TempK: 100, Seed: 3}
+	ta, err := c.Trajectory(context.Background(), &treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.Trajectory(context.Background(), &treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ta.Energies {
+		if ta.Energies[i] != tb.Energies[i] {
+			t.Fatalf("trajectory step %d differs over HTTP: %v != %v", i, ta.Energies[i], tb.Energies[i])
+		}
+	}
+
+	// Stats round-trips.
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served < 3 {
+		t.Errorf("stats served %d, want >= 3", stats.Served)
+	}
+
+	// Validation errors map to 400 with a JSON error body.
+	bad := EnergyForcesRequest{System: SystemSpec{Species: []int{99}, Pos: [][3]float64{{0, 0, 0}}}}
+	_, err = c.EnergyForces(context.Background(), &bad)
+	var se *StatusError
+	if !asStatus(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("unknown species: got %v, want 400 StatusError", err)
+	}
+	if IsBackpressure(err) {
+		t.Error("a 400 must not read as backpressure")
+	}
+
+	// Malformed JSON and unknown fields are 400s, not 500s.
+	for _, body := range []string{"{not json", `{"bogus_field": 1}`} {
+		hr, err := http.Post(ts.URL+"/v1/energy-forces", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, hr.StatusCode)
+		}
+	}
+
+	// Health endpoint.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hr.StatusCode)
+	}
+}
+
+// TestHTTPBackpressureMapping freezes the workers and checks the 429
+// mapping (Retry-After set, IsBackpressure true), then the 503 on drain.
+func TestHTTPBackpressureMapping(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 1, QueueDepth: 1, TenantInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(svc))
+	defer ts.Close()
+	release := blockWorkers(svc)
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	spec := specFromSystem(data.WaterBox(rng, 2, 2, 2))
+	c := &Client{Base: ts.URL, Tenant: "bp"}
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.EnergyForces(context.Background(), &EnergyForcesRequest{System: spec})
+		first <- err
+	}()
+	waitFor(t, "first request admitted", func() bool { return inflightCount(svc, "bp") == 1 })
+
+	_, err = c.EnergyForces(context.Background(), &EnergyForcesRequest{System: spec})
+	var se *StatusError
+	if !asStatus(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("over tenant cap via HTTP: got %v, want 429", err)
+	}
+	if !IsBackpressure(err) {
+		t.Error("429 must read as backpressure")
+	}
+
+	// Raw request to inspect Retry-After.
+	body, _ := json.Marshal(EnergyForcesRequest{System: spec})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/energy-forces", strings.NewReader(string(body)))
+	req.Header.Set(TenantHeader, "bp")
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusTooManyRequests || hr.Header.Get("Retry-After") == "" {
+		t.Errorf("want 429 with Retry-After, got %d %q", hr.StatusCode, hr.Header.Get("Retry-After"))
+	}
+
+	release()
+	if err := <-first; err != nil {
+		t.Fatalf("blocked request should complete: %v", err)
+	}
+
+	// Draining maps to 503 and is also backpressure to the client.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.EnergyForces(context.Background(), &EnergyForcesRequest{System: spec})
+	if !asStatus(err, &se) || se.Code != http.StatusServiceUnavailable || !IsBackpressure(err) {
+		t.Fatalf("draining via HTTP: got %v, want 503 backpressure", err)
+	}
+}
+
+func asStatus(err error, out **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/units"
+)
+
+func testModel(t testing.TB) *core.Model {
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	cfg.LMax = 1
+	cfg.NumLayers = 2
+	cfg.NumChannels = 2
+	cfg.LatentDim = 8
+	cfg.TwoBodyHidden = []int{8}
+	cfg.LatentHidden = []int{8}
+	cfg.EdgeHidden = 4
+	cfg.NumBessel = 4
+	cfg.AvgNumNeighbors = 4
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(11, 0xA11E)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// refEval is the bit-identity reference: a fresh serial (single-worker,
+// unpadded, unbucketed) evaluation of sys.
+func refEval(m *core.Model, sys *atoms.System) (float64, [][3]float64) {
+	es := core.NewEvalScratch()
+	es.Workers = 1
+	defer es.Close()
+	r := m.EvaluateInto(es, sys)
+	f := make([][3]float64, len(r.Forces))
+	copy(f, r.Forces)
+	return r.Energy, f
+}
+
+func specFromSystem(sys *atoms.System) SystemSpec {
+	spec := SystemSpec{
+		Species: make([]int, sys.NumAtoms()),
+		Pos:     make([][3]float64, sys.NumAtoms()),
+		Cell:    sys.Cell,
+		PBC:     sys.PBC,
+	}
+	for i, sp := range sys.Species {
+		spec.Species[i] = int(sp)
+	}
+	copy(spec.Pos, sys.Pos)
+	return spec
+}
+
+func testSystems() []*atoms.System {
+	rng := rand.New(rand.NewPCG(7, 9))
+	boxes := []*atoms.System{
+		data.WaterBox(rng, 2, 2, 2),
+		data.WaterBox(rng, 3, 2, 2),
+		data.WaterBox(rng, 3, 3, 3),
+	}
+	// A non-periodic cluster exercises the open-boundary path.
+	cluster := data.WaterBox(rng, 2, 2, 1).Clone()
+	cluster.PBC = false
+	return append(boxes, cluster)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeBitIdenticalAcrossShapesAndTenants is the service's core
+// contract: concurrent requests from several tenants, across several system
+// sizes (periodic and not), all return exactly the bits a fresh serial
+// core evaluation produces — bucketed padding and cross-tenant plan sharing
+// included — and the shared registry actually shares (pool hits observed,
+// fewer compiles than requests served).
+func TestServeBitIdenticalAcrossShapesAndTenants(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 4, TenantInFlight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	systems := testSystems()
+	type ref struct {
+		e float64
+		f [][3]float64
+	}
+	refs := make([]ref, len(systems))
+	for i, sys := range systems {
+		refs[i].e, refs[i].f = refEval(m, sys)
+	}
+
+	const tenants, reps = 3, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*reps*len(systems))
+	for tn := 0; tn < tenants; tn++ {
+		for rep := 0; rep < reps; rep++ {
+			for si := range systems {
+				wg.Add(1)
+				go func(tn, si int) {
+					defer wg.Done()
+					req := EnergyForcesRequest{System: specFromSystem(systems[si])}
+					resp, err := svc.EnergyForces(context.Background(), fmt.Sprintf("tenant-%d", tn), &req)
+					if err != nil {
+						errs <- fmt.Errorf("tenant %d system %d: %w", tn, si, err)
+						return
+					}
+					if resp.Energy != refs[si].e {
+						errs <- fmt.Errorf("system %d: energy %v != serial %v", si, resp.Energy, refs[si].e)
+						return
+					}
+					for a := range refs[si].f {
+						if resp.Forces[a] != refs[si].f[a] {
+							errs <- fmt.Errorf("system %d atom %d: force %v != serial %v", si, a, resp.Forces[a], refs[si].f[a])
+							return
+						}
+					}
+				}(tn, si)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := svc.Stats()
+	if want := uint64(tenants * reps * len(systems)); st.Served != want {
+		t.Errorf("served %d, want %d", st.Served, want)
+	}
+	if st.Registry.Hits == 0 {
+		t.Errorf("expected cross-tenant plan-pool hits, got %+v", st.Registry)
+	}
+	if st.Registry.Compiles >= st.Served {
+		t.Errorf("plan sharing ineffective: %d compiles for %d requests", st.Registry.Compiles, st.Served)
+	}
+	if st.Shapes == 0 || st.Shapes > len(systems) {
+		t.Errorf("bucketed shape classes %d outside (0, %d]", st.Shapes, len(systems))
+	}
+}
+
+// TestPlanRegistryInvalidationProperty races concurrent requests against a
+// weight swap: every response must be bit-identical to the pre-swap or the
+// post-swap serial reference (never a torn mix), requests after the swap
+// must see only the new weights, and the swap must bump the parameter
+// version and evict the shared pool.
+func TestPlanRegistryInvalidationProperty(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 2, TenantInFlight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	spec := specFromSystem(sys)
+	v0 := m.Params.Version()
+	eA, fA := refEval(m, sys)
+
+	const workers, perWorker = 4, 8
+	type result struct {
+		e float64
+		f [][3]float64
+	}
+	results := make(chan result, workers*perWorker)
+	errs := make(chan error, workers*perWorker)
+	var admitted sync.WaitGroup
+	admitted.Add(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i == 1 {
+					admitted.Done() // at least one request per goroutine raced the swap
+				}
+				resp, err := svc.EnergyForces(context.Background(), fmt.Sprintf("t%d", w), &EnergyForcesRequest{System: spec})
+				if err != nil {
+					errs <- err
+					return
+				}
+				results <- result{resp.Energy, resp.Forces}
+			}
+		}(w)
+	}
+
+	admitted.Wait()
+	svc.UpdateParams(func(m *core.Model) {
+		m.Params.List()[0].T.Data[0] += 0.25
+	})
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if v := m.Params.Version(); v <= v0 {
+		t.Fatalf("UpdateParams must bump the parameter version (was %d, now %d)", v0, v)
+	}
+	eB, fB := refEval(m, sys)
+	if eA == eB {
+		t.Fatal("weight perturbation did not change the reference energy; test is vacuous")
+	}
+
+	matches := func(r result, e float64, f [][3]float64) bool {
+		if r.e != e {
+			return false
+		}
+		for i := range f {
+			if r.f[i] != f[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for r := range results {
+		if !matches(r, eA, fA) && !matches(r, eB, fB) {
+			t.Fatalf("response (energy %v) matches neither pre-swap (%v) nor post-swap (%v) weights", r.e, eA, eB)
+		}
+	}
+
+	// A request issued strictly after the swap sees only the new weights.
+	resp, err := svc.EnergyForces(context.Background(), "post", &EnergyForcesRequest{System: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matches(result{resp.Energy, resp.Forces}, eB, fB) {
+		t.Fatalf("post-swap response (energy %v) must match the new weights (%v)", resp.Energy, eB)
+	}
+	if st := svc.Registry().Stats(); st.Evictions == 0 {
+		t.Errorf("weight swap should evict pooled plans: %+v", st)
+	}
+}
+
+// blockWorkers holds the service's weight-swap gate so every worker parks
+// at the start of its next task; the returned release function lets them
+// run. Used to freeze queue state deterministically.
+func blockWorkers(s *Service) (release func()) {
+	locked := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		s.UpdateParams(func(*core.Model) {
+			close(locked)
+			<-gate
+		})
+		close(done)
+	}()
+	<-locked
+	return func() {
+		close(gate)
+		<-done
+	}
+}
+
+func inflightCount(s *Service, tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight[tenant]
+}
+
+// TestBackpressure drives the admission policy end to end with the workers
+// frozen: a tenant at its in-flight cap gets ErrTenantBusy, a full queue
+// gets ErrQueueFull, and both blocked requests complete once the workers
+// resume.
+func TestBackpressure(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 1, QueueDepth: 1, TenantInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	release := blockWorkers(svc)
+	releasedEarly := false
+	defer func() {
+		if !releasedEarly {
+			release()
+		}
+	}()
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	spec := specFromSystem(data.WaterBox(rng, 2, 2, 2))
+	submit := func(tenant string, errCh chan error) {
+		_, err := svc.EnergyForces(context.Background(), tenant, &EnergyForcesRequest{System: spec})
+		errCh <- err
+	}
+
+	// r1 is admitted and picked up by the (frozen) worker.
+	r1 := make(chan error, 1)
+	go submit("a", r1)
+	waitFor(t, "r1 admitted", func() bool { return inflightCount(svc, "a") == 1 })
+
+	// Tenant a is now at its cap regardless of queue state.
+	if _, err := svc.EnergyForces(context.Background(), "a", &EnergyForcesRequest{System: spec}); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("tenant over cap: got %v, want ErrTenantBusy", err)
+	}
+
+	// r2 fills the 1-slot queue (retry until the worker has drained r1).
+	r2 := make(chan error, 1)
+	waitFor(t, "r2 queued", func() bool {
+		if inflightCount(svc, "b") == 1 {
+			return true
+		}
+		go func() {
+			_, err := svc.EnergyForces(context.Background(), "b", &EnergyForcesRequest{System: spec})
+			if err == nil || !errors.Is(err, ErrQueueFull) {
+				r2 <- err
+			}
+		}()
+		return false
+	})
+	waitFor(t, "queue holding r2", func() bool { return svc.Stats().QueueDepth == 1 })
+
+	// Queue full, worker busy: a third tenant is rejected.
+	if _, err := svc.EnergyForces(context.Background(), "c", &EnergyForcesRequest{System: spec}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+
+	releasedEarly = true
+	release()
+	if err := <-r1; err != nil {
+		t.Fatalf("r1 should complete after release: %v", err)
+	}
+	if err := <-r2; err != nil {
+		t.Fatalf("r2 should complete after release: %v", err)
+	}
+	st := svc.Stats()
+	if st.RejectedTenantCap == 0 || st.RejectedQueueFull == 0 {
+		t.Errorf("rejection counters not advanced: %+v", st)
+	}
+}
+
+// TestGracefulDrain freezes the workers with requests in flight and queued,
+// begins Shutdown, and checks: new admissions fail with ErrDraining, every
+// admitted request still completes successfully, and Shutdown returns once
+// the queue is empty.
+func TestGracefulDrain(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 2, QueueDepth: 16, TenantInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := blockWorkers(svc)
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	spec := specFromSystem(data.WaterBox(rng, 2, 2, 2))
+	const n = 6
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		tenant := fmt.Sprintf("t%d", i%3)
+		go func() {
+			_, err := svc.EnergyForces(context.Background(), tenant, &EnergyForcesRequest{System: spec})
+			done <- err
+		}()
+	}
+	waitFor(t, "all requests admitted", func() bool {
+		return inflightCount(svc, "t0")+inflightCount(svc, "t1")+inflightCount(svc, "t2") == n
+	})
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- svc.Shutdown(context.Background()) }()
+	waitFor(t, "draining flag", func() bool { return svc.Stats().Draining })
+
+	if _, err := svc.EnergyForces(context.Background(), "late", &EnergyForcesRequest{System: spec}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain admission: got %v, want ErrDraining", err)
+	}
+
+	release()
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("admitted request failed during drain: %v", err)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := svc.Stats().Served; got != n {
+		t.Errorf("served %d, want %d", got, n)
+	}
+}
+
+// TestTrajectoryDeterministicAndValidated checks the trajectory path:
+// identical requests produce identical bits, energies have Steps+1 entries,
+// and validation rejects out-of-range parameters.
+func TestTrajectoryDeterministicAndValidated(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, Workers: 2, MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	req := TrajectoryRequest{
+		System: specFromSystem(sys), Steps: 10, Dt: 0.25,
+		TempK: 200, Seed: 42, ReturnPositions: true,
+	}
+	a, err := svc.Trajectory(context.Background(), "ta", &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Trajectory(context.Background(), "tb", &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Energies) != req.Steps+1 {
+		t.Fatalf("energies length %d, want %d", len(a.Energies), req.Steps+1)
+	}
+	for i := range a.Energies {
+		if a.Energies[i] != b.Energies[i] {
+			t.Fatalf("step %d: %v != %v (trajectory must be deterministic)", i, a.Energies[i], b.Energies[i])
+		}
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs between identical requests", i)
+		}
+	}
+	if a.FinalEnergy != a.Energies[len(a.Energies)-1] {
+		t.Fatal("FinalEnergy must equal the last energy entry")
+	}
+	if a.Energies[0] == a.Energies[len(a.Energies)-1] {
+		t.Error("trajectory did not move (initial == final energy)")
+	}
+
+	for _, bad := range []TrajectoryRequest{
+		{System: req.System, Steps: 0},
+		{System: req.System, Steps: 51},
+		{System: req.System, Steps: 5, Dt: -1},
+		{System: req.System, Steps: 5, TempK: -10},
+	} {
+		if _, err := svc.Trajectory(context.Background(), "v", &bad); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("request %+v: got %v, want ErrBadRequest", bad, err)
+		}
+	}
+}
+
+// TestRequestValidation covers system-level validation.
+func TestRequestValidation(t *testing.T) {
+	m := testModel(t)
+	svc, err := NewService(Config{Model: m, MaxAtoms: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	good := SystemSpec{Species: []int{8, 1, 1}, Pos: [][3]float64{{0, 0, 0}, {0.96, 0, 0}, {-0.24, 0.93, 0}}}
+	if _, err := svc.EnergyForces(context.Background(), "", &EnergyForcesRequest{System: good}); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+
+	cases := []SystemSpec{
+		{},                                       // empty
+		{Species: []int{8}, Pos: [][3]float64{}}, // length mismatch
+		{Species: []int{6}, Pos: [][3]float64{{0, 0, 0}}},            // species not in model
+		{Species: []int{8}, Pos: [][3]float64{{0, 0, 0}}, PBC: true}, // PBC without cell
+		{Species: make([]int, 11), Pos: make([][3]float64, 11)},      // over MaxAtoms
+	}
+	for i, spec := range cases {
+		if _, err := svc.EnergyForces(context.Background(), "", &EnergyForcesRequest{System: spec}); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("case %d: got %v, want ErrBadRequest", i, err)
+		}
+	}
+}
+
+// BenchmarkServeReplaySteadyState guards the serving tier's hot path: two
+// evaluation contexts (as two tenants' worker turns) alternating over
+// mixed bucketed shapes, leasing and releasing programs through the shared
+// registry every round. Once shapes have converged this must run at
+// 0 allocs/op — neighbor build, padding, registry lease, compiled replay,
+// and release are all on recycled storage (guarded in CI next to the other
+// steady-state benches).
+func BenchmarkServeReplaySteadyState(b *testing.B) {
+	m := testModel(b)
+	svc, err := NewService(Config{Model: m, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	systems := testSystems()
+	ctxs := []*evalContext{newEvalContext(svc), newEvalContext(svc)}
+	defer ctxs[0].close()
+	defer ctxs[1].close()
+
+	// Warm until shapes and pool capacities converge.
+	pairs := 0
+	for r := 0; r < 2; r++ {
+		for _, ec := range ctxs {
+			for _, sys := range systems {
+				res := ec.evaluate(sys)
+				pairs = res.PairWork
+				ec.releasePlans()
+			}
+		}
+	}
+	_ = pairs
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	pairWork := 0
+	for i := 0; i < b.N; i++ {
+		ec := ctxs[i%len(ctxs)]
+		sys := systems[i%len(systems)]
+		res := ec.evaluate(sys)
+		pairWork += res.PairWork
+		ec.releasePlans()
+	}
+	b.ReportMetric(float64(pairWork)/b.Elapsed().Seconds(), "pairs/s")
+}

@@ -1,0 +1,56 @@
+package serve
+
+// SystemSpec is the wire representation of an atomic system. Species are
+// atomic numbers (H=1, C=6, ...), positions are Angstrom, the cell is the
+// orthorhombic box edge lengths (used only when PBC is set).
+type SystemSpec struct {
+	Species []int        `json:"species"`
+	Pos     [][3]float64 `json:"positions"`
+	Cell    [3]float64   `json:"cell,omitempty"`
+	PBC     bool         `json:"pbc,omitempty"`
+}
+
+// Shape reports the bucketed (padded pairs, padded atoms) shape a request
+// was evaluated at. Two responses with equal Shape replayed the same
+// compiled-plan shape class — the observable unit of cross-tenant plan
+// sharing.
+type Shape struct {
+	Pairs int `json:"pairs"`
+	Atoms int `json:"atoms"`
+}
+
+// EnergyForcesRequest asks for one energy/forces evaluation.
+type EnergyForcesRequest struct {
+	System SystemSpec `json:"system"`
+}
+
+// EnergyForcesResponse carries the total potential energy (eV) and per-atom
+// forces (eV/A), bit-identical to a serial core.Evaluator on the same model.
+type EnergyForcesResponse struct {
+	Energy float64      `json:"energy"`
+	Forces [][3]float64 `json:"forces"`
+	Shape  Shape        `json:"shape"`
+}
+
+// TrajectoryRequest asks for a short velocity-Verlet trajectory: Steps
+// integration steps of Dt femtoseconds (default 0.5). TempK > 0 draws
+// Maxwell-Boltzmann initial velocities with the deterministic Seed; TempK = 0
+// starts at rest (pure NVE from the given positions).
+type TrajectoryRequest struct {
+	System          SystemSpec `json:"system"`
+	Steps           int        `json:"steps"`
+	Dt              float64    `json:"dt,omitempty"`
+	TempK           float64    `json:"temp_k,omitempty"`
+	Seed            uint64     `json:"seed,omitempty"`
+	ReturnPositions bool       `json:"return_positions,omitempty"`
+}
+
+// TrajectoryResponse carries the potential energy after every step
+// (Energies[0] is the initial evaluation, so len == Steps+1), the final
+// potential energy, and — when requested — the final positions.
+type TrajectoryResponse struct {
+	Energies    []float64    `json:"energies"`
+	FinalEnergy float64      `json:"final_energy"`
+	Positions   [][3]float64 `json:"positions,omitempty"`
+	Shape       Shape        `json:"shape"`
+}
