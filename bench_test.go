@@ -268,6 +268,47 @@ func BenchmarkCompiledEvaluatorSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelEvaluatorSteadyState measures the register-blocked
+// microkernel layer (internal/tensor/kern + the blocked o3 contractions)
+// against the pre-kern reference kernels on the identical compiled-plan
+// workload as BenchmarkCompiledEvaluatorSteadyState: production mixed
+// precision, 64 channels, serial steady state. Both modes replay the same
+// plans and are bit-identical in outputs; mode=kern must stay 0 allocs/op
+// and its pairs/s must reach >= 1.25x mode=ref (the PR's BENCH_simd gate —
+// mode=ref is the PR-5 compiled evaluator measured on the same machine).
+func BenchmarkKernelEvaluatorSteadyState(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Precision = core.ProductionPrecision()
+	cfg.NumChannels = 64
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 2, 2, 2)
+	for _, mode := range []string{"ref", "kern"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := NewSimulation(sys.Clone(), model,
+				WithWorkers(1), WithCompiled(true), WithRefKernels(mode == "ref"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			forces := make([][3]float64, run.NumAtoms())
+			pot.EnergyForcesInto(run, forces)
+			pot.EnergyForcesInto(run, forces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pot.EnergyForcesInto(run, forces)
+			}
+			b.ReportMetric(float64(pot.PairWork())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
 // BenchmarkCompiledRuntimeStep measures the same tape-vs-compiled pair on
 // the decomposed persistent-rank runtime (every rank replays its own
 // per-shape plan cache) at production precision: the steady-state 2x2x2

@@ -23,6 +23,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"strings"
+	"time"
 
 	allegro "repro"
 	"repro/internal/cluster"
@@ -43,8 +44,18 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for -measure (0: all cores)")
 		steps    = flag.Int("steps", 5, "timed force calls for -measure")
 		compiled = flag.Bool("compiled", true, "anchor -measure on the compiled inference plans (false: autodiff tape)")
+		kernels  = flag.Bool("kernels", false, "print a per-kernel wall-time breakdown of the compiled replay (serial, one worker)")
 	)
 	flag.Parse()
+	if *kernels {
+		if err := runKernels(*steps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "allegro-bench:", err)
+			os.Exit(1)
+		}
+		if !*measure {
+			return
+		}
+	}
 	if *list {
 		for _, id := range experiments.All() {
 			fmt.Println(id)
@@ -74,6 +85,56 @@ func main() {
 		}
 		r.Print(os.Stdout)
 	}
+}
+
+// runKernels replays the compiled plans on one worker with per-op timing
+// enabled and prints where each replay's wall time goes, kernel class by
+// kernel class — the CPU analogue of the paper's per-kernel GPU profile. The
+// per-op timers cost a few percent, so the breakdown is for attribution, not
+// absolute throughput (use -measure for that).
+func runKernels(steps int, seed uint64) error {
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	model, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xBE9C)))
+	if err != nil {
+		return err
+	}
+	sys := data.WaterBox(rand.New(rand.NewPCG(seed, 2)), 3, 3, 3)
+	var kp core.KernelProfile
+	sim, err := allegro.NewSimulation(sys, model,
+		allegro.WithWorkers(1), allegro.WithCompiled(true),
+		allegro.WithKernelProfile(&kp))
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	sim.Measure(steps) // warm-up happens inside; kp accumulates every replay
+	if kp.Replays == 0 {
+		return fmt.Errorf("no compiled replays recorded (tape fallback active?)")
+	}
+	total := kp.Total()
+	perReplay := func(d time.Duration) time.Duration {
+		return d / time.Duration(kp.Replays)
+	}
+	share := func(d time.Duration) float64 {
+		return 100 * float64(d) / float64(total)
+	}
+	fmt.Printf("kernel breakdown (compiled replay, 1 worker, %d replays):\n", kp.Replays)
+	for _, row := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"linear (fwd, fused tiles)", kp.Linear},
+		{"tensor product (fwd)", kp.TP},
+		{"linear (bwd)", kp.BwdLin},
+		{"tensor product (bwd)", kp.BwdTP},
+		{"env rows (scatter/gather/outer)", kp.EnvRows},
+		{"radial basis (norm/cutoff/Bessel/Ylm)", kp.Radial},
+		{"other (broadcast/copy/reduce)", kp.Other},
+	} {
+		fmt.Printf("  %-40s %12v/replay  %5.1f%%\n", row.name, perReplay(row.d), share(row.d))
+	}
+	fmt.Printf("  %-40s %12v/replay\n", "total", perReplay(total))
+	return nil
 }
 
 // runMeasure times the force backend behind the one simulation API on a

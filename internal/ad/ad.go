@@ -75,6 +75,7 @@ type Tape struct {
 	sphBuf    []float64
 	sphGBuf   [][3]float64
 	tpEntries []o3.TPEntry
+	mmScratch tensor.MatmulScratch // narrow-precision Linear rounding buffers
 }
 
 // valueBlock is the node pool granularity.

@@ -19,7 +19,7 @@ func (tp *Tape) Linear(x, w, b *Value) *Value {
 		panic(fmt.Sprintf("ad: Linear weight shape %v incompatible with input %v", w.T.Shape, x.T.Shape))
 	}
 	y := tp.Alloc(n, out)
-	tensor.MatMulTInto(y, x.T, w.T, tp.Compute)
+	tensor.MatMulTIntoPooled(y, x.T, w.T, tp.Compute, &tp.mmScratch)
 	if b != nil {
 		for i := 0; i < n; i++ {
 			row := y.Row(i)

@@ -113,7 +113,18 @@ type planCache struct {
 	shared  *PlanRegistry
 	ti, tj  []int
 	in      plan.Inputs
+	// refKernels mirrors EvalScratch.RefKernels onto every program this
+	// cache dispatches (bit-identical reference kernels, for A/B benches).
+	refKernels bool
+	// profile mirrors EvalScratch.Profile: when non-nil, replays run through
+	// plan.ExecuteProfiled and fold per-kernel-class timings into it.
+	profile *plan.KernelProfile
 }
+
+// KernelProfile re-exports the compiled plans' per-kernel-class replay
+// breakdown for callers outside the internal plan package (allegro-bench
+// -kernels).
+type KernelProfile = plan.KernelProfile
 
 // maxCachedPlans bounds one context's live programs. Shapes churn only
 // while the PadTo running maximum ramps up (serial) or across rank
@@ -189,13 +200,19 @@ func (pc *planCache) run(m *Model, sys *atoms.System, pairs *neighbor.Pairs) *pl
 		ti[i] = m.Idx.Index(sys.Species[pairs.I[i]])
 		tj[i] = m.Idx.Index(sys.Species[pairs.J[i]])
 	}
-	fused, packed := m.fusedTables()
+	fused, packed, sorted, sorted32 := m.fusedTables()
+	pg.SetRefKernels(pc.refKernels)
 	pc.in = plan.Inputs{
 		Vec: pairs.Vec, Cut: pairs.Cut, I: pairs.I,
 		TI: ti, TJ: tj,
 		Scale: m.EnergyScale,
 		Fused: fused, Fused32: packed,
+		FusedS: sorted, Fused32S: sorted32,
 	}
-	pg.Execute(&pc.in)
+	if pc.profile != nil {
+		pg.ExecuteProfiled(&pc.in, pc.profile)
+	} else {
+		pg.Execute(&pc.in)
+	}
 	return pg
 }

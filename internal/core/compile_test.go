@@ -120,6 +120,78 @@ func TestCompiledMatchesTape(t *testing.T) {
 	}
 }
 
+// TestKernKernelsMatchReference drives the same compiled plans through both
+// kernel sets — the register-blocked/packed kern layer (the default) and the
+// pre-kern reference kernels (RefKernels) — and requires exact agreement in
+// energies, forces, and row harvests. Together with TestCompiledMatchesTape
+// (tape vs kern) this pins all three execution paths to the same bits.
+func TestKernKernelsMatchReference(t *testing.T) {
+	for _, pr := range []struct {
+		name string
+		pc   PrecisionConfig
+	}{
+		{"exact", ExactPrecision()},
+		{"production", ProductionPrecision()},
+		{"tf32-over-f64", PrecisionConfig{Final: tensor.F64, Weights: tensor.F64, Compute: tensor.TF32}},
+	} {
+		t.Run(pr.name, func(t *testing.T) {
+			species := []units.Species{units.H, units.C, units.O}
+			cfg := DefaultConfig(species)
+			cfg.LMax = 2
+			cfg.NumChannels = 2
+			cfg.LatentDim = 8
+			cfg.TwoBodyHidden = []int{8}
+			cfg.LatentHidden = []int{8}
+			cfg.EdgeHidden = 4
+			cfg.NumBessel = 4
+			cfg.AvgNumNeighbors = 4
+			cfg.Precision = pr.pc
+			m, err := New(cfg, nil, rand.New(rand.NewPCG(19, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetScaleShift(0.37, make([]float64, m.Idx.Len()))
+			rng := rand.New(rand.NewPCG(23, 5))
+			sys := mixedCluster(rng, species, 9)
+			pairs := neighbor.Build(sys, m.Cuts)
+			pairs.PadTo(pairs.Len() + 11) // ragged tiles and tail batches
+
+			ref := NewEvalScratch()
+			ref.Compiled = CompiledOn
+			ref.RefKernels = true
+			kernScr := NewEvalScratch()
+			kernScr.Compiled = CompiledOn
+			defer ref.Close()
+			defer kernScr.Close()
+
+			rr := m.EvaluatePairsInto(ref, sys, pairs)
+			eR := rr.Energy
+			fR := append([][3]float64(nil), rr.Forces...)
+			rk := m.EvaluatePairsInto(kernScr, sys, pairs)
+			if rk.Energy != eR {
+				t.Fatalf("energy ref %v vs kern %v", eR, rk.Energy)
+			}
+			for i := range fR {
+				if rk.Forces[i] != fR[i] {
+					t.Fatalf("force[%d] ref %v vs kern %v", i, fR[i], rk.Forces[i])
+				}
+			}
+
+			rowsR := make([][3]float64, pairs.Len())
+			peR := make([]float64, pairs.Len())
+			rowsK := make([][3]float64, pairs.Len())
+			peK := make([]float64, pairs.Len())
+			m.EvaluateRowsInto(ref, sys, pairs, rowsR, peR)
+			m.EvaluateRowsInto(kernScr, sys, pairs, rowsK, peK)
+			for z := range rowsR {
+				if rowsK[z] != rowsR[z] || peK[z] != peR[z] {
+					t.Fatalf("row %d ref (%v,%v) vs kern (%v,%v)", z, rowsR[z], peR[z], rowsK[z], peK[z])
+				}
+			}
+		})
+	}
+}
+
 // TestPlanCacheReuse checks the plan-cache ownership contract: repeated
 // evaluations of one shape replay the same Program pointer with zero heap
 // allocations, and a parameter mutation (version bump) recompiles.

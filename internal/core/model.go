@@ -50,6 +50,10 @@ type Model struct {
 		valid   bool
 		tabs    [][]o3.TPEntry
 		packed  [][]o3.TPEntry32 // narrow-compute packed form (same fold)
+		// Stable C-sorted copies for the blocked forward contraction
+		// kernels (the backward keeps the unsorted path-major tables).
+		sortedTabs   [][]o3.TPEntry
+		sortedPacked [][]o3.TPEntry32
 	}
 }
 
@@ -136,13 +140,17 @@ func (m *Model) NumWeights() int { return m.Params.NumParams() }
 // tables are shared and must be treated as read-only; they stay valid until
 // the next Params mutation.
 func (m *Model) fusedEntries() [][]o3.TPEntry {
-	tabs, _ := m.fusedTables()
+	tabs, _, _, _ := m.fusedTables()
 	return tabs
 }
 
-// fusedTables returns the per-layer weight-folded entry tables in both the
-// float64 and (for narrow compute precisions) the packed float32 form.
-func (m *Model) fusedTables() ([][]o3.TPEntry, [][]o3.TPEntry32) {
+// fusedTables returns the per-layer weight-folded entry tables in the
+// float64 form, the (narrow-compute) packed float32 form, and the stable
+// C-sorted copies of both that the blocked forward contraction kernels
+// consume. The sort is stable, so every output component sees the same
+// addend order as the unsorted table — the sorted tables are a layout
+// change, not an arithmetic one.
+func (m *Model) fusedTables() ([][]o3.TPEntry, [][]o3.TPEntry32, [][]o3.TPEntry, [][]o3.TPEntry32) {
 	v := m.Params.Version()
 	f := &m.fused
 	f.Lock()
@@ -162,10 +170,26 @@ func (m *Model) fusedTables() ([][]o3.TPEntry, [][]o3.TPEntry32) {
 				f.packed[l] = o3.PackEntries32(f.packed[l], f.tabs[l])
 			}
 		}
+		if f.sortedTabs == nil {
+			f.sortedTabs = make([][]o3.TPEntry, len(m.tps))
+		}
+		for l := range m.tps {
+			f.sortedTabs[l] = append(f.sortedTabs[l][:0], f.tabs[l]...)
+			o3.SortEntriesByC(f.sortedTabs[l])
+		}
+		if m.Cfg.Precision.Compute != tensor.F64 {
+			if f.sortedPacked == nil {
+				f.sortedPacked = make([][]o3.TPEntry32, len(m.tps))
+			}
+			for l := range m.tps {
+				f.sortedPacked[l] = append(f.sortedPacked[l][:0], f.packed[l]...)
+				o3.SortEntries32ByC(f.sortedPacked[l])
+			}
+		}
 		f.version = v
 		f.valid = true
 	}
-	return f.tabs, f.packed
+	return f.tabs, f.packed, f.sortedTabs, f.sortedPacked
 }
 
 // graph holds the tape nodes of one forward pass that later stages need.

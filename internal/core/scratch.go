@@ -8,6 +8,7 @@ import (
 	"repro/internal/neighbor"
 	"repro/internal/nn"
 	"repro/internal/par"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -36,6 +37,18 @@ type EvalScratch struct {
 	// defers to the model's Config.Compiled (which itself defaults to the
 	// compiled record-once/replay plans).
 	Compiled CompiledMode
+	// RefKernels replays compiled plans with the pre-kern reference kernels
+	// (unpacked matmuls, unblocked TP contractions) instead of the
+	// register-blocked microkernel layer. Outputs are bit-identical either
+	// way; the toggle exists for same-machine A/B kernel benchmarking
+	// (BENCH_simd) and as a diagnostic oracle.
+	RefKernels bool
+	// Profile, when non-nil, accumulates a per-kernel-class wall-time
+	// breakdown of every compiled replay this scratch runs serially (the
+	// allegro-bench -kernels instrumentation). Parallel chunk workers do not
+	// profile — the breakdown is a serial-path diagnostic, and per-op timers
+	// add overhead — so pair it with a single-worker configuration.
+	Profile *plan.KernelProfile
 
 	builder neighbor.Builder
 	pairs   neighbor.Pairs
@@ -215,6 +228,8 @@ func (m *Model) EvaluatePairsInto(es *EvalScratch, sys *atoms.System, pairs *nei
 	res.Forces = res.Forces[:n]
 
 	es.evalCompiled = es.compiledOn(m)
+	es.plans.refKernels = es.RefKernels
+	es.plans.profile = es.Profile
 	nw := es.workers
 	if maxW := pairs.NumReal / minEvalPairsPerWorker; nw > maxW {
 		nw = maxW
@@ -287,6 +302,7 @@ func (es *EvalScratch) prepareChunkWorkers(m *Model, pairs *neighbor.Pairs, nw i
 	}
 	for w := 0; w < nw; w++ {
 		ws := es.workerScr[w]
+		ws.plans.refKernels = es.RefKernels
 		if ws.tape.Compute != m.Cfg.Precision.Compute || ws.tape.Store != m.Cfg.Precision.Weights {
 			ws.tape = ad.NewTapeArena(m.Cfg.Precision.Compute, m.Cfg.Precision.Weights, ws.arena)
 			ws.binder = nn.NewBinder(ws.tape, false)
@@ -381,6 +397,8 @@ func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neig
 		panic("core: EvaluateRowsInto buffer length mismatch")
 	}
 	es.evalCompiled = es.compiledOn(m)
+	es.plans.refKernels = es.RefKernels
+	es.plans.profile = es.Profile
 	nw := es.workers
 	if maxW := pairs.NumReal / minEvalPairsPerWorker; nw > maxW {
 		nw = maxW

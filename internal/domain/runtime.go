@@ -50,6 +50,10 @@ type RuntimeOptions struct {
 	// Both produce bit-identical rows, so trajectories are unaffected;
 	// every rank's scratch caches plans per local chunk shape.
 	Compiled core.CompiledMode
+	// RefKernels makes every rank replay its plans with the pre-kern
+	// reference kernels (see core.EvalScratch.RefKernels); bit-identical,
+	// benchmark/diagnostic only.
+	RefKernels bool
 }
 
 // RuntimeStats aggregates the runtime's behaviour over its lifetime.
@@ -354,6 +358,7 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		rk.builder.Workers = wpr
 		rk.scratch.Workers = wpr
 		rk.scratch.Compiled = opts.Compiled
+		rk.scratch.RefKernels = opts.RefKernels
 		rk.builder.Skin = opts.Skin
 		r.ranks[id] = rk
 		r.cmds[id] = make(chan rankCmd, 1)

@@ -1,0 +1,262 @@
+package o3
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// BBLK is the pair-channel batch width of the blocked contraction kernels:
+// the number of [w1]/[w2]/[w3] blocks processed per sweep of the entry
+// table. Batching turns the table from a per-block reload (16 bytes per
+// entry per block in ContractEntries32) into a once-per-BBLK-blocks stream,
+// and gives every entry BBLK independent accumulator lanes — the two-tensor
+// batching idiom of the Tensor-Go reference — instead of the single
+// dependency chain consecutive same-C entries form in the unblocked kernel.
+const BBLK = 8
+
+// SortEntriesByC stable-sorts a weight-folded entry table by output
+// component C. Each output accumulator receives contributions only from
+// entries with its own C, and a *stable* sort preserves the relative order
+// of equal-C entries, so the addend sequence of every accumulator — and
+// therefore every result bit — is unchanged from the unsorted table. What
+// changes is locality: all writes to one output component become one
+// register-resident run (see the run loop in ContractEntries32Blocked).
+func SortEntriesByC(entries []TPEntry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].C < entries[j].C })
+}
+
+// SortEntries32ByC is SortEntriesByC for the packed table form.
+func SortEntries32ByC(entries []TPEntry32) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].C < entries[j].C })
+}
+
+// ContractEntries32Blocked is the batched, cache-blocked form of
+// ContractEntries32: identical arithmetic per pair-channel block
+// (block-rounded operands, float32 accumulation in entry-table order, full
+// block overwrite — bit-identical outputs), restructured so BBLK blocks
+// share each entry-table sweep. entries must be stable-sorted by C
+// (SortEntries32ByC): the kernel walks same-C runs keeping the BBLK
+// accumulator lanes of that output component in registers across the run.
+// Operand blocks are staged lane-major (component-major, block-minor) so the
+// BBLK lanes of one component are contiguous. No allocations.
+func ContractEntries32Blocked(out, x, y []float64, zu, w1, w2, w3 int, entries []TPEntry32, tf32 bool) {
+	if w1 > contractMaxWidth || w2 > contractMaxWidth || w3 > contractMaxWidth {
+		panic("o3: ContractEntries32Blocked width exceeds the narrow-precision block buffers")
+	}
+	var rxT, ryT, accT [BBLK * contractMaxWidth]float32
+	for b0 := 0; b0 < zu; b0 += BBLK {
+		bn := zu - b0
+		if bn > BBLK {
+			bn = BBLK
+		} else if bn < BBLK {
+			// Tail batch: kill the stale lanes so dead-lane arithmetic can't
+			// hit denormals/NaN slow paths (results are never stored).
+			clear(rxT[:])
+			clear(ryT[:])
+		}
+		for t := 0; t < bn; t++ {
+			xb := x[(b0+t)*w1 : (b0+t+1)*w1]
+			yb := y[(b0+t)*w2 : (b0+t+1)*w2]
+			if tf32 {
+				for a, v := range xb {
+					rxT[a*BBLK+t] = float32(tensor.RoundTF32Fast(v))
+				}
+				for bI, v := range yb {
+					ryT[bI*BBLK+t] = float32(tensor.RoundTF32Fast(v))
+				}
+			} else {
+				for a, v := range xb {
+					rxT[a*BBLK+t] = float32(v)
+				}
+				for bI, v := range yb {
+					ryT[bI*BBLK+t] = float32(v)
+				}
+			}
+		}
+		// Components with no entries must come out zero (the unblocked kernel
+		// zeroes its whole accumulator block).
+		clear(accT[:w3*BBLK])
+		for ei := 0; ei < len(entries); {
+			c := entries[ei].C
+			var s0, s1, s2, s3, s4, s5, s6, s7 float32
+			for ; ei < len(entries) && entries[ei].C == c; ei++ {
+				e := entries[ei]
+				w := e.W
+				ax := rxT[int(e.A)*BBLK : int(e.A)*BBLK+BBLK : int(e.A)*BBLK+BBLK]
+				ay := ryT[int(e.B)*BBLK : int(e.B)*BBLK+BBLK : int(e.B)*BBLK+BBLK]
+				s0 += w * ax[0] * ay[0]
+				s1 += w * ax[1] * ay[1]
+				s2 += w * ax[2] * ay[2]
+				s3 += w * ax[3] * ay[3]
+				s4 += w * ax[4] * ay[4]
+				s5 += w * ax[5] * ay[5]
+				s6 += w * ax[6] * ay[6]
+				s7 += w * ax[7] * ay[7]
+			}
+			ac := accT[int(c)*BBLK : int(c)*BBLK+BBLK : int(c)*BBLK+BBLK]
+			ac[0] = s0
+			ac[1] = s1
+			ac[2] = s2
+			ac[3] = s3
+			ac[4] = s4
+			ac[5] = s5
+			ac[6] = s6
+			ac[7] = s7
+		}
+		for t := 0; t < bn; t++ {
+			ob := out[(b0+t)*w3 : (b0+t+1)*w3]
+			for c := range ob {
+				ob[c] = float64(accT[c*BBLK+t])
+			}
+		}
+	}
+}
+
+// BackwardFusedEntriesBlocked is the batched form of BackwardFusedEntries:
+// BBLK pair-channel blocks share each sweep of the *unsorted* path-major
+// entry table (a C-sort would reorder the gX/gY slot accumulations, so the
+// backward keeps the table order the tape produces). Operands and the
+// running gX/gY adjoints are staged into lane-major tiles; every slot still
+// receives its reference addend sequence — initial value, then the entries
+// in table order — so results are bit-identical for finite data. Lanes whose
+// gOut component is zero contribute exact ±0 addends where the reference
+// skips; IEEE-754 round-to-nearest addition of ±0 never changes a finite
+// accumulator that is not -0, and these accumulators cannot become -0 (they
+// start at the callers' stored values and RN sums of finite addends only
+// produce -0 from all-(-0) addend chains, which a +0 start precludes).
+// Entries whose component is zero across all BBLK lanes are skipped outright
+// (pair-padding makes whole tail batches zero).
+func BackwardFusedEntriesBlocked(gX, gY, x, y, gOut []float64, zu, w1, w2, w3 int, entries []TPEntry) {
+	if w1 > contractMaxWidth || w2 > contractMaxWidth || w3 > contractMaxWidth {
+		panic("o3: BackwardFusedEntriesBlocked width exceeds the block buffers")
+	}
+	var txT, tyT, tgT, gxT, gyT [BBLK * contractMaxWidth]float64
+	for b0 := 0; b0 < zu; b0 += BBLK {
+		bn := zu - b0
+		if bn > BBLK {
+			bn = BBLK
+		} else if bn < BBLK {
+			clear(txT[:])
+			clear(tyT[:])
+			clear(tgT[:]) // dead lanes: g = 0 ⇒ their tile adds are ±0, never stored
+			clear(gxT[:])
+			clear(gyT[:])
+		}
+		for t := 0; t < bn; t++ {
+			xb := x[(b0+t)*w1 : (b0+t+1)*w1]
+			yb := y[(b0+t)*w2 : (b0+t+1)*w2]
+			gb := gOut[(b0+t)*w3 : (b0+t+1)*w3]
+			gxb := gX[(b0+t)*w1 : (b0+t+1)*w1]
+			gyb := gY[(b0+t)*w2 : (b0+t+1)*w2]
+			for a, v := range xb {
+				txT[a*BBLK+t] = v
+				gxT[a*BBLK+t] = gxb[a]
+			}
+			for bI, v := range yb {
+				tyT[bI*BBLK+t] = v
+				gyT[bI*BBLK+t] = gyb[bI]
+			}
+			for c, v := range gb {
+				tgT[c*BBLK+t] = v
+			}
+		}
+		for _, e := range entries {
+			gl := tgT[e.C*BBLK : e.C*BBLK+BBLK : e.C*BBLK+BBLK]
+			if gl[0] == 0 && gl[1] == 0 && gl[2] == 0 && gl[3] == 0 &&
+				gl[4] == 0 && gl[5] == 0 && gl[6] == 0 && gl[7] == 0 {
+				continue
+			}
+			w := e.W
+			ax := txT[e.A*BBLK : e.A*BBLK+BBLK : e.A*BBLK+BBLK]
+			ay := tyT[e.B*BBLK : e.B*BBLK+BBLK : e.B*BBLK+BBLK]
+			gx := gxT[e.A*BBLK : e.A*BBLK+BBLK : e.A*BBLK+BBLK]
+			gy := gyT[e.B*BBLK : e.B*BBLK+BBLK : e.B*BBLK+BBLK]
+			// Same association as the reference: (W * y) * g and (W * x) * g.
+			gx[0] += w * ay[0] * gl[0]
+			gy[0] += w * ax[0] * gl[0]
+			gx[1] += w * ay[1] * gl[1]
+			gy[1] += w * ax[1] * gl[1]
+			gx[2] += w * ay[2] * gl[2]
+			gy[2] += w * ax[2] * gl[2]
+			gx[3] += w * ay[3] * gl[3]
+			gy[3] += w * ax[3] * gl[3]
+			gx[4] += w * ay[4] * gl[4]
+			gy[4] += w * ax[4] * gl[4]
+			gx[5] += w * ay[5] * gl[5]
+			gy[5] += w * ax[5] * gl[5]
+			gx[6] += w * ay[6] * gl[6]
+			gy[6] += w * ax[6] * gl[6]
+			gx[7] += w * ay[7] * gl[7]
+			gy[7] += w * ax[7] * gl[7]
+		}
+		for t := 0; t < bn; t++ {
+			gxb := gX[(b0+t)*w1 : (b0+t+1)*w1]
+			gyb := gY[(b0+t)*w2 : (b0+t+1)*w2]
+			for a := range gxb {
+				gxb[a] = gxT[a*BBLK+t]
+			}
+			for bI := range gyb {
+				gyb[bI] = gyT[bI*BBLK+t]
+			}
+		}
+	}
+}
+
+// ContractEntriesBlocked is the batched form of ContractEntries' F64 path:
+// in-place accumulation over a pre-zeroed (or running) out, per-block addend
+// order exactly the entry-table order, bit-identical outputs. entries must
+// be stable-sorted by C (SortEntriesByC); operands are staged into
+// lane-major float64 tiles so each entry's BBLK multiplies read
+// contiguously.
+func ContractEntriesBlocked(out, x, y []float64, zu, w1, w2, w3 int, entries []TPEntry) {
+	if w1 > contractMaxWidth || w2 > contractMaxWidth || w3 > contractMaxWidth {
+		panic("o3: ContractEntriesBlocked width exceeds the block buffers")
+	}
+	var txT, tyT [BBLK * contractMaxWidth]float64
+	for b0 := 0; b0 < zu; b0 += BBLK {
+		bn := zu - b0
+		if bn > BBLK {
+			bn = BBLK
+		} else if bn < BBLK {
+			clear(txT[:])
+			clear(tyT[:])
+		}
+		for t := 0; t < bn; t++ {
+			xb := x[(b0+t)*w1 : (b0+t+1)*w1]
+			yb := y[(b0+t)*w2 : (b0+t+1)*w2]
+			for a, v := range xb {
+				txT[a*BBLK+t] = v
+			}
+			for bI, v := range yb {
+				tyT[bI*BBLK+t] = v
+			}
+		}
+		for ei := 0; ei < len(entries); {
+			c := entries[ei].C
+			// The run's lanes accumulate on top of the current out values,
+			// preserving the reference kernel's += semantics.
+			var s [BBLK]float64
+			for t := 0; t < bn; t++ {
+				s[t] = out[(b0+t)*w3+c]
+			}
+			for ; ei < len(entries) && entries[ei].C == c; ei++ {
+				e := entries[ei]
+				w := e.W
+				ax := txT[e.A*BBLK : e.A*BBLK+BBLK : e.A*BBLK+BBLK]
+				ay := tyT[e.B*BBLK : e.B*BBLK+BBLK : e.B*BBLK+BBLK]
+				s[0] += w * ax[0] * ay[0]
+				s[1] += w * ax[1] * ay[1]
+				s[2] += w * ax[2] * ay[2]
+				s[3] += w * ax[3] * ay[3]
+				s[4] += w * ax[4] * ay[4]
+				s[5] += w * ax[5] * ay[5]
+				s[6] += w * ax[6] * ay[6]
+				s[7] += w * ax[7] * ay[7]
+			}
+			for t := 0; t < bn; t++ {
+				out[(b0+t)*w3+c] = s[t]
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package o3
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestContractBlockedBitIdentical checks the batched contraction kernels
+// against the unblocked references bit for bit: real CG tables (which carry
+// duplicate C naturally) over ragged zu covering full batches, tail batches,
+// and sub-batch sizes, for F64, F32 and TF32.
+func TestContractBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	fused := tp.FlattenInto(nil, weights)
+	packed := PackEntries32(nil, fused)
+	sorted := append([]TPEntry(nil), fused...)
+	SortEntriesByC(sorted)
+	sorted32 := append([]TPEntry32(nil), packed...)
+	SortEntries32ByC(sorted32)
+
+	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	for _, zu := range []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 24, 31} {
+		x := make([]float64, zu*w1)
+		y := make([]float64, zu*w2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+
+		// F64: in-place accumulation onto a nonzero running output.
+		want := make([]float64, zu*w3)
+		got := make([]float64, zu*w3)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+			got[i] = want[i]
+		}
+		ContractEntries(want, x, y, zu, w1, w2, w3, fused, tensor.F64)
+		ContractEntriesBlocked(got, x, y, zu, w1, w2, w3, sorted)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("F64 zu=%d elem %d: blocked %x, want %x", zu, i, got[i], want[i])
+			}
+		}
+
+		for _, tf32 := range []bool{false, true} {
+			ContractEntries32(want, x, y, zu, w1, w2, w3, packed, tf32)
+			ContractEntries32Blocked(got, x, y, zu, w1, w2, w3, sorted32, tf32)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("tf32=%v zu=%d elem %d: blocked %x, want %x", tf32, zu, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestContractBlockedInterleavedC uses a synthetic table whose C values
+// interleave (C = 2, 0, 2, 1, 0, ...) so the stable sort genuinely reorders
+// entries, and checks the per-accumulator addend sequences still match the
+// unsorted reference. This is the bit-identity argument's load-bearing case:
+// equal-C entries must keep their relative order.
+func TestContractBlockedInterleavedC(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	const w1, w2, w3 = 5, 4, 3
+	var table []TPEntry
+	cs := []int{2, 0, 2, 1, 0, 2, 1, 1, 0, 2}
+	for i, c := range cs {
+		table = append(table, TPEntry{A: i % w1, B: (i * 3) % w2, C: c, W: rng.NormFloat64()})
+	}
+	packed := PackEntries32(nil, table)
+	sorted := append([]TPEntry(nil), table...)
+	SortEntriesByC(sorted)
+	sorted32 := append([]TPEntry32(nil), packed...)
+	SortEntries32ByC(sorted32)
+
+	zu := 13
+	x := make([]float64, zu*w1)
+	y := make([]float64, zu*w2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	want := make([]float64, zu*w3)
+	got := make([]float64, zu*w3)
+	ContractEntries(want, x, y, zu, w1, w2, w3, table, tensor.F64)
+	ContractEntriesBlocked(got, x, y, zu, w1, w2, w3, sorted)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("F64 elem %d: blocked %x, want %x", i, got[i], want[i])
+		}
+	}
+	ContractEntries32(want, x, y, zu, w1, w2, w3, packed, true)
+	ContractEntries32Blocked(got, x, y, zu, w1, w2, w3, sorted32, true)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("TF32 elem %d: blocked %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBackwardBlockedBitIdentical checks BackwardFusedEntriesBlocked against
+// BackwardFusedEntries bit for bit over ragged zu, including nonzero initial
+// adjoints (the blocked kernel stages and restores running gX/gY values),
+// zero-gradient rows scattered through the batch (the reference's per-entry
+// g==0 skip vs the blocked kernel's ±0 adds and all-lanes-zero skip), and
+// fully zero tail regions as pair padding produces.
+func TestBackwardBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	fused := tp.FlattenInto(nil, weights)
+
+	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	for _, zu := range []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 24, 31} {
+		x := make([]float64, zu*w1)
+		y := make([]float64, zu*w2)
+		gOut := make([]float64, zu*w3)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		for b := 0; b < zu; b++ {
+			switch {
+			case b%5 == 3:
+				// Zero-gradient row inside a live batch: reference skips its
+				// entries one by one, blocked adds exact zeros.
+			case b >= zu-2 && zu > 4:
+				// Padded tail rows: whole trailing lanes zero.
+			default:
+				for c := 0; c < w3; c++ {
+					gOut[b*w3+c] = rng.NormFloat64()
+				}
+			}
+		}
+		gXw := make([]float64, zu*w1)
+		gYw := make([]float64, zu*w2)
+		for i := range gXw {
+			gXw[i] = rng.NormFloat64()
+		}
+		for i := range gYw {
+			gYw[i] = rng.NormFloat64()
+		}
+		gXb := append([]float64(nil), gXw...)
+		gYb := append([]float64(nil), gYw...)
+
+		BackwardFusedEntries(gXw, gYw, x, y, gOut, zu, w1, w2, w3, fused)
+		BackwardFusedEntriesBlocked(gXb, gYb, x, y, gOut, zu, w1, w2, w3, fused)
+		for i := range gXw {
+			if math.Float64bits(gXw[i]) != math.Float64bits(gXb[i]) {
+				t.Fatalf("zu=%d gX elem %d: blocked %x, want %x", zu, i, gXb[i], gXw[i])
+			}
+		}
+		for i := range gYw {
+			if math.Float64bits(gYw[i]) != math.Float64bits(gYb[i]) {
+				t.Fatalf("zu=%d gY elem %d: blocked %x, want %x", zu, i, gYb[i], gYw[i])
+			}
+		}
+	}
+}
+
+func BenchmarkContractKernels(b *testing.B) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	tp := NewTensorProduct(FullIrreps(2), SphericalIrreps(2), FullIrreps(2))
+	weights := make([]float64, tp.NumPaths())
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	fused := tp.FlattenInto(nil, weights)
+	packed := PackEntries32(nil, fused)
+	sorted := append([]TPEntry(nil), fused...)
+	SortEntriesByC(sorted)
+	sorted32 := append([]TPEntry32(nil), packed...)
+	SortEntries32ByC(sorted32)
+
+	w1, w2, w3 := tp.In1.Width, tp.In2.Width, tp.Out.Width
+	// Production scale: one chunk's pair rows times the channel width.
+	zu := 256 * 64
+	x := make([]float64, zu*w1)
+	y := make([]float64, zu*w2)
+	out := make([]float64, zu*w3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+
+	b.Run("ref32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ContractEntries32(out, x, y, zu, w1, w2, w3, packed, true)
+		}
+	})
+	b.Run("blocked32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ContractEntries32Blocked(out, x, y, zu, w1, w2, w3, sorted32, true)
+		}
+	})
+	gOut := make([]float64, zu*w3)
+	gX := make([]float64, zu*w1)
+	gY := make([]float64, zu*w2)
+	for i := range gOut {
+		gOut[i] = rng.NormFloat64()
+	}
+	b.Run("backRef", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BackwardFusedEntries(gX, gY, x, y, gOut, zu, w1, w2, w3, fused)
+		}
+	})
+	b.Run("backBlocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BackwardFusedEntriesBlocked(gX, gY, x, y, gOut, zu, w1, w2, w3, fused)
+		}
+	})
+	b.Run("ref64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			ContractEntries(out, x, y, zu, w1, w2, w3, fused, tensor.F64)
+		}
+	})
+	b.Run("blocked64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			ContractEntriesBlocked(out, x, y, zu, w1, w2, w3, sorted)
+		}
+	})
+}

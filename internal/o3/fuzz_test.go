@@ -1,0 +1,108 @@
+package o3
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzContractBlocked drives the batched contraction kernels — forward F64,
+// forward narrow (F32/TF32), and the fused backward — against the unblocked
+// references bit for bit over fuzzer-chosen synthetic tables. Tables draw
+// A/B/C from small ranges so duplicate C values (the stable-sort
+// order-preservation case) and repeated A/B slots (backward RMW chains) occur
+// densely, in adversarial interleavings no real CG table produces. Zero
+// gradient rows exercise the reference's skip path against the blocked
+// kernel's ±0-addend equivalence.
+func FuzzContractBlocked(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(3), uint8(4), uint8(5), uint8(20))
+	f.Add(uint64(2), uint8(8), uint8(9), uint8(9), uint8(9), uint8(60))
+	f.Add(uint64(3), uint8(17), uint8(2), uint8(2), uint8(2), uint8(7))
+	f.Add(uint64(4), uint8(24), uint8(30), uint8(30), uint8(30), uint8(120))
+	f.Add(uint64(5), uint8(9), uint8(1), uint8(5), uint8(1), uint8(11))
+	f.Fuzz(func(t *testing.T, seed uint64, zuRaw, w1Raw, w2Raw, w3Raw, entRaw uint8) {
+		zu := int(zuRaw)%33 + 1
+		w1 := int(w1Raw)%contractMaxWidth + 1
+		w2 := int(w2Raw)%contractMaxWidth + 1
+		w3 := int(w3Raw)%contractMaxWidth + 1
+		nEnt := int(entRaw)%160 + 1
+		rng := rand.New(rand.NewPCG(seed, 0x243F6A88))
+
+		table := make([]TPEntry, nEnt)
+		for i := range table {
+			table[i] = TPEntry{
+				A: rng.IntN(w1),
+				B: rng.IntN(w2),
+				C: rng.IntN(w3),
+				W: rng.NormFloat64(),
+			}
+		}
+		packed := PackEntries32(nil, table)
+		sorted := append([]TPEntry(nil), table...)
+		SortEntriesByC(sorted)
+		sorted32 := append([]TPEntry32(nil), packed...)
+		SortEntries32ByC(sorted32)
+
+		x := make([]float64, zu*w1)
+		y := make([]float64, zu*w2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+
+		bitCheck := func(name string, want, got []float64) {
+			t.Helper()
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("%s elem %d: %x, want %x", name, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Forward F64 accumulates onto a nonzero running output.
+		want := make([]float64, zu*w3)
+		got := make([]float64, zu*w3)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+			got[i] = want[i]
+		}
+		ContractEntries(want, x, y, zu, w1, w2, w3, table, tensor.F64)
+		ContractEntriesBlocked(got, x, y, zu, w1, w2, w3, sorted)
+		bitCheck("forward64", want, got)
+
+		for _, tf32 := range []bool{false, true} {
+			ContractEntries32(want, x, y, zu, w1, w2, w3, packed, tf32)
+			ContractEntries32Blocked(got, x, y, zu, w1, w2, w3, sorted32, tf32)
+			bitCheck("forward32", want, got)
+		}
+
+		// Backward over the unsorted table, with zero-gradient rows mixed in.
+		gOut := make([]float64, zu*w3)
+		for b := 0; b < zu; b++ {
+			if rng.IntN(4) == 0 {
+				continue // whole zero row
+			}
+			for c := 0; c < w3; c++ {
+				gOut[b*w3+c] = rng.NormFloat64()
+			}
+		}
+		gXw := make([]float64, zu*w1)
+		gYw := make([]float64, zu*w2)
+		for i := range gXw {
+			gXw[i] = rng.NormFloat64()
+		}
+		for i := range gYw {
+			gYw[i] = rng.NormFloat64()
+		}
+		gXb := append([]float64(nil), gXw...)
+		gYb := append([]float64(nil), gYw...)
+		BackwardFusedEntries(gXw, gYw, x, y, gOut, zu, w1, w2, w3, table)
+		BackwardFusedEntriesBlocked(gXb, gYb, x, y, gOut, zu, w1, w2, w3, table)
+		bitCheck("backwardGX", gXw, gXb)
+		bitCheck("backwardGY", gYw, gYb)
+	})
+}

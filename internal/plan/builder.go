@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/tensor"
+	"repro/internal/tensor/kern"
 )
 
 // Builder records one forward pass into a Program: each method mirrors the
@@ -246,20 +247,31 @@ func (b *Builder) Finish() *Program {
 	f32Exact := p.compute != tensor.F64 && p.store == tensor.F32
 
 	direct := map[int]int{} // grad offset -> region length, skipped in the pre-clear
+	tile64Len := 0          // F64 tile-fusion buffer: tileRows times the widest fused k
 	for i := range p.ops {
 		o := &p.ops[i]
 		switch o.kind {
 		case opTP:
 			o.noQuant = f32Exact
 		case opSiLU:
-			// SiLU→Linear fusion (narrow compute only): the activation goes
-			// straight into the matmul's operand buffer when the linear is
-			// its sole consumer.
-			if p.compute != tensor.F64 && i+1 < len(p.ops) &&
+			// SiLU→Linear fusion: the activation goes straight into the
+			// matmul's operand path when the linear is its sole consumer.
+			// Under narrow compute both kernel sets fuse (whole-slab fill for
+			// the reference kernels, tile streaming for kern); under F64 only
+			// the kern tile path can (the reference F64 matmul reads the
+			// SiLU's slab output), so the flag is separate and the unfused
+			// records stay fully functional.
+			if i+1 < len(p.ops) &&
 				p.ops[i+1].kind == opLinear && p.ops[i+1].x.Off == o.out.Off &&
 				uses[o.out.GOff] == 1 {
-				o.fused = true
-				p.ops[i+1].fused = true
+				if p.compute != tensor.F64 {
+					o.fused = true
+					p.ops[i+1].fused = true
+				} else {
+					o.fuse64 = true
+					p.ops[i+1].fuse64 = true
+				}
+				p.ops[i+1].sx = o.x
 			}
 		case opLinear:
 			o.noQuant = f32Exact // only consulted on the bias-free path
@@ -276,8 +288,17 @@ func (b *Builder) Finish() *Program {
 			if p.compute != tensor.F64 {
 				o.rw = make([]float32, len(o.wT.Data))
 				tensor.RoundSliceTo(o.rw, o.wT.Data, p.compute)
+				o.pw = kern.PackPanelB32(o.rw, o.n, o.k)
+			} else {
+				o.pw64 = kern.PackPanelB64(o.wT.Data, o.n, o.k)
+				if o.fuse64 && tileRows*o.k > tile64Len {
+					tile64Len = tileRows * o.k
+				}
 			}
 		}
+	}
+	if tile64Len > 0 {
+		p.tile64 = make([]float64, tile64Len)
 	}
 	p.gradZero = complementSpans(len(p.grad), direct)
 

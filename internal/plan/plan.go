@@ -27,9 +27,11 @@ package plan
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/o3"
 	"repro/internal/tensor"
+	"repro/internal/tensor/kern"
 )
 
 // Reg is a register of the plan: a span of the forward slab and, for
@@ -52,6 +54,13 @@ type Inputs struct {
 	Scale   float64          // model energy scale sigma
 	Fused   [][]o3.TPEntry   // per-layer weight-folded TP entry tables
 	Fused32 [][]o3.TPEntry32 // packed form (required for narrow compute)
+	// FusedS / Fused32S are stable C-sorted copies of the tables above, the
+	// operand form of the blocked forward contraction kernels (the backward
+	// always walks the unsorted path-major tables — sorting would reorder the
+	// gX/gY accumulation). When nil, the forward falls back to the unblocked
+	// kernels; results are bit-identical either way.
+	FusedS   [][]o3.TPEntry
+	Fused32S [][]o3.TPEntry32
 }
 
 // opKind enumerates the fused op records. The executor dispatches with a
@@ -91,6 +100,8 @@ type op struct {
 	xT, outT, wT, scrT, goutT *tensor.Tensor
 	bias                      []float64
 	rw                        []float32 // pre-rounded weights (narrow compute)
+	pw                        []float32 // rw repacked into kern column panels
+	pw64                      []float64 // F64 weights repacked into kern panels
 	m, k, n                   int       // batch, in, out
 
 	rows, c, last, lo int  // broadcast / slice / gather dims
@@ -110,8 +121,18 @@ type op struct {
 	// float32 operand buffer (its f64 slab value is dead — inference
 	// backward reads only the SiLU *input*), and the linear skips its
 	// operand rounding pass. The value chain (activation → store round →
-	// tile-load round) is unchanged, element for element.
+	// tile-load round) is unchanged, element for element. With the kern
+	// kernels the pair goes further: the SiLU record becomes a no-op and the
+	// linear streams the activation tile by tile (tileRows rows of sx at a
+	// time) through a hot operand buffer into the packed-panel matmul.
 	fused bool
+	// fuse64 is the F64-compute form of the same pairing, legal only with
+	// the kern kernels (the reference F64 matmul reads the SiLU's slab
+	// output, so under refKernels the pair runs unfused as before).
+	fuse64 bool
+	// sx is the SiLU input register of a fused pair — the operand the
+	// linear's tile loop activates from.
+	sx Reg
 
 	alpha  float64 // scale constant / env-sum normalization
 	finalQ bool    // apply the Final-precision rounding after the op
@@ -143,8 +164,16 @@ type Program struct {
 	// fully overwrite.
 	gradZero []span
 
-	f32a []float32 // activation rounding scratch (narrow matmuls)
-	bwd  []float64 // linear-backward matmul scratch
+	f32a   []float32 // activation rounding scratch (narrow matmuls)
+	tile64 []float64 // F64 tile-fusion operand buffer (fuse64 linears)
+	bwd    []float64 // linear-backward matmul scratch
+
+	// refKernels switches replay back to the pre-kern reference kernels
+	// (unpacked matmuls, unblocked contractions, whole-slab SiLU fusion).
+	// Both settings produce bit-identical results; the toggle exists so the
+	// BENCH_simd harness can measure reference vs kern on the same machine
+	// and plan.
+	refKernels bool
 
 	sphBuf  []float64
 	sphGBuf [][3]float64
@@ -181,10 +210,21 @@ func (p *Program) SlabFloats() int { return len(p.slab) + len(p.grad) }
 // NumOps returns the number of fused op records (diagnostics/tests).
 func (p *Program) NumOps() int { return len(p.ops) }
 
-// Execute replays the plan for one set of inputs: fills the input registers,
-// runs the forward records in order, then the analytic backward in reverse.
-// It performs no heap allocations.
-func (p *Program) Execute(in *Inputs) {
+// SetRefKernels selects between the kern microkernels (false, the default)
+// and the pre-kern reference kernels (true). The two settings are
+// bit-identical; see the refKernels field.
+func (p *Program) SetRefKernels(v bool) { p.refKernels = v }
+
+// tileRows is the activation tile height of the fused SiLU→Linear streaming
+// path: the linear activates tileRows rows of its SiLU input into a hot
+// operand buffer and hands them to the packed row kernel at full register-
+// tile height. Small enough that buffer plus panel stay cache-resident,
+// large enough to amortize the panel sweep.
+const tileRows = 32
+
+// prepare clears the accumulating spans and fills the input registers: pair
+// displacements and the species one-hot.
+func (p *Program) prepare(in *Inputs) {
 	for _, s := range p.gradZero {
 		clear(p.grad[s.off : s.off+s.n])
 	}
@@ -192,7 +232,6 @@ func (p *Program) Execute(in *Inputs) {
 		clear(p.slab[s.off : s.off+s.n])
 	}
 
-	// Input registers: pair displacements and the species one-hot.
 	rv := p.slab[p.rvec.Off : p.rvec.Off+p.rvec.N]
 	for i, v := range in.Vec {
 		rv[3*i] = v[0]
@@ -207,13 +246,79 @@ func (p *Program) Execute(in *Inputs) {
 			oh[z*w+p.species+in.TJ[z]] = 1
 		}
 	}
+}
 
+// Execute replays the plan for one set of inputs: fills the input registers,
+// runs the forward records in order, then the analytic backward in reverse.
+// It performs no heap allocations.
+func (p *Program) Execute(in *Inputs) {
+	p.prepare(in)
 	for i := range p.ops {
 		p.forward(&p.ops[i], in)
 	}
 	for i := len(p.ops) - 1; i >= 0; i-- {
 		p.backward(&p.ops[i], in)
 	}
+}
+
+// KernelProfile is a per-kernel-class wall-time breakdown of one or more
+// replays, accumulated by ExecuteProfiled (the allegro-bench -kernels
+// instrumentation).
+type KernelProfile struct {
+	Linear  time.Duration // forward matmuls (incl. fused activation tiles)
+	TP      time.Duration // forward tensor-product contractions
+	BwdLin  time.Duration // backward matmuls
+	BwdTP   time.Duration // backward contractions
+	EnvRows time.Duration // env scatter/gather + outer-mul rows (fwd+bwd)
+	Radial  time.Duration // norm/cutoff/Bessel/spherical rows (fwd+bwd)
+	Other   time.Duration // everything else (broadcasts, copies, reductions)
+	Replays int
+}
+
+// Total returns the summed kernel time of the profile.
+func (kp *KernelProfile) Total() time.Duration {
+	return kp.Linear + kp.TP + kp.BwdLin + kp.BwdTP + kp.EnvRows + kp.Radial + kp.Other
+}
+
+func (kp *KernelProfile) add(kind opKind, fwd bool, d time.Duration) {
+	switch kind {
+	case opLinear, opSiLU:
+		if fwd {
+			kp.Linear += d
+		} else {
+			kp.BwdLin += d
+		}
+	case opTP:
+		if fwd {
+			kp.TP += d
+		} else {
+			kp.BwdTP += d
+		}
+	case opEnvSum, opGather, opOuterMul:
+		kp.EnvRows += d
+	case opNorm, opPolyCutoff, opBessel, opSphHarm:
+		kp.Radial += d
+	default:
+		kp.Other += d
+	}
+}
+
+// ExecuteProfiled is Execute with per-op timing folded into kp. The timer
+// calls add measurable overhead on the smallest ops, so it is a diagnostic
+// entry point, not the hot path.
+func (p *Program) ExecuteProfiled(in *Inputs, kp *KernelProfile) {
+	p.prepare(in)
+	for i := range p.ops {
+		t0 := time.Now()
+		p.forward(&p.ops[i], in)
+		kp.add(p.ops[i].kind, true, time.Since(t0))
+	}
+	for i := len(p.ops) - 1; i >= 0; i-- {
+		t0 := time.Now()
+		p.backward(&p.ops[i], in)
+		kp.add(p.ops[i].kind, false, time.Since(t0))
+	}
+	kp.Replays++
 }
 
 // fwdOf returns the forward values of a register.
@@ -234,6 +339,64 @@ func quant(xs []float64, q tensor.Precision) {
 	default:
 		for i, v := range xs {
 			xs[i] = tensor.RoundTF32(v)
+		}
+	}
+}
+
+// siluRound32 fills a narrow-compute matmul operand buffer with the fused
+// SiLU→Linear activation chain: SiLU, then the store rounding, then the
+// tile-load rounding, collapsed into one specialized loop per precision
+// pair. Shared by the reference (whole-slab, fast=false: the pre-kern branchy
+// rounder) and kern (tile-streamed, fast=true: the bit-identical branch-free
+// RoundTF32Fast) fusion paths, so the per-element values agree by
+// construction either way.
+func siluRound32(ra []float32, x []float64, compute, store tensor.Precision, fast bool) {
+	switch {
+	case compute == tensor.TF32 && store == tensor.F32:
+		if fast {
+			for i, v := range x {
+				ra[i] = float32(tensor.RoundTF32Fast(float64(float32(v / (1 + math.Exp(-v))))))
+			}
+		} else {
+			for i, v := range x {
+				ra[i] = float32(tensor.RoundTF32(float64(float32(v / (1 + math.Exp(-v))))))
+			}
+		}
+	case store == tensor.TF32 || compute == tensor.TF32:
+		// TF32 storage followed by any tile rounding, and TF32 tiles over
+		// unrounded (F64) storage, both collapse to a single TF32 projection
+		// (idempotent).
+		if fast {
+			for i, v := range x {
+				ra[i] = float32(tensor.RoundTF32Fast(v / (1 + math.Exp(-v))))
+			}
+		} else {
+			for i, v := range x {
+				ra[i] = float32(tensor.RoundTF32(v / (1 + math.Exp(-v))))
+			}
+		}
+	default: // F32 tiles over F32 or F64 storage: one conversion does both
+		for i, v := range x {
+			ra[i] = float32(v / (1 + math.Exp(-v)))
+		}
+	}
+}
+
+// siluQuant64 is the F64-compute form: SiLU followed by the store rounding,
+// exactly the value the unfused opSiLU leaves in its slab register.
+func siluQuant64(dst []float64, x []float64, store tensor.Precision) {
+	switch store {
+	case tensor.F64:
+		for i, v := range x {
+			dst[i] = v / (1 + math.Exp(-v))
+		}
+	case tensor.F32:
+		for i, v := range x {
+			dst[i] = float64(float32(v / (1 + math.Exp(-v))))
+		}
+	default:
+		for i, v := range x {
+			dst[i] = tensor.RoundTF32(v / (1 + math.Exp(-v)))
 		}
 	}
 }
@@ -341,13 +504,54 @@ func (p *Program) forward(o *op, in *Inputs) {
 		y := p.fwdOf(o.out)
 		switch p.compute {
 		case tensor.F64:
-			tensor.MatMulTInto(o.outT, o.xT, o.wT, tensor.F64)
-		default:
-			ra := p.f32a[:o.m*o.k]
-			if !o.fused { // fused: the preceding SiLU already filled ra
-				tensor.RoundSliceTo(ra, p.fwdOf(o.x), p.compute)
+			switch {
+			case p.refKernels || o.pw64 == nil:
+				tensor.MatMulTInto(o.outT, o.xT, o.wT, tensor.F64)
+			case o.fuse64:
+				// Tile-fused SiLU→Linear: activate tileRows rows of the SiLU
+				// input at a time into the hot buffer and run them at full
+				// register-tile height. Per-row results are independent, so
+				// tiling doesn't change any output bit.
+				x := p.fwdOf(o.sx)
+				for i0 := 0; i0 < o.m; i0 += tileRows {
+					rows := o.m - i0
+					if rows > tileRows {
+						rows = tileRows
+					}
+					buf := p.tile64[:rows*o.k]
+					siluQuant64(buf, x[i0*o.k:(i0+rows)*o.k], p.store)
+					kern.MatMulTPacked64Rows(y, buf, o.pw64, i0, rows, o.k, o.n)
+				}
+			default:
+				kern.MatMulTPacked64(y, p.fwdOf(o.x), o.pw64, o.m, o.k, o.n)
 			}
-			tensor.MatMulTRounded(y, ra, o.rw, o.m, o.k, o.n)
+		default:
+			switch {
+			case p.refKernels || o.pw == nil:
+				ra := p.f32a[:o.m*o.k]
+				if !o.fused { // fused: the preceding SiLU already filled ra
+					tensor.RoundSliceTo(ra, p.fwdOf(o.x), p.compute)
+				}
+				tensor.MatMulTRounded(y, ra, o.rw, o.m, o.k, o.n)
+			case o.fused:
+				// Same tile streaming as the F64 branch, with the fused pair's
+				// store-then-compute rounding applied per tile (identical
+				// per-element value chain to the whole-slab fill).
+				x := p.fwdOf(o.sx)
+				for i0 := 0; i0 < o.m; i0 += tileRows {
+					rows := o.m - i0
+					if rows > tileRows {
+						rows = tileRows
+					}
+					buf := p.f32a[:rows*o.k]
+					siluRound32(buf, x[i0*o.k:(i0+rows)*o.k], p.compute, p.store, true)
+					kern.MatMulTPacked32Rows(y, buf, o.pw, i0, rows, o.k, o.n)
+				}
+			default:
+				ra := p.f32a[:o.m*o.k]
+				tensor.RoundSliceToFast(ra, p.fwdOf(o.x), p.compute)
+				kern.MatMulTPacked32(y, ra, o.pw, o.m, o.k, o.n)
+			}
 		}
 		if o.bias != nil {
 			// Bias add fused with the store rounding in one pass: the tape's
@@ -382,28 +586,19 @@ func (p *Program) forward(o *op, in *Inputs) {
 
 	case opSiLU:
 		x := p.fwdOf(o.x)
+		if o.fuse64 && !p.refKernels {
+			// The following linear streams this activation through its row
+			// tiles; nothing to do here.
+			return
+		}
 		if o.fused {
-			// Fused into the following matmul: emit the store-rounded then
-			// tile-rounded float32 operands directly, one specialized loop
-			// per precision pair.
-			ra := p.f32a[:len(x)]
-			switch {
-			case p.compute == tensor.TF32 && p.store == tensor.F32:
-				for i, v := range x {
-					ra[i] = float32(tensor.RoundTF32(float64(float32(v / (1 + math.Exp(-v))))))
-				}
-			case p.store == tensor.TF32 || p.compute == tensor.TF32:
-				// TF32 storage followed by any tile rounding, and TF32 tiles
-				// over unrounded (F64) storage, both collapse to a single
-				// TF32 projection (idempotent).
-				for i, v := range x {
-					ra[i] = float32(tensor.RoundTF32(v / (1 + math.Exp(-v))))
-				}
-			default: // F32 tiles over F32 or F64 storage: one conversion does both
-				for i, v := range x {
-					ra[i] = float32(v / (1 + math.Exp(-v)))
-				}
+			if !p.refKernels {
+				// Tile-streamed by the following linear.
+				return
 			}
+			// Reference form of the fusion: emit the store-rounded then
+			// tile-rounded float32 operands for the whole slab at once.
+			siluRound32(p.f32a[:len(x)], x, p.compute, p.store, false)
 			return
 		}
 		y := p.fwdOf(o.out)
@@ -468,13 +663,25 @@ func (p *Program) forward(o *op, in *Inputs) {
 	case opTP:
 		out := p.fwdOf(o.out)
 		if p.compute == tensor.F64 {
-			// Pre-zeroed: the F64 contraction accumulates in place.
-			o3.ContractEntries(out, p.fwdOf(o.x), p.fwdOf(o.y),
-				o.zu, o.w1, o.w2, o.w3, in.Fused[o.layer], tensor.F64)
+			if !p.refKernels && in.FusedS != nil {
+				// Batched over BBLK pair-channel blocks per table sweep; the
+				// stable C-sort keeps every accumulator's addend order.
+				o3.ContractEntriesBlocked(out, p.fwdOf(o.x), p.fwdOf(o.y),
+					o.zu, o.w1, o.w2, o.w3, in.FusedS[o.layer])
+			} else {
+				// Pre-zeroed: the F64 contraction accumulates in place.
+				o3.ContractEntries(out, p.fwdOf(o.x), p.fwdOf(o.y),
+					o.zu, o.w1, o.w2, o.w3, in.Fused[o.layer], tensor.F64)
+			}
 		} else {
-			// Fully overwrites each block (no pre-zero), packed weights.
-			o3.ContractEntries32(out, p.fwdOf(o.x), p.fwdOf(o.y),
-				o.zu, o.w1, o.w2, o.w3, in.Fused32[o.layer], p.compute == tensor.TF32)
+			if !p.refKernels && in.Fused32S != nil {
+				o3.ContractEntries32Blocked(out, p.fwdOf(o.x), p.fwdOf(o.y),
+					o.zu, o.w1, o.w2, o.w3, in.Fused32S[o.layer], p.compute == tensor.TF32)
+			} else {
+				// Fully overwrites each block (no pre-zero), packed weights.
+				o3.ContractEntries32(out, p.fwdOf(o.x), p.fwdOf(o.y),
+					o.zu, o.w1, o.w2, o.w3, in.Fused32[o.layer], p.compute == tensor.TF32)
+			}
 		}
 		if !o.noQuant {
 			quant(out, p.store)
@@ -662,8 +869,13 @@ func (p *Program) backward(o *op, in *Inputs) {
 	case opLinear:
 		// gx += g W, mirroring linearOp's two-phase accumulate; when the
 		// input has a single consumer, scrT aliases the gradient region and
-		// the add pass (0 + s == s) is gone.
-		tensor.MatMulInto(o.scrT, o.goutT, o.wT, tensor.F64)
+		// the add pass (0 + s == s) is gone. The kern path shares each W row
+		// across four gradient rows (bit-identical — see MatMulBlocked64).
+		if !p.refKernels {
+			kern.MatMulBlocked64(o.scrT.Data, o.goutT.Data, o.wT.Data, o.m, o.n, o.k)
+		} else {
+			tensor.MatMulInto(o.scrT, o.goutT, o.wT, tensor.F64)
+		}
 		if !o.direct {
 			gx := p.gradOf(o.x)
 			for i, v := range o.scrT.Data {
@@ -750,9 +962,18 @@ func (p *Program) backward(o *op, in *Inputs) {
 		}
 
 	case opTP:
-		o3.BackwardFusedEntries(p.gradOf(o.x), p.gradOf(o.y),
-			p.fwdOf(o.x), p.fwdOf(o.y), p.gradOf(o.out),
-			o.zu, o.w1, o.w2, o.w3, in.Fused[o.layer])
+		if !p.refKernels {
+			// Batched over BBLK blocks per sweep of the same *unsorted*
+			// path-major table the reference walks (the backward must not
+			// sort — see BackwardFusedEntriesBlocked).
+			o3.BackwardFusedEntriesBlocked(p.gradOf(o.x), p.gradOf(o.y),
+				p.fwdOf(o.x), p.fwdOf(o.y), p.gradOf(o.out),
+				o.zu, o.w1, o.w2, o.w3, in.Fused[o.layer])
+		} else {
+			o3.BackwardFusedEntries(p.gradOf(o.x), p.gradOf(o.y),
+				p.fwdOf(o.x), p.fwdOf(o.y), p.gradOf(o.out),
+				o.zu, o.w1, o.w2, o.w3, in.Fused[o.layer])
+		}
 
 	case opSlice:
 		g := p.gradOf(o.out)

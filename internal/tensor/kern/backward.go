@@ -1,0 +1,64 @@
+package kern
+
+// MatMulBlocked64 computes c[m,n] = a[m,k] * b[k,n] in full float64 with
+// four output rows sharing each streamed b row — the backward-linear kernel
+// of the compiled plans (gx = g·W). It is bit-identical to tensor's
+// reference ikj loop (matMulF64) for finite operands:
+//
+//   - Each output c[i,j] accumulates av_l * b[l,j] in ascending-l order
+//     through its own accumulator, exactly the reference order; row blocking
+//     only interleaves independent chains and shares the b[l,:] loads.
+//
+//   - The reference skips a row's rank-1 update when a[i,l] == 0. Here an l
+//     step is skipped only when all four row values are zero; a zero lane in
+//     an otherwise-live step contributes exact ±0 products. Round-to-nearest
+//     addition of ±0 never changes a finite accumulator that is not -0, and
+//     these accumulators start at +0 and can never become -0 (an RN sum
+//     yields -0 only from an all-(-0) addend chain, which the +0 start
+//     precludes) — so the extra ±0 addends leave every result bit unchanged.
+//     Gradient rows zeroed by pair padding still skip whole steps, which is
+//     where the reference branch earns its keep (see the skip-zero benchmark
+//     notes in tensor/matmul.go).
+func MatMulBlocked64(c, a, b []float64, m, k, n int) {
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		c0 := c[(i+0)*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		c2 := c[(i+2)*n : (i+3)*n]
+		c3 := c[(i+3)*n : (i+4)*n]
+		clear(c0)
+		clear(c1)
+		clear(c2)
+		clear(c3)
+		for l := 0; l < k; l++ {
+			av0 := a[(i+0)*k+l]
+			av1 := a[(i+1)*k+l]
+			av2 := a[(i+2)*k+l]
+			av3 := a[(i+3)*k+l]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n : (l+1)*n]
+			for j, bv := range bl {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		clear(ci)
+		for l := 0; l < k; l++ {
+			av := a[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n : (l+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}

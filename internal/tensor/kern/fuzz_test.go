@@ -1,0 +1,135 @@
+package kern_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/tensor/kern"
+)
+
+// FuzzMatMulTPacked drives the packed register-blocked kernels against the
+// reference kernels bit for bit over fuzzer-chosen shapes, data seeds, and
+// precisions, including the tile-streamed Rows entry points and scattered
+// zeros in the activation operand. Run with `go test -fuzz FuzzMatMulTPacked`
+// to explore; the committed corpus pins ragged tails, degenerate dims, and
+// each precision as regression seeds.
+func FuzzMatMulTPacked(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1), uint64(1), uint8(0))
+	f.Add(uint8(4), uint8(8), uint8(4), uint64(2), uint8(1))
+	f.Add(uint8(5), uint8(7), uint8(9), uint64(3), uint8(2))
+	f.Add(uint8(33), uint8(17), uint8(3), uint64(4), uint8(2))
+	f.Add(uint8(16), uint8(64), uint8(64), uint64(5), uint8(0))
+	f.Fuzz(func(t *testing.T, mRaw, kRaw, nRaw uint8, seed uint64, precRaw uint8) {
+		m := int(mRaw)%40 + 1
+		k := int(kRaw)%70 + 1
+		n := int(nRaw)%70 + 1
+		rng := rand.New(rand.NewPCG(seed, 0x9E3779B9))
+		a := make([]float64, m*k)
+		b := make([]float64, n*k)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			if rng.IntN(11) == 0 {
+				a[i] = 0
+			}
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+
+		switch precRaw % 3 {
+		case 0: // F64: packed whole and tile-streamed vs the reference.
+			want := make([]float64, m*n)
+			refMatMulT(want, a, b, m, k, n)
+			pb := kern.PackPanelB64(b, n, k)
+			got := make([]float64, m*n)
+			kern.MatMulTPacked64(got, a, pb, m, k, n)
+			diffCheck(t, "packed64", want, got)
+			clear(got)
+			buf := make([]float64, kern.MR*k)
+			for i0 := 0; i0 < m; i0 += kern.MR {
+				rows := min(kern.MR, m-i0)
+				copy(buf[:rows*k], a[i0*k:(i0+rows)*k])
+				kern.MatMulTPacked64Rows(got, buf[:rows*k], pb, i0, rows, k, n)
+			}
+			diffCheck(t, "packed64rows", want, got)
+		default:
+			p := tensor.F32
+			if precRaw%3 == 2 {
+				p = tensor.TF32
+			}
+			ra := make([]float32, m*k)
+			rb := make([]float32, n*k)
+			tensor.RoundSliceTo(ra, a, p)
+			tensor.RoundSliceTo(rb, b, p)
+			want := make([]float64, m*n)
+			tensor.MatMulTRounded(want, ra, rb, m, k, n)
+			pb := kern.PackPanelB32(rb, n, k)
+			got := make([]float64, m*n)
+			kern.MatMulTPacked32(got, ra, pb, m, k, n)
+			diffCheck(t, "packed32", want, got)
+			clear(got)
+			buf := make([]float32, kern.MR*k)
+			for i0 := 0; i0 < m; i0 += kern.MR {
+				rows := min(kern.MR, m-i0)
+				copy(buf[:rows*k], ra[i0*k:(i0+rows)*k])
+				kern.MatMulTPacked32Rows(got, buf[:rows*k], pb, i0, rows, k, n)
+			}
+			diffCheck(t, "packed32rows", want, got)
+		}
+	})
+}
+
+// FuzzMatMulBlocked64 checks the four-row-blocked backward matmul against
+// the skip-zero ikj reference over fuzzed shapes and zero patterns (whole
+// zero rows and scattered zero elements — the ±0-addend equivalence the
+// kernel's doc comment argues).
+func FuzzMatMulBlocked64(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1), uint64(1), uint8(0))
+	f.Add(uint8(8), uint8(9), uint8(5), uint64(2), uint8(3))
+	f.Add(uint8(13), uint8(64), uint8(64), uint64(3), uint8(5))
+	f.Add(uint8(32), uint8(3), uint8(17), uint64(4), uint8(255))
+	f.Fuzz(func(t *testing.T, mRaw, kRaw, nRaw uint8, seed uint64, zeroRaw uint8) {
+		m := int(mRaw)%40 + 1
+		k := int(kRaw)%70 + 1
+		n := int(nRaw)%70 + 1
+		rng := rand.New(rand.NewPCG(seed, 0x1D872B41))
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		// zeroRaw picks a zero pattern density for A: 0 = dense, otherwise
+		// roughly zeroRaw/32 rows zeroed plus scattered elements.
+		if zeroRaw > 0 {
+			for i := 0; i < m; i++ {
+				if rng.IntN(256) < int(zeroRaw) {
+					clear(a[i*k : (i+1)*k])
+				}
+			}
+			for i := range a {
+				if rng.IntN(256) < int(zeroRaw)/2 {
+					a[i] = 0
+				}
+			}
+		}
+		want := make([]float64, m*n)
+		got := make([]float64, m*n)
+		refMatMul(want, a, b, m, k, n)
+		kern.MatMulBlocked64(got, a, b, m, k, n)
+		diffCheck(t, "blocked64", want, got)
+	})
+}
+
+func diffCheck(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s elem %d: %x, want %x", name, i, got[i], want[i])
+		}
+	}
+}

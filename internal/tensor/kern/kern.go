@@ -1,0 +1,106 @@
+// Package kern provides the register-blocked, cache-aware CPU microkernels
+// that run under the compiled inference plans (internal/plan). The plans
+// retired dispatch and allocation from the MD hot path; what remained was the
+// scalar shape of the inner loops themselves — one sequential accumulator per
+// output element (a latency-bound dependency chain), strided reads of the
+// B^T operand, and per-call work on operands that are frozen at plan-compile
+// time. kern attacks exactly that layer, the way the paper's custom fused
+// tensor-product kernels do on the GPU:
+//
+//   - Register blocking: MatMulTPacked32/64 compute MR x NR output tiles with
+//     one *independent* sequential accumulator per output, so MR*NR
+//     multiply-add chains are in flight instead of one. Each individual
+//     output still sums its k products in ascending-l order — the exact
+//     summation order of the reference kernels (tensor.MatMulTRounded,
+//     tensor's F64 A*B^T loop) — so results are bit-identical; only the
+//     interleaving between independent outputs changes.
+//
+//   - Packed weight panels: the weight operand of every plan matmul is frozen
+//     (and, under narrow compute, pre-rounded) at plan-compile time, so
+//     PackPanelB32/64 repack it once into j-major panels of NR columns. The
+//     inner loop then streams one contiguous panel instead of NR separate
+//     rows, and the panel's zero-padded tail columns let every tile run at
+//     full register width (padded lanes are computed and discarded, never
+//     stored).
+//
+// The kernels are pure Go in two forms: an amd64 build (unrolled 4x4 tiles,
+// written so the flat float32/float64 slice operations compile well under
+// GOAMD64=v3) and a portable fallback with identical per-output accumulation
+// order. Both are exercised by the differential fuzz harness in this package
+// against the tensor reference kernels.
+package kern
+
+// Register-tile geometry. MR rows by NR columns gives MR*NR independent
+// accumulators — enough instruction-level parallelism to hide FMA latency —
+// while staying within the amd64 floating-point register file alongside the
+// MR row values and NR panel values of each step.
+const (
+	MR = 4
+	NR = 4
+)
+
+// PanelLen returns the packed-panel buffer length for an [n,k] weight
+// matrix: n rounded up to a multiple of NR, times k.
+func PanelLen(n, k int) int { return (n + NR - 1) / NR * NR * k }
+
+// PackPanelB32 packs a pre-rounded [n,k] row-major weight matrix — the B
+// operand of C = A*B^T — into j-major panels: panel p holds, for each l in
+// [0,k), the NR consecutive values B[p*NR+0..p*NR+NR-1, l]. Columns past n
+// are zero (their products are computed into dead accumulator lanes and
+// never stored). Packing is a pure permutation of the already-rounded
+// values, so the multiplied operands are bit-identical to the unpacked
+// kernel's.
+func PackPanelB32(b []float32, n, k int) []float32 {
+	dst := make([]float32, PanelLen(n, k))
+	packPanels(dst, b, n, k)
+	return dst
+}
+
+// PackPanelB64 is PackPanelB32 for float64 weights (the F64 compute path).
+func PackPanelB64(b []float64, n, k int) []float64 {
+	dst := make([]float64, PanelLen(n, k))
+	packPanels(dst, b, n, k)
+	return dst
+}
+
+func packPanels[F float32 | float64](dst, b []F, n, k int) {
+	for p := 0; p*NR < n; p++ {
+		panel := dst[p*NR*k : (p+1)*NR*k]
+		for l := 0; l < k; l++ {
+			for t := 0; t < NR; t++ {
+				if j := p*NR + t; j < n {
+					panel[l*NR+t] = b[j*k+l]
+				}
+			}
+		}
+	}
+}
+
+// MatMulTPacked32 computes c = A*B^T over pre-rounded float32 operands with
+// float32 accumulation — the emulated tensor-core pipeline of
+// tensor.MatMulTRounded, bit-identical per output element — with A [m,k] in
+// ra and B pre-packed into NR-column panels (PackPanelB32). No allocations.
+func MatMulTPacked32(c []float64, ra, pb []float32, m, k, n int) {
+	matMulTPacked32Rows(c, ra, pb, 0, m, k, n)
+}
+
+// MatMulTPacked32Rows computes rows [i0, i0+rows) of c = A*B^T, with ra
+// holding exactly those `rows` rows starting at offset 0 — the entry point
+// for tile-fused callers (the plan's SiLU→Linear row batching) that stream
+// MR-row activation slices through a small hot buffer.
+func MatMulTPacked32Rows(c []float64, ra, pb []float32, i0, rows, k, n int) {
+	matMulTPacked32Rows(c, ra, pb, i0, rows, k, n)
+}
+
+// MatMulTPacked64 computes c = A*B^T in full float64 — bit-identical per
+// output element to tensor's F64 A*B^T kernel — with B pre-packed into
+// NR-column panels (PackPanelB64). No allocations.
+func MatMulTPacked64(c, a, pb []float64, m, k, n int) {
+	matMulTPacked64Rows(c, a, pb, 0, m, k, n)
+}
+
+// MatMulTPacked64Rows is the row-window form of MatMulTPacked64, mirroring
+// MatMulTPacked32Rows.
+func MatMulTPacked64Rows(c, a, pb []float64, i0, rows, k, n int) {
+	matMulTPacked64Rows(c, a, pb, i0, rows, k, n)
+}

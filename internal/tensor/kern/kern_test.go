@@ -1,0 +1,262 @@
+package kern_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/tensor/kern"
+)
+
+// refMatMulT is the single-accumulator float64 A*B^T reference (the tensor
+// package's F64 kernel, restated here so the comparison is against the
+// arithmetic definition, not a shared code path).
+func refMatMulT(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[j*k+l]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func fillNorm(rng *rand.Rand, xs []float64) {
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+}
+
+// TestPackedMatchesReferenceBitwise checks both precisions over ragged
+// m/k/n — tile-exact, tail rows, tail columns, degenerate dims — for
+// bit-for-bit agreement with the reference kernels.
+func TestPackedMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33}
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				a := make([]float64, m*k)
+				b := make([]float64, n*k)
+				fillNorm(rng, a)
+				fillNorm(rng, b)
+
+				// F64 path.
+				want := make([]float64, m*n)
+				refMatMulT(want, a, b, m, k, n)
+				got := make([]float64, m*n)
+				kern.MatMulTPacked64(got, a, kern.PackPanelB64(b, n, k), m, k, n)
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("F64 m=%d k=%d n=%d: elem %d = %x, want %x", m, k, n, i, got[i], want[i])
+					}
+				}
+
+				// Narrow paths: pre-round like the plan does, compare against
+				// tensor.MatMulTRounded on the same rounded operands.
+				for _, p := range []tensor.Precision{tensor.F32, tensor.TF32} {
+					ra := make([]float32, m*k)
+					rb := make([]float32, n*k)
+					tensor.RoundSliceTo(ra, a, p)
+					tensor.RoundSliceTo(rb, b, p)
+					tensor.MatMulTRounded(want, ra, rb, m, k, n)
+					kern.MatMulTPacked32(got, ra, kern.PackPanelB32(rb, n, k), m, k, n)
+					for i := range want {
+						if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+							t.Fatalf("%v m=%d k=%d n=%d: elem %d = %x, want %x", p, m, k, n, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRowWindowMatchesWhole drives the Rows entry points tile by tile — the
+// plan's fused SiLU→Linear streaming pattern — and checks the assembled
+// result equals a single whole-matrix call.
+func TestRowWindowMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	m, k, n := 13, 9, 6
+	a := make([]float64, m*k)
+	b := make([]float64, n*k)
+	fillNorm(rng, a)
+	fillNorm(rng, b)
+
+	pb64 := kern.PackPanelB64(b, n, k)
+	whole := make([]float64, m*n)
+	kern.MatMulTPacked64(whole, a, pb64, m, k, n)
+	tiled := make([]float64, m*n)
+	buf := make([]float64, kern.MR*k)
+	for i0 := 0; i0 < m; i0 += kern.MR {
+		rows := kern.MR
+		if m-i0 < rows {
+			rows = m - i0
+		}
+		copy(buf[:rows*k], a[i0*k:(i0+rows)*k])
+		kern.MatMulTPacked64Rows(tiled, buf[:rows*k], pb64, i0, rows, k, n)
+	}
+	for i := range whole {
+		if math.Float64bits(whole[i]) != math.Float64bits(tiled[i]) {
+			t.Fatalf("f64 row-window elem %d = %x, want %x", i, tiled[i], whole[i])
+		}
+	}
+
+	ra := make([]float32, m*k)
+	rb := make([]float32, n*k)
+	tensor.RoundSliceTo(ra, a, tensor.TF32)
+	tensor.RoundSliceTo(rb, b, tensor.TF32)
+	pb32 := kern.PackPanelB32(rb, n, k)
+	whole32 := make([]float64, m*n)
+	kern.MatMulTPacked32(whole32, ra, pb32, m, k, n)
+	tiled32 := make([]float64, m*n)
+	buf32 := make([]float32, kern.MR*k)
+	for i0 := 0; i0 < m; i0 += kern.MR {
+		rows := kern.MR
+		if m-i0 < rows {
+			rows = m - i0
+		}
+		copy(buf32[:rows*k], ra[i0*k:(i0+rows)*k])
+		kern.MatMulTPacked32Rows(tiled32, buf32[:rows*k], pb32, i0, rows, k, n)
+	}
+	for i := range whole32 {
+		if math.Float64bits(whole32[i]) != math.Float64bits(tiled32[i]) {
+			t.Fatalf("f32 row-window elem %d = %x, want %x", i, tiled32[i], whole32[i])
+		}
+	}
+}
+
+// refMatMul is tensor's ikj F64 reference (matMulF64) restated verbatim —
+// including the skip-zero branch — as the oracle for MatMulBlocked64.
+func refMatMul(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for l := 0; l < k; l++ {
+			av := a[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// TestMatMulBlocked64Bitwise checks the four-row-blocked backward matmul
+// against the ikj reference bitwise over ragged m/k/n, with zeros scattered
+// through A both row-wise (whole padded gradient rows, as pair padding
+// produces) and element-wise (exercising the ±0-addend path where one lane
+// of a live step is zero).
+func TestMatMulBlocked64Bitwise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33}
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				a := make([]float64, m*k)
+				b := make([]float64, k*n)
+				fillNorm(rng, a)
+				fillNorm(rng, b)
+				for i := 0; i < m; i++ {
+					if i%5 == 2 { // whole zero row
+						clear(a[i*k : (i+1)*k])
+						continue
+					}
+					for l := 0; l < k; l++ { // scattered zero elements
+						if (i*k+l)%7 == 3 {
+							a[i*k+l] = 0
+						}
+					}
+				}
+				want := make([]float64, m*n)
+				got := make([]float64, m*n)
+				refMatMul(want, a, b, m, k, n)
+				kern.MatMulBlocked64(got, a, b, m, k, n)
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("m=%d k=%d n=%d: elem %d = %x, want %x", m, k, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPanelPadding checks the packed tail panel: padded columns are zero and
+// the live columns land j-major.
+func TestPanelPadding(t *testing.T) {
+	n, k := 5, 3 // one full panel + one panel with 1 live column
+	b := make([]float64, n*k)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	pb := kern.PackPanelB64(b, n, k)
+	if want := kern.PanelLen(n, k); len(pb) != want {
+		t.Fatalf("panel len %d, want %d", len(pb), want)
+	}
+	for l := 0; l < k; l++ {
+		for t2 := 0; t2 < kern.NR; t2++ {
+			got := pb[kern.NR*k+l*kern.NR+t2] // second panel
+			var want float64
+			if j := kern.NR + t2; j < n {
+				want = b[j*k+l]
+			}
+			if got != want {
+				t.Fatalf("panel[1] l=%d lane=%d = %v, want %v", l, t2, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkMatMulTKernels(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	// The plan's production MLP shape class: chunk rows by latent width.
+	m, k, n := 256, 64, 64
+	a := make([]float64, m*k)
+	w := make([]float64, n*k)
+	fillNorm(rng, a)
+	fillNorm(rng, w)
+	c := make([]float64, m*n)
+	ra := make([]float32, m*k)
+	rw := make([]float32, n*k)
+	tensor.RoundSliceTo(ra, a, tensor.TF32)
+	tensor.RoundSliceTo(rw, w, tensor.TF32)
+	pb32 := kern.PackPanelB32(rw, n, k)
+	pb64 := kern.PackPanelB64(w, n, k)
+
+	b.Run("ref32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulTRounded(c, ra, rw, m, k, n)
+		}
+	})
+	b.Run("packed32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kern.MatMulTPacked32(c, ra, pb32, m, k, n)
+		}
+	})
+	b.Run("ref64", func(b *testing.B) {
+		at := tensor.FromSlice(a, m, k)
+		wt := tensor.FromSlice(w, n, k)
+		ct := tensor.FromSlice(c, m, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulTInto(ct, at, wt, tensor.F64)
+		}
+	})
+	b.Run("packed64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kern.MatMulTPacked64(c, a, pb64, m, k, n)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+//go:build amd64
+
+package kern
+
+// Unrolled MR x NR register-tile kernels. Each output accumulates its k
+// products in ascending-l order through its own scalar accumulator, so the
+// results are bit-identical to the single-accumulator reference kernels; the
+// unrolling only interleaves *independent* chains. The bodies are written
+// over flat slices with the bounds hints the gc backend elides well, and the
+// arithmetic is plain mul+add so GOAMD64=v3 builds select the wider
+// vector-register encodings where profitable.
+
+func matMulTPacked32Rows(c []float64, ra, pb []float32, i0, rows, k, n int) {
+	np := (n + NR - 1) / NR
+	ii := 0
+	for ; ii+2 <= rows; ii += 2 {
+		a0 := ra[(ii+0)*k : (ii+1)*k]
+		a1 := ra[(ii+1)*k : (ii+2)*k]
+		for p := 0; p < np; p++ {
+			panel := pb[p*NR*k : (p+1)*NR*k]
+			var c00, c01, c02, c03 float32
+			var c10, c11, c12, c13 float32
+			for l := 0; l < k; l++ {
+				pl := panel[NR*l : NR*l+NR : NR*l+NR]
+				b0, b1, b2, b3 := pl[0], pl[1], pl[2], pl[3]
+				av := a0[l]
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = a1[l]
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			j0 := p * NR
+			jb := n - j0
+			if jb > NR {
+				jb = NR
+			}
+			base := (i0 + ii) * n
+			store4f32(c[base+j0:], jb, c00, c01, c02, c03)
+			store4f32(c[base+n+j0:], jb, c10, c11, c12, c13)
+		}
+	}
+	tailRows32(c, ra, pb, i0, ii, rows, k, n)
+}
+
+func matMulTPacked64Rows(c, a, pb []float64, i0, rows, k, n int) {
+	np := (n + NR - 1) / NR
+	ii := 0
+	for ; ii+2 <= rows; ii += 2 {
+		a0 := a[(ii+0)*k : (ii+1)*k]
+		a1 := a[(ii+1)*k : (ii+2)*k]
+		for p := 0; p < np; p++ {
+			panel := pb[p*NR*k : (p+1)*NR*k]
+			var c00, c01, c02, c03 float64
+			var c10, c11, c12, c13 float64
+			for l := 0; l < k; l++ {
+				pl := panel[NR*l : NR*l+NR : NR*l+NR]
+				b0, b1, b2, b3 := pl[0], pl[1], pl[2], pl[3]
+				av := a0[l]
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = a1[l]
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			j0 := p * NR
+			jb := n - j0
+			if jb > NR {
+				jb = NR
+			}
+			base := (i0 + ii) * n
+			store4f64(c[base+j0:], jb, c00, c01, c02, c03)
+			store4f64(c[base+n+j0:], jb, c10, c11, c12, c13)
+		}
+	}
+	tailRows64(c, a, pb, i0, ii, rows, k, n)
+}

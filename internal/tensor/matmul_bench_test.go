@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkMatMulSkipZero tracks the F64 matmul kernels on dense and
+// zero-padded operands — the workloads the skip-zero branches in matMulF64
+// and MatMulTransAInto were measured against (see the comments at the
+// branches for the keep/drop numbers, which compared these kernels against
+// no-skip copies on this benchmark's shapes).
+func BenchmarkMatMulSkipZero(b *testing.B) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	m, k, n := 256, 64, 64
+	for _, density := range []string{"dense", "padded8"} {
+		a := make([]float64, m*k)
+		w := make([]float64, k*n)
+		c := make([]float64, m*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		if density == "padded8" {
+			for i := m - m/8; i < m; i++ {
+				clear(a[i*k : (i+1)*k])
+			}
+		}
+		b.Run("matMulF64/"+density, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matMulF64(c, a, w, m, k, n)
+			}
+		})
+
+		at := make([]float64, k*m)
+		for i := range at {
+			at[i] = rng.NormFloat64()
+		}
+		if density == "padded8" {
+			for l := k - k/8; l < k; l++ {
+				clear(at[l*m : (l+1)*m])
+			}
+		}
+		ta := FromSlice(at, k, m)
+		tb := FromSlice(w, k, n)
+		td := FromSlice(make([]float64, m*n), m, n)
+		b.Run("transA/"+density, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransAInto(td, ta, tb)
+			}
+		})
+	}
+}

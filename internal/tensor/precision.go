@@ -50,22 +50,44 @@ func (p Precision) Round(v float64) float64 {
 
 // RoundTF32 rounds v to the TF32 grid: first to binary32
 // (round-to-nearest-even), then the 23-bit mantissa is rounded to 10 bits,
-// again nearest-even, matching the A100 tensor-core input conversion.
+// again nearest-even, matching the A100 tensor-core input conversion. This is
+// the reference statement of the projection (and the form the pre-kern
+// compiled evaluator ran, so the RefKernels benchmark anchor keeps it); the
+// microkernel layer uses the bit-identical branch-free RoundTF32Fast in its
+// rounding-bound staging loops.
 func RoundTF32(v float64) float64 {
 	f := float32(v)
 	bits := math.Float32bits(f)
-	exp := bits & 0x7f800000
-	if exp == 0x7f800000 { // Inf or NaN: pass through.
+	if bits&0x7f800000 == 0x7f800000 { // Inf or NaN: pass through.
 		return float64(f)
 	}
-	// Round the low 13 mantissa bits away, nearest-even.
 	const drop = 13
-	const half = 1 << (drop - 1) // 0x1000
+	const half = 1 << (drop - 1)
 	low := bits & ((1 << drop) - 1)
 	bits &^= (1 << drop) - 1
 	if low > half || (low == half && bits&(1<<drop) != 0) {
-		bits += 1 << drop // may carry into the exponent; that is correct rounding behaviour
+		bits += 1 << drop
 	}
+	return float64(math.Float32frombits(bits))
+}
+
+// RoundTF32Fast is RoundTF32 with the round-up decision folded into a single
+// add-and-truncate, bit-identical on every input (differentially tested over
+// the full structured edge-case sweep plus random bit patterns): adding
+// (half-1) plus the kept-mantissa LSB and truncating rounds up exactly when
+// low > half, or low == half with an odd kept mantissa — the nearest-even
+// condition — and a mantissa overflow carries into the exponent, which is
+// correct rounding. The data-dependent round-up branch it replaces
+// mispredicts ~half the time on real activations, which is why the kern-mode
+// staging loops (blocked contractions, fused SiLU tiles) call this form.
+func RoundTF32Fast(v float64) float64 {
+	f := float32(v)
+	bits := math.Float32bits(f)
+	if bits&0x7f800000 == 0x7f800000 { // Inf or NaN: pass through.
+		return float64(f)
+	}
+	const drop = 13
+	bits = (bits + (1<<(drop-1) - 1) + ((bits >> drop) & 1)) &^ (1<<drop - 1)
 	return float64(math.Float32frombits(bits))
 }
 

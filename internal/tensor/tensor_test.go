@@ -142,6 +142,50 @@ func TestMatVec(t *testing.T) {
 	}
 }
 
+// TestPooledMatchesUnpooled pins the pooled narrow-path entry points to the
+// per-call-allocating references bit for bit, and asserts they stop
+// allocating once their scratch has grown to the working shape.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	m, k, n := 9, 13, 7
+	a, b := New(m, k), New(n, k)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	var s MatmulScratch
+	for _, p := range []Precision{F64, F32, TF32} {
+		want, got := New(m, n), New(m, n)
+		MatMulTInto(want, a, b, p)
+		MatMulTIntoPooled(got, a, b, p, &s)
+		for i := range want.Data {
+			if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+				t.Fatalf("%v MatMulTIntoPooled elem %d: %x, want %x", p, i, got.Data[i], want.Data[i])
+			}
+		}
+		yWant := MatVec(a, x, p)
+		yGot := make([]float64, m)
+		MatVecInto(yGot, a, x, p, &s)
+		for i := range yWant {
+			if math.Float64bits(yWant[i]) != math.Float64bits(yGot[i]) {
+				t.Fatalf("%v MatVecInto elem %d: %x, want %x", p, i, yGot[i], yWant[i])
+			}
+		}
+		if allocs := testing.AllocsPerRun(10, func() {
+			MatMulTIntoPooled(got, a, b, p, &s)
+			MatVecInto(yGot, a, x, p, &s)
+		}); allocs != 0 {
+			t.Fatalf("%v pooled paths allocate %v per run after warmup", p, allocs)
+		}
+	}
+}
+
 func TestRoundTF32Properties(t *testing.T) {
 	// TF32 keeps 10 mantissa bits: values with short mantissas are exact.
 	for _, v := range []float64{0, 1, -1, 0.5, 1024, 3.25, -7.0, 1e-30} {
@@ -168,6 +212,45 @@ func TestRoundTF32Properties(t *testing.T) {
 	}
 	if !math.IsNaN(RoundTF32(math.NaN())) {
 		t.Fatal("NaN must survive TF32 rounding")
+	}
+}
+
+// TestRoundTF32FastMatchesReference sweeps structured bit patterns (every
+// combination of tie/near-tie mantissa low bits with odd/even kept LSB,
+// mantissa-overflow carries, subnormals, both signs) plus a large random
+// sample, comparing the branch-free RoundTF32Fast against the branchy
+// reference RoundTF32 bitwise. NaN inputs are checked for NaN-ness rather
+// than exact bits (both forms pass the payload through float32 conversion
+// identically, but NaN bit equality is not a portable guarantee).
+func TestRoundTF32FastMatchesReference(t *testing.T) {
+	check := func(bits uint32) {
+		v := float64(math.Float32frombits(bits))
+		got, want := RoundTF32Fast(v), RoundTF32(v)
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("bits %#08x: branch-free %v, reference NaN", bits, got)
+			}
+			return
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("bits %#08x: branch-free %x, reference %x", bits, got, want)
+		}
+	}
+	// Structured sweep: all 13-low-bit boundary patterns around the tie, all
+	// kept-LSB parities, exponent edges (subnormal, smallest/largest normal).
+	lows := []uint32{0, 1, 0xFFF, 0x1000, 0x1001, 0x1FFF}
+	for _, exp := range []uint32{0, 1, 0x40, 0x7f, 0xFE, 0xFF} {
+		for _, kept := range []uint32{0, 1 << 13, 0x7FE000, 0x7FC000} {
+			for _, low := range lows {
+				for _, sign := range []uint32{0, 0x80000000} {
+					check(sign | exp<<23 | kept | low)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(41, 43))
+	for i := 0; i < 1_000_000; i++ {
+		check(uint32(rng.Uint64()))
 	}
 }
 

@@ -61,17 +61,19 @@ type Simulation struct {
 
 // simConfig accumulates functional options before backend dispatch.
 type simConfig struct {
-	engine   []md.SimOption
-	grid     [3]int
-	gridSet  bool
-	auto     bool
-	overlap  bool
-	compiled core.CompiledMode
-	skin     float64
-	halo     float64
-	workers  int
-	extras   []Potential
-	err      error
+	engine     []md.SimOption
+	grid       [3]int
+	gridSet    bool
+	auto       bool
+	overlap    bool
+	compiled   core.CompiledMode
+	refKernels bool
+	profile    *core.KernelProfile
+	skin       float64
+	halo       float64
+	workers    int
+	extras     []Potential
+	err        error
 }
 
 // Option configures NewSimulation.
@@ -186,6 +188,27 @@ func WithCompiled(on bool) Option {
 	}
 }
 
+// WithRefKernels makes compiled-plan replay use the pre-kern reference
+// kernels (unpacked matmuls, unblocked tensor-product contractions) instead
+// of the register-blocked microkernel layer of internal/tensor/kern. The
+// two kernel sets are bit-identical in every output; the toggle exists so
+// benchmarks can measure the microkernel speedup on the same machine
+// (BENCH_simd) and as a differential oracle. No effect in tape mode.
+func WithRefKernels(on bool) Option {
+	return func(c *simConfig) { c.refKernels = on }
+}
+
+// WithKernelProfile accumulates a per-kernel-class wall-time breakdown of
+// every compiled replay into kp (forward/backward matmuls, tensor-product
+// contractions, environment rows, radial basis, the rest). The per-op timers
+// add overhead, so this is diagnostic instrumentation — the allegro-bench
+// -kernels flag — not a production mode. Serial evaluator only: pair it with
+// WithWorkers(1); the decomposed backend and parallel chunk workers ignore
+// it. No effect in tape mode.
+func WithKernelProfile(kp *core.KernelProfile) Option {
+	return func(c *simConfig) { c.profile = kp }
+}
+
 // WithHalo overrides the ghost-import distance of the decomposed backend
 // (default: the model's largest cutoff — exactly sufficient for the
 // strictly local Allegro model; the MPNN ablation uses multiples of it).
@@ -280,6 +303,7 @@ func NewSimulation(sys *System, model *Model, opts ...Option) (*Simulation, erro
 			WorkersPerRank: cfg.workers,
 			Overlap:        cfg.overlap,
 			Compiled:       cfg.compiled,
+			RefKernels:     cfg.refKernels,
 		})
 		if err != nil {
 			return nil, err
@@ -292,6 +316,8 @@ func NewSimulation(sys *System, model *Model, opts ...Option) (*Simulation, erro
 			ev.Scratch.Workers = cfg.workers
 		}
 		ev.Scratch.Compiled = cfg.compiled
+		ev.Scratch.RefKernels = cfg.refKernels
+		ev.Scratch.Profile = cfg.profile
 		s.evaluator = ev
 		pot = ev
 	}
