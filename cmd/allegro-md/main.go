@@ -11,10 +11,19 @@
 //	allegro-md -model model.json -auto-grid -overlap -steps 200
 //	allegro-md -model model.json -grid 2x2x1 -skin 0.5 -workers-per-rank 2 -measure
 //	allegro-md -model model.json -traj traj.xyz -traj-every 10
+//
+// Multi-process mode: with -transport tcp the ranks run as allegro-rankd
+// processes (one per subdomain, possibly on other hosts) and this process
+// is the driver — it ships the model over the wire, drives the trajectory,
+// re-runs it in-process as a reference, and asserts the two agree bit for
+// bit (drift 0):
+//
+//	allegro-md -transport tcp -hosts r0:7301,r1:7302,driver:7300 -grid 2x1x1 -demo-model -steps 50
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +37,12 @@ import (
 	"repro/internal/atoms"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/domain"
 	"repro/internal/groundtruth"
+	"repro/internal/md"
+	"repro/internal/perfmodel"
+	"repro/internal/transport"
+	"repro/internal/units"
 )
 
 func main() {
@@ -48,27 +62,26 @@ func main() {
 		measure   = flag.Bool("measure", false, "measure steady-state throughput and exchange volume, then exit")
 		traj      = flag.String("traj", "", "write an XYZ trajectory to this file")
 		trajEvery = flag.Int("traj-every", 10, "steps between trajectory frames")
+		transp    = flag.String("transport", "", "rank transport: empty = in-process goroutines, tcp = drive an allegro-rankd fleet")
+		hosts     = flag.String("hosts", "", "tcp transport: comma-separated host:port per rank, driver (this process) last")
+		demoModel = flag.Bool("demo-model", false, "use a small deterministic randomly-initialized model instead of -model (smoke tests)")
+		benchOut  = flag.String("bench-out", "", "tcp transport: write a perfmodel.TransportReport (BENCH_transport.json) here")
 	)
 	flag.Parse()
-	model, err := core.Load(*modelPath)
+	model, err := loadModel(*modelPath, *demoModel, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewPCG(*seed, 7))
-	oracle := groundtruth.New()
 
-	var sys *atoms.System
-	switch *system {
-	case "water":
-		sys = data.WaterBox(rng, 3, 3, 3)
-		data.Relax(oracle, sys, 40, 0.05)
-	case "protein":
-		prot := data.ProteinChain(4)
-		sys = data.Solvate(prot, 4.0, rng)
-		data.Relax(oracle, sys, 60, 0.05)
-	default:
-		log.Fatalf("unknown system %q", *system)
+	if *transp != "" {
+		if *transp != "tcp" {
+			log.Fatalf("unknown -transport %q (want tcp or empty)", *transp)
+		}
+		runDistributed(model, *system, *grid, *hosts, *steps, *dt, *temp, *seed, *skin, *benchOut)
+		return
 	}
+
+	sys := buildSystem(*system, *seed)
 	fmt.Println("system:", sys)
 
 	report := *steps / 10
@@ -159,5 +172,153 @@ func main() {
 			perStep(st.ExchangeWaitNs), perStep(st.InteriorNs), st.InteriorPairs,
 			perStep(st.FrontierNs), st.PairWork-st.InteriorPairs,
 			perStep(st.ReduceNs), 100*st.OverlapFraction())
+	}
+}
+
+// loadModel loads the trained model, or builds the small deterministic
+// demo model (no file required; rankd fleets receive whatever the driver
+// ships, so smoke tests run model-free end to end).
+func loadModel(path string, demo bool, seed uint64) (*core.Model, error) {
+	if !demo {
+		return core.Load(path)
+	}
+	cfg := core.DefaultConfig([]units.Species{units.H, units.O})
+	cfg.LMax = 1
+	cfg.NumLayers = 2
+	cfg.NumChannels = 2
+	cfg.LatentDim = 8
+	cfg.TwoBodyHidden = []int{8}
+	cfg.LatentHidden = []int{8}
+	cfg.EdgeHidden = 4
+	cfg.NumBessel = 4
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	m, err := core.New(cfg, nil, rand.New(rand.NewPCG(seed, 0xA11E)))
+	if err != nil {
+		return nil, err
+	}
+	m.SetScaleShift(1.5, []float64{-0.5, -1.5})
+	return m, nil
+}
+
+// buildSystem constructs the named benchmark system deterministically from
+// the seed (two calls with the same arguments yield bit-identical systems —
+// the distributed drift check depends on that).
+func buildSystem(system string, seed uint64) *atoms.System {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	oracle := groundtruth.New()
+	var sys *atoms.System
+	switch system {
+	case "water":
+		sys = data.WaterBox(rng, 3, 3, 3)
+		data.Relax(oracle, sys, 40, 0.05)
+	case "protein":
+		prot := data.ProteinChain(4)
+		sys = data.Solvate(prot, 4.0, rng)
+		data.Relax(oracle, sys, 60, 0.05)
+	default:
+		log.Fatalf("unknown system %q", system)
+	}
+	return sys
+}
+
+// parseGrid parses a AxBxC decomposition spec.
+func parseGrid(spec string) [3]int {
+	var g [3]int
+	if _, err := fmt.Sscanf(strings.ReplaceAll(spec, "x", " "), "%d %d %d", &g[0], &g[1], &g[2]); err != nil {
+		log.Fatalf("bad -grid %q: %v", spec, err)
+	}
+	return g
+}
+
+// runDistributed is the -transport tcp driver path: drive an allegro-rankd
+// fleet through the remote protocol, then replay the identical trajectory
+// on the in-process channel transport and assert the two agree bit for bit.
+// The wall-time ratio of the two runs and the transport's measured per-link
+// statistics are written as a perfmodel.TransportReport for allegro-scale.
+func runDistributed(model *core.Model, system, gridSpec, hostList string, steps int, dt, temp float64, seed uint64, skin float64, benchOut string) {
+	if gridSpec == "" {
+		log.Fatal("-transport tcp requires -grid")
+	}
+	g := parseGrid(gridSpec)
+	nr := g[0] * g[1] * g[2]
+	list := strings.Split(hostList, ",")
+	if hostList == "" || len(list) != nr+1 {
+		log.Fatalf("-transport tcp with grid %s needs %d -hosts entries (%d ranks + driver last), got %d",
+			gridSpec, nr+1, nr, len(list))
+	}
+
+	// In-process reference first: same system, same velocity seeds, chan
+	// transport — the bits the wire run must reproduce.
+	refSys := buildSystem(system, seed)
+	rt, err := domain.NewRuntime(model, refSys, domain.RuntimeOptions{Grid: g, Skin: skin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refSim := md.NewDecomposedSim(refSys, rt, dt)
+	refSim.InitVelocities(temp, rand.New(rand.NewPCG(seed, 33)))
+	refStart := time.Now()
+	refSim.Run(steps)
+	chanNs := time.Since(refStart).Nanoseconds() / int64(steps)
+	refSim.Close()
+	fmt.Printf("reference (chan, in-process): %d steps, E = %.10f eV, %.2f ms/step\n",
+		steps, refSim.Energy, float64(chanNs)/1e6)
+
+	// The wire run: this process takes the last transport rank (the driver).
+	tr, err := transport.NewTCP(transport.TCPConfig{Rank: nr, Hosts: list})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := buildSystem(system, seed)
+	fmt.Printf("driver: connecting to %d rank processes\n", nr)
+	rr, err := domain.NewRemoteRuntime(model, sys, domain.RemoteOptions{Grid: g, Skin: skin, Transport: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := md.NewDecomposedSim(sys, rr, dt)
+	sim.InitVelocities(temp, rand.New(rand.NewPCG(seed, 33)))
+	start := time.Now()
+	sim.Run(steps)
+	wireNs := time.Since(start).Nanoseconds() / int64(steps)
+	if rr.Err() != nil {
+		log.Fatalf("distributed run failed: %v", rr.Err())
+	}
+	links := rr.LinkStats()
+	rr.Close()
+	fmt.Printf("distributed (tcp, %d ranks): %d steps, E = %.10f eV, %.2f ms/step\n",
+		nr, steps, sim.Energy, float64(wireNs)/1e6)
+
+	// Bitwise drift: any nonzero count means the wire perturbed the physics.
+	drift := 0
+	for i := range refSys.Pos {
+		if sys.Pos[i] != refSys.Pos[i] {
+			drift++
+		}
+	}
+	if sim.Energy != refSim.Energy {
+		drift++
+	}
+	fmt.Printf("drift %d (positions and energy vs in-process reference, bitwise)\n", drift)
+
+	lat, bw := perfmodel.SummarizeLinks(links)
+	fmt.Printf("links: %d measured, worst latency %.1f us, worst bandwidth %.2f MB/s\n",
+		len(links), lat*1e6, bw/1e6)
+	if benchOut != "" {
+		rep := perfmodel.TransportReport{
+			Transport: "tcp", Ranks: nr, Steps: steps, Atoms: len(sys.Pos),
+			ChanNsOp: chanNs, WireNsOp: wireNs, Links: links,
+			LinkLatencySec: lat, LinkBandwidthBps: bw,
+		}
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(benchOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", benchOut)
+	}
+	if drift != 0 {
+		os.Exit(1)
 	}
 }

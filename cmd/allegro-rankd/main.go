@@ -1,0 +1,74 @@
+// Command allegro-rankd hosts one domain-decomposition rank in its own OS
+// process: the multi-node execution mode, with TCP frames standing in for
+// MPI. A fleet of rankd processes (one per subdomain) plus one driver
+// (`allegro-md -transport tcp`) forms a run; rendezvous is a shared host
+// list, with the driver's address last.
+//
+// The daemon is stateless across runs: it blocks until a driver ships a
+// configuration (model weights travel inside the config frame, so rank
+// hosts need no model file), serves that run's rebuild/step traffic, and
+// exits on the driver's shutdown frame. Trajectories computed this way are
+// bit-identical to the in-process runtime — see docs/distributed.md.
+//
+// Usage:
+//
+//	allegro-rankd -rank 0 -hosts 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7300
+//	allegro-rankd -rank 1 -hosts 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7300
+//	allegro-md -transport tcp -hosts 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7300 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		rank  = flag.Int("rank", -1, "this process's rank in [0, ranks); the driver holds the last host-list slot")
+		hosts = flag.String("hosts", "", "comma-separated host:port per transport rank, driver last")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	list := strings.Split(*hosts, ",")
+	if *hosts == "" || len(list) < 2 {
+		log.Fatal("allegro-rankd: -hosts needs at least two comma-separated host:port entries (ranks then driver)")
+	}
+	if *rank < 0 || *rank >= len(list)-1 {
+		log.Fatalf("allegro-rankd: -rank %d outside [0, %d) (the last host is the driver's)", *rank, len(list)-1)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rankd %d: %s\n", *rank, fmt.Sprintf(format, args...))
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	tr, err := transport.NewTCP(transport.TCPConfig{Rank: *rank, Hosts: list})
+	if err != nil {
+		log.Fatalf("allegro-rankd: %v", err)
+	}
+	defer tr.Close()
+	ep, err := tr.Endpoint(*rank)
+	if err != nil {
+		log.Fatalf("allegro-rankd: %v", err)
+	}
+
+	if logf != nil {
+		logf("listening on %s, waiting for a driver at %s", list[*rank], list[len(list)-1])
+	}
+	srv, err := domain.NewRankServer(ep, logf)
+	if err != nil {
+		log.Fatalf("allegro-rankd: %v", err)
+	}
+	defer srv.Close()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("allegro-rankd: %v", err)
+	}
+}

@@ -15,15 +15,26 @@
 //	allegro-scale -mode strong -system all -overlap 0.9
 //	allegro-scale -mode strong -atoms 5000000
 //	allegro-scale -mode weak -atoms-per-node 100000
+//
+// The -transport-stats flag anchors the machine model's interconnect terms
+// at measured links instead of the frozen Perlmutter constants: point it at
+// the BENCH_transport.json a distributed run wrote (`allegro-md -transport
+// tcp -bench-out ...`) and predictions use that fleet's worst measured
+// latency and bandwidth.
+//
+//	allegro-scale -mode strong -atoms 1000000 -transport-stats BENCH_transport.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/data"
+	"repro/internal/perfmodel"
 )
 
 func main() {
@@ -34,12 +45,30 @@ func main() {
 		atomsPerNode = flag.Int("atoms-per-node", 100_000, "weak scaling: atoms per node")
 		maxNodes     = flag.Int("max-nodes", 1280, "largest node count")
 		overlap      = flag.Float64("overlap", 0, "measured overlap fraction in [0,1]: hide that share of the halo exchange and print sync vs overlapped columns")
+		statsPath    = flag.String("transport-stats", "", "BENCH_transport.json from a distributed run: calibrate link latency/bandwidth from its measured links")
 	)
 	flag.Parse()
 	if *overlap < 0 || *overlap > 1 {
 		log.Fatalf("-overlap must be in [0,1], got %g", *overlap)
 	}
 	m := cluster.Perlmutter()
+	if *statsPath != "" {
+		buf, err := os.ReadFile(*statsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rep perfmodel.TransportReport
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			log.Fatalf("decode %s: %v", *statsPath, err)
+		}
+		m = perfmodel.CalibrateMachineTransport(m, rep.Links)
+		if m.LinkLatency > 0 || m.LinkBandwidth > 0 {
+			fmt.Printf("interconnect calibrated from %s (%d links over %s): latency %.1f us, bandwidth %.2f MB/s\n",
+				*statsPath, len(rep.Links), rep.Transport, m.LinkLatency*1e6, m.LinkBandwidth/1e6)
+		} else {
+			fmt.Printf("warning: %s carries no measured links; using frozen interconnect constants\n", *statsPath)
+		}
+	}
 	switch *mode {
 	case "strong":
 		var workloads []cluster.Workload

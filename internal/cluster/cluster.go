@@ -49,6 +49,14 @@ type Machine struct {
 	// published constants). perfmodel.CalibrateMachineDecomposed uses it
 	// to keep tape and compiled anchors from being mixed in one model.
 	AnchorMode string
+	// LinkLatency/LinkBandwidth are measured per-link values populated by
+	// perfmodel.CalibrateMachineTransport from a live transport's heartbeat
+	// RTTs and byte counters (s and B/s). When positive they override the
+	// frozen MsgLatency/GhostBandwidth constants in StepTime, so scaling
+	// predictions run from the interconnect actually underneath the run
+	// instead of the published Perlmutter numbers.
+	LinkLatency   float64
+	LinkBandwidth float64
 }
 
 // Perlmutter returns the calibrated machine model.
@@ -114,7 +122,14 @@ func (m Machine) StepTime(w Workload, nodes int) float64 {
 	outer := edge + 2*m.Halo
 	ghosts := m.Density * (outer*outer*outer - edge*edge*edge)
 	const bytesPerGhost = 48 // positions out + forces back
-	comm := ghosts*bytesPerGhost/m.GhostBandwidth + 26*m.MsgLatency
+	bw, lat := m.GhostBandwidth, m.MsgLatency
+	if m.LinkBandwidth > 0 {
+		bw = m.LinkBandwidth
+	}
+	if m.LinkLatency > 0 {
+		lat = m.LinkLatency
+	}
+	comm := ghosts*bytesPerGhost/bw + 26*lat
 	if ov := m.Overlap; ov > 0 {
 		if ov > 1 {
 			ov = 1

@@ -11,7 +11,9 @@ import (
 	"repro/internal/units"
 )
 
-// modelFile is the on-disk JSON representation of a trained model.
+// modelFile is the serialized JSON representation of a trained model — the
+// on-disk format of Save/Load and the wire format the distributed runtime's
+// KindConfig frame ships to remote ranks.
 type modelFile struct {
 	Format      string               `json:"format"`
 	Config      Config               `json:"config"`
@@ -22,8 +24,11 @@ type modelFile struct {
 	Shapes      map[string][]int     `json:"shapes"`
 }
 
-// Save serializes the model to path as JSON.
-func (m *Model) Save(path string) error {
+// MarshalModel serializes the model to its JSON representation. JSON
+// float64 encoding is shortest-round-trip, so UnmarshalModel reconstructs
+// weights, cutoffs, and shifts bit-for-bit — the property the distributed
+// runtime relies on when shipping one model to every rank process.
+func MarshalModel(m *Model) ([]byte, error) {
 	mf := modelFile{
 		Format:      "goallegro-v1",
 		Config:      m.Cfg,
@@ -39,17 +44,15 @@ func (m *Model) Save(path string) error {
 	}
 	data, err := json.Marshal(&mf)
 	if err != nil {
-		return fmt.Errorf("core: marshal model: %w", err)
+		return nil, fmt.Errorf("core: marshal model: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
-// Load reads a model saved by Save.
-func Load(path string) (*Model, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// UnmarshalModel reconstructs a model serialized by MarshalModel: the
+// architecture is rebuilt deterministically from the config, then every
+// weight is overwritten from the file.
+func UnmarshalModel(data []byte) (*Model, error) {
 	var mf modelFile
 	if err := json.Unmarshal(data, &mf); err != nil {
 		return nil, fmt.Errorf("core: unmarshal model: %w", err)
@@ -57,7 +60,6 @@ func Load(path string) (*Model, error) {
 	if mf.Format != "goallegro-v1" {
 		return nil, fmt.Errorf("core: unsupported model format %q", mf.Format)
 	}
-	// Rebuild architecture deterministically, then overwrite weights.
 	m, err := New(mf.Config, nil, rand.New(rand.NewPCG(0, 0)))
 	if err != nil {
 		return nil, err
@@ -79,6 +81,24 @@ func Load(path string) (*Model, error) {
 	}
 	m.Params.Bump() // weights replaced wholesale: invalidate weight-derived caches
 	return m, nil
+}
+
+// Save serializes the model to path as JSON.
+func (m *Model) Save(path string) error {
+	data, err := MarshalModel(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalModel(data)
 }
 
 // BioCutoffsFor builds the paper's production per-ordered-species-pair

@@ -1,0 +1,135 @@
+package domain
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/md"
+	"repro/internal/transport"
+)
+
+// startRankServers spawns nr RankServer goroutines over the given transport
+// (world nr+1, driver at rank nr) — process boundaries removed, protocol
+// identical. The returned channel collects each server's Serve error.
+func startRankServers(t *testing.T, tr transport.Transport, nr int) chan error {
+	t.Helper()
+	errs := make(chan error, nr)
+	for r := 0; r < nr; r++ {
+		ep, err := tr.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			srv, err := NewRankServer(ep, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer srv.Close()
+			errs <- srv.Serve()
+		}()
+	}
+	return errs
+}
+
+// TestRemoteRuntimeBitwiseVsLocal is the distributed variant of the central
+// bitwise property: a trajectory computed by rank servers behind the remote
+// driver protocol — the exact frame sequence allegro-rankd processes serve —
+// must be bit-identical to the in-process runtime on every rank grid. The
+// servers run as goroutines over the channel transport here; the protocol
+// does not know the difference.
+func TestRemoteRuntimeBitwiseVsLocal(t *testing.T) {
+	const steps, temp = 30, 600.0
+	m := tinyModel(t)
+	for _, grid := range [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}} {
+		nr := grid[0] * grid[1] * grid[2]
+		base := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5}, steps, temp)
+
+		tr := transport.NewChan(nr + 1)
+		errs := startRankServers(t, tr, nr)
+		sys := data.WaterBox(rand.New(rand.NewPCG(31, 32)), 3, 3, 3)
+		rr, err := NewRemoteRuntime(m, sys, RemoteOptions{Grid: grid, Skin: 0.5, Transport: tr})
+		if err != nil {
+			t.Fatalf("grid %v: %v", grid, err)
+		}
+		sim := md.NewDecomposedSim(sys, rr, 0.5)
+		sim.InitVelocities(temp, rand.New(rand.NewPCG(33, 34)))
+		sim.Run(steps)
+		if rr.Err() != nil {
+			t.Fatalf("grid %v: remote run failed: %v", grid, rr.Err())
+		}
+
+		if sim.Energy != base.Energy {
+			t.Errorf("grid %v remote: energy %.17g != local %.17g", grid, sim.Energy, base.Energy)
+		}
+		for i := range base.Sys.Pos {
+			if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+				t.Errorf("grid %v remote: position of atom %d diverged", grid, i)
+				break
+			}
+			if sim.Forces[i] != base.Forces[i] {
+				t.Errorf("grid %v remote: force on atom %d diverged", grid, i)
+				break
+			}
+		}
+		// steps+1 force calls: the integrator evaluates once at t=0.
+		if st := rr.Stats(); st.Steps != steps+1 || st.Rebuilds < 1 {
+			t.Errorf("grid %v remote: stats %+v, want %d force calls and >= 1 rebuild", grid, st, steps+1)
+		}
+
+		rr.Close() // broadcasts shutdown; every server must exit cleanly
+		for r := 0; r < nr; r++ {
+			if err := <-errs; err != nil {
+				t.Errorf("grid %v: rank server: %v", grid, err)
+			}
+		}
+		base.Close()
+	}
+}
+
+// TestRemoteRuntimeOverTCP runs the same protocol over real sockets: rank
+// servers and driver in one process, frames on localhost TCP — the full
+// multi-process wire path minus fork/exec. One grid keeps it fast; the
+// bitwise sweep above covers the shapes.
+func TestRemoteRuntimeOverTCP(t *testing.T) {
+	const steps, temp = 15, 600.0
+	grid := [3]int{2, 1, 1}
+	nr := 2
+	m := tinyModel(t)
+
+	base := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5}, steps, temp)
+	defer base.Close()
+
+	tr := newLocalTCPGroup(t, nr+1)
+	errs := startRankServers(t, tr, nr)
+	sys := data.WaterBox(rand.New(rand.NewPCG(31, 32)), 3, 3, 3)
+	rr, err := NewRemoteRuntime(m, sys, RemoteOptions{Grid: grid, Skin: 0.5, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := md.NewDecomposedSim(sys, rr, 0.5)
+	sim.InitVelocities(temp, rand.New(rand.NewPCG(33, 34)))
+	sim.Run(steps)
+	if rr.Err() != nil {
+		t.Fatalf("remote TCP run failed: %v", rr.Err())
+	}
+	if sim.Energy != base.Energy {
+		t.Errorf("remote TCP energy %.17g != local %.17g", sim.Energy, base.Energy)
+	}
+	for i := range base.Sys.Pos {
+		if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+			t.Errorf("remote TCP position of atom %d diverged", i)
+			break
+		}
+	}
+	if links := rr.LinkStats(); len(links) == 0 {
+		t.Error("TCP transport reported no link statistics")
+	}
+	rr.Close()
+	for r := 0; r < nr; r++ {
+		if err := <-errs; err != nil {
+			t.Errorf("rank server: %v", err)
+		}
+	}
+}

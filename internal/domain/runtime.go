@@ -5,12 +5,14 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/atoms"
 	"repro/internal/core"
 	"repro/internal/neighbor"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 	"repro/internal/units"
 )
 
@@ -54,6 +56,14 @@ type RuntimeOptions struct {
 	// reference kernels (see core.EvalScratch.RefKernels); bit-identical,
 	// benchmark/diagnostic only.
 	RefKernels bool
+	// Transport carries the ghost-position exchange and the reverse
+	// force-row reduction between ranks as framed messages. Nil selects the
+	// in-process channel transport (owned and closed by the runtime).
+	// Because positions and rows travel as IEEE-754 bit patterns and every
+	// receiver scatters them through rebuild-time exchange plans into the
+	// same canonical slots, trajectories are bit-identical across
+	// transports (chan, tcp on localhost, fault wrappers with no-op plans).
+	Transport transport.Transport
 }
 
 // RuntimeStats aggregates the runtime's behaviour over its lifetime.
@@ -152,13 +162,25 @@ const (
 
 	// Comm-goroutine phases.
 	//
-	// cmdPack is the forward ghost-position exchange: stage every ghost's
-	// wrapped position into the current half of the double-buffered arena.
+	// cmdPack is the forward ghost-position exchange: self-owned images are
+	// staged directly, cross-rank ghost blocks are posted through the
+	// transport as KindGhostPos frames and scattered into the current half
+	// of the double-buffered arena by the receiving rank's exchange plan.
 	cmdPack
 	// cmdReduceInterior accumulates the forces of owned atoms whose every
 	// contribution is an interior row; it runs on the comm goroutine so it
 	// can overlap the worker's frontier evaluation.
 	cmdReduceInterior
+	// cmdPlanExchange (rebuild only) derives and swaps the per-link
+	// exchange plans: each rank tells every peer which global atoms it
+	// needs forwarded (receiver-driven ghost plan) and which pair slots it
+	// will push force rows for (sender-driven row plan).
+	cmdPlanExchange
+	// cmdExchangeRows is the reverse exchange: frontier force rows whose
+	// ghost neighbor is owned by another rank travel to the owner as
+	// KindRows frames and settle into their canonical slots before the
+	// frontier reduction reads them.
+	cmdExchangeRows
 )
 
 // Runtime is the persistent domain-decomposed force engine: long-lived rank
@@ -235,6 +257,18 @@ type Runtime struct {
 	parity   int       // double-buffer half the current step's exchange fills
 	postTime time.Time // when the current step's exchange was posted
 
+	// Transport state: the pluggable message layer the comm goroutines post
+	// through. stepTick/rebuildTick tag frames so receivers can discard
+	// duplicates and stale deliveries; deadRank records peers whose death a
+	// comm goroutine observed (notices or send failures); err latches the
+	// first rank failure until Restore clears it.
+	tr          transport.Transport
+	ownTr       bool
+	stepTick    uint64
+	rebuildTick uint64
+	deadRank    []atomic.Bool
+	err         error
+
 	forces  [][3]float64 // caller buffer, set for the duration of one step
 	energy  float64
 	started bool
@@ -289,6 +323,46 @@ type rank struct {
 	tmpVec                 [][3]float64
 	tmpDist, tmpCut        []float64
 	nGhosts, ghostRowCount int
+
+	// Transport attachment and rebuild-derived exchange plans (see
+	// exchange.go). sendF/recvF are this rank's reusable staging frames;
+	// the per-peer plan slices are indexed by rank id and reused across
+	// rebuilds, so the steady-state framed exchange allocates nothing.
+	ep           transport.Endpoint
+	sendF, recvF transport.Frame
+	seen         []bool  // per-phase receive bookkeeping, indexed by rank
+	planBits     []uint8 // plan-exchange receipt mask per peer (bit 0 fwd, bit 1 row)
+	// stash parks data frames that arrive during a phase that does not
+	// consume them. In-process the phase barriers make this impossible (the
+	// stash stays empty and steady steps allocate nothing); a remote rank
+	// process has no global barrier, so a fast peer's ghost frame can land
+	// while this rank is still collecting exchange plans.
+	stash []*transport.Frame
+
+	// Forward (ghost-position) plans. Self-owned images bypass the
+	// transport: selfGhostIdx/selfGhostAtom list arena slots whose owner is
+	// this rank. fwdNeed[s]/fwdArena[s] are the global atoms this rank
+	// imports from s and their arena destinations (sent to s as the
+	// receiver-driven KindFwdPlan); sendFwd[d] is the pack order peer d
+	// asked this rank for.
+	selfGhostIdx  []int32
+	selfGhostAtom []int32
+	fwdNeed       [][]int32
+	fwdArena      [][]int32
+	sendFwd       [][]int32
+
+	// Reverse (force-row) plans. rowSendT[d] lists this rank's local pair
+	// indices whose ghost neighbor is owned by d, ascending; rowPlan[d] is
+	// the matching interleaved (slot, atom) wire plan sent to d as
+	// KindRowPlan; rowRecv[s] is the interleaved plan received from s,
+	// scattered as rows arrive.
+	rowSendT [][]int32
+	rowPlan  [][]int32
+	rowRecv  [][]int32
+
+	// commErr latches this rank's first transport failure of the current
+	// run; the master surfaces it through Runtime.Err after barriers.
+	commErr error
 }
 
 // centerCode is the image code of an atom's own (unshifted) copy.
@@ -335,6 +409,15 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 	if wpr <= 0 {
 		wpr = 1 // by default parallelism comes from the ranks themselves
 	}
+	r.tr = opts.Transport
+	if r.tr == nil {
+		r.tr = transport.NewChan(nr)
+		r.ownTr = true
+	}
+	if r.tr.Ranks() < nr {
+		return nil, fmt.Errorf("domain: transport serves %d ranks, grid needs %d", r.tr.Ranks(), nr)
+	}
+	r.deadRank = make([]atomic.Bool, nr)
 	r.done = make(chan struct{}, nr)
 	r.commDone = make(chan struct{}, nr)
 	r.cmds = make([]chan rankCmd, nr)
@@ -360,6 +443,22 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		rk.scratch.Compiled = opts.Compiled
 		rk.scratch.RefKernels = opts.RefKernels
 		rk.builder.Skin = opts.Skin
+		ep, err := r.tr.Endpoint(id)
+		if err != nil {
+			if r.ownTr {
+				r.tr.Close()
+			}
+			return nil, fmt.Errorf("domain: transport endpoint for rank %d: %w", id, err)
+		}
+		rk.ep = ep
+		rk.seen = make([]bool, nr)
+		rk.planBits = make([]uint8, nr)
+		rk.fwdNeed = make([][]int32, nr)
+		rk.fwdArena = make([][]int32, nr)
+		rk.sendFwd = make([][]int32, nr)
+		rk.rowSendT = make([][]int32, nr)
+		rk.rowPlan = make([][]int32, nr)
+		rk.rowRecv = make([][]int32, nr)
 		r.ranks[id] = rk
 		r.cmds[id] = make(chan rankCmd, 1)
 		r.comm[id] = make(chan rankCmd, 1)
@@ -437,11 +536,15 @@ func (rk *rank) commLoop(cmds chan rankCmd) {
 	for c := range cmds {
 		switch c {
 		case cmdPack:
-			rk.execPack()
+			rk.execExchangeGhosts()
 		case cmdReduceInterior:
 			t := time.Now()
 			rk.execReduce(rk.redInterior)
 			rk.reduceIntNs = time.Since(t).Nanoseconds()
+		case cmdPlanExchange:
+			rk.execPlanExchange()
+		case cmdExchangeRows:
+			rk.execExchangeRows()
 		}
 		rk.rt.commDone <- struct{}{}
 	}
@@ -494,6 +597,9 @@ func (r *Runtime) Close() {
 		close(ch)
 	}
 	r.wg.Wait()
+	if r.ownTr {
+		r.tr.Close()
+	}
 }
 
 // Stats returns the accumulated runtime statistics.
@@ -555,9 +661,20 @@ func (r *Runtime) EnergyForcesOverlap(sys *atoms.System, forces [][3]float64, re
 	if len(forces) != r.n {
 		panic("domain: force buffer length mismatch")
 	}
+	if r.err != nil {
+		// A rank failure is latched: forces and energy are stale, the
+		// caller's integration state is poisoned from the failing step on.
+		// Recovery is Restore (revive + forced rebuild) followed by
+		// rewinding the integrator to a checkpoint.
+		return r.energy
+	}
 	r.wrap()
+	r.stepTick++
 	if r.needRebuild() {
 		r.rebuild()
+		if r.err != nil {
+			return r.energy
+		}
 	}
 	r.forces = forces
 	r.parity ^= 1
@@ -568,6 +685,7 @@ func (r *Runtime) EnergyForcesOverlap(sys *atoms.System, forces [][3]float64, re
 	}
 	r.forces = nil
 	r.stats.Steps++
+	r.checkFailure()
 	return r.energy
 }
 
@@ -592,6 +710,12 @@ func (r *Runtime) stepOverlap(ready func([]int32)) {
 	r.send(r.comm, cmdReduceInterior) // overlapped: interior rows are final
 	r.waitComm()                      // interior forces final
 	r.waitWorkers()                   // frontier rows in their slots
+
+	if len(r.ranks) > 1 {
+		// Reverse exchange: cross-rank frontier rows settle into their
+		// canonical slots before the frontier reduction reads them.
+		r.dispatchComm(cmdExchangeRows)
+	}
 
 	r.send(r.cmds, cmdReduceFrontier) // reverse ghost-force reduction...
 	if ready != nil {
@@ -621,6 +745,10 @@ func (r *Runtime) stepSync(ready func([]int32)) {
 	st.ExchangeWaitNs += time.Since(t).Nanoseconds()
 
 	r.dispatch(cmdEvalAll)
+
+	if len(r.ranks) > 1 {
+		r.dispatchComm(cmdExchangeRows)
+	}
 
 	r.send(r.cmds, cmdReduceFrontier)
 	r.send(r.comm, cmdReduceInterior)
@@ -671,12 +799,16 @@ func (r *Runtime) EnergyForces(sys *atoms.System) (float64, [][3]float64) {
 
 // wrap refreshes the wrapped positions (same arithmetic as the neighbor
 // builder's PBC binning, so admission decisions are grid-independent).
-func (r *Runtime) wrap() {
-	cell := r.sys.Cell
-	for i, p := range r.sys.Pos {
+func (r *Runtime) wrap() { wrapPositions(r.pw, r.sys.Pos, r.sys.Cell) }
+
+// wrapPositions writes the wrapped image of every position into dst — the
+// one PBC formula shared by the in-process master and the remote driver, so
+// both derive identical bits.
+func wrapPositions(dst, pos [][3]float64, cell [3]float64) {
+	for i, p := range pos {
 		for k := 0; k < 3; k++ {
 			l := cell[k]
-			r.pw[i][k] = p[k] - l*math.Floor(p[k]/l)
+			dst[i][k] = p[k] - l*math.Floor(p[k]/l)
 		}
 	}
 }
@@ -689,15 +821,21 @@ func (r *Runtime) needRebuild() bool {
 	if !r.started {
 		return true
 	}
-	if r.skin <= 0 {
+	return skinTriggered(r.skin, r.sys.Pos, r.refPos)
+}
+
+// skinTriggered reports whether any atom moved skin/2 since the reference
+// positions were captured (skin <= 0 always triggers) — the Verlet rebuild
+// criterion shared with the remote driver.
+func skinTriggered(skin float64, pos, ref [][3]float64) bool {
+	if skin <= 0 {
 		return true
 	}
-	lim := (r.skin / 2) * (r.skin / 2)
-	for i, p := range r.sys.Pos {
-		ref := r.refPos[i]
-		d0 := p[0] - ref[0]
-		d1 := p[1] - ref[1]
-		d2 := p[2] - ref[2]
+	lim := (skin / 2) * (skin / 2)
+	for i, p := range pos {
+		d0 := p[0] - ref[i][0]
+		d1 := p[1] - ref[i][1]
+		d2 := p[2] - ref[i][2]
 		if d0*d0+d1*d1+d2*d2 >= lim {
 			return true
 		}
@@ -706,18 +844,22 @@ func (r *Runtime) needRebuild() bool {
 }
 
 // rankOf maps a wrapped position to its owning rank.
-func (r *Runtime) rankOf(p [3]float64) int {
+func (r *Runtime) rankOf(p [3]float64) int { return rankOfCell(r.grid, r.sub, p) }
+
+// rankOfCell is the ownership rule as a standalone function (shared with
+// the remote driver's classification).
+func rankOfCell(grid [3]int, sub [3]float64, p [3]float64) int {
 	var c [3]int
 	for k := 0; k < 3; k++ {
-		c[k] = int(p[k] / r.sub[k])
-		if c[k] >= r.grid[k] {
-			c[k] = r.grid[k] - 1
+		c[k] = int(p[k] / sub[k])
+		if c[k] >= grid[k] {
+			c[k] = grid[k] - 1
 		}
 		if c[k] < 0 {
 			c[k] = 0
 		}
 	}
-	return (c[0]*r.grid[1]+c[1])*r.grid[2] + c[2]
+	return (c[0]*grid[1]+c[1])*grid[2] + c[2]
 }
 
 // rebuild re-derives ownership (incremental migration: assignments change
@@ -774,6 +916,11 @@ func (r *Runtime) rebuild() {
 	r.buildAdjacency()
 	r.classifyAtoms()
 	r.dispatch(cmdPlan)
+	// Exchange-plan swap: every rank tells its peers which atoms to
+	// forward and which row slots to expect (no-op on a 1-rank grid).
+	r.rebuildTick++
+	r.dispatchComm(cmdPlanExchange)
+	r.checkFailure()
 
 	st := &r.stats
 	st.PairWork = r.nPairs
@@ -855,12 +1002,20 @@ func (r *Runtime) classifyAtoms() {
 // shifts in atom order, then applies the final-stage precision — identical
 // on every rank grid.
 func (r *Runtime) reduceEnergy() float64 {
+	return reduceEnergySlots(r.pairE, r.model, r.sys.Species)
+}
+
+// reduceEnergySlots is the canonical energy reduction as a standalone
+// function: pairE in ascending global slot order, then per-species shifts
+// in atom order, then the final-stage precision. The remote driver runs the
+// same reduction over the pair energies gathered from its rank processes,
+// so distributed totals match the in-process ones bit for bit.
+func reduceEnergySlots(pairE []float64, m *core.Model, species []units.Species) float64 {
 	e := 0.0
-	for _, pe := range r.pairE {
+	for _, pe := range pairE {
 		e += pe
 	}
-	m := r.model
-	for _, sp := range r.sys.Species {
+	for _, sp := range species {
 		e += m.EnergyShift[m.Idx.Index(sp)]
 	}
 	if m.Cfg.Precision.Final != tensor.F64 {
@@ -1066,19 +1221,6 @@ func (rk *rank) execPlan() {
 			rk.redFrontier = append(rk.redFrontier, int32(t))
 		}
 	}
-}
-
-// execPack is the forward ghost-position exchange: stage every ghost's
-// wrapped position into the current half of the double-buffered arena.
-// packNs records the post-to-staged wall (what an MPI exchange would take),
-// which the overlap pipeline hides behind the interior block.
-func (rk *rank) execPack() {
-	rt := rk.rt
-	buf := rk.ghost[rt.parity]
-	for t := rk.nOwned; t < len(rk.gOf); t++ {
-		buf[t-rk.nOwned] = rt.pw[rk.gOf[t]]
-	}
-	rk.packNs = time.Since(rt.postTime).Nanoseconds()
 }
 
 // timeEval runs execEval under the rank's phase self-timer; empty blocks

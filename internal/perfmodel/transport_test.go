@@ -1,0 +1,58 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+func TestSummarizeLinksWorstCase(t *testing.T) {
+	links := []transport.LinkStats{
+		{Src: 0, Dst: 1, LatencySec: 40e-6, Bandwidth: 2.0e9},
+		{Src: 0, Dst: 2, LatencySec: 75e-6, Bandwidth: 0.8e9},
+		{Src: 0, Dst: 3}, // never measured: skipped
+	}
+	lat, bw := SummarizeLinks(links)
+	if lat != 75e-6 {
+		t.Errorf("latency summary %g, want worst link 75e-6", lat)
+	}
+	if bw != 0.8e9 {
+		t.Errorf("bandwidth summary %g, want worst link 0.8e9", bw)
+	}
+	if lat2, bw2 := SummarizeLinks(nil); lat2 != 0 || bw2 != 0 {
+		t.Errorf("empty summary = (%g, %g), want zeros", lat2, bw2)
+	}
+}
+
+// TestCalibrateMachineTransport checks that measured links override the
+// frozen interconnect constants in StepTime — and only then: a machine
+// calibrated from a slower-than-Perlmutter link must predict slower steps,
+// and an unmeasured calibration must change nothing.
+func TestCalibrateMachineTransport(t *testing.T) {
+	mach := cluster.Perlmutter()
+	w := cluster.Water("w", 1_000_000)
+	base := mach.StepTime(w, 8)
+
+	slow := CalibrateMachineTransport(mach, []transport.LinkStats{
+		{Src: 0, Dst: 1, LatencySec: 500e-6, Bandwidth: 0.1e9},
+	})
+	if slow.LinkLatency != 500e-6 || slow.LinkBandwidth != 0.1e9 {
+		t.Fatalf("calibration not recorded: %+v", slow)
+	}
+	if got := slow.StepTime(w, 8); got <= base {
+		t.Errorf("slow measured link predicts %g s/step, want > frozen-constant %g", got, base)
+	}
+
+	unmeasured := CalibrateMachineTransport(mach, nil)
+	if got := unmeasured.StepTime(w, 8); got != base {
+		t.Errorf("unmeasured calibration changed prediction: %g != %g", got, base)
+	}
+
+	fast := CalibrateMachineTransport(mach, []transport.LinkStats{
+		{Src: 0, Dst: 1, LatencySec: 2e-6, Bandwidth: 50e9},
+	})
+	if got := fast.StepTime(w, 8); got >= base {
+		t.Errorf("fast measured link predicts %g s/step, want < frozen-constant %g", got, base)
+	}
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan is a seeded fault-injection schedule. Probabilities apply per
+// data frame, independently per sending endpoint (each endpoint derives its
+// own PRNG from Seed^rank, so a plan is deterministic for a deterministic
+// communication schedule regardless of cross-rank interleaving).
+type FaultPlan struct {
+	Seed uint64
+	// Drop is the probability a frame is "lost". The wrapper models the
+	// reliable-link abstraction the runtime assumes: a dropped frame is
+	// retransmitted after RetransmitDelay, so the net observable effect is
+	// delay, never silent loss.
+	Drop float64
+	// Dup is the probability a frame is delivered twice. Receivers discard
+	// the duplicate by its (Src, Kind, Step) tag.
+	Dup float64
+	// Delay is the probability a frame send is stalled by a uniform random
+	// sleep in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds injected sleeps (default 2ms).
+	MaxDelay time.Duration
+	// RetransmitDelay is the stall charged to a dropped-then-retransmitted
+	// frame (default 1ms).
+	RetransmitDelay time.Duration
+	// KillRank names a victim rank that dies the first time it sends a data
+	// frame tagged with Step >= KillAtStep. The schedule is armed only when
+	// KillAtStep > 0 (the runtime's step tags start at 1), so the zero
+	// value of FaultPlan kills nobody.
+	KillRank int
+	// KillAtStep is the step tag that triggers the scheduled death; 0
+	// disarms the schedule.
+	KillAtStep uint64
+}
+
+// NoFaults is the identity plan: no drops, no duplicates, no delays, no
+// death. Wrapping a transport with it must leave trajectories bit-identical.
+func NoFaults() FaultPlan { return FaultPlan{KillRank: -1} }
+
+// FaultStats counts injected events.
+type FaultStats struct {
+	Drops  int64 `json:"drops"`
+	Dups   int64 `json:"dups"`
+	Delays int64 `json:"delays"`
+	Kills  int64 `json:"kills"`
+}
+
+// Fault wraps an inner transport and perturbs delivery according to a
+// seeded plan. Scheduled rank death requires the inner transport to
+// implement Killer (the chan transport does); Revive is forwarded to the
+// inner Reviver.
+type Fault struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu     sync.Mutex
+	eps    map[int]*faultEndpoint
+	killed atomic.Bool
+
+	drops  atomic.Int64
+	dups   atomic.Int64
+	delays atomic.Int64
+	kills  atomic.Int64
+}
+
+// NewFault wraps inner with the given plan.
+func NewFault(inner Transport, plan FaultPlan) *Fault {
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 2 * time.Millisecond
+	}
+	if plan.RetransmitDelay <= 0 {
+		plan.RetransmitDelay = time.Millisecond
+	}
+	return &Fault{inner: inner, plan: plan, eps: make(map[int]*faultEndpoint)}
+}
+
+func (t *Fault) Ranks() int { return t.inner.Ranks() }
+
+func (t *Fault) Endpoint(rank int) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ep := t.eps[rank]; ep != nil {
+		return ep, nil
+	}
+	inner, err := t.inner.Endpoint(rank)
+	if err != nil {
+		return nil, err
+	}
+	ep := &faultEndpoint{
+		t:     t,
+		inner: inner,
+		rng:   rand.New(rand.NewPCG(t.plan.Seed^uint64(rank), 0x5EED)),
+	}
+	t.eps[rank] = ep
+	return ep, nil
+}
+
+func (t *Fault) Close() error { return t.inner.Close() }
+
+// Kill forwards a manual kill to the inner transport.
+func (t *Fault) Kill(rank int) {
+	if k, ok := t.inner.(Killer); ok {
+		t.kills.Add(1)
+		t.killed.Store(true)
+		k.Kill(rank)
+	}
+}
+
+// Revive forwards to the inner transport and re-arms nothing: a scheduled
+// kill fires at most once.
+func (t *Fault) Revive(rank int) error {
+	if r, ok := t.inner.(Reviver); ok {
+		return r.Revive(rank)
+	}
+	return fmt.Errorf("transport: inner transport cannot revive ranks")
+}
+
+// Stats snapshots the injected-event counters.
+func (t *Fault) Stats() FaultStats {
+	return FaultStats{
+		Drops:  t.drops.Load(),
+		Dups:   t.dups.Load(),
+		Delays: t.delays.Load(),
+		Kills:  t.kills.Load(),
+	}
+}
+
+// LinkStats forwards the inner transport's measurements, if any.
+func (t *Fault) LinkStats() []LinkStats {
+	if sr, ok := t.inner.(StatsReporter); ok {
+		return sr.LinkStats()
+	}
+	return nil
+}
+
+type faultEndpoint struct {
+	t     *Fault
+	inner Endpoint
+	mu    sync.Mutex // guards rng (Send may race with the heartbeat goroutine on tcp inners)
+	rng   *rand.Rand
+}
+
+func (e *faultEndpoint) Rank() int { return e.inner.Rank() }
+
+// isData reports whether a frame is subject to fault injection. Control
+// traffic (hello/heartbeat/death) passes through untouched so the wrapper
+// perturbs the exchange without breaking transport-internal protocols.
+func isData(k Kind) bool {
+	switch k {
+	case KindHello, KindHeartbeat, KindHeartbeatAck, KindDeath, KindShutdown:
+		return false
+	}
+	return true
+}
+
+func (e *faultEndpoint) Send(f *Frame) error {
+	t := e.t
+	p := &t.plan
+	if !isData(f.Kind) {
+		return e.inner.Send(f)
+	}
+	// Scheduled death: the victim dies mid-schedule, exactly once.
+	if p.KillAtStep > 0 && p.KillRank >= 0 && e.inner.Rank() == p.KillRank &&
+		f.Step >= p.KillAtStep && t.killed.CompareAndSwap(false, true) {
+		if k, ok := t.inner.(Killer); ok {
+			t.kills.Add(1)
+			k.Kill(p.KillRank)
+			return &DeadError{Rank: p.KillRank}
+		}
+	}
+	e.mu.Lock()
+	drop := p.Drop > 0 && e.rng.Float64() < p.Drop
+	dup := p.Dup > 0 && e.rng.Float64() < p.Dup
+	delay := time.Duration(0)
+	if p.Delay > 0 && e.rng.Float64() < p.Delay {
+		delay = time.Duration(e.rng.Int64N(int64(p.MaxDelay))) + 1
+	}
+	e.mu.Unlock()
+	if drop {
+		// The reliable-link abstraction: lost, timed out, retransmitted.
+		t.drops.Add(1)
+		time.Sleep(p.RetransmitDelay)
+	}
+	if delay > 0 {
+		t.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if err := e.inner.Send(f); err != nil {
+		return err
+	}
+	if dup {
+		t.dups.Add(1)
+		if err := e.inner.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *faultEndpoint) Recv(f *Frame) error { return e.inner.Recv(f) }
+
+func (e *faultEndpoint) Close() error { return e.inner.Close() }

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomFrame(rng *rand.Rand) *Frame {
+	f := &Frame{
+		Kind: Kind(1 + rng.IntN(int(kindEnd)-1)),
+		Src:  int32(rng.IntN(64)),
+		Dst:  int32(rng.IntN(64)),
+		Step: rng.Uint64(),
+		Seq:  rng.Uint64(),
+	}
+	ints := f.EnsureInts(rng.IntN(50))
+	for i := range ints {
+		ints[i] = int32(rng.Int32())
+	}
+	vecs := f.EnsureVecs(rng.IntN(30))
+	for i := range vecs {
+		for k := 0; k < 3; k++ {
+			vecs[i][k] = math.Float64frombits(rng.Uint64())
+		}
+	}
+	scalars := f.EnsureScalars(rng.IntN(20))
+	for i := range scalars {
+		scalars[i] = math.Float64frombits(rng.Uint64())
+	}
+	b := f.EnsureBytes(rng.IntN(100))
+	for i := range b {
+		b[i] = byte(rng.UintN(256))
+	}
+	return f
+}
+
+func framesEqual(a, b *Frame) bool {
+	if a.Kind != b.Kind || a.Src != b.Src || a.Dst != b.Dst || a.Step != b.Step || a.Seq != b.Seq {
+		return false
+	}
+	if len(a.Ints) != len(b.Ints) || len(a.Vecs) != len(b.Vecs) ||
+		len(a.Scalars) != len(b.Scalars) || !bytes.Equal(a.Bytes, b.Bytes) {
+		return false
+	}
+	for i := range a.Ints {
+		if a.Ints[i] != b.Ints[i] {
+			return false
+		}
+	}
+	for i := range a.Vecs {
+		for k := 0; k < 3; k++ {
+			// Bit comparison: NaN payloads must survive the wire unchanged.
+			if math.Float64bits(a.Vecs[i][k]) != math.Float64bits(b.Vecs[i][k]) {
+				return false
+			}
+		}
+	}
+	for i := range a.Scalars {
+		if math.Float64bits(a.Scalars[i]) != math.Float64bits(b.Scalars[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	var got Frame
+	var scratch []byte
+	for trial := 0; trial < 200; trial++ {
+		f := randomFrame(rng)
+		wire := f.AppendWire(nil)
+		if len(wire) != 4+f.EncodedLen() {
+			t.Fatalf("trial %d: wire length %d, want %d", trial, len(wire), 4+f.EncodedLen())
+		}
+		if err := ReadWire(bytes.NewReader(wire), &got, &scratch, 0); err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !framesEqual(f, &got) {
+			t.Fatalf("trial %d: round trip mismatch:\n  sent %+v\n  got  %+v", trial, f, &got)
+		}
+	}
+}
+
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	f := randomFrame(rand.New(rand.NewPCG(1, 2)))
+	wire := f.AppendWire(nil)
+	var got Frame
+	// Truncated body.
+	if err := got.DecodeBody(wire[4 : len(wire)-1]); err == nil {
+		t.Fatal("truncated body decoded without error")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), wire[4:]...)
+	bad[0] ^= 0xFF
+	if err := got.DecodeBody(bad); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	// Oversized length prefix.
+	var scratch []byte
+	huge := append([]byte{0xFF, 0xFF, 0xFF, 0x7F}, wire[4:]...)
+	if err := ReadWire(bytes.NewReader(huge), &got, &scratch, 1<<20); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// FuzzFrameRoundTrip fuzzes both directions: structured payloads must
+// survive encode/decode bit-for-bit, and arbitrary bytes must never panic
+// the decoder. Any body that does decode must re-encode to the same bytes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 8; i++ {
+		fr := randomFrame(rng)
+		f.Add(fr.AppendWire(nil)[4:])
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x41}, headerLen))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var fr Frame
+		if err := fr.DecodeBody(body); err != nil {
+			return
+		}
+		wire := fr.AppendWire(nil)
+		if !bytes.Equal(wire[4:], body) {
+			t.Fatalf("re-encode mismatch:\n  in  %x\n  out %x", body, wire[4:])
+		}
+		var again Frame
+		if err := again.DecodeBody(wire[4:]); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !framesEqual(&fr, &again) {
+			t.Fatal("decode(encode(decode(body))) differs from decode(body)")
+		}
+	})
+}

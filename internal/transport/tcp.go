@@ -1,0 +1,562 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPConfig configures one process's attachment to a TCP rank world.
+type TCPConfig struct {
+	// Rank is the rank this process speaks for.
+	Rank int
+	// Hosts lists the listen address of every rank (Hosts[r] serves rank r).
+	// The world size is len(Hosts).
+	Hosts []string
+	// Listener optionally supplies a pre-bound listener for Hosts[Rank]
+	// (tests bind :0 and pass the resolved address around).
+	Listener net.Listener
+
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// DialRetries bounds how many times a dial is retried before Send gives
+	// up (default 40 — a freshly exec'd peer gets several seconds to bind).
+	DialRetries int
+	// DialBackoff is the initial retry backoff, doubling up to 1s
+	// (default 50ms).
+	DialBackoff time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// HeartbeatEvery is the liveness probe period (default 250ms; negative
+	// disables probing).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the silence threshold after which a peer we have
+	// heard from is declared dead and a KindDeath notice is synthesized
+	// (default 5s; negative disables detection).
+	HeartbeatTimeout time.Duration
+	// MaxFrame bounds an accepted frame body (default DefaultMaxFrame).
+	MaxFrame int
+	// Logf, when set, receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *TCPConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.DialRetries <= 0 {
+		c.DialRetries = 40
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 50 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// tcpConn is one outbound connection with its write buffer and per-link
+// sequence counter.
+type tcpConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	buf  []byte
+	seq  uint64
+	peer int
+}
+
+type tcpLink struct {
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	sendNanos  atomic.Int64
+	// latNanos is the EWMA of the one-way latency estimate (RTT/2),
+	// stored in nanoseconds; zero until the first heartbeat ack.
+	latNanos atomic.Int64
+}
+
+// tcpTransport serves exactly one rank per process: Send dials persistent
+// connections on demand (bounded retry with exponential backoff), writes
+// length-prefixed frames under a deadline, and a heartbeat loop measures
+// per-link round-trip latency and declares silent peers dead. The accept
+// loop takes inbound connections from any peer at any time, which is what
+// lets a restarted rank daemon rejoin a running world.
+type tcpTransport struct {
+	cfg   TCPConfig
+	ln    net.Listener
+	inbox chan *Frame
+	pool  sync.Pool
+
+	mu        sync.Mutex
+	out       map[int]*tcpConn
+	in        map[net.Conn]struct{}
+	lastSeen  map[int]time.Time
+	notified  map[int]bool
+	hbPending map[uint64]time.Time
+	links     map[int]*tcpLink
+
+	hbID   atomic.Uint64
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTCP binds the rank's listener and starts the accept and heartbeat
+// loops. It does not dial anyone: connections are established lazily on
+// first Send (or accepted from peers), so start order does not matter.
+func NewTCP(cfg TCPConfig) (Transport, error) {
+	cfg.fill()
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.Hosts) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d hosts", cfg.Rank, len(cfg.Hosts))
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Hosts[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Hosts[cfg.Rank], err)
+		}
+	}
+	t := &tcpTransport{
+		cfg:       cfg,
+		ln:        ln,
+		inbox:     make(chan *Frame, 16*len(cfg.Hosts)+64),
+		out:       make(map[int]*tcpConn),
+		in:        make(map[net.Conn]struct{}),
+		lastSeen:  make(map[int]time.Time),
+		notified:  make(map[int]bool),
+		hbPending: make(map[uint64]time.Time),
+		links:     make(map[int]*tcpLink),
+		done:      make(chan struct{}),
+	}
+	t.pool.New = func() any { return new(Frame) }
+	t.wg.Add(1)
+	go t.acceptLoop()
+	if cfg.HeartbeatEvery > 0 {
+		t.wg.Add(1)
+		go t.heartbeatLoop()
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+func (t *tcpTransport) Ranks() int { return len(t.cfg.Hosts) }
+
+func (t *tcpTransport) Endpoint(rank int) (Endpoint, error) {
+	if rank != t.cfg.Rank {
+		return nil, fmt.Errorf("transport: this process serves rank %d, not %d", t.cfg.Rank, rank)
+	}
+	return (*tcpEndpoint)(t), nil
+}
+
+func (t *tcpTransport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(t.done)
+	t.ln.Close()
+	t.mu.Lock()
+	for _, oc := range t.out {
+		oc.c.Close()
+	}
+	t.out = map[int]*tcpConn{}
+	for c := range t.in {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+func (t *tcpTransport) link(peer int) *tcpLink {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.linkLocked(peer)
+}
+
+func (t *tcpTransport) linkLocked(peer int) *tcpLink {
+	lk := t.links[peer]
+	if lk == nil {
+		lk = &tcpLink{}
+		t.links[peer] = lk
+	}
+	return lk
+}
+
+// acceptLoop takes inbound connections; each must open with KindHello
+// naming the peer rank. The Hello is surfaced through Recv so a driver
+// waiting for a restarted rank can observe the rejoin.
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			if t.closed.Load() {
+				return
+			}
+			t.logf("tcp rank %d: accept: %v", t.cfg.Rank, err)
+			select {
+			case <-t.done:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+func (t *tcpTransport) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	t.mu.Lock()
+	t.in[c] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.in, c)
+		t.mu.Unlock()
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 1<<16)
+	var scratch []byte
+	f := new(Frame)
+	if err := ReadWire(br, f, &scratch, t.cfg.MaxFrame); err != nil || f.Kind != KindHello {
+		t.logf("tcp rank %d: bad handshake from %s: %v", t.cfg.Rank, c.RemoteAddr(), err)
+		return
+	}
+	peer := int(f.Src)
+	t.touch(peer, f.EncodedLen())
+	t.deliver(f, peer)
+	for {
+		f := t.pool.Get().(*Frame)
+		if err := ReadWire(br, f, &scratch, t.cfg.MaxFrame); err != nil {
+			t.pool.Put(f)
+			if !t.closed.Load() {
+				t.logf("tcp rank %d: conn from rank %d closed: %v", t.cfg.Rank, peer, err)
+			}
+			return
+		}
+		t.touch(peer, f.EncodedLen())
+		switch f.Kind {
+		case KindHeartbeat:
+			id := f.Step
+			f.Reset(KindHeartbeatAck, peer, id)
+			f.Src = int32(t.cfg.Rank)
+			// Ack only over an already-established outbound connection: the
+			// reader goroutine must never block in a dial.
+			t.mu.Lock()
+			oc := t.out[peer]
+			t.mu.Unlock()
+			if oc != nil {
+				if err := t.writeFrame(oc, f); err != nil {
+					t.dropOut(peer, oc)
+				}
+			}
+			t.pool.Put(f)
+		case KindHeartbeatAck:
+			t.mu.Lock()
+			sent, ok := t.hbPending[f.Step]
+			if ok {
+				delete(t.hbPending, f.Step)
+			}
+			t.mu.Unlock()
+			if ok {
+				oneWay := time.Since(sent).Nanoseconds() / 2
+				lk := t.link(peer)
+				prev := lk.latNanos.Load()
+				if prev == 0 {
+					lk.latNanos.Store(oneWay)
+				} else {
+					lk.latNanos.Store((7*prev + oneWay) / 8) // EWMA, alpha = 1/8
+				}
+			}
+			t.pool.Put(f)
+		default:
+			t.deliver(f, peer)
+		}
+	}
+}
+
+// deliver pushes an owned frame into the inbox (Recv copies it out and the
+// pool reclaims it).
+func (t *tcpTransport) deliver(f *Frame, peer int) {
+	select {
+	case t.inbox <- f:
+	case <-t.done:
+	}
+}
+
+// touch records traffic from a peer: liveness timestamp plus receive stats.
+func (t *tcpTransport) touch(peer int, n int) {
+	t.mu.Lock()
+	t.lastSeen[peer] = time.Now()
+	t.notified[peer] = false
+	lk := t.linkLocked(peer)
+	t.mu.Unlock()
+	lk.framesRecv.Add(1)
+	lk.bytesRecv.Add(int64(n))
+}
+
+// getOut returns the outbound connection to peer, dialing (with bounded
+// retry and exponential backoff) if none is live.
+func (t *tcpTransport) getOut(peer int) (*tcpConn, error) {
+	t.mu.Lock()
+	oc := t.out[peer]
+	t.mu.Unlock()
+	if oc != nil {
+		return oc, nil
+	}
+	if peer < 0 || peer >= len(t.cfg.Hosts) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d hosts", peer, len(t.cfg.Hosts))
+	}
+	addr := t.cfg.Hosts[peer]
+	backoff := t.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < t.cfg.DialRetries; attempt++ {
+		if t.closed.Load() {
+			return nil, ErrClosed
+		}
+		c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err == nil {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			oc = &tcpConn{c: c, peer: peer}
+			// Handshake: identify ourselves before any payload.
+			var hello Frame
+			hello.Reset(KindHello, peer, 0)
+			hello.Src = int32(t.cfg.Rank)
+			if err := t.writeFrame(oc, &hello); err != nil {
+				c.Close()
+				lastErr = err
+			} else {
+				t.mu.Lock()
+				if existing := t.out[peer]; existing != nil {
+					t.mu.Unlock()
+					c.Close()
+					return existing, nil
+				}
+				t.out[peer] = oc
+				t.mu.Unlock()
+				return oc, nil
+			}
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-t.done:
+			return nil, ErrClosed
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+	return nil, fmt.Errorf("transport: dial rank %d (%s) failed after %d attempts: %w",
+		peer, addr, t.cfg.DialRetries, lastErr)
+}
+
+// dropOut discards a broken outbound connection so the next Send redials.
+func (t *tcpTransport) dropOut(peer int, oc *tcpConn) {
+	t.mu.Lock()
+	if t.out[peer] == oc {
+		delete(t.out, peer)
+	}
+	t.mu.Unlock()
+	oc.c.Close()
+}
+
+func (t *tcpTransport) writeFrame(oc *tcpConn, f *Frame) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	oc.seq++
+	f.Seq = oc.seq
+	oc.buf = f.AppendWire(oc.buf[:0])
+	oc.c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	start := time.Now()
+	_, err := oc.c.Write(oc.buf)
+	if err != nil {
+		return err
+	}
+	lk := t.link(oc.peer)
+	lk.framesSent.Add(1)
+	lk.bytesSent.Add(int64(len(oc.buf)))
+	lk.sendNanos.Add(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// heartbeatLoop probes every established outbound link and synthesizes
+// KindDeath notices for peers that have gone silent past the timeout.
+func (t *tcpTransport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	var hb Frame
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+		}
+		t.mu.Lock()
+		conns := make(map[int]*tcpConn, len(t.out))
+		for p, oc := range t.out {
+			conns[p] = oc
+		}
+		// Expire heartbeats nobody acked.
+		if t.cfg.HeartbeatTimeout > 0 {
+			cutoff := time.Now().Add(-2 * t.cfg.HeartbeatTimeout)
+			for id, sent := range t.hbPending {
+				if sent.Before(cutoff) {
+					delete(t.hbPending, id)
+				}
+			}
+		}
+		t.mu.Unlock()
+		// Probe only established connections — a heartbeat must never block
+		// this loop in a dial, or death detection would stall exactly when a
+		// peer is down.
+		for p, oc := range conns {
+			id := t.hbID.Add(1)
+			t.mu.Lock()
+			t.hbPending[id] = time.Now()
+			t.mu.Unlock()
+			hb.Reset(KindHeartbeat, p, id)
+			hb.Src = int32(t.cfg.Rank)
+			if err := t.writeFrame(oc, &hb); err != nil {
+				t.logf("tcp rank %d: heartbeat to %d: %v", t.cfg.Rank, p, err)
+				t.dropOut(p, oc)
+			}
+		}
+		if t.cfg.HeartbeatTimeout > 0 {
+			now := time.Now()
+			t.mu.Lock()
+			var dead []int
+			for p, seen := range t.lastSeen {
+				if !t.notified[p] && now.Sub(seen) > t.cfg.HeartbeatTimeout {
+					t.notified[p] = true
+					dead = append(dead, p)
+				}
+			}
+			t.mu.Unlock()
+			for _, p := range dead {
+				t.logf("tcp rank %d: peer %d silent for >%v, declaring dead", t.cfg.Rank, p, t.cfg.HeartbeatTimeout)
+				f := t.pool.Get().(*Frame)
+				f.Reset(KindDeath, t.cfg.Rank, 0)
+				f.Src = int32(p)
+				t.deliver(f, p)
+				t.mu.Lock()
+				oc := t.out[p]
+				t.mu.Unlock()
+				if oc != nil {
+					t.dropOut(p, oc)
+				}
+			}
+		}
+	}
+}
+
+// LinkStats implements StatsReporter: one entry per peer this process has
+// exchanged traffic with, ordered by peer rank.
+func (t *tcpTransport) LinkStats() []LinkStats {
+	t.mu.Lock()
+	peers := make([]int, 0, len(t.links))
+	for p := range t.links {
+		peers = append(peers, p)
+	}
+	snap := make(map[int]*tcpLink, len(t.links))
+	for p, lk := range t.links {
+		snap[p] = lk
+	}
+	t.mu.Unlock()
+	sort.Ints(peers)
+	out := make([]LinkStats, 0, len(peers))
+	for _, p := range peers {
+		lk := snap[p]
+		s := LinkStats{
+			Src:        t.cfg.Rank,
+			Dst:        p,
+			FramesSent: lk.framesSent.Load(),
+			FramesRecv: lk.framesRecv.Load(),
+			BytesSent:  lk.bytesSent.Load(),
+			BytesRecv:  lk.bytesRecv.Load(),
+			LatencySec: float64(lk.latNanos.Load()) / 1e9,
+		}
+		if ns := lk.sendNanos.Load(); ns > 0 {
+			s.Bandwidth = float64(lk.bytesSent.Load()) / (float64(ns) / 1e9)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// tcpEndpoint is the single endpoint a tcpTransport serves.
+type tcpEndpoint tcpTransport
+
+func (e *tcpEndpoint) Rank() int { return e.cfg.Rank }
+
+func (e *tcpEndpoint) Send(f *Frame) error {
+	t := (*tcpTransport)(e)
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	f.Src = int32(t.cfg.Rank)
+	peer := int(f.Dst)
+	oc, err := t.getOut(peer)
+	if err != nil {
+		return err
+	}
+	if err := t.writeFrame(oc, f); err != nil {
+		// One transparent redial: the peer may have restarted.
+		t.dropOut(peer, oc)
+		oc, rerr := t.getOut(peer)
+		if rerr != nil {
+			return &DeadError{Rank: peer}
+		}
+		if err := t.writeFrame(oc, f); err != nil {
+			t.dropOut(peer, oc)
+			return &DeadError{Rank: peer}
+		}
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(f *Frame) error {
+	t := (*tcpTransport)(e)
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case in := <-t.inbox:
+		CopyFrame(f, in)
+		t.pool.Put(in)
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+func (e *tcpEndpoint) Close() error { return nil }

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// newLocalTCPWorld builds n TCP transports on ephemeral localhost ports,
+// all inside this process — the same topology the multi-process runtime
+// uses, minus exec.
+func newLocalTCPWorld(t *testing.T, n int, cfg TCPConfig) []Transport {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	hosts := make([]string, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = ln
+		hosts[r] = ln.Addr().String()
+	}
+	world := make([]Transport, n)
+	for r := 0; r < n; r++ {
+		c := cfg
+		c.Rank = r
+		c.Hosts = hosts
+		c.Listener = listeners[r]
+		tr, err := NewTCP(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world[r] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return world
+}
+
+func TestTCPRing(t *testing.T) {
+	world := newLocalTCPWorld(t, 4, TCPConfig{})
+	g := NewGroup(world...)
+	for step := uint64(1); step <= 5; step++ {
+		exchangeRing(t, g, step)
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	world := newLocalTCPWorld(t, 2, TCPConfig{})
+	e0, _ := world[0].Endpoint(0)
+	e1, _ := world[1].Endpoint(1)
+	var f Frame
+	f.Reset(KindGhostPos, 1, 1)
+	vecs := f.EnsureVecs(100000)
+	for i := range vecs {
+		vecs[i] = [3]float64{float64(i), -float64(i), 0.5 * float64(i)}
+	}
+	if err := e0.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+	var in Frame
+	for {
+		if err := e1.Recv(&in); err != nil {
+			t.Fatal(err)
+		}
+		if in.Kind == KindGhostPos {
+			break
+		}
+	}
+	if len(in.Vecs) != 100000 {
+		t.Fatalf("got %d vecs, want 100000", len(in.Vecs))
+	}
+	for i := 0; i < len(in.Vecs); i += 9973 {
+		if in.Vecs[i] != [3]float64{float64(i), -float64(i), 0.5 * float64(i)} {
+			t.Fatalf("vec %d corrupted: %v", i, in.Vecs[i])
+		}
+	}
+}
+
+func TestTCPLinkStatsAndLatency(t *testing.T) {
+	world := newLocalTCPWorld(t, 2, TCPConfig{
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Second,
+	})
+	e0, _ := world[0].Endpoint(0)
+	e1, _ := world[1].Endpoint(1)
+	var f, in Frame
+	for step := uint64(1); step <= 10; step++ {
+		f.Reset(KindGhostPos, 1, step)
+		f.EnsureVecs(64)
+		if err := e0.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if err := e1.Recv(&in); err != nil {
+				t.Fatal(err)
+			}
+			if in.Kind == KindGhostPos && in.Step == step {
+				break
+			}
+		}
+		// Reply so rank 1 establishes its outbound link (acks + stats).
+		f.Reset(KindRows, 0, step)
+		if err := e1.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if err := e0.Recv(&in); err != nil {
+				t.Fatal(err)
+			}
+			if in.Kind == KindRows && in.Step == step {
+				break
+			}
+		}
+	}
+	// Give heartbeats a few periods to measure RTT.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats := world[0].(StatsReporter).LinkStats()
+		if len(stats) == 1 && stats[0].Dst == 1 && stats[0].LatencySec > 0 && stats[0].Bandwidth > 0 {
+			if stats[0].FramesSent == 0 || stats[0].BytesSent == 0 || stats[0].FramesRecv == 0 {
+				t.Fatalf("counters missing: %+v", stats[0])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no measured latency after heartbeats: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestTCPHeartbeatDeathAndRejoin(t *testing.T) {
+	listeners := make([]net.Listener, 2)
+	hosts := make([]string, 2)
+	for r := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = ln
+		hosts[r] = ln.Addr().String()
+	}
+	mk := func(rank int, ln net.Listener) Transport {
+		tr, err := NewTCP(TCPConfig{
+			Rank: rank, Hosts: hosts, Listener: ln,
+			HeartbeatEvery:   10 * time.Millisecond,
+			HeartbeatTimeout: 150 * time.Millisecond,
+			DialRetries:      60,
+			DialBackoff:      10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	t0 := mk(0, listeners[0])
+	defer t0.Close()
+	t1 := mk(1, listeners[1])
+
+	e0, _ := t0.Endpoint(0)
+	e1, _ := t1.Endpoint(1)
+	var f, in Frame
+	f.Reset(KindGhostPos, 1, 1)
+	if err := e0.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := e1.Recv(&in); err != nil {
+			t.Fatal(err)
+		}
+		if in.Kind == KindGhostPos {
+			break
+		}
+	}
+	f.Reset(KindRows, 0, 1)
+	if err := e1.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill rank 1's process (close its transport). Rank 0 must detect the
+	// silence and synthesize a death notice.
+	t1.Close()
+	deathSeen := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !deathSeen && time.Now().Before(deadline) {
+		if err := e0.Recv(&in); err != nil {
+			t.Fatal(err)
+		}
+		if in.Kind == KindDeath && in.Src == 1 {
+			deathSeen = true
+		}
+	}
+	if !deathSeen {
+		t.Fatal("heartbeat timeout did not synthesize a death notice")
+	}
+
+	// "Restart" rank 1 on the same address and rejoin: rank 0's next Send
+	// redials, and the Hello surfaces on rank 0's inbox.
+	ln, err := net.Listen("tcp", hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1b := mk(1, ln)
+	defer t1b.Close()
+	e1b, _ := t1b.Endpoint(1)
+	f.Reset(KindGhostPos, 1, 2)
+	if err := e0.Send(&f); err != nil {
+		t.Fatalf("send after rejoin: %v", err)
+	}
+	for {
+		if err := e1b.Recv(&in); err != nil {
+			t.Fatal(err)
+		}
+		if in.Kind == KindGhostPos && in.Step == 2 {
+			break
+		}
+	}
+}

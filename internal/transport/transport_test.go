@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exchange sends one frame r -> (r+1)%n on every endpoint and verifies each
+// endpoint receives exactly the expected payload.
+func exchangeRing(t *testing.T, tr Transport, step uint64) {
+	t.Helper()
+	n := tr.Ranks()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		ep, err := tr.Endpoint(r)
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", r, err)
+		}
+		wg.Add(1)
+		go func(r int, ep Endpoint) {
+			defer wg.Done()
+			var f Frame
+			f.Reset(KindGhostPos, (r+1)%n, step)
+			vecs := f.EnsureVecs(3)
+			for i := range vecs {
+				vecs[i] = [3]float64{float64(r), float64(i), float64(step)}
+			}
+			if err := ep.Send(&f); err != nil {
+				errs[r] = err
+				return
+			}
+			var in Frame
+			for {
+				if err := ep.Recv(&in); err != nil {
+					errs[r] = err
+					return
+				}
+				if in.Kind != KindGhostPos || in.Step != step {
+					continue // stray control traffic (hello etc.)
+				}
+				break
+			}
+			want := (r - 1 + n) % n
+			if int(in.Src) != want {
+				errs[r] = errors.New("wrong source")
+				return
+			}
+			if len(in.Vecs) != 3 || in.Vecs[0][0] != float64(want) || in.Vecs[2][2] != float64(step) {
+				errs[r] = errors.New("payload mismatch")
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestChanRing(t *testing.T) {
+	tr := NewChan(4)
+	defer tr.Close()
+	for step := uint64(1); step <= 5; step++ {
+		exchangeRing(t, tr, step)
+	}
+}
+
+func TestChanSteadyStateAllocs(t *testing.T) {
+	tr := NewChan(2)
+	defer tr.Close()
+	e0, _ := tr.Endpoint(0)
+	e1, _ := tr.Endpoint(1)
+	var out, in Frame
+	roundTrip := func() {
+		out.Reset(KindGhostPos, 1, 9)
+		vecs := out.EnsureVecs(8)
+		for i := range vecs {
+			vecs[i][0] = float64(i)
+		}
+		if err := e0.Send(&out); err != nil {
+			t.Fatal(err)
+		}
+		if err := e1.Recv(&in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // warm capacities
+	allocs := testing.AllocsPerRun(100, roundTrip)
+	if allocs != 0 {
+		t.Fatalf("steady-state chan exchange allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestChanKillUnblocksAndRevives(t *testing.T) {
+	tr := NewChan(3)
+	defer tr.Close()
+	killer := tr.(Killer)
+	e0, _ := tr.Endpoint(0)
+	e2, _ := tr.Endpoint(2)
+
+	// A receiver blocked on a peer that dies must observe the death.
+	got := make(chan Frame, 1)
+	go func() {
+		var f Frame
+		if err := e0.Recv(&f); err == nil {
+			got <- f
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	killer.Kill(1)
+	select {
+	case f := <-got:
+		if f.Kind != KindDeath || f.Src != 1 {
+			t.Fatalf("expected death notice for rank 1, got kind=%v src=%d", f.Kind, f.Src)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Recv did not observe the death")
+	}
+
+	// Sends to the dead rank fail with DeadError.
+	var f Frame
+	f.Reset(KindGhostPos, 1, 1)
+	err := e2.Send(&f)
+	if rank, ok := IsDead(err); !ok || rank != 1 {
+		t.Fatalf("send to dead rank: err=%v, want DeadError{1}", err)
+	}
+
+	// The victim's own endpoint fails too.
+	e1, _ := tr.Endpoint(1)
+	f.Reset(KindGhostPos, 0, 1)
+	if _, ok := IsDead(e1.Send(&f)); !ok {
+		t.Fatal("dead rank's own Send did not fail")
+	}
+
+	// Revive drains stale state; the world works again.
+	if err := tr.(Reviver).Revive(1); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the death notice rank 2 received, then run a clean ring.
+	exchangeRing(t, tr, 2)
+}
+
+func TestFaultNoOpsIsTransparent(t *testing.T) {
+	tr := NewFault(NewChan(3), NoFaults())
+	defer tr.Close()
+	for step := uint64(1); step <= 3; step++ {
+		exchangeRing(t, tr, step)
+	}
+	if s := tr.Stats(); s != (FaultStats{}) {
+		t.Fatalf("no-op plan injected faults: %+v", s)
+	}
+}
+
+func TestFaultDropDupDelayDeliver(t *testing.T) {
+	tr := NewFault(NewChan(2), FaultPlan{
+		Seed:            42,
+		Drop:            0.3,
+		Dup:             0.3,
+		Delay:           0.3,
+		MaxDelay:        100 * time.Microsecond,
+		RetransmitDelay: 100 * time.Microsecond,
+		KillRank:        -1,
+	})
+	defer tr.Close()
+	e0, _ := tr.Endpoint(0)
+	e1, _ := tr.Endpoint(1)
+	const rounds = 60
+	done := make(chan error, 1)
+	go func() {
+		var in Frame
+		for step := uint64(1); step <= rounds; step++ {
+			// Idempotent receive: drain until this step's frame arrives,
+			// discarding duplicates of earlier steps.
+			for {
+				if err := e1.Recv(&in); err != nil {
+					done <- err
+					return
+				}
+				if in.Kind == KindGhostPos && in.Step == step {
+					break
+				}
+			}
+			if in.Scalars[0] != float64(step) {
+				done <- errors.New("payload mismatch")
+				return
+			}
+		}
+		done <- nil
+	}()
+	var out Frame
+	for step := uint64(1); step <= rounds; step++ {
+		out.Reset(KindGhostPos, 1, step)
+		out.EnsureScalars(1)[0] = float64(step)
+		if err := e0.Send(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Drops == 0 || s.Dups == 0 || s.Delays == 0 {
+		t.Fatalf("expected all fault classes to fire over %d rounds: %+v", rounds, s)
+	}
+	if s.Kills != 0 {
+		t.Fatalf("disarmed plan killed a rank: %+v", s)
+	}
+}
+
+func TestFaultScheduledKill(t *testing.T) {
+	tr := NewFault(NewChan(2), FaultPlan{KillRank: 1, KillAtStep: 3})
+	defer tr.Close()
+	e1, _ := tr.Endpoint(1)
+	var f Frame
+	for step := uint64(1); step <= 5; step++ {
+		f.Reset(KindGhostPos, 0, step)
+		err := e1.Send(&f)
+		if step < 3 && err != nil {
+			t.Fatalf("step %d: premature death: %v", step, err)
+		}
+		if step >= 3 {
+			if rank, ok := IsDead(err); !ok || rank != 1 {
+				t.Fatalf("step %d: want DeadError{1}, got %v", step, err)
+			}
+		}
+	}
+	if s := tr.Stats(); s.Kills != 1 {
+		t.Fatalf("kill fired %d times, want 1", s.Kills)
+	}
+}
+
+func TestGroupRoutesAcrossMembers(t *testing.T) {
+	// Two single-rank worlds cannot form a group ring, so use chan members
+	// that each claim to serve a full world but error for foreign ranks.
+	a := NewChan(3)
+	defer a.Close()
+	g := NewGroup(a)
+	if g.Ranks() != 3 {
+		t.Fatalf("group ranks = %d, want 3", g.Ranks())
+	}
+	exchangeRing(t, g, 1)
+}
