@@ -350,6 +350,80 @@ func BenchmarkCompiledRuntimeStep(b *testing.B) {
 	}
 }
 
+// BenchmarkReuseSteadyState measures the displacement-gated temporal-reuse
+// engine in its replay steady state: positions alternate between two fixed
+// configurations (a subset of atoms displaced well past eps, the rest
+// still), so every timed call advances the bounds, gathers the active
+// sub-chunk, replays it through the compiled plans, scatters it back, and
+// reduces — the full partial-replay cycle, with a recurring active-set
+// shape. mode=reuse must stay 0 allocs/op — the gather/pad/scatter
+// machinery runs entirely from preallocated scratch — alongside the exact
+// mode=off baseline evaluating the identical alternation (the CI
+// bench-smoke job enforces both). The trajectory-level A/B speedup is
+// measured separately by allegro-bench -reuse (BENCH_reuse.json).
+func BenchmarkReuseSteadyState(b *testing.B) {
+	cfg := DefaultConfig([]Species{H, O})
+	cfg.Workers = 1
+	cfg.DefaultCutoff = 3.0
+	cfg.AvgNumNeighbors = 10
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := data.WaterBox(rng, 3, 3, 3)
+	for _, mode := range []string{"off", "reuse"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			model, err := NewModel(cfg, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []Option{WithWorkers(1), WithCompiled(true)}
+			if mode == "reuse" {
+				opts = append(opts, WithReuse(0.05))
+			}
+			sim, err := NewSimulation(sys.Clone(), model, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			pot := sim.Potential().(perfmodel.InstrumentedPotential)
+			run := sim.System()
+			posA := make([][3]float64, len(run.Pos))
+			posB := make([][3]float64, len(run.Pos))
+			copy(posA, run.Pos)
+			copy(posB, run.Pos)
+			for i := 0; i < len(posB); i += 32 {
+				posB[i][0] += 0.06 // past eps, far under the skin trigger
+			}
+			forces := make([][3]float64, run.NumAtoms())
+			step := func(i int) {
+				if i%2 == 0 {
+					copy(run.Pos, posB)
+				} else {
+					copy(run.Pos, posA)
+				}
+				pot.EnergyForcesInto(run, forces)
+			}
+			for i := 0; i < 4; i++ {
+				step(i) // warm both configurations and the active-set shape
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step(i)
+			}
+			b.StopTimer()
+			if mode == "reuse" {
+				st, ok := sim.ReuseStats()
+				if !ok {
+					b.Fatal("reuse stats missing")
+				}
+				if st.ActivePairs >= st.PairSteps {
+					b.Fatal("alternation never hit the cache: reuse path unexercised")
+				}
+				b.ReportMetric(st.ReuseFraction(), "reuse-frac")
+			}
+		})
+	}
+}
+
 // BenchmarkEvaluateAllocating is the pre-pipeline baseline (fresh neighbor
 // list, heap tape, fresh force buffers every call) for comparison with
 // BenchmarkEvaluatorSteadyState.

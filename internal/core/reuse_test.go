@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/neighbor"
+)
+
+// TestEvaluateActiveRowsFullActiveMatchesFull is the exactness core of the
+// partial-replay path: with every center marked active, the compacted
+// replay must reproduce the full EvaluateRowsInto rows and pair energies
+// bit for bit — per-center sub-graphs are strictly local, so gathering a
+// center's pair group into a compacted sub-list cannot change its bits.
+func TestEvaluateActiveRowsFullActiveMatchesFull(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(9)
+	es := NewEvalScratch()
+	defer es.Close()
+	es.ensure(m)
+	var pairs neighbor.Pairs
+	es.builder.Skin = 0.5
+	es.builder.BuildInto(&pairs, sys, m.Cuts)
+
+	want := make([][3]float64, pairs.Len())
+	wantE := make([]float64, pairs.Len())
+	m.EvaluateRowsInto(es, sys, &pairs, want, wantE)
+
+	active := make([]bool, sys.NumAtoms())
+	for i := range active {
+		active[i] = true
+	}
+	rows := make([][3]float64, pairs.Len())
+	pairE := make([]float64, pairs.Len())
+	nact := m.EvaluateActiveRowsInto(es, sys, &pairs, active, rows, pairE)
+	if nact != pairs.NumReal {
+		t.Fatalf("full-active replay recomputed %d pairs, want %d", nact, pairs.NumReal)
+	}
+	for z := 0; z < pairs.NumReal; z++ {
+		if rows[z] != want[z] || pairE[z] != wantE[z] {
+			t.Fatalf("pair %d diverged: row %v vs %v, e %.17g vs %.17g",
+				z, rows[z], want[z], pairE[z], wantE[z])
+		}
+	}
+}
+
+// TestEvaluateActiveRowsPartialTouchesOnlyActive checks the scatter
+// discipline: pairs of inactive centers keep whatever the caller cached
+// (here a sentinel), pairs of active centers land bit-identical to a full
+// evaluation, and the returned count is exactly the active pair total.
+func TestEvaluateActiveRowsPartialTouchesOnlyActive(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(11)
+	es := NewEvalScratch()
+	defer es.Close()
+	es.ensure(m)
+	var pairs neighbor.Pairs
+	es.builder.Skin = 0.5
+	es.builder.BuildInto(&pairs, sys, m.Cuts)
+
+	want := make([][3]float64, pairs.Len())
+	wantE := make([]float64, pairs.Len())
+	m.EvaluateRowsInto(es, sys, &pairs, want, wantE)
+
+	active := make([]bool, sys.NumAtoms())
+	for i := range active {
+		active[i] = i%3 == 0
+	}
+	sentinel := [3]float64{math.Inf(1), math.Inf(-1), math.NaN()}
+	rows := make([][3]float64, pairs.Len())
+	pairE := make([]float64, pairs.Len())
+	for z := range rows {
+		rows[z] = sentinel
+		pairE[z] = -12345
+	}
+	nact := m.EvaluateActiveRowsInto(es, sys, &pairs, active, rows, pairE)
+
+	wantAct := 0
+	for z := 0; z < pairs.NumReal; z++ {
+		if active[pairs.I[z]] {
+			wantAct++
+			if rows[z] != want[z] || pairE[z] != wantE[z] {
+				t.Fatalf("active pair %d diverged from the full evaluation", z)
+			}
+		} else if rows[z][0] != sentinel[0] || pairE[z] != -12345 {
+			t.Fatalf("inactive pair %d was overwritten", z)
+		}
+	}
+	if nact != wantAct {
+		t.Fatalf("replay recomputed %d pairs, want %d", nact, wantAct)
+	}
+	if wantAct == 0 || wantAct == pairs.NumReal {
+		t.Fatalf("degenerate active split: %d of %d", wantAct, pairs.NumReal)
+	}
+}
+
+// TestReuseEvaluatorMatchesEvaluate drives the gated engine along a
+// synthetic deterministic "trajectory" (small per-call position jitters,
+// well under the skin trigger) and compares every call against the
+// allocating reference evaluation — forces within the row-reduction
+// tolerance, full evals only when the skin demands them.
+func TestReuseEvaluatorMatchesEvaluate(t *testing.T) {
+	for _, eps := range []float64{0, 0.02, 0.1} {
+		m := testModel(t, 1)
+		sys := testWater(7)
+		e := NewReuseEvaluator(m, eps)
+		rng := rand.New(rand.NewPCG(21, 22))
+		for step := 0; step < 8; step++ {
+			if step > 0 {
+				for i := range sys.Pos {
+					for k := 0; k < 3; k++ {
+						sys.Pos[i][k] += 0.01 * rng.NormFloat64()
+					}
+				}
+			}
+			energy, forces := e.EnergyForces(sys)
+			want := m.Evaluate(sys)
+			// eps bounds the geometry staleness behind cached rows: the
+			// deviation must vanish at eps = 0 and otherwise stay of order
+			// eps times the local force curvature — which is steep here (the
+			// random jitter strains ZBL core contacts), so the eps > 0
+			// budget is generous. The sharp accuracy gate runs on a real
+			// trajectory (TestSimulationReuseSerialDriftBounded and the
+			// BENCH_reuse sweep); this test pins exactness at eps = 0 and
+			// boundedness plus bookkeeping above it. The energy deviation is
+			// extensive, so its budget also scales with atom count.
+			tol := 1e-9 + 60*eps
+			etol := 1e-9 + 2*eps*float64(sys.NumAtoms())
+			if math.Abs(energy-want.Energy) > etol {
+				t.Fatalf("eps %g step %d: energy %.12g vs %.12g", eps, step, energy, want.Energy)
+			}
+			for i := range forces {
+				for k := 0; k < 3; k++ {
+					if d := math.Abs(forces[i][k] - want.Forces[i][k]); d > tol {
+						t.Fatalf("eps %g step %d atom %d: force deviates by %g (tol %g)", eps, step, i, d, tol)
+					}
+				}
+			}
+		}
+		st := e.Stats()
+		if st.Steps != 8 || st.FullEvals < 1 {
+			t.Fatalf("eps %g: stats %+v", eps, st)
+		}
+		if eps == 0 && st.ActivePairs != st.PairSteps {
+			t.Fatalf("eps 0 must recompute every pair: %+v", st)
+		}
+		if eps == 0.1 && st.ActivePairs >= st.PairSteps {
+			t.Fatalf("eps 0.1 served nothing from cache: %+v", st)
+		}
+		e.Close()
+	}
+}
+
+// TestReuseEvaluatorFullRefreshFallback forces the everything-active case
+// without breaching the skin: the engine must take the exact full-refresh
+// path on the cached list (no rebuild — FullEvals stays put) and still
+// match the reference evaluation.
+func TestReuseEvaluatorFullRefreshFallback(t *testing.T) {
+	m := testModel(t, 1)
+	sys := testWater(13)
+	e := NewReuseEvaluator(m, 0.01)
+	defer e.Close()
+	e.EnergyForces(sys) // initial build
+	full := e.Stats().FullEvals
+
+	// Shift every atom by 0.05 A: over eps everywhere, under skin/2 = 0.25.
+	for i := range sys.Pos {
+		sys.Pos[i][0] += 0.05
+	}
+	energy, forces := e.EnergyForces(sys)
+	st := e.Stats()
+	if st.FullEvals != full {
+		t.Fatalf("fallback must reuse the cached list, not rebuild (FullEvals %d -> %d)", full, st.FullEvals)
+	}
+	if st.ActivePairs != st.PairSteps {
+		t.Fatalf("everything-active step must account all pair work: %+v", st)
+	}
+	want := m.Evaluate(sys)
+	if math.Abs(energy-want.Energy) > 1e-9 {
+		t.Fatalf("fallback energy %.12g vs %.12g", energy, want.Energy)
+	}
+	for i := range forces {
+		for k := 0; k < 3; k++ {
+			if d := math.Abs(forces[i][k] - want.Forces[i][k]); d > 1e-9 {
+				t.Fatalf("fallback force mismatch at atom %d: %g", i, d)
+			}
+		}
+	}
+}

@@ -91,6 +91,15 @@ type EvalScratch struct {
 	pairEOut   []float64
 	rowsScale  float64
 	evalRowsFn func(int)
+
+	// Partial-replay compaction scratch (EvaluateActiveRowsInto): the
+	// cached-contribution store's active sub-chunk — gathered pairs, their
+	// origin indices, and the compact row buffers the replay writes before
+	// scattering back into canonical order.
+	actPairs neighbor.Pairs
+	actSlot  []int32
+	actRows  [][3]float64
+	actPairE []float64
 }
 
 // workerEval is one worker's private evaluation state: Allegro's strict
@@ -420,20 +429,28 @@ func (m *Model) EvaluateRowsInto(es *EvalScratch, sys *atoms.System, pairs *neig
 		es.evalModel, es.evalSys = nil, nil
 		es.rowsOut, es.pairEOut = nil, nil
 	} else {
-		if es.evalCompiled {
-			pg := es.plans.run(m, sys, pairs)
-			harvestRows(pg.ForceRows(), pg.PairEnergies(), 0, pairs.Len(), rows, pairE, m.EnergyScale)
-		} else {
-			es.tape.Reset()
-			es.binder.Reset(es.tape, false)
-			g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
-			g.tape.Backward(g.energy)
-			harvestRows(g.rvec.Grad(), g.pairE.T.Data, 0, pairs.Len(), rows, pairE, m.EnergyScale)
-		}
+		es.serialRows(m, sys, pairs, rows, pairE)
 	}
 	if m.Cfg.ZBL {
 		addZBLRows(sys, pairs, rows, pairE)
 	}
+}
+
+// serialRows runs one forward+backward over the pair list on the scratch's
+// serial context and harvests the rows and sigma-weighted pair energies (no
+// ZBL, no shifts — callers layer those). The dispatch mode (es.evalCompiled
+// and the plan-cache flags) must already be resolved.
+func (es *EvalScratch) serialRows(m *Model, sys *atoms.System, pairs *neighbor.Pairs, rows [][3]float64, pairE []float64) {
+	if es.evalCompiled {
+		pg := es.plans.run(m, sys, pairs)
+		harvestRows(pg.ForceRows(), pg.PairEnergies(), 0, pairs.Len(), rows, pairE, m.EnergyScale)
+		return
+	}
+	es.tape.Reset()
+	es.binder.Reset(es.tape, false)
+	g := m.buildGraphOn(es.tape, es.binder, sys, pairs, false)
+	g.tape.Backward(g.energy)
+	harvestRows(g.rvec.Grad(), g.pairE.T.Data, 0, pairs.Len(), rows, pairE, m.EnergyScale)
 }
 
 // runWorkerEvalRows runs one worker's sub-graph forward+backward and writes

@@ -1,0 +1,113 @@
+package domain
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/transport"
+)
+
+// TestRuntimeReuseStepZeroAllocSteadyState extends the steady-state
+// zero-allocation contract to the gated step: with static positions every
+// center stays under the bound, and the all-cached decomposed step must not
+// touch the heap. (Declared before the TCP-backed tests of this file so no
+// freshly torn-down socket goroutines can pollute the allocation count.)
+func TestRuntimeReuseStepZeroAllocSteadyState(t *testing.T) {
+	m := tinyModel(t)
+	sys := data.WaterBox(rand.New(rand.NewPCG(51, 52)), 3, 3, 3)
+	rt, err := NewRuntime(m, sys, RuntimeOptions{Grid: [3]int{2, 1, 1}, Skin: 0.5, ReuseEps: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	forces := make([][3]float64, sys.NumAtoms())
+	rt.EnergyForcesInto(sys, forces)
+	rt.EnergyForcesInto(sys, forces)
+	if allocs := testing.AllocsPerRun(20, func() {
+		rt.EnergyForcesInto(sys, forces)
+	}); allocs != 0 {
+		t.Errorf("steady-state gated step allocates %.1f allocs/op, want 0", allocs)
+	}
+	st := rt.Stats()
+	if st.PairSteps <= 0 {
+		t.Fatalf("reuse counters did not advance: %+v", st)
+	}
+	if 1-float64(st.ActivePairs)/float64(st.PairSteps) <= 0.5 {
+		t.Fatalf("static positions should be served almost entirely from cache: %+v", st)
+	}
+}
+
+// TestRuntimeReuseTrajectoryBitwise extends the central bitwise property to
+// the temporal-reuse engine: at eps > 0 the active-center decision is
+// computed from grid-invariant master state, so the gated trajectory must
+// not depend on the rank grid or on the wire the exchanges travel — chan,
+// real TCP sockets, and the chaos-injecting fault wrapper must all produce
+// identical bits, and those bits must match across grids too.
+func TestRuntimeReuseTrajectoryBitwise(t *testing.T) {
+	const steps, temp, eps = 30, 600.0, 0.05
+	base := runTrajectory(t, RuntimeOptions{Grid: [3]int{1, 1, 1}, Skin: 0.5, ReuseEps: eps}, steps, temp)
+	defer base.Close()
+
+	// The run must genuinely exercise the gate.
+	st := base.Runtime.(*Runtime).Stats()
+	if st.PairSteps <= 0 || st.ActivePairs <= 0 {
+		t.Fatalf("degenerate reuse counters: %+v", st)
+	}
+
+	grids := [][3]int{{2, 1, 1}, {2, 2, 2}}
+	for _, grid := range grids {
+		nr := grid[0] * grid[1] * grid[2]
+		variants := []struct {
+			name string
+			tr   transport.Transport
+		}{
+			{"chan", nil},
+			{"tcp", newLocalTCPGroup(t, nr)},
+			{"fault-chaos", transport.NewFault(transport.NewChan(nr), transport.FaultPlan{
+				Seed: 4242, Drop: 0.05, Dup: 0.05, Delay: 0.10, KillRank: -1,
+			})},
+		}
+		for _, v := range variants {
+			sim := runTrajectory(t, RuntimeOptions{
+				Grid: grid, Skin: 0.5, ReuseEps: eps, Transport: v.tr,
+			}, steps, temp)
+			if sim.Energy != base.Energy {
+				t.Errorf("grid %v over %s: energy %.17g != base %.17g", grid, v.name, sim.Energy, base.Energy)
+			}
+			for i := range base.Sys.Pos {
+				if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+					t.Errorf("grid %v over %s: position of atom %d diverged", grid, v.name, i)
+					break
+				}
+				if sim.Forces[i] != base.Forces[i] {
+					t.Errorf("grid %v over %s: force on atom %d diverged", grid, v.name, i)
+					break
+				}
+			}
+			sim.Close()
+		}
+	}
+}
+
+// TestRuntimeReuseEpsZeroBitwise pins the exactness anchor at the runtime
+// level: ReuseEps = 0 must be bit-identical to the plain runtime on every
+// grid (the facade relies on this to make WithReuse(0) a true no-op).
+func TestRuntimeReuseEpsZeroBitwise(t *testing.T) {
+	const steps, temp = 30, 600.0
+	for _, grid := range [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}} {
+		plain := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5}, steps, temp)
+		gated := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5, ReuseEps: 0}, steps, temp)
+		if plain.Energy != gated.Energy {
+			t.Errorf("grid %v: eps=0 energy %.17g != plain %.17g", grid, gated.Energy, plain.Energy)
+		}
+		for i := range plain.Sys.Pos {
+			if plain.Sys.Pos[i] != gated.Sys.Pos[i] {
+				t.Errorf("grid %v: eps=0 position of atom %d diverged", grid, i)
+				break
+			}
+		}
+		plain.Close()
+		gated.Close()
+	}
+}

@@ -221,8 +221,21 @@ func TestBuilderSkinSuperset(t *testing.T) {
 	defer bld.Close()
 	var p Pairs
 	bld.BuildInto(&p, sys, cuts)
-	if err := p.ValidateSkin(skin); err != nil {
+	if err := p.ValidateSkin(skin, sys, cuts); err != nil {
 		t.Fatal(err)
+	}
+	// The cut-verification arm must actually bite: corrupt one skin pair's
+	// recorded cutoff and expect ValidateSkin to reject it.
+	for z := 0; z < p.NumReal; z++ {
+		if p.Dist[z] >= p.Cut[z] { // a skin-shell pair
+			saved := p.Cut[z]
+			p.Cut[z] = p.Dist[z] + 1e-6 // plausible distance-wise, wrong table-wise
+			if err := p.ValidateSkin(skin, sys, cuts); err == nil {
+				t.Fatalf("ValidateSkin accepted corrupted Cut on skin pair %d", z)
+			}
+			p.Cut[z] = saved
+			break
+		}
 	}
 	if p.NumReal <= exact.NumReal {
 		t.Fatalf("skin list (%d pairs) should exceed exact list (%d)", p.NumReal, exact.NumReal)

@@ -1,0 +1,52 @@
+package neighbor
+
+import "math"
+
+// StepDisplacements fills d with the per-atom displacement magnitudes
+// |cur[i] - prev[i]|. Positions are compared unwrapped (the MD loop drifts
+// positions continuously and only the pair-vector refresh applies minimum
+// image), so the magnitudes bound the true change of every pair distance the
+// atom participates in: |r_ij(cur) - r_ij(prev)| <= d[i] + d[j] by the
+// triangle inequality.
+func StepDisplacements(cur, prev [][3]float64, d []float64) {
+	for i := range d {
+		dx := cur[i][0] - prev[i][0]
+		dy := cur[i][1] - prev[i][1]
+		dz := cur[i][2] - prev[i][2]
+		d[i] = math.Sqrt(dx*dx + dy*dy + dz*dz)
+	}
+}
+
+// AccumulateEnvBound adds one step's per-center environment-displacement
+// bound to env: for every center i,
+//
+//	env[i] += d[i] + max over pairs (i,j) of d[j],
+//
+// where d holds per-atom displacement magnitudes since the previous force
+// evaluation. env[i] therefore accumulates an upper bound on how far center
+// i's environment has drifted (every pair distance of center i has changed
+// by at most env[i]) since env[i] was last reset to zero — the soundness
+// contract of the temporal-reuse gate: a center whose accumulated bound
+// stays under ε may reuse its cached per-pair rows with per-pair geometry
+// error at most ε.
+//
+// Real pairs must be grouped by ascending center, which is the order
+// Builder.BuildInto guarantees. Atoms that currently have no pairs only
+// accrue their own displacement.
+func (p *Pairs) AccumulateEnvBound(d, env []float64) {
+	for i, di := range d {
+		env[i] += di
+	}
+	z := 0
+	for z < p.NumReal {
+		i := p.I[z]
+		m := 0.0
+		for z < p.NumReal && p.I[z] == i {
+			if dj := d[p.J[z]]; dj > m {
+				m = dj
+			}
+			z++
+		}
+		env[i] += m
+	}
+}

@@ -1,0 +1,91 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/units"
+)
+
+// TestAccumulateEnvBoundSound pins the soundness contract of the reuse gate:
+// after perturbing atoms and accumulating the bound over several sub-steps,
+// every center's accumulated env bound dominates the true change of each of
+// its pair distances relative to the starting configuration.
+func TestAccumulateEnvBoundSound(t *testing.T) {
+	species := []units.Species{units.H, units.O}
+	rng := rand.New(rand.NewPCG(31, 32))
+	sys := randomPeriodic(rng, 180, 14, species)
+	cuts := PaperBioCutoffs(atoms.NewSpeciesIndex(species))
+
+	var bld Builder
+	bld.Skin = 1.0
+	defer bld.Close()
+	var p Pairs
+	bld.BuildInto(&p, sys, cuts)
+
+	n := sys.NumAtoms()
+	start := make([][3]float64, n)
+	prev := make([][3]float64, n)
+	copy(start, sys.Pos)
+	copy(prev, sys.Pos)
+
+	r0 := make([]float64, p.NumReal)
+	copy(r0, p.Dist)
+
+	d := make([]float64, n)
+	env := make([]float64, n)
+	for step := 0; step < 4; step++ {
+		for i := range sys.Pos {
+			for k := 0; k < 3; k++ {
+				sys.Pos[i][k] += (rng.Float64() - 0.5) * 0.1
+			}
+		}
+		StepDisplacements(sys.Pos, prev, d)
+		p.AccumulateEnvBound(d, env)
+		copy(prev, sys.Pos)
+	}
+
+	for z := 0; z < p.NumReal; z++ {
+		v := sys.Displacement(p.I[z], p.J[z])
+		r := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		if change := math.Abs(r - r0[z]); change > env[p.I[z]]+1e-12 {
+			t.Fatalf("pair %d distance changed %g > env bound %g of center %d",
+				z, change, env[p.I[z]], p.I[z])
+		}
+	}
+}
+
+// TestAccumulateEnvBoundGrouping checks the per-center max against a
+// brute-force reference on the builder's grouped pair order.
+func TestAccumulateEnvBoundGrouping(t *testing.T) {
+	species := []units.Species{units.H}
+	rng := rand.New(rand.NewPCG(7, 9))
+	sys := randomPeriodic(rng, 60, 10, species)
+	cuts := NewCutoffTable(atoms.NewSpeciesIndex(species), 4.0)
+	p := Build(sys, cuts)
+
+	n := sys.NumAtoms()
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	env := make([]float64, n)
+	p.AccumulateEnvBound(d, env)
+
+	want := make([]float64, n)
+	copy(want, d)
+	nbrMax := make([]float64, n)
+	for z := 0; z < p.NumReal; z++ {
+		if dj := d[p.J[z]]; dj > nbrMax[p.I[z]] {
+			nbrMax[p.I[z]] = dj
+		}
+	}
+	for i := range want {
+		want[i] += nbrMax[i]
+		if env[i] != want[i] {
+			t.Fatalf("center %d: env %g, want %g", i, env[i], want[i])
+		}
+	}
+}

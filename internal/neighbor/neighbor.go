@@ -185,11 +185,16 @@ func (p *Pairs) AvgNeighbors() float64 {
 // Validate checks structural invariants of an exact-cutoff list; tests call
 // it after construction. Verlet-skin lists (Builder.Skin > 0) admit pairs
 // out to Cut+skin and must be checked with ValidateSkin instead.
-func (p *Pairs) Validate() error { return p.ValidateSkin(0) }
+func (p *Pairs) Validate() error { return p.ValidateSkin(0, nil, nil) }
 
 // ValidateSkin checks structural invariants allowing pair distances up to
-// Cut+skin (the Verlet shell).
-func (p *Pairs) ValidateSkin(skin float64) error {
+// Cut+skin (the Verlet shell). When sys and cuts are non-nil it additionally
+// verifies that every real pair's recorded Cut equals the builder's true
+// ordered cutoff cuts.Rc[species(I)][species(J)] — skin pairs in particular
+// must carry the genuine cutoff (and a zero envelope), not the inflated
+// admission radius, because the temporal-reuse displacement bound and the
+// PolyCutoff clamp both depend on it.
+func (p *Pairs) ValidateSkin(skin float64, sys *atoms.System, cuts *CutoffTable) error {
 	if len(p.J) != len(p.I) || len(p.Vec) != len(p.I) || len(p.Dist) != len(p.I) || len(p.Cut) != len(p.I) {
 		return fmt.Errorf("neighbor: ragged pair arrays")
 	}
@@ -202,6 +207,12 @@ func (p *Pairs) ValidateSkin(skin float64) error {
 		}
 		if p.Dist[z] >= p.Cut[z]+skin {
 			return fmt.Errorf("neighbor: pair %d beyond its cutoff+skin (%g >= %g+%g)", z, p.Dist[z], p.Cut[z], skin)
+		}
+		if sys != nil && cuts != nil {
+			want := cuts.Rc[cuts.Index.Index(sys.Species[p.I[z]])][cuts.Index.Index(sys.Species[p.J[z]])]
+			if p.Cut[z] != want {
+				return fmt.Errorf("neighbor: pair %d records cutoff %g, ordered table says %g", z, p.Cut[z], want)
+			}
 		}
 		v := p.Vec[z]
 		r := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])

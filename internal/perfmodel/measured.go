@@ -150,15 +150,26 @@ type DecomposedMeasurement struct {
 	// hidden). It feeds CalibrateMachineDecomposed, which discounts the
 	// analytic cluster model's communication term accordingly.
 	OverlapFraction float64
+	// ReuseFraction is the measured share of pair work served from the
+	// temporal-reuse cache over the timed window (0 when reuse is
+	// disabled). Note that fixed-position measurement windows overstate
+	// steady-trajectory reuse — nothing moves, so after the warm-up steps
+	// every center reuses; trajectory-based A/B runs (allegro-bench
+	// -reuse) are the honest speedup measurement.
+	ReuseFraction float64
 }
 
 // String renders the decomposed measurement for reports.
 func (m DecomposedMeasurement) String() string {
-	return fmt.Sprintf("measured decomposed (%s): %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps, phases xchg %d + int %d + front %d + red %d ns/step, overlap %.0f%%",
+	s := fmt.Sprintf("measured decomposed (%s): %d ranks, %d atoms, %d pairs: %.3g pairs/s (%.3g per rank), %.0f allocs/op, ghosts %d B fwd + %d B rev per step, %d rebuilds/%d steps, phases xchg %d + int %d + front %d + red %d ns/step, overlap %.0f%%",
 		m.modeLabel(), m.Ranks, m.Atoms, m.Pairs, m.PairsPerSec, m.PairsPerSecRank, m.AllocsPerOp,
 		m.ForwardBytesStep, m.ReverseBytesStep, m.Rebuilds, m.Steps,
 		m.ExchangeNsStep, m.InteriorNsStep, m.FrontierNsStep, m.ReduceNsStep,
 		100*m.OverlapFraction)
+	if m.ReuseFraction > 0 {
+		s += fmt.Sprintf(", reuse %.0f%%", 100*m.ReuseFraction)
+	}
+	return s
 }
 
 // MeasureDecomposed runs `steps` steady-state force calls through a fresh
@@ -208,6 +219,9 @@ func MeasureRuntime(rt *domain.Runtime, sys *atoms.System, steps int) Decomposed
 		CommWallNs:     st.CommWallNs - pre.CommWallNs,
 	}
 	meas.OverlapFraction = window.OverlapFraction()
+	if dp := st.PairSteps - pre.PairSteps; dp > 0 {
+		meas.ReuseFraction = 1 - float64(st.ActivePairs-pre.ActivePairs)/float64(dp)
+	}
 	return meas
 }
 
@@ -236,8 +250,13 @@ func CalibrateMachine(mach cluster.Machine, meas Measurement) cluster.Machine {
 // degenerate measurement cannot smear its overlap onto a foreign anchor).
 func CalibrateMachineDecomposed(mach cluster.Machine, meas DecomposedMeasurement) cluster.Machine {
 	mach = CalibrateMachine(mach, meas.Measurement)
-	if meas.OverlapFraction > 0 && mach.AnchorMode == meas.modeLabel() {
-		mach.Overlap = meas.OverlapFraction
+	if mach.AnchorMode == meas.modeLabel() {
+		if meas.OverlapFraction > 0 {
+			mach.Overlap = meas.OverlapFraction
+		}
+		if meas.ReuseFraction > 0 {
+			mach.ReuseFraction = meas.ReuseFraction
+		}
 	}
 	return mach
 }

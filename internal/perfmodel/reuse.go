@@ -1,0 +1,131 @@
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/atoms"
+	"repro/internal/core"
+)
+
+// ReusePoint is one entry of the temporal-reuse sweep (allegro-bench
+// -reuse): a thermostatted water trajectory run at one (eps, RESPA k)
+// setting, timed after equilibration. Drift is probed directly — the exact
+// engine re-evaluates the configurations the approximate trajectory
+// actually visited, and the error is against the forces/energy the engine
+// used there. Trajectory-vs-trajectory position divergence is deliberately
+// NOT the metric: chaotic MD amplifies any perturbation exponentially, so
+// it measures the Lyapunov time, not the approximation. The exact engine is
+// the eps = 0, k = 1 point (speedup 1 by construction, drift exactly zero).
+type ReusePoint struct {
+	Eps    float64 `json:"eps"`     // displacement tolerance (A); 0 = exact
+	RespaK int     `json:"respa_k"` // inner sub-steps per outer step; 1 = single-timestep
+	Steps  int     `json:"steps"`   // timed MD steps
+
+	StepNs      int64   `json:"step_ns"`       // wall ns per MD step over the timed window
+	StepsPerSec float64 `json:"steps_per_sec"` // reciprocal throughput
+	Speedup     float64 `json:"speedup"`       // vs the exact entry of the same sweep
+
+	ReuseFraction float64 `json:"reuse_fraction"` // pair work served from cache over the whole run
+	FullEvals     int64   `json:"full_evals"`     // rebuild-forced full evaluations
+	ActivePerStep float64 `json:"active_per_step"`
+
+	MaxForceErrEvA  float64 `json:"max_force_err_ev_a"`     // max per-component |F - F_exact| at probed states
+	RMSForceErrEvA  float64 `json:"rms_force_err_ev_a"`     // worst probed RMS per-atom force deviation
+	EnergyErrEvAtom float64 `json:"energy_err_ev_per_atom"` // max |E_pot - E_exact|/atom at probed states
+}
+
+// ReuseReport is the serialized sweep emitted as BENCH_reuse.json: every
+// point, plus the gate summary CI checks — the best speedup among eps > 0
+// single-timestep points whose probed drift stays within the documented
+// bounds (GatedSpeedup is 0 when no point qualifies, which fails the gate).
+type ReuseReport struct {
+	System     string  `json:"system"`
+	Atoms      int     `json:"atoms"`
+	EquilSteps int     `json:"equil_steps"`
+	TimestepFs float64 `json:"timestep_fs"`
+	TempK      float64 `json:"temp_k"`
+
+	Points []ReusePoint `json:"points"`
+
+	// Gate bounds (documented in docs/benchmarks.md) and the result.
+	RMSForceBoundEvA  float64 `json:"rms_force_bound_ev_a"`
+	EnergyBoundEvAtom float64 `json:"energy_bound_ev_per_atom"`
+	GatedSpeedup      float64 `json:"gated_speedup"`
+	GatedEps          float64 `json:"gated_eps"`
+}
+
+// Gate fills the report's gate summary from its points: among eps > 0,
+// k = 1 entries with probed errors inside both bounds, the largest speedup
+// wins.
+func (r *ReuseReport) Gate() {
+	r.GatedSpeedup, r.GatedEps = 0, 0
+	for _, p := range r.Points {
+		if p.Eps <= 0 || p.RespaK > 1 {
+			continue
+		}
+		if p.RMSForceErrEvA > r.RMSForceBoundEvA || p.EnergyErrEvAtom > r.EnergyBoundEvAtom {
+			continue
+		}
+		if p.Speedup > r.GatedSpeedup {
+			r.GatedSpeedup, r.GatedEps = p.Speedup, p.Eps
+		}
+	}
+}
+
+// DriftProbe measures what a temporal-reuse (or RESPA) engine's
+// approximations cost at a given state: it re-evaluates the exact model at
+// the same positions and compares against the forces and potential energy
+// the engine actually produced there. Because the comparison is at
+// identical configurations, the numbers are the approximation error itself,
+// free of the chaotic trajectory divergence that dominates any
+// position-vs-position comparison.
+type DriftProbe struct {
+	ev *core.Evaluator
+}
+
+// NewDriftProbe builds an exact reference evaluator over the model. Close
+// it when done.
+func NewDriftProbe(m *core.Model) *DriftProbe {
+	return &DriftProbe{ev: core.NewEvaluator(m)}
+}
+
+// DriftSample is one probed comparison: the engine's numbers at a state
+// against the exact model evaluated at the identical positions.
+type DriftSample struct {
+	MaxForceErrEvA  float64 // largest per-component force deviation
+	RMSForceErrEvA  float64 // RMS per-atom force-vector deviation
+	EnergyErrEvAtom float64 // per-atom potential-energy deviation
+}
+
+// Max folds another sample in, keeping the worst of each metric.
+func (s *DriftSample) Max(o DriftSample) {
+	s.MaxForceErrEvA = math.Max(s.MaxForceErrEvA, o.MaxForceErrEvA)
+	s.RMSForceErrEvA = math.Max(s.RMSForceErrEvA, o.RMSForceErrEvA)
+	s.EnergyErrEvAtom = math.Max(s.EnergyErrEvAtom, o.EnergyErrEvAtom)
+}
+
+// Measure evaluates the exact model at sys's current positions and returns
+// the force and per-atom energy deviations of the engine's numbers.
+func (p *DriftProbe) Measure(sys *atoms.System, engForces [][3]float64, engPotE float64) DriftSample {
+	exactE, exactF := p.ev.EnergyForces(sys)
+	var s DriftSample
+	var sum2 float64
+	for i := range exactF {
+		var n2 float64
+		for c := 0; c < 3; c++ {
+			d := engForces[i][c] - exactF[i][c]
+			n2 += d * d
+			if a := math.Abs(d); a > s.MaxForceErrEvA {
+				s.MaxForceErrEvA = a
+			}
+		}
+		sum2 += n2
+	}
+	n := float64(sys.NumAtoms())
+	s.RMSForceErrEvA = math.Sqrt(sum2 / n)
+	s.EnergyErrEvAtom = math.Abs(engPotE-exactE) / n
+	return s
+}
+
+// Close releases the reference evaluator.
+func (p *DriftProbe) Close() { p.ev.Close() }

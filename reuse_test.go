@@ -1,0 +1,309 @@
+package allegro
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// TestSimulationReuseZeroBitIdentical pins the exactness anchor of the
+// temporal-reuse engine: WithReuse(0) and WithRESPA(1) are the documented
+// no-ops, so a simulation carrying both must reproduce the plain engine bit
+// for bit — positions and full reports — on the serial backend and on every
+// rank grid.
+func TestSimulationReuseZeroBitIdentical(t *testing.T) {
+	model, box := testModelAndBox(t)
+	run := func(opts ...Option) *Simulation {
+		base := []Option{WithTimestep(0.4), WithSkin(0.4), WithTemperature(300), WithSeed(9)}
+		sim, err := NewSimulation(box.Clone(), model, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(context.Background(), 25); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	grids := [][]Option{
+		nil, // serial backend
+		{WithGrid(1, 1, 1)},
+		{WithGrid(2, 1, 1)},
+		{WithGrid(2, 2, 2)},
+	}
+	for gi, grid := range grids {
+		plain := run(grid...)
+		gated := run(append([]Option{WithReuse(0), WithRESPA(1)}, grid...)...)
+		if gated.Reusing() {
+			t.Fatalf("grid %d: WithReuse(0) must disable reuse", gi)
+		}
+		if a, b := plain.Report(), gated.Report(); a != b {
+			t.Fatalf("grid %d: reports diverged:\n plain: %+v\n gated: %+v", gi, a, b)
+		}
+		samePositions(t, "reuse eps=0", plain.System(), gated.System())
+		plain.Close()
+		gated.Close()
+	}
+}
+
+// TestSimulationReuseGridInvariant is the decomposed half of the tentpole's
+// determinism contract: the active-center decision is derived from
+// grid-invariant master state, so at any eps > 0 the trajectory must stay
+// bit-identical across rank grids — and the run must genuinely exercise the
+// gate (some pair work served from cache, some recomputed).
+func TestSimulationReuseGridInvariant(t *testing.T) {
+	model, box := testModelAndBox(t)
+	const eps = 0.15
+	run := func(grid [3]int) *Simulation {
+		sim, err := NewSimulation(box.Clone(), model,
+			WithGrid(grid[0], grid[1], grid[2]), WithSkin(0.5), WithReuse(eps),
+			WithTimestep(0.4), WithTemperature(300), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(context.Background(), 30); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	base := run([3]int{1, 1, 1})
+	defer base.Close()
+	if !base.Reusing() {
+		t.Fatal("WithReuse(eps) on the decomposed backend must report Reusing")
+	}
+	st, ok := base.ReuseStats()
+	if !ok {
+		t.Fatal("reuse stats must be exposed when reuse is enabled")
+	}
+	if st.PairSteps <= 0 || st.ActivePairs <= 0 {
+		t.Fatalf("degenerate reuse counters: %+v", st)
+	}
+	if st.ActivePairs >= st.PairSteps {
+		t.Fatalf("no pair work was served from cache (eps %g): %+v", eps, st)
+	}
+	for _, grid := range [][3]int{{2, 1, 1}, {2, 2, 2}} {
+		sim := run(grid)
+		if a, b := base.Report(), sim.Report(); a != b {
+			t.Fatalf("grid %v: reports diverged:\n base: %+v\n  sim: %+v", grid, a, b)
+		}
+		samePositions(t, "reuse across grids", base.System(), sim.System())
+		sim.Close()
+	}
+}
+
+// TestSimulationReuseSerialDriftBounded checks the serial reuse engine's
+// accuracy contract with the drift probe (exact model re-evaluated at the
+// states the gated trajectory actually visited). The exact engine must probe
+// to exactly zero drift — the probe and the production evaluator are the
+// same machinery — and the eps > 0 engine's probed force error must stay
+// bounded while a nonzero share of pair work comes from cache.
+func TestSimulationReuseSerialDriftBounded(t *testing.T) {
+	model, box := testModelAndBox(t)
+	probe := perfmodel.NewDriftProbe(model)
+	defer probe.Close()
+
+	exact, err := NewSimulation(box.Clone(), model,
+		WithWorkers(1), WithTemperature(300), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	if err := exact.Run(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	s := probe.Measure(exact.System(), exact.Forces(), exact.Report().PotentialEnergy)
+	if s.MaxForceErrEvA != 0 || s.EnergyErrEvAtom != 0 {
+		t.Fatalf("exact engine probed nonzero drift: %+v", s)
+	}
+
+	gated, err := NewSimulation(box.Clone(), model,
+		WithWorkers(1), WithTemperature(300), WithSeed(3), WithReuse(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gated.Close()
+	if !gated.Reusing() {
+		t.Fatal("serial WithReuse must report Reusing")
+	}
+	var worst perfmodel.DriftSample
+	for i := 0; i < 6; i++ {
+		if err := gated.Run(context.Background(), 5); err != nil {
+			t.Fatal(err)
+		}
+		worst.Max(probe.Measure(gated.System(), gated.Forces(), gated.Report().PotentialEnergy))
+	}
+	st, ok := gated.ReuseStats()
+	if !ok || st.FullEvals < 1 {
+		t.Fatalf("reuse stats missing or no full evaluation recorded: %+v (ok=%v)", st, ok)
+	}
+	if st.ActivePairs >= st.PairSteps {
+		t.Fatalf("no pair work was served from cache: %+v", st)
+	}
+	// The bound is loose (the probe measures a bounded geometry lag on the
+	// stiff untrained test model, not chaos): the point is that drift is a
+	// small perturbation, not a blowup. The production-scale accuracy gate
+	// is the allegro-bench sweep (BENCH_reuse.json).
+	if worst.MaxForceErrEvA > 2.0 || worst.EnergyErrEvAtom > 0.01 {
+		t.Fatalf("drift out of bounds: %+v", worst)
+	}
+	if worst.MaxForceErrEvA == 0 {
+		t.Fatal("gated trajectory probed exactly zero drift: the gate never reused anything it should have")
+	}
+}
+
+// TestSimulationReuseRespaCheckpointResume covers restart points with the
+// reuse and RESPA options live. At eps = 0, k = 1 the resumed trajectory
+// must be bit-identical to the uninterrupted one (the facade contract). At
+// eps > 0, k > 1 the checkpoint carries no gate state — a resume starts
+// with a fresh full evaluation — so the pinned property is determinism: two
+// simulations resumed from the same checkpoint agree bit for bit.
+func TestSimulationReuseRespaCheckpointResume(t *testing.T) {
+	model, box := testModelAndBox(t)
+	mk := func(opts ...Option) *Simulation {
+		base := []Option{WithGrid(2, 1, 1), WithTemperature(250), WithSeed(6), WithThermostat(nil)}
+		sim, err := NewSimulation(box.Clone(), model, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	// eps = 0, k = 1: resumed == uninterrupted, bitwise.
+	zero := []Option{WithReuse(0), WithRESPA(1)}
+	ref := mk(zero...)
+	defer ref.Close()
+	if err := ref.Run(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	half := mk(zero...)
+	defer half.Close()
+	if err := half.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := half.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk(zero...)
+	defer resumed.Close()
+	if err := resumed.Resume(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+	samePositions(t, "reuse+respa checkpoint/resume", ref.System(), resumed.System())
+	if a, b := ref.Report(), resumed.Report(); a != b {
+		t.Fatalf("eps=0 resume diverged:\n  ref: %+v\n  res: %+v", a, b)
+	}
+
+	// eps > 0, k > 1: resume must be deterministic.
+	live := []Option{WithReuse(0.05), WithRESPA(2)}
+	src := mk(live...)
+	defer src.Close()
+	if err := src.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Reset()
+	if err := src.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	var runs [2]*Simulation
+	for i := range runs {
+		runs[i] = mk(live...)
+		defer runs[i].Close()
+		if err := runs[i].Resume(bytes.NewReader(ckpt.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if err := runs[i].Run(context.Background(), 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samePositions(t, "reuse+respa resume determinism", runs[0].System(), runs[1].System())
+	if a, b := runs[0].Report(), runs[1].Report(); a != b {
+		t.Fatalf("eps>0 resumes diverged:\n  a: %+v\n  b: %+v", a, b)
+	}
+}
+
+// TestSimulationRespaRuns is the multi-timestepping sanity check: k > 1
+// integrates stably (finite energies, live forces) on both backends, and the
+// reported step count advances by outer steps.
+func TestSimulationRespaRuns(t *testing.T) {
+	model, box := testModelAndBox(t)
+	for _, opts := range [][]Option{
+		{WithRESPA(3)},
+		{WithGrid(2, 1, 1), WithRESPA(2), WithReuse(0.05)},
+	} {
+		base := []Option{WithTimestep(0.4), WithTemperature(300), WithSeed(11)}
+		sim, err := NewSimulation(box.Clone(), model, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(context.Background(), 20); err != nil {
+			t.Fatal(err)
+		}
+		rep := sim.Report()
+		if rep.Step != 20 {
+			t.Fatalf("%s: RESPA run ended at step %d, want 20", sim.Backend(), rep.Step)
+		}
+		if !finite(rep.PotentialEnergy) || !finite(rep.TotalEnergy) || !finite(rep.Temperature) {
+			t.Fatalf("%s: non-finite report under RESPA: %+v", sim.Backend(), rep)
+		}
+		if rep.MaxForce <= 0 || !finite(rep.MaxForce) {
+			t.Fatalf("%s: degenerate max force %g under RESPA", sim.Backend(), rep.MaxForce)
+		}
+		sim.Close()
+	}
+}
+
+func finite(x float64) bool { return x == x && x < 1e30 && x > -1e30 }
+
+// TestSimulationReuseMeasure checks the measurement hook with reuse live:
+// Measure must not advance the trajectory, and on a settled configuration
+// the measured window reports a reuse fraction.
+func TestSimulationReuseMeasure(t *testing.T) {
+	model, box := testModelAndBox(t)
+	for _, opts := range [][]Option{
+		{WithWorkers(1), WithReuse(0.1)},
+		{WithGrid(2, 1, 1), WithReuse(0.1)},
+	} {
+		sim, err := NewSimulation(box.Clone(), model, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas := sim.Measure(3)
+		// Static positions: after the warmup call every center's bound stays
+		// put, so the timed window is served (almost) entirely from cache —
+		// the serial engine honestly reports zero pairs evaluated.
+		if meas.ReuseFraction <= 0.9 || meas.ReuseFraction > 1 {
+			t.Fatalf("%s: reuse fraction %g, want ~1 on a static window", sim.Backend(), meas.ReuseFraction)
+		}
+		if got := sim.Report().Step; got != 0 {
+			t.Fatalf("%s: Measure advanced the simulation to step %d", sim.Backend(), got)
+		}
+		sim.Close()
+	}
+}
+
+// TestSimulationReuseSteadyStateZeroAlloc pins the all-cached fast path:
+// with static positions (every center under the bound), a reuse-engine force
+// call reduces the cached store and allocates nothing.
+func TestSimulationReuseSteadyStateZeroAlloc(t *testing.T) {
+	model, box := testModelAndBox(t)
+	sim, err := NewSimulation(box.Clone(), model, WithWorkers(1), WithReuse(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	pot := sim.Potential().(perfmodel.InstrumentedPotential)
+	run := sim.System()
+	forces := make([][3]float64, run.NumAtoms())
+	pot.EnergyForcesInto(run, forces)
+	pot.EnergyForcesInto(run, forces)
+	if allocs := testing.AllocsPerRun(20, func() {
+		pot.EnergyForcesInto(run, forces)
+	}); allocs != 0 {
+		t.Errorf("steady-state reuse step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
