@@ -69,6 +69,12 @@ func main() {
 		benchOut  = flag.String("bench-out", "", "tcp transport: write a perfmodel.TransportReport (BENCH_transport.json) here")
 		reuseEps  = flag.Float64("reuse-eps", 0, "temporal-reuse displacement tolerance (A); centers whose accumulated environment drift stays under it replay cached force rows (0: exact engine)")
 		respa     = flag.Int("respa", 1, "r-RESPA inner sub-steps per outer step: the stiff ZBL core integrates at dt/k between full network evaluations (1: single-timestep)")
+
+		hbEvery     = flag.Duration("hb-interval", 0, "tcp transport: heartbeat probe period (0: transport default 250ms)")
+		hbTimeout   = flag.Duration("hb-timeout", 0, "tcp transport: peer silence threshold before a death notice is synthesized (0: transport default 5s)")
+		replEvery   = flag.Int("replicate-every", 10, "tcp transport: steps between fleet replication points (peer-redundant in-memory state; 0 disables elastic recovery)")
+		rejoinWait  = flag.Duration("rejoin-timeout", 30*time.Second, "tcp transport: how long the driver waits for a replacement rankd after a rank death")
+		recoveryOut = flag.String("recovery-out", "", "tcp transport: write a perfmodel.RecoveryReport (BENCH_recovery.json) here")
 	)
 	flag.Parse()
 	model, err := loadModel(*modelPath, *demoModel, *seed)
@@ -80,7 +86,11 @@ func main() {
 		if *transp != "tcp" {
 			log.Fatalf("unknown -transport %q (want tcp or empty)", *transp)
 		}
-		runDistributed(model, *system, *grid, *hosts, *steps, *dt, *temp, *seed, *skin, *benchOut)
+		runDistributed(model, *system, *grid, *hosts, *steps, *dt, *temp, *seed, *skin, distOpts{
+			benchOut: *benchOut, recoveryOut: *recoveryOut,
+			hbEvery: *hbEvery, hbTimeout: *hbTimeout,
+			replicateEvery: *replEvery, rejoinTimeout: *rejoinWait,
+		})
 		return
 	}
 
@@ -313,12 +323,26 @@ func parseGrid(spec string) [3]int {
 	return g
 }
 
+// distOpts bundles the distributed driver's robustness knobs.
+type distOpts struct {
+	benchOut, recoveryOut string
+	hbEvery, hbTimeout    time.Duration
+	replicateEvery        int
+	rejoinTimeout         time.Duration
+}
+
 // runDistributed is the -transport tcp driver path: drive an allegro-rankd
 // fleet through the remote protocol, then replay the identical trajectory
 // on the in-process channel transport and assert the two agree bit for bit.
+// The driver is also the fleet supervisor: it records a replication point
+// every -replicate-every steps, and when a rank dies it quiesces the
+// survivors, waits for a replacement rankd, reships the configuration,
+// rewinds to the last replication point when the death poisoned a step, and
+// resumes — the final trajectory must still be bit-identical (drift 0).
 // The wall-time ratio of the two runs and the transport's measured per-link
-// statistics are written as a perfmodel.TransportReport for allegro-scale.
-func runDistributed(model *core.Model, system, gridSpec, hostList string, steps int, dt, temp float64, seed uint64, skin float64, benchOut string) {
+// statistics are written as a perfmodel.TransportReport for allegro-scale;
+// recovery timings go into a perfmodel.RecoveryReport.
+func runDistributed(model *core.Model, system, gridSpec, hostList string, steps int, dt, temp float64, seed uint64, skin float64, opt distOpts) {
 	if gridSpec == "" {
 		log.Fatal("-transport tcp requires -grid")
 	}
@@ -347,7 +371,10 @@ func runDistributed(model *core.Model, system, gridSpec, hostList string, steps 
 		steps, refSim.Energy, float64(chanNs)/1e6)
 
 	// The wire run: this process takes the last transport rank (the driver).
-	tr, err := transport.NewTCP(transport.TCPConfig{Rank: nr, Hosts: list})
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Rank: nr, Hosts: list,
+		HeartbeatEvery: opt.hbEvery, HeartbeatTimeout: opt.hbTimeout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -359,13 +386,37 @@ func runDistributed(model *core.Model, system, gridSpec, hostList string, steps 
 	}
 	sim := md.NewDecomposedSim(sys, rr, dt)
 	sim.InitVelocities(temp, rand.New(rand.NewPCG(seed, 33)))
-	start := time.Now()
-	sim.Run(steps)
-	wireNs := time.Since(start).Nanoseconds() / int64(steps)
-	if rr.Err() != nil {
-		log.Fatalf("distributed run failed: %v", rr.Err())
+
+	report := steps / 10
+	if report < 1 {
+		report = 1
 	}
+	start := time.Now()
+	if opt.replicateEvery > 0 {
+		// A replication point at step 0: a death before the first cadence
+		// point must still be recoverable.
+		superviseCall(rr, sim, opt, func() error {
+			return rr.Replicate(uint64(sim.StepNum), sys.Pos, sim.Vel)
+		})
+	}
+	for sim.StepNum < steps {
+		sim.Step()
+		if rr.Err() != nil {
+			superviseRecovery(rr, sim, opt)
+			continue
+		}
+		if opt.replicateEvery > 0 && sim.StepNum%opt.replicateEvery == 0 {
+			superviseCall(rr, sim, opt, func() error {
+				return rr.Replicate(uint64(sim.StepNum), sys.Pos, sim.Vel)
+			})
+		}
+		if sim.StepNum%report == 0 {
+			fmt.Printf("driver: step %d/%d, E = %.6f eV\n", sim.StepNum, steps, sim.Energy)
+		}
+	}
+	wireNs := time.Since(start).Nanoseconds() / int64(steps)
 	links := rr.LinkStats()
+	recoveries := rr.Recoveries()
 	rr.Close()
 	fmt.Printf("distributed (tcp, %d ranks): %d steps, E = %.10f eV, %.2f ms/step\n",
 		nr, steps, sim.Energy, float64(wireNs)/1e6)
@@ -381,11 +432,18 @@ func runDistributed(model *core.Model, system, gridSpec, hostList string, steps 
 		drift++
 	}
 	fmt.Printf("drift %d (positions and energy vs in-process reference, bitwise)\n", drift)
+	fmt.Printf("recoveries: %d\n", len(recoveries))
+	for _, rec := range recoveries {
+		fmt.Printf("  rank %d (%s phase, generation %d): detect %.0f ms, quiesce %.0f ms, restore %.0f ms, resume %.0f ms, rewound %d steps\n",
+			rec.DeadRank, rec.Phase, rec.Generation,
+			float64(rec.DetectNs)/1e6, float64(rec.QuiesceNs)/1e6,
+			float64(rec.RestoreNs)/1e6, float64(rec.ResumeNs)/1e6, rec.RewindSteps)
+	}
 
 	lat, bw := perfmodel.SummarizeLinks(links)
 	fmt.Printf("links: %d measured, worst latency %.1f us, worst bandwidth %.2f MB/s\n",
 		len(links), lat*1e6, bw/1e6)
-	if benchOut != "" {
+	if opt.benchOut != "" {
 		rep := perfmodel.TransportReport{
 			Transport: "tcp", Ranks: nr, Steps: steps, Atoms: len(sys.Pos),
 			ChanNsOp: chanNs, WireNsOp: wireNs, Links: links,
@@ -395,12 +453,90 @@ func runDistributed(model *core.Model, system, gridSpec, hostList string, steps 
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(benchOut, append(buf, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(opt.benchOut, append(buf, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("wrote", benchOut)
+		fmt.Println("wrote", opt.benchOut)
+	}
+	if opt.recoveryOut != "" {
+		rep := perfmodel.RecoveryReport{
+			Transport: "tcp", Ranks: nr, Atoms: len(sys.Pos), Steps: steps,
+			ReplicateEvery: opt.replicateEvery,
+			Drift:          float64(drift),
+			Recoveries:     recoveries,
+		}
+		fo, err := os.Create(opt.recoveryOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(fo); err != nil {
+			log.Fatal(err)
+		}
+		fo.Close()
+		fmt.Println("wrote", opt.recoveryOut)
 	}
 	if drift != 0 {
 		os.Exit(1)
+	}
+}
+
+// superviseCall runs a fleet operation and, when it latches a failure,
+// drives recovery and retries until the call succeeds. Used for replication
+// points, which are retriable without touching integrator state.
+func superviseCall(rr *domain.RemoteRuntime, sim *md.DecomposedSim, opt distOpts, call func() error) {
+	for err := call(); err != nil; err = call() {
+		if rr.Err() == nil {
+			log.Fatalf("fleet call failed: %v", err)
+		}
+		superviseRecovery(rr, sim, opt)
+	}
+}
+
+// superviseRecovery repairs the fleet after a latched rank failure: quiesce
+// the survivors into a new generation, wait for a replacement rankd for the
+// dead rank (a fresh process started with -generation > its predecessor's),
+// reship the configuration, and — when the failure poisoned a step — rewind
+// the integrator to the last replication point reassembled from the
+// survivors' buddy shards. Unrecoverable situations are fatal.
+func superviseRecovery(rr *domain.RemoteRuntime, sim *md.DecomposedSim, opt distOpts) {
+	rf, ok := domain.AsRankFailure(rr.Err())
+	if !ok {
+		log.Fatalf("distributed run failed: %v", rr.Err())
+	}
+	if rf.Rank < 0 {
+		log.Fatalf("distributed run failed in %s phase with no identified rank: %v", rf.Phase, rf.Err)
+	}
+	if opt.replicateEvery <= 0 {
+		log.Fatalf("rank %d died and -replicate-every is 0 (recovery disabled): %v", rf.Rank, rf.Err)
+	}
+	fmt.Printf("driver: rank %d failed during %s phase (%v); recovering\n", rf.Rank, rf.Phase, rf.Err)
+	if err := rr.Quiesce(rf.Rank); err != nil {
+		log.Fatalf("quiesce after rank %d death: %v", rf.Rank, err)
+	}
+	fmt.Printf("driver: fleet quiesced into generation %d; waiting %v for a replacement rank %d\n",
+		rr.Generation(), opt.rejoinTimeout, rf.Rank)
+	if err := rr.Rejoin(rf.Rank, opt.rejoinTimeout); err != nil {
+		log.Fatalf("rank %d did not rejoin: %v", rf.Rank, err)
+	}
+	fmt.Printf("driver: rank %d rejoined at generation %d\n", rf.Rank, rr.Generation())
+	// Failures inside a force call (step or the rebuild it triggered) left
+	// the integrator advanced on stale forces: rewind to the newest complete
+	// replication point. Failures outside (replication itself) left the
+	// integrator untouched.
+	if rf.Phase == domain.PhaseStep || rf.Phase == domain.PhaseRebuild {
+		sys := sim.Sys
+		pos := make([][3]float64, len(sys.Pos))
+		vel := make([][3]float64, len(sim.Vel))
+		step, err := rr.RecoverState(rf.Rank, pos, vel)
+		if err != nil {
+			log.Fatalf("recovering replicated state: %v", err)
+		}
+		rewind := sim.StepNum - int(step)
+		rr.ClearFailure(rewind)
+		sim.SetState(int(step), pos, vel)
+		fmt.Printf("driver: rewound %d steps to replication point %d; resuming\n", rewind, step)
+	} else {
+		rr.ClearFailure(0)
+		fmt.Printf("driver: %s phase failure needs no rewind; resuming\n", rf.Phase)
 	}
 }

@@ -30,9 +30,12 @@ import (
 
 func main() {
 	var (
-		rank  = flag.Int("rank", -1, "this process's rank in [0, ranks); the driver holds the last host-list slot")
-		hosts = flag.String("hosts", "", "comma-separated host:port per transport rank, driver last")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		rank       = flag.Int("rank", -1, "this process's rank in [0, ranks); the driver holds the last host-list slot")
+		hosts      = flag.String("hosts", "", "comma-separated host:port per transport rank, driver last")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		generation = flag.Uint64("generation", 0, "fleet generation stamped on the transport hello; a replacement for a dead rank rejoins with a higher generation so the fleet fences its predecessor's stale frames")
+		hbEvery    = flag.Duration("hb-interval", 0, "transport heartbeat probe period (0: transport default 250ms)")
+		hbTimeout  = flag.Duration("hb-timeout", 0, "peer silence threshold before a death notice is synthesized (0: transport default 5s)")
 	)
 	flag.Parse()
 	list := strings.Split(*hosts, ",")
@@ -50,7 +53,10 @@ func main() {
 		logf = nil
 	}
 
-	tr, err := transport.NewTCP(transport.TCPConfig{Rank: *rank, Hosts: list})
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Rank: *rank, Hosts: list, Generation: *generation,
+		HeartbeatEvery: *hbEvery, HeartbeatTimeout: *hbTimeout,
+	})
 	if err != nil {
 		log.Fatalf("allegro-rankd: %v", err)
 	}

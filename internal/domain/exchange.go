@@ -1,11 +1,19 @@
 package domain
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/transport"
 )
+
+// errRecoverInterrupt marks a phase cut short because a KindRecover epoch
+// frame arrived mid-phase: the driver has declared a new generation, so
+// waiting for the current phase's remaining frames (possibly from a corpse
+// the transport never got to declare dead) would hang forever. The rank
+// server treats it as a recoverable abort, not a fatal error.
+var errRecoverInterrupt = errors.New("domain: phase interrupted by recovery epoch")
 
 // This file is the runtime's attachment to the pluggable transport: the
 // rebuild-time exchange-plan swap and the two per-step framed exchanges
@@ -75,6 +83,11 @@ func (r *Runtime) Restore() error {
 		if err := rv.Revive(i); err != nil {
 			return fmt.Errorf("domain: revive rank %d: %w", i, err)
 		}
+		// The dead rank's in-memory replica store died with it: reset it so
+		// the revived incarnation starts empty, like a fresh process would.
+		// Survivors keep the shards they hold for the dead rank — that is
+		// the redundancy recovery reads.
+		r.ranks[i].repl.reset()
 		r.deadRank[i].Store(false)
 	}
 	for _, rk := range r.ranks {
@@ -231,6 +244,10 @@ func (rk *rank) execPlanExchange() {
 			if rk.commErr != nil && s == rk.id {
 				return // our own endpoint is dead; nothing more will arrive
 			}
+		case transport.KindRecover:
+			rk.stashData() // park the epoch frame for the serve loop
+			rk.noteErr(errRecoverInterrupt)
+			return
 		default:
 			rk.stashData() // a fast peer's ghost frame; control noise drops
 		}
@@ -339,6 +356,10 @@ func (rk *rank) execExchangeGhosts() {
 				if s == rk.id {
 					pending = 0 // our own endpoint died; drain no further
 				}
+			case transport.KindRecover:
+				rk.stashData()
+				rk.noteErr(errRecoverInterrupt)
+				pending = 0
 			default:
 				rk.stashData()
 			}
@@ -419,6 +440,10 @@ func (rk *rank) execExchangeRows() {
 			if s == rk.id {
 				return
 			}
+		case transport.KindRecover:
+			rk.stashData()
+			rk.noteErr(errRecoverInterrupt)
+			return
 		default:
 			rk.stashData()
 		}
@@ -461,7 +486,8 @@ func (rk *rank) recvExpect(a, b transport.Kind) error {
 func (rk *rank) stashData() {
 	switch rk.recvF.Kind {
 	case transport.KindFwdPlan, transport.KindRowPlan, transport.KindGhostPos, transport.KindRows,
-		transport.KindRebuild, transport.KindLayout, transport.KindOwnedPos, transport.KindShutdown:
+		transport.KindRebuild, transport.KindLayout, transport.KindOwnedPos, transport.KindShutdown,
+		transport.KindReplica, transport.KindReplicaReq, transport.KindRecover:
 		cp := new(transport.Frame)
 		transport.CopyFrame(cp, &rk.recvF)
 		rk.stash = append(rk.stash, cp)

@@ -2,6 +2,7 @@ package domain
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -11,6 +12,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/transport"
 )
+
+// abortError marks a phase failure that is recoverable at the fleet level —
+// a peer died mid-phase, or the phase's preconditions are gone (aborted
+// rebuild left no valid plans). Serve NACKs the driver with a KindAbort at
+// the phase tick and keeps serving; only driver death and transport
+// breakage are fatal to a rank process.
+type abortError struct {
+	tick uint64
+	dead int // dead peer rank, -1 when unknown
+}
+
+func (e *abortError) Error() string {
+	return fmt.Sprintf("phase %d aborted (dead peer %d)", e.tick, e.dead)
+}
+
+// errAbandoned marks a phase cut short by a KindRecover epoch frame: the
+// driver is not waiting for this phase anymore, so no NACK is sent — the
+// serve loop just processes the parked epoch frame next.
+var errAbandoned = errors.New("rankd: phase abandoned by recovery epoch")
 
 // RankServer is the rank-process half of the remote protocol: one subdomain
 // worker hosted in its own OS process (cmd/allegro-rankd), serving the
@@ -67,13 +87,15 @@ func NewRankServer(ep transport.Endpoint, logf func(format string, args ...any))
 	if err := s.build(&wire); err != nil {
 		return nil, err
 	}
+	// The ack echoes the config frame's tick: 0 at the initial rendezvous,
+	// the fleet generation when a replacement rejoins a running fleet.
 	ack := &s.sendF
-	ack.Reset(transport.KindConfig, s.nr, 0)
+	ack.Reset(transport.KindConfig, s.nr, f.Step)
 	if err := ep.Send(ack); err != nil {
 		return nil, fmt.Errorf("rankd %d: config ack: %w", s.id, err)
 	}
-	s.logln("configured: grid %v, %d atoms, subdomain rank %d/%d",
-		wire.Grid, len(wire.Species), s.id, s.nr)
+	s.logln("configured: grid %v, %d atoms, subdomain rank %d/%d, generation %d",
+		wire.Grid, len(wire.Species), s.id, s.nr, f.Step)
 	return s, nil
 }
 
@@ -162,6 +184,7 @@ func (s *RankServer) build(wire *remoteWire) error {
 	rk.rowSendT = make([][]int32, nr)
 	rk.rowPlan = make([][]int32, nr)
 	rk.rowRecv = make([][]int32, nr)
+	rk.repl = newReplStore()
 	rt.ranks[s.id] = rk
 	s.rt, s.rk = rt, rk
 	return nil
@@ -170,6 +193,8 @@ func (s *RankServer) build(wire *remoteWire) error {
 // Serve runs the rank's frame loop until a shutdown frame or a failure.
 // Peer and driver frames racing ahead of the current phase are parked in
 // the rank's stash by the phase receive loops and consumed here in order.
+// A peer's death is survivable: the interrupted phase is NACKed to the
+// driver (KindAbort) and the rank waits for the recovery epoch.
 func (s *RankServer) Serve() error {
 	rk := s.rk
 	for {
@@ -179,11 +204,11 @@ func (s *RankServer) Serve() error {
 		f := &rk.recvF
 		switch f.Kind {
 		case transport.KindRebuild:
-			if err := s.handleRebuild(f); err != nil {
+			if err := s.settle(s.handleRebuild(f)); err != nil {
 				return err
 			}
 		case transport.KindOwnedPos:
-			if err := s.handleStep(f); err != nil {
+			if err := s.settle(s.handleStep(f)); err != nil {
 				return err
 			}
 		case transport.KindShutdown:
@@ -194,15 +219,74 @@ func (s *RankServer) Serve() error {
 				return fmt.Errorf("rankd %d: driver died", s.id)
 			}
 			rk.noteDeath(int(f.Src))
-			return fmt.Errorf("rankd %d: %w", s.id, rk.commErr)
+			s.logln("peer %d died; awaiting recovery epoch", int(f.Src))
+		case transport.KindRecover:
+			if err := s.handleRecover(f); err != nil {
+				return err
+			}
+		case transport.KindReplica:
+			s.handleReplica(f)
+		case transport.KindReplicaReq:
+			if err := s.handleReplicaReq(f); err != nil {
+				return err
+			}
 		default:
 			// A fast peer already serving the next step can land its ghost
 			// frame here, before this rank's owned positions arrive (links
 			// are FIFO, but only per peer) — park it for the coming phase.
-			// Hellos and stale control frames drop.
+			// Hellos, duplicate configs, and stale control frames drop.
 			rk.stashData()
 		}
 	}
+}
+
+// settle converts a phase handler's outcome into serve-loop control flow:
+// nil and abandoned phases continue serving; an abortError is NACKed to the
+// driver at the phase tick and the rank keeps serving; anything else is
+// fatal for the rank process.
+func (s *RankServer) settle(err error) error {
+	if err == nil || errors.Is(err, errAbandoned) {
+		return nil
+	}
+	var ab *abortError
+	if !errors.As(err, &ab) {
+		return err
+	}
+	rk := s.rk
+	rk.commErr = nil
+	out := &s.sendF
+	out.Reset(transport.KindAbort, s.nr, ab.tick)
+	out.EnsureInts(1)[0] = int32(ab.dead)
+	if serr := s.ep.Send(out); serr != nil {
+		return fmt.Errorf("rankd %d: send abort: %w", s.id, serr)
+	}
+	s.logln("aborted phase %d (dead peer %d); awaiting recovery", ab.tick, ab.dead)
+	return nil
+}
+
+// settlePhaseComm classifies a latched phase comm error: a recovery-epoch
+// interrupt abandons the phase (the epoch frame is already parked in the
+// stash), a peer death aborts it at the given tick. Either way the plans
+// must not serve another step until the post-recovery rebuild.
+func (s *RankServer) settlePhaseComm(tick uint64) error {
+	rk := s.rk
+	err := rk.commErr
+	rk.commErr = nil
+	s.rt.started = false
+	if errors.Is(err, errRecoverInterrupt) {
+		return errAbandoned
+	}
+	return &abortError{tick: tick, dead: s.firstDead()}
+}
+
+// firstDead reports the lowest currently-marked dead rank, or -1.
+func (s *RankServer) firstDead() int {
+	for r := range s.rt.deadRank {
+		if s.rt.deadRank[r].Load() {
+			return r
+		}
+	}
+	return -1
 }
 
 // recvServe fills rk.recvF with the next frame the serve loop dispatches
@@ -211,13 +295,96 @@ func (s *RankServer) recvServe() error {
 	rk := s.rk
 	for i, f := range rk.stash {
 		switch f.Kind {
-		case transport.KindRebuild, transport.KindOwnedPos, transport.KindShutdown, transport.KindDeath:
+		case transport.KindRebuild, transport.KindOwnedPos, transport.KindShutdown,
+			transport.KindDeath, transport.KindRecover, transport.KindReplica,
+			transport.KindReplicaReq:
 			transport.CopyFrame(&rk.recvF, f)
 			rk.stash = append(rk.stash[:i], rk.stash[i+1:]...)
 			return nil
 		}
 	}
 	return s.ep.Recv(&rk.recvF)
+}
+
+// handleRecover opens a new fleet generation on this rank: the old epoch's
+// failure state (dead-rank marks, latched comm error, stale phase frames)
+// is discarded, parked replica shards are kept, and the epoch frame is
+// acknowledged back to the driver at its generation tick. The rebuild flag
+// is dropped so a stray position frame from the old epoch can never be
+// served against recovery-invalidated plans.
+func (s *RankServer) handleRecover(f *transport.Frame) error {
+	rt, rk := s.rt, s.rk
+	gen := f.Step
+	for r := range rt.deadRank {
+		rt.deadRank[r].Store(false)
+	}
+	rk.commErr = nil
+	rt.started = false
+	kept := 0
+	for _, pf := range rk.stash {
+		if pf.Kind == transport.KindReplica {
+			s.storeReplica(pf)
+			kept++
+		}
+	}
+	rk.stash = rk.stash[:0]
+	ack := &s.sendF
+	ack.Reset(transport.KindRecover, s.nr, gen)
+	if err := s.ep.Send(ack); err != nil {
+		return fmt.Errorf("rankd %d: recover ack: %w", s.id, err)
+	}
+	s.logln("recovery epoch %d opened (%d parked replica shards kept)", gen, kept)
+	return nil
+}
+
+// handleReplica stores a replication shard. Frames from the driver carry
+// this rank's own shard (owner = self) and are forwarded to the buddy rank,
+// completing the redundancy-2 contract; frames from a peer carry that
+// peer's shard.
+func (s *RankServer) handleReplica(f *transport.Frame) {
+	rt, rk := s.rt, s.rk
+	if !s.storeReplica(f) {
+		s.logln("dropping malformed replica frame from %d", int(f.Src))
+		return
+	}
+	if int(f.Src) != s.nr || s.nr == 1 {
+		return
+	}
+	buddy := buddyOf(s.id, s.nr)
+	if rt.deadRank[buddy].Load() {
+		return
+	}
+	n := len(f.Ints)
+	out := &s.sendF
+	packReplica(out, buddy, f.Step, f.Ints, f.Vecs[:n], f.Vecs[n:])
+	if err := s.ep.Send(out); err != nil {
+		rk.handleSendErr(buddy, err)
+		rk.commErr = nil // a dead buddy is survivable; the mark is enough
+	}
+}
+
+// storeReplica puts a KindReplica frame's shard into the local store,
+// resolving the owner: driver-sent frames carry this rank's own shard.
+func (s *RankServer) storeReplica(f *transport.Frame) bool {
+	owner := int(f.Src)
+	if owner == s.nr {
+		owner = s.id
+	}
+	if owner < 0 || owner >= s.nr {
+		return false
+	}
+	return s.rk.repl.unpackReplica(f, int32(owner))
+}
+
+// handleReplicaReq replies to the driver's state-recovery probe with every
+// shard this rank holds, echoing the request tick.
+func (s *RankServer) handleReplicaReq(f *transport.Frame) error {
+	out := &s.sendF
+	packReplicaRep(out, s.nr, f.Step, s.rk.repl.shards())
+	if err := s.ep.Send(out); err != nil {
+		return fmt.Errorf("rankd %d: send replica shards: %w", s.id, err)
+	}
+	return nil
 }
 
 // handleRebuild runs this rank's half of a rebuild: import the broadcast
@@ -271,6 +438,15 @@ func (s *RankServer) handleRebuild(f *transport.Frame) error {
 			rk.noteDeath(int(g.Src))
 			continue // the plan swap below will observe the death
 		}
+		if g.Kind == transport.KindRecover {
+			// The driver gave up on this rebuild and opened a recovery
+			// epoch: abandon the phase and let the serve loop process the
+			// parked epoch frame.
+			rk.stashData()
+			rk.commErr = nil
+			rt.started = false
+			return errAbandoned
+		}
 		rk.stashData()
 	}
 	if len(rk.recvF.Ints) != rt.n+1 {
@@ -294,7 +470,7 @@ func (s *RankServer) handleRebuild(f *transport.Frame) error {
 	rk.execSlots()
 	rk.execPlanExchange()
 	if rk.commErr != nil {
-		return fmt.Errorf("rankd %d: plan exchange: %w", s.id, rk.commErr)
+		return s.settlePhaseComm(rt.rebuildTick)
 	}
 	s.buildLocalAdjacency()
 	rt.started = true
@@ -356,7 +532,9 @@ func (s *RankServer) buildLocalAdjacency() {
 func (s *RankServer) handleStep(f *transport.Frame) error {
 	rt, rk := s.rt, s.rk
 	if !rt.started {
-		return fmt.Errorf("rankd %d: positions before first rebuild", s.id)
+		// No valid plans — a prior phase aborted or a recovery epoch
+		// invalidated them. NACK so the driver latches at this tick.
+		return &abortError{tick: f.Step, dead: s.firstDead()}
 	}
 	if len(f.Vecs) != s.nOwned {
 		return fmt.Errorf("rankd %d: position frame carries %d atoms, rank owns %d", s.id, len(f.Vecs), s.nOwned)
@@ -372,7 +550,7 @@ func (s *RankServer) handleStep(f *transport.Frame) error {
 	rk.evalFrontNs = rk.timeEval(rk.nInterior, rk.pairs.Len(), &rk.frontView)
 	rk.execExchangeRows()
 	if rk.commErr != nil {
-		return fmt.Errorf("rankd %d: step %d exchange: %w", s.id, rt.stepTick, rk.commErr)
+		return s.settlePhaseComm(rt.stepTick)
 	}
 	rk.execReduce(s.reduceAll)
 

@@ -1,0 +1,321 @@
+package domain
+
+import (
+	"math/rand/v2"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/md"
+	"repro/internal/transport"
+)
+
+// rankProc is one rank-server "process": a goroutine with its own exit
+// channel, so the harness can wait for a specific incarnation to die before
+// admitting its replacement (a real supervisor waits on the OS process).
+type rankProc struct {
+	done chan error
+}
+
+func startRankProc(ep transport.Endpoint) *rankProc {
+	p := &rankProc{done: make(chan error, 1)}
+	go func() {
+		srv, err := NewRankServer(ep, nil)
+		if err != nil {
+			p.done <- err
+			return
+		}
+		defer srv.Close()
+		p.done <- srv.Serve()
+	}()
+	return p
+}
+
+// superviseRecovery drives one full driver-side recovery: wait for the dead
+// incarnation to exit, quiesce the fleet into a new generation, admit the
+// replacement (respawn), reship config, and — for failures that consumed
+// per-step state — reassemble the last replication point and rewind the
+// integrator. Mirrors cmd/allegro-md's supervisor loop.
+func superviseRecovery(t *testing.T, rr *RemoteRuntime, sim *md.DecomposedSim, procs []*rankProc, respawn func(dead int) *rankProc, replEach int) {
+	t.Helper()
+	for round := 0; rr.Err() != nil; round++ {
+		if round > 4 {
+			t.Fatalf("recovery did not converge: %v", rr.Err())
+		}
+		rf, ok := AsRankFailure(rr.Err())
+		if !ok || rf.Rank < 0 || rf.Rank >= len(procs) {
+			t.Fatalf("unrecoverable failure: %v", rr.Err())
+		}
+		dead := rf.Rank
+		select {
+		case <-procs[dead].done:
+			// The dead incarnation has exited; its endpoint is free.
+		case <-time.After(15 * time.Second):
+			t.Fatalf("rank %d's dead server never exited", dead)
+		}
+		if err := rr.Quiesce(dead); err != nil {
+			t.Fatalf("Quiesce(%d): %v", dead, err)
+		}
+		procs[dead] = respawn(dead)
+		if err := rr.Rejoin(dead, 20*time.Second); err != nil {
+			t.Fatalf("Rejoin(%d): %v", dead, err)
+		}
+		if rf.Phase == PhaseStep || rf.Phase == PhaseRebuild {
+			// The integrator advanced on stale forces (a rebuild failure
+			// happens inside a force call too): rewind to the newest
+			// complete replication point — and never past it.
+			n := len(sim.Sys.Pos)
+			pos := make([][3]float64, n)
+			vel := make([][3]float64, n)
+			step, err := rr.RecoverState(dead, pos, vel)
+			if err != nil {
+				t.Fatalf("RecoverState(%d): %v", dead, err)
+			}
+			rewind := sim.StepNum - int(step)
+			if rewind < 0 || rewind > 2*replEach {
+				t.Fatalf("rewound %d steps, outside the replication window [0, %d]", rewind, 2*replEach)
+			}
+			rr.ClearFailure(rewind)
+			sim.SetState(int(step), pos, vel)
+		} else {
+			rr.ClearFailure(0)
+		}
+	}
+}
+
+// runSupervised advances the trajectory to `steps` under the supervisor,
+// replicating every replEach steps and invoking kill at each step boundary.
+func runSupervised(t *testing.T, rr *RemoteRuntime, sim *md.DecomposedSim, steps, replEach int, kill func(step int), procs []*rankProc, respawn func(dead int) *rankProc) {
+	t.Helper()
+	replicate := func() {
+		if err := rr.Replicate(uint64(sim.StepNum), sim.Sys.Pos, sim.Vel); err != nil {
+			superviseRecovery(t, rr, sim, procs, respawn, replEach)
+		}
+	}
+	replicate()
+	for sim.StepNum < steps {
+		if kill != nil {
+			kill(sim.StepNum)
+		}
+		sim.Step()
+		if rr.Err() != nil {
+			superviseRecovery(t, rr, sim, procs, respawn, replEach)
+			continue
+		}
+		if sim.StepNum%replEach == 0 {
+			replicate()
+		}
+	}
+}
+
+// TestRemoteRuntimeElasticRecoveryBitwise is the remote half of the elastic
+// recovery property, on every rank grid: a rank server is killed
+// mid-trajectory, a fresh replacement is admitted into a new generation
+// (config reshipped, state reassembled from the survivors' buddy shards —
+// no disk), and the finished trajectory is bit-identical to the
+// failure-free run. The recovery timers must record exactly one recovery.
+func TestRemoteRuntimeElasticRecoveryBitwise(t *testing.T) {
+	const (
+		steps    = 40
+		replEach = 5
+		killAt   = 17
+		temp     = 600.0
+	)
+	m := tinyModel(t)
+	for _, grid := range [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}} {
+		nr := grid[0] * grid[1] * grid[2]
+		base := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5}, steps, temp)
+
+		tr := transport.NewChan(nr + 1)
+		endpoint := func(r int) transport.Endpoint {
+			ep, err := tr.Endpoint(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ep
+		}
+		procs := make([]*rankProc, nr)
+		for r := range procs {
+			procs[r] = startRankProc(endpoint(r))
+		}
+		sys := data.WaterBox(rand.New(rand.NewPCG(31, 32)), 3, 3, 3)
+		rr, err := NewRemoteRuntime(m, sys, RemoteOptions{Grid: grid, Skin: 0.5, Transport: tr})
+		if err != nil {
+			t.Fatalf("grid %v: %v", grid, err)
+		}
+		sim := md.NewDecomposedSim(sys, rr, 0.5)
+		sim.InitVelocities(temp, rand.New(rand.NewPCG(33, 34)))
+
+		victim := nr - 1
+		killed := false
+		kill := func(step int) {
+			if step == killAt && !killed {
+				killed = true
+				tr.(transport.Killer).Kill(victim)
+			}
+		}
+		respawn := func(dead int) *rankProc { return startRankProc(endpoint(dead)) }
+		runSupervised(t, rr, sim, steps, replEach, kill, procs, respawn)
+
+		if sim.Energy != base.Energy {
+			t.Errorf("grid %v: energy %.17g != clean %.17g", grid, sim.Energy, base.Energy)
+		}
+		for i := range base.Sys.Pos {
+			if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+				t.Errorf("grid %v: position of atom %d diverged after replacement", grid, i)
+				break
+			}
+			if sim.Forces[i] != base.Forces[i] {
+				t.Errorf("grid %v: force on atom %d diverged after replacement", grid, i)
+				break
+			}
+		}
+		recs := rr.Recoveries()
+		if len(recs) != 1 {
+			t.Fatalf("grid %v: %d recoveries recorded, want 1", grid, len(recs))
+		}
+		rec := recs[0]
+		if rec.DeadRank != victim || rec.Generation != 1 || rr.Generation() != 1 {
+			t.Errorf("grid %v: recovery record %+v (generation %d), want dead rank %d at generation 1",
+				grid, rec, rr.Generation(), victim)
+		}
+		if rec.RewindSteps < 0 || rec.RewindSteps > 2*replEach {
+			t.Errorf("grid %v: rewound %d steps, outside [0, %d]", grid, rec.RewindSteps, 2*replEach)
+		}
+		if rec.QuiesceNs <= 0 || rec.RestoreNs <= 0 || rec.ResumeNs <= 0 {
+			t.Errorf("grid %v: recovery timers not populated: %+v", grid, rec)
+		}
+
+		rr.Close()
+		for r := range procs {
+			if err := <-procs[r].done; err != nil {
+				t.Errorf("grid %v: rank server %d: %v", grid, r, err)
+			}
+		}
+		base.Close()
+	}
+}
+
+// TestRemoteRuntimeElasticRecoveryOverTCP runs the replacement flow over
+// real sockets: the victim's transport is closed (its process "dies"), the
+// survivors detect the silence by heartbeat, and the replacement rejoins on
+// the same address with a bumped generation — so any pre-death frames still
+// buffered on old connections are provably fenced. Bitwise against the
+// in-process run, like everything else.
+func TestRemoteRuntimeElasticRecoveryOverTCP(t *testing.T) {
+	const (
+		steps    = 30
+		replEach = 5
+		killAt   = 13
+		temp     = 600.0
+	)
+	grid := [3]int{2, 1, 1}
+	nr := 2
+	m := tinyModel(t)
+	base := runTrajectory(t, RuntimeOptions{Grid: grid, Skin: 0.5}, steps, temp)
+	defer base.Close()
+
+	listeners := make([]net.Listener, nr+1)
+	hosts := make([]string, nr+1)
+	for r := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = ln
+		hosts[r] = ln.Addr().String()
+	}
+	mk := func(rank int, ln net.Listener, gen uint64) transport.Transport {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Rank: rank, Hosts: hosts, Listener: ln, Generation: gen,
+			// Fast failure detection: short heartbeats, few dial retries.
+			HeartbeatEvery:   20 * time.Millisecond,
+			HeartbeatTimeout: 250 * time.Millisecond,
+			DialRetries:      3,
+			DialBackoff:      20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	members := make([]transport.Transport, nr+1)
+	for r := range members {
+		members[r] = mk(r, listeners[r], 0)
+	}
+	tr := transport.NewGroup(members...)
+
+	procs := make([]*rankProc, nr)
+	for r := range procs {
+		ep, err := members[r].Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[r] = startRankProc(ep)
+	}
+	sys := data.WaterBox(rand.New(rand.NewPCG(31, 32)), 3, 3, 3)
+	rr, err := NewRemoteRuntime(m, sys, RemoteOptions{Grid: grid, Skin: 0.5, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := md.NewDecomposedSim(sys, rr, 0.5)
+	sim.InitVelocities(temp, rand.New(rand.NewPCG(33, 34)))
+
+	victim := 1
+	killed := false
+	kill := func(step int) {
+		if step == killAt && !killed {
+			killed = true
+			members[victim].Close() // the rank process dies, sockets and all
+		}
+	}
+	respawn := func(dead int) *rankProc {
+		// Rebind the dead rank's address (the OS may lag releasing it) and
+		// come up in the fleet's new generation, like a restarted rankd
+		// launched with -generation.
+		var ln net.Listener
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var err error
+			ln, err = net.Listen("tcp", hosts[dead])
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rebind %s: %v", hosts[dead], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		nt := mk(dead, ln, rr.Generation())
+		ep, err := nt.Endpoint(dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return startRankProc(ep)
+	}
+	runSupervised(t, rr, sim, steps, replEach, kill, procs, respawn)
+
+	if sim.Energy != base.Energy {
+		t.Errorf("energy %.17g != clean %.17g", sim.Energy, base.Energy)
+	}
+	for i := range base.Sys.Pos {
+		if sim.Sys.Pos[i] != base.Sys.Pos[i] {
+			t.Errorf("position of atom %d diverged after TCP replacement", i)
+			break
+		}
+	}
+	recs := rr.Recoveries()
+	if len(recs) != 1 || recs[0].DeadRank != victim || rr.Generation() != 1 {
+		t.Fatalf("recoveries %+v (generation %d), want one recovery of rank %d at generation 1",
+			recs, rr.Generation(), victim)
+	}
+
+	rr.Close()
+	for r := range procs {
+		if err := <-procs[r].done; err != nil {
+			t.Errorf("rank server %d: %v", r, err)
+		}
+	}
+}

@@ -108,6 +108,20 @@ type RemoteRuntime struct {
 	closed                bool
 	err                   error
 	stats                 RuntimeStats
+
+	// Elastic-recovery state (see recover.go): the saved config body for
+	// rejoin reships, the fleet generation (bumped per recovery epoch), the
+	// replica-request tick, and the driver-held replica store covering
+	// one-rank grids. lastOK/rec/recClear/recovered drive the
+	// detect/quiesce/restore/resume phase timers.
+	cfgBody     []byte
+	generation  uint64
+	replReqTick uint64
+	masterRepl  *replStore
+	lastOK      time.Time
+	rec         *RecoveryTimers
+	recClear    time.Time
+	recovered   []RecoveryTimers
 }
 
 // NewRemoteRuntime performs the rendezvous: the model and decomposition
@@ -147,6 +161,8 @@ func NewRemoteRuntime(m *core.Model, sys *atoms.System, opts RemoteOptions) (*Re
 		pairCnt:   make([]int32, n),
 		pairStart: make([]int32, n+1),
 		seen:      make([]bool, nr),
+
+		masterRepl: newReplStore(),
 	}
 	for k := 0; k < 3; k++ {
 		r.sub[k] = sys.Cell[k] / float64(opts.Grid[k])
@@ -166,28 +182,33 @@ func NewRemoteRuntime(m *core.Model, sys *atoms.System, opts RemoteOptions) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("domain: marshal remote config: %w", err)
 	}
+	r.cfgBody = body // saved for rejoin reships after a rank death
 	f := &r.sendF
 	for d := 0; d < nr; d++ {
 		f.Reset(transport.KindConfig, d, 0)
 		copy(f.EnsureBytes(len(body)), body)
 		if err := r.ep.Send(f); err != nil {
-			return nil, fmt.Errorf("domain: send config to rank %d: %w", d, err)
+			return nil, r.fail(PhaseConfig, fmt.Errorf("domain: send config to rank %d: %w", d, err))
 		}
 	}
-	if err := r.collect(transport.KindConfig, 0, nil); err != nil {
-		return nil, fmt.Errorf("domain: rank rendezvous: %w", err)
+	if err := r.collect(transport.KindConfig, 0, -1, nil); err != nil {
+		return nil, r.fail(PhaseConfig, fmt.Errorf("domain: rank rendezvous: %w", err))
 	}
 	return r, nil
 }
 
 // collect receives one frame of the given kind and tick from every grid
-// rank, invoking handle (when non-nil) per frame. Control noise is
-// discarded; a death notice or transport error aborts.
-func (r *RemoteRuntime) collect(kind transport.Kind, tick uint64, handle func(src int, f *transport.Frame) error) error {
+// rank except skip (-1 expects all), invoking handle (when non-nil) per
+// frame. Control noise is discarded; a death notice (for a rank other than
+// skip), a tick-matching abort, or a transport error ends the collection.
+func (r *RemoteRuntime) collect(kind transport.Kind, tick uint64, skip int, handle func(src int, f *transport.Frame) error) error {
+	pending := 0
 	for s := range r.seen {
-		r.seen[s] = false
+		r.seen[s] = s == skip
+		if s != skip {
+			pending++
+		}
 	}
-	pending := r.nr
 	for pending > 0 {
 		if err := r.ep.Recv(&r.recvF); err != nil {
 			return err
@@ -207,7 +228,21 @@ func (r *RemoteRuntime) collect(kind transport.Kind, tick uint64, handle func(sr
 			r.seen[s] = true
 			pending--
 		case transport.KindDeath:
+			if s == skip {
+				continue // a stale notice for the rank being replaced
+			}
 			return &transport.DeadError{Rank: s}
+		case transport.KindAbort:
+			// A rank could not complete the phase because a peer died
+			// mid-phase. Only honored for the phase being collected —
+			// stale aborts from an abandoned epoch carry older ticks.
+			if (kind == transport.KindCounts || kind == transport.KindForces) && g.Step == tick {
+				dead := -1
+				if len(g.Ints) > 0 {
+					dead = int(g.Ints[0])
+				}
+				return &transport.DeadError{Rank: dead}
+			}
 		default:
 			// Hellos, stale traffic.
 		}
@@ -278,16 +313,17 @@ func (r *RemoteRuntime) EnergyForcesInto(sys *atoms.System, forces [][3]float64)
 	r.stepTick++
 	if !r.started || skinTriggered(r.opts.Skin, r.sys.Pos, r.refPos) {
 		if err := r.rebuild(); err != nil {
-			r.err = err
+			r.latch(PhaseRebuild, err)
 			return r.energy
 		}
 	}
 	if err := r.step(forces); err != nil {
-		r.err = err
+		r.latch(PhaseStep, err)
 		return r.energy
 	}
 	r.stats.Steps++
 	r.energy = reduceEnergySlots(r.pairE, r.model, r.sys.Species)
+	r.noteOK()
 	return r.energy
 }
 
@@ -324,7 +360,7 @@ func (r *RemoteRuntime) rebuild() error {
 	}
 	// Per-center pair counts come back per rank (each center is owned by
 	// exactly one rank, so the scatter is disjoint).
-	err := r.collect(transport.KindCounts, r.rebuildTick, func(s int, g *transport.Frame) error {
+	err := r.collect(transport.KindCounts, r.rebuildTick, -1, func(s int, g *transport.Frame) error {
 		owned := r.ownedOf[s]
 		if len(g.Ints) != len(owned) {
 			return fmt.Errorf("domain: rank %d sent %d pair counts, owns %d atoms", s, len(g.Ints), len(owned))
@@ -377,7 +413,7 @@ func (r *RemoteRuntime) step(forces [][3]float64) error {
 			return fmt.Errorf("domain: positions to rank %d: %w", d, err)
 		}
 	}
-	return r.collect(transport.KindForces, r.stepTick, func(s int, g *transport.Frame) error {
+	return r.collect(transport.KindForces, r.stepTick, -1, func(s int, g *transport.Frame) error {
 		owned := r.ownedOf[s]
 		if len(g.Vecs) != len(owned) {
 			return fmt.Errorf("domain: rank %d sent %d forces, owns %d atoms", s, len(g.Vecs), len(owned))

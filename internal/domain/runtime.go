@@ -209,6 +209,11 @@ const (
 	// KindRows frames and settle into their canonical slots before the
 	// frontier reduction reads them.
 	cmdExchangeRows
+	// cmdReplicate streams each rank's owned-atom snapshot (global ids,
+	// positions, velocities at the current replication point) to its buddy
+	// rank and stores the predecessor's shard — the peer-redundant in-memory
+	// replication behind elastic recovery (see replica.go).
+	cmdReplicate
 )
 
 // Runtime is the persistent domain-decomposed force engine: long-lived rank
@@ -306,6 +311,14 @@ type Runtime struct {
 	rebuildTick uint64
 	deadRank    []atomic.Bool
 	err         error
+
+	// Replication state (see replica.go): the master-held store covering the
+	// degenerate one-rank world (a single rank has no peer to buddy with),
+	// plus the staging arguments of the current cmdReplicate phase.
+	masterRepl *replStore
+	replStep   uint64
+	replSrcPos [][3]float64
+	replSrcVel [][3]float64
 
 	forces  [][3]float64 // caller buffer, set for the duration of one step
 	energy  float64
@@ -407,6 +420,11 @@ type rank struct {
 	// commErr latches this rank's first transport failure of the current
 	// run; the master surfaces it through Runtime.Err after barriers.
 	commErr error
+
+	// Replica store and gather scratch of the replication phase (see
+	// replica.go): repl holds this rank's own shard plus its predecessor's.
+	repl             *replStore
+	replPos, replVel [][3]float64
 }
 
 // centerCode is the image code of an atom's own (unshifted) copy.
@@ -468,6 +486,7 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		return nil, fmt.Errorf("domain: transport serves %d ranks, grid needs %d", r.tr.Ranks(), nr)
 	}
 	r.deadRank = make([]atomic.Bool, nr)
+	r.masterRepl = newReplStore()
 	r.done = make(chan struct{}, nr)
 	r.commDone = make(chan struct{}, nr)
 	r.cmds = make([]chan rankCmd, nr)
@@ -509,6 +528,7 @@ func NewRuntime(m *core.Model, sys *atoms.System, opts RuntimeOptions) (*Runtime
 		rk.rowSendT = make([][]int32, nr)
 		rk.rowPlan = make([][]int32, nr)
 		rk.rowRecv = make([][]int32, nr)
+		rk.repl = newReplStore()
 		r.ranks[id] = rk
 		r.cmds[id] = make(chan rankCmd, 1)
 		r.comm[id] = make(chan rankCmd, 1)
@@ -598,6 +618,8 @@ func (rk *rank) commLoop(cmds chan rankCmd) {
 			rk.execPlanExchange()
 		case cmdExchangeRows:
 			rk.execExchangeRows()
+		case cmdReplicate:
+			rk.execReplicate()
 		}
 		rk.rt.commDone <- struct{}{}
 	}

@@ -269,6 +269,17 @@ func (s *Sim) RecomputeForces() {
 	}
 }
 
+// SetState overwrites the integrator state — positions, velocities, step
+// count — with a recovered snapshot and re-evaluates forces there. It is
+// the in-memory analogue of a checkpoint Resume: fleet recovery rewinds
+// the trajectory to the last replication point and replays from it.
+func (s *Sim) SetState(step int, pos, vel [][3]float64) {
+	copy(s.Sys.Pos, pos)
+	copy(s.Vel, vel)
+	s.StepNum = step
+	s.RecomputeForces()
+}
+
 // InitVelocities draws Maxwell-Boltzmann velocities at tempK and removes
 // center-of-mass drift.
 func (s *Sim) InitVelocities(tempK float64, rng *rand.Rand) {

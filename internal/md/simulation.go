@@ -363,6 +363,28 @@ func (s *Simulation) Resume(r io.Reader) error {
 	return nil
 }
 
+// SetState rewinds (or advances) the simulation to an in-memory snapshot:
+// positions, velocities, and the step count they were taken at, with
+// forces re-evaluated at the restored positions. It is the recovery-path
+// sibling of Resume — fed from a fleet's replicated state instead of a
+// checkpoint file. Like Resume, it does not restore thermostat RNG state:
+// replaying a stochastic run is a valid continuation, not a bitwise
+// replay, so bit-identical recovery requires NVE.
+func (s *Simulation) SetState(step int, pos, vel [][3]float64) error {
+	if s.closed {
+		return fmt.Errorf("md: SetState on a closed Simulation")
+	}
+	n := s.sim.Sys.NumAtoms()
+	if len(pos) != n || len(vel) != n {
+		return fmt.Errorf("md: snapshot holds %d/%d atoms, simulation has %d", len(pos), len(vel), n)
+	}
+	if step < 0 {
+		return fmt.Errorf("md: snapshot step must be non-negative, got %d", step)
+	}
+	s.sim.SetState(step, pos, vel)
+	return nil
+}
+
 // Close releases the backend's resources — rank workers of a decomposed
 // runtime, worker pools and arenas of a serial evaluator — by closing the
 // potential if it exposes a Close method. It is idempotent and safe on

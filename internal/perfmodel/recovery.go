@@ -1,0 +1,44 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/domain"
+)
+
+// RecoveryReport is the machine-readable summary a chaos run emits
+// (BENCH_recovery.json in CI): the fleet shape, the trajectory drift
+// against the failure-free run, and the per-recovery timing breakdown the
+// runtime recorded (detect -> quiesce -> restore -> resume).
+type RecoveryReport struct {
+	Transport      string `json:"transport"`       // "chan", "tcp", "fault"
+	Ranks          int    `json:"ranks"`           // fleet size (grid ranks)
+	Atoms          int    `json:"atoms"`           // system size
+	Steps          int    `json:"steps"`           // MD steps completed
+	ReplicateEvery int    `json:"replicate_every"` // steps between replication points
+
+	// Drift is the max-norm position difference against the failure-free
+	// reference trajectory at the final step; the recovery contract is
+	// exactly 0.
+	Drift float64 `json:"drift"`
+
+	Recoveries      []domain.RecoveryTimers `json:"recoveries"`
+	TotalDowntimeNs int64                   `json:"total_downtime_ns"`
+}
+
+// Finalize fills the derived totals from the recorded recoveries.
+func (r *RecoveryReport) Finalize() {
+	r.TotalDowntimeNs = 0
+	for _, rec := range r.Recoveries {
+		r.TotalDowntimeNs += rec.DetectNs + rec.QuiesceNs + rec.RestoreNs + rec.ResumeNs
+	}
+}
+
+// WriteJSON emits the report (finalized) as indented JSON.
+func (r *RecoveryReport) WriteJSON(w io.Writer) error {
+	r.Finalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

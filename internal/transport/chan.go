@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // chanSlot is one staged frame in flight on an in-process link. Slots cycle
@@ -192,6 +193,34 @@ func (e *chanEndpoint) Recv(f *Frame) error {
 		return nil
 	case <-t.closeCh:
 		return ErrClosed
+	}
+}
+
+// RecvTimeout implements TimedRecver.
+func (e *chanEndpoint) RecvTimeout(f *Frame, d time.Duration) (bool, error) {
+	t := e.t
+	if t.closed.Load() {
+		return false, ErrClosed
+	}
+	if t.dead[e.rank].Load() {
+		return false, &DeadError{Rank: e.rank}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case s := <-e.inbox:
+		CopyFrame(f, &s.f)
+		if s.home != nil {
+			select {
+			case s.home <- s:
+			default:
+			}
+		}
+		return true, nil
+	case <-t.closeCh:
+		return false, ErrClosed
+	case <-timer.C:
+		return false, nil
 	}
 }
 

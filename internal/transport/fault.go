@@ -38,6 +38,58 @@ type FaultPlan struct {
 	// KillAtStep is the step tag that triggers the scheduled death; 0
 	// disarms the schedule.
 	KillAtStep uint64
+
+	// ChaosKills arms chaos mode: the number of scheduled rank deaths over
+	// the run. Unlike the single KillRank/KillAtStep schedule, chaos kills
+	// re-arm after a Revive, so a supervised run can survive several deaths.
+	// The schedule (victims and step tags) derives deterministically from
+	// Seed — see ChaosSchedule.
+	ChaosKills int
+	// ChaosFirst is the earliest step tag at which the first chaos kill can
+	// fire (default 1).
+	ChaosFirst uint64
+	// ChaosEvery spaces consecutive chaos kills apart in step tags
+	// (default 1).
+	ChaosEvery uint64
+	// ChaosRanks bounds the victim pool to ranks [0, ChaosRanks); 0 means
+	// every rank of the inner transport. A driver rank kept outside the pool
+	// is never killed.
+	ChaosRanks int
+}
+
+// ChaosKill is one scheduled death of the chaos schedule.
+type ChaosKill struct {
+	Step uint64 `json:"step"`
+	Rank int    `json:"rank"`
+}
+
+// ChaosSchedule derives the plan's kill schedule from a dedicated PRNG
+// stream of Seed: same seed and plan, same victims and step tags, every
+// time. ranks bounds the victim pool to [0, ranks).
+func (p FaultPlan) ChaosSchedule(ranks int) []ChaosKill {
+	if p.ChaosKills <= 0 || ranks <= 0 {
+		return nil
+	}
+	every := p.ChaosEvery
+	if every == 0 {
+		every = 1
+	}
+	first := p.ChaosFirst
+	if first == 0 {
+		first = 1
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0xC4A05))
+	out := make([]ChaosKill, p.ChaosKills)
+	step := first
+	for i := range out {
+		jitter := uint64(0)
+		if every > 1 {
+			jitter = rng.Uint64N(every/2 + 1)
+		}
+		out[i] = ChaosKill{Step: step + jitter, Rank: rng.IntN(ranks)}
+		step += every
+	}
+	return out
 }
 
 // NoFaults is the identity plan: no drops, no duplicates, no delays, no
@@ -64,6 +116,10 @@ type Fault struct {
 	eps    map[int]*faultEndpoint
 	killed atomic.Bool
 
+	chaosMu  sync.Mutex
+	chaos    []ChaosKill
+	chaosIdx int
+
 	drops  atomic.Int64
 	dups   atomic.Int64
 	delays atomic.Int64
@@ -78,7 +134,48 @@ func NewFault(inner Transport, plan FaultPlan) *Fault {
 	if plan.RetransmitDelay <= 0 {
 		plan.RetransmitDelay = time.Millisecond
 	}
-	return &Fault{inner: inner, plan: plan, eps: make(map[int]*faultEndpoint)}
+	t := &Fault{inner: inner, plan: plan, eps: make(map[int]*faultEndpoint)}
+	if plan.ChaosKills > 0 {
+		n := plan.ChaosRanks
+		if n <= 0 {
+			n = inner.Ranks()
+		}
+		t.chaos = plan.ChaosSchedule(n)
+	}
+	return t
+}
+
+// Chaos returns the armed chaos schedule (nil when chaos mode is off) and
+// how many of its kills have fired so far.
+func (t *Fault) Chaos() ([]ChaosKill, int) {
+	t.chaosMu.Lock()
+	defer t.chaosMu.Unlock()
+	return t.chaos, t.chaosIdx
+}
+
+// fireChaos fires at most one due chaos kill per call. If the sender itself
+// is the victim, the caller's Send fails with DeadError immediately.
+func (t *Fault) fireChaos(step uint64, sender int) error {
+	k, ok := t.inner.(Killer)
+	if !ok {
+		return nil
+	}
+	victim := -1
+	t.chaosMu.Lock()
+	if t.chaosIdx < len(t.chaos) && step >= t.chaos[t.chaosIdx].Step {
+		victim = t.chaos[t.chaosIdx].Rank
+		t.chaosIdx++
+	}
+	t.chaosMu.Unlock()
+	if victim < 0 {
+		return nil
+	}
+	t.kills.Add(1)
+	k.Kill(victim)
+	if victim == sender {
+		return &DeadError{Rank: victim}
+	}
+	return nil
 }
 
 func (t *Fault) Ranks() int { return t.inner.Ranks() }
@@ -175,6 +272,12 @@ func (e *faultEndpoint) Send(f *Frame) error {
 			return &DeadError{Rank: p.KillRank}
 		}
 	}
+	// Chaos mode: scheduled kills that re-arm across Revive.
+	if t.chaos != nil {
+		if err := t.fireChaos(f.Step, e.inner.Rank()); err != nil {
+			return err
+		}
+	}
 	e.mu.Lock()
 	drop := p.Drop > 0 && e.rng.Float64() < p.Drop
 	dup := p.Dup > 0 && e.rng.Float64() < p.Dup
@@ -205,5 +308,14 @@ func (e *faultEndpoint) Send(f *Frame) error {
 }
 
 func (e *faultEndpoint) Recv(f *Frame) error { return e.inner.Recv(f) }
+
+// RecvTimeout delegates to the inner endpoint when it supports bounded
+// receives.
+func (e *faultEndpoint) RecvTimeout(f *Frame, d time.Duration) (bool, error) {
+	if tr, ok := e.inner.(TimedRecver); ok {
+		return tr.RecvTimeout(f, d)
+	}
+	return false, fmt.Errorf("transport: inner endpoint does not support timed receive")
+}
 
 func (e *faultEndpoint) Close() error { return e.inner.Close() }

@@ -13,7 +13,11 @@ type Kind uint8
 
 const (
 	KindInvalid Kind = iota
-	// KindHello identifies a peer on a fresh connection (Src = sender rank).
+	// KindHello identifies a peer on a fresh connection (Src = sender rank,
+	// Step = sender's fleet generation). A connection whose hello carries a
+	// generation older than the newest one seen from that rank is fenced:
+	// every frame it delivers is discarded, which is what makes duplicate or
+	// reordered pre-death traffic harmless across a rejoin.
 	KindHello
 	// KindConfig ships the run configuration + serialized model to a rank
 	// daemon (Bytes = JSON).
@@ -60,6 +64,27 @@ const (
 	KindDeath
 	// KindShutdown tells a rank daemon to exit cleanly.
 	KindShutdown
+	// KindReplica streams one rank's owned-atom state to its buddy rank
+	// (Step = MD step of the snapshot; Ints = global atom ids; Vecs =
+	// positions then velocities, 2*len(Ints) entries).
+	KindReplica
+	// KindReplicaReq asks a rank for every replica shard it holds
+	// (driver -> rank; Step = request tick, echoed by the reply).
+	KindReplicaReq
+	// KindReplicaRep answers KindReplicaReq with all stored shards packed
+	// into one frame (Ints = [nShards, then per shard: owner, nIds, then all
+	// ids concatenated]; Scalars = per-shard snapshot steps; Vecs =
+	// concatenated per-shard pos||vel).
+	KindReplicaRep
+	// KindRecover opens a new fleet generation on the survivors after a rank
+	// death (driver -> rank; Step = new generation). Ranks clear their dead
+	// marks and parked phase frames, then ack with KindRecover at the same
+	// Step.
+	KindRecover
+	// KindAbort is a rank's NACK for a phase it could not complete because a
+	// peer died mid-phase (rank -> driver; Step = the phase tick being
+	// served, Ints[0] = the dead rank id, or -1 if unknown).
+	KindAbort
 
 	kindEnd
 )
@@ -84,6 +109,11 @@ var kindNames = [...]string{
 	KindHeartbeatAck: "heartbeat-ack",
 	KindDeath:        "death",
 	KindShutdown:     "shutdown",
+	KindReplica:      "replica",
+	KindReplicaReq:   "replica-req",
+	KindReplicaRep:   "replica-rep",
+	KindRecover:      "recover",
+	KindAbort:        "abort",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// writeRaw encodes f and writes it on a raw connection — the test plays a
+// peer process by hand, so it can hold two live connections for the same
+// rank (something a real tcpTransport never does) and prove the receiver
+// fences the superseded one.
+func writeRaw(t *testing.T, c net.Conn, f *Frame) {
+	t.Helper()
+	if _, err := c.Write(f.AppendWire(nil)); err != nil {
+		t.Fatalf("raw write: %v", err)
+	}
+}
+
+// TestTCPGenerationFencing pins the rejoin fence at the wire level: once a
+// newer-generation hello arrives from a rank, every frame still in flight
+// on the older generation's connection — duplicated, reordered, or simply
+// slow — is dropped, and a whole connection that says hello with a stale
+// generation is refused. This is what makes a replacement rankd safe to
+// admit while its predecessor's frames are still buffered in the kernel.
+func TestTCPGenerationFencing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []string{"127.0.0.1:1", ln.Addr().String()} // rank 0 is played by raw conns
+	tr, err := NewTCP(TCPConfig{
+		Rank: 1, Hosts: hosts, Listener: ln,
+		HeartbeatEvery: -1, HeartbeatTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ep, err := tr.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := ep.(TimedRecver)
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", hosts[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	hello := func(c net.Conn, gen uint64) {
+		var f Frame
+		f.Reset(KindHello, 1, gen)
+		f.Src = 0
+		writeRaw(t, c, &f)
+	}
+	data := func(c net.Conn, step uint64) {
+		var f Frame
+		f.Reset(KindGhostPos, 1, step)
+		f.Src = 0
+		f.EnsureVecs(4)
+		writeRaw(t, c, &f)
+	}
+	// waitFor drains the inbox until a KindGhostPos with the wanted step
+	// surfaces, recording every ghost step seen along the way.
+	seen := map[uint64]bool{}
+	waitFor := func(step uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var in Frame
+		for time.Now().Before(deadline) {
+			got, err := te.RecvTimeout(&in, 100*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got && in.Kind == KindGhostPos {
+				seen[in.Step] = true
+				if in.Step == step {
+					return
+				}
+			}
+		}
+		t.Fatalf("frame with step %d never surfaced (seen: %v)", step, seen)
+	}
+
+	// Generation 0 connects and delivers.
+	connA := dial()
+	defer connA.Close()
+	hello(connA, 0)
+	data(connA, 1)
+	waitFor(1)
+
+	// The replacement's generation-1 connection supersedes it.
+	connB := dial()
+	defer connB.Close()
+	hello(connB, 1)
+	data(connB, 2)
+	waitFor(2)
+
+	// A pre-death frame still in flight on the old connection must be
+	// fenced; traffic on the new connection keeps flowing. Step 4 arriving
+	// proves the receiver processed past the point where step 3 would have
+	// surfaced (per-connection reads are in order, and the fence drops the
+	// whole stale connection on its next read).
+	data(connA, 3)
+	data(connB, 4)
+	waitFor(4)
+	if seen[3] {
+		t.Fatal("stale generation-0 frame leaked through the fence")
+	}
+
+	// A whole connection that greets with an already-superseded generation
+	// is refused at the handshake.
+	connC := dial()
+	defer connC.Close()
+	hello(connC, 0)
+	data(connC, 5)
+	data(connB, 6)
+	waitFor(6)
+	if seen[5] {
+		t.Fatal("stale-generation handshake was not refused")
+	}
+}
+
+// TestFaultChaosScheduleDeterministic pins the chaos contract: the kill
+// schedule is a pure function of the seed and plan — same seed, same
+// victims at the same step tags, every run — with step tags respecting the
+// configured spacing and victims confined to the configured pool.
+func TestFaultChaosScheduleDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 424242, ChaosKills: 8, ChaosFirst: 10, ChaosEvery: 25, KillRank: -1}
+	a := plan.ChaosSchedule(4)
+	b := plan.ChaosSchedule(4)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("schedule lengths %d/%d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at kill %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Rank < 0 || a[i].Rank >= 4 {
+			t.Errorf("kill %d victim %d outside pool [0, 4)", i, a[i].Rank)
+		}
+		lo := uint64(10 + i*25)
+		if a[i].Step < lo || a[i].Step > lo+25/2 {
+			t.Errorf("kill %d at step %d outside [%d, %d]", i, a[i].Step, lo, lo+25/2)
+		}
+	}
+	if other := (FaultPlan{Seed: 424243, ChaosKills: 8, ChaosFirst: 10, ChaosEvery: 25}).ChaosSchedule(4); len(other) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced an identical chaos schedule")
+		}
+	}
+}
+
+// TestFaultChaosKillFires drives a live chaos kill: once a data frame's step
+// tag reaches the schedule, the victim dies on the inner transport and the
+// fault layer's counters record it.
+func TestFaultChaosKillFires(t *testing.T) {
+	ft := NewFault(NewChan(3), FaultPlan{Seed: 7, ChaosKills: 1, ChaosFirst: 5, ChaosRanks: 2, KillRank: -1})
+	sched, fired := ft.Chaos()
+	if len(sched) != 1 || fired != 0 {
+		t.Fatalf("armed schedule %v (%d fired), want 1 pending kill", sched, fired)
+	}
+	victim := sched[0].Rank
+	sender := 2 // outside the victim pool: never the casualty
+	ep, err := ft.Endpoint(sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	f.Reset(KindGhostPos, victim, 1)
+	if err := ep.Send(&f); err != nil {
+		t.Fatalf("pre-schedule send: %v", err)
+	}
+	if _, n := ft.Chaos(); n != 0 {
+		t.Fatalf("kill fired at step 1, scheduled for %d", sched[0].Step)
+	}
+	f.Reset(KindGhostPos, victim, sched[0].Step)
+	err = ep.Send(&f)
+	if _, ok := IsDead(err); err != nil && !ok {
+		t.Fatalf("send at the kill step: %v", err)
+	}
+	if _, n := ft.Chaos(); n != 1 {
+		t.Fatal("scheduled chaos kill did not fire")
+	}
+	if st := ft.Stats(); st.Kills != 1 {
+		t.Fatalf("stats record %d kills, want 1", st.Kills)
+	}
+	// The victim is dead on the inner transport: sends to it now fail.
+	f.Reset(KindGhostPos, victim, sched[0].Step+1)
+	if err := ep.Send(&f); err == nil {
+		t.Fatal("send to the chaos victim succeeded after the kill")
+	} else if d, ok := IsDead(err); !ok || d != victim {
+		t.Fatalf("send to dead victim: %v, want DeadError for rank %d", err, victim)
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sort"
 	"sync"
@@ -20,6 +21,12 @@ type TCPConfig struct {
 	// Listener optionally supplies a pre-bound listener for Hosts[Rank]
 	// (tests bind :0 and pass the resolved address around).
 	Listener net.Listener
+	// Generation stamps every outbound KindHello (Step field). A restarted
+	// process rejoins with a higher generation; receivers fence connections
+	// whose hello generation is older than the newest seen from that rank,
+	// so duplicated or reordered pre-death frames can never leak into the
+	// new epoch.
+	Generation uint64
 
 	// DialTimeout bounds one dial attempt (default 2s).
 	DialTimeout time.Duration
@@ -108,6 +115,9 @@ type tcpTransport struct {
 	notified  map[int]bool
 	hbPending map[uint64]time.Time
 	links     map[int]*tcpLink
+	// peerGen is the newest hello generation seen per peer; connections
+	// carrying an older generation are fenced (their frames discarded).
+	peerGen map[int]uint64
 
 	hbID   atomic.Uint64
 	closed atomic.Bool
@@ -141,6 +151,7 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 		notified:  make(map[int]bool),
 		hbPending: make(map[uint64]time.Time),
 		links:     make(map[int]*tcpLink),
+		peerGen:   make(map[int]uint64),
 		done:      make(chan struct{}),
 	}
 	t.pool.New = func() any { return new(Frame) }
@@ -248,6 +259,31 @@ func (t *tcpTransport) serveConn(c net.Conn) {
 		return
 	}
 	peer := int(f.Src)
+	gen := f.Step
+	t.mu.Lock()
+	cur, seen := t.peerGen[peer]
+	if seen && gen < cur {
+		// A connection from a superseded incarnation of the peer: fence it.
+		t.mu.Unlock()
+		t.logf("tcp rank %d: fencing stale generation %d connection from rank %d (current %d)",
+			t.cfg.Rank, gen, peer, cur)
+		return
+	}
+	var staleOut *tcpConn
+	if gen > cur {
+		// The peer restarted into a new generation: the outbound connection
+		// (if any) still points at the dead incarnation — drop it so the next
+		// Send redials into the new process.
+		t.peerGen[peer] = gen
+		staleOut = t.out[peer]
+		delete(t.out, peer)
+	} else if !seen {
+		t.peerGen[peer] = gen
+	}
+	t.mu.Unlock()
+	if staleOut != nil {
+		staleOut.c.Close()
+	}
 	t.touch(peer, f.EncodedLen())
 	t.deliver(f, peer)
 	for {
@@ -257,6 +293,17 @@ func (t *tcpTransport) serveConn(c net.Conn) {
 			if !t.closed.Load() {
 				t.logf("tcp rank %d: conn from rank %d closed: %v", t.cfg.Rank, peer, err)
 			}
+			return
+		}
+		t.mu.Lock()
+		fenced := t.peerGen[peer] > gen
+		t.mu.Unlock()
+		if fenced {
+			// A newer incarnation of the peer has said hello: everything still
+			// in flight on this connection predates its death. Discard.
+			t.pool.Put(f)
+			t.logf("tcp rank %d: dropping post-rejoin frame from stale generation %d of rank %d",
+				t.cfg.Rank, gen, peer)
 			return
 		}
 		t.touch(peer, f.EncodedLen())
@@ -345,9 +392,10 @@ func (t *tcpTransport) getOut(peer int) (*tcpConn, error) {
 				tc.SetNoDelay(true)
 			}
 			oc = &tcpConn{c: c, peer: peer}
-			// Handshake: identify ourselves before any payload.
+			// Handshake: identify ourselves (and our generation) before any
+			// payload.
 			var hello Frame
-			hello.Reset(KindHello, peer, 0)
+			hello.Reset(KindHello, peer, t.cfg.Generation)
 			hello.Src = int32(t.cfg.Rank)
 			if err := t.writeFrame(oc, &hello); err != nil {
 				c.Close()
@@ -366,17 +414,24 @@ func (t *tcpTransport) getOut(peer int) (*tcpConn, error) {
 		} else {
 			lastErr = err
 		}
+		// Jitter the backoff (uniform over [backoff/2, backoff]) so a whole
+		// restarted fleet does not thundering-herd the rendezvous host with
+		// synchronized redials. Dial timing is not part of the determinism
+		// surface, so unseeded randomness is fine here.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
 		select {
 		case <-t.done:
 			return nil, ErrClosed
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > time.Second {
 			backoff = time.Second
 		}
 	}
-	return nil, fmt.Errorf("transport: dial rank %d (%s) failed after %d attempts: %w",
-		peer, addr, t.cfg.DialRetries, lastErr)
+	// Dial exhaustion wraps DeadError so phase code treats an unreachable
+	// peer the same way as one whose heartbeat timed out.
+	return nil, fmt.Errorf("transport: dial rank %d (%s) failed after %d attempts (%v): %w",
+		peer, addr, t.cfg.DialRetries, lastErr, &DeadError{Rank: peer})
 }
 
 // dropOut discards a broken outbound connection so the next Send redials.
@@ -556,6 +611,26 @@ func (e *tcpEndpoint) Recv(f *Frame) error {
 		return nil
 	case <-t.done:
 		return ErrClosed
+	}
+}
+
+// RecvTimeout implements TimedRecver.
+func (e *tcpEndpoint) RecvTimeout(f *Frame, d time.Duration) (bool, error) {
+	t := (*tcpTransport)(e)
+	if t.closed.Load() {
+		return false, ErrClosed
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case in := <-t.inbox:
+		CopyFrame(f, in)
+		t.pool.Put(in)
+		return true, nil
+	case <-t.done:
+		return false, ErrClosed
+	case <-timer.C:
+		return false, nil
 	}
 }
 

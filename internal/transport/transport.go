@@ -32,6 +32,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Endpoint is one rank's attachment to the transport. Send and Recv may be
@@ -88,6 +89,14 @@ type LinkStats struct {
 	BytesRecv  int64   `json:"bytes_recv"`
 	LatencySec float64 `json:"latency_s"`     // smoothed one-way latency (heartbeat RTT/2)
 	Bandwidth  float64 `json:"bandwidth_bps"` // achieved payload bytes/s of the send path
+}
+
+// TimedRecver is implemented by endpoints that support a bounded receive —
+// the supervisor loop uses it to drain stale frames and to poll for a
+// replacement rank without blocking forever. ok is false when the timeout
+// elapsed with no frame.
+type TimedRecver interface {
+	RecvTimeout(f *Frame, d time.Duration) (ok bool, err error)
 }
 
 // StatsReporter is implemented by transports that measure their links
